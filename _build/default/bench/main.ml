@@ -1,0 +1,300 @@
+(* Benchmark harness.
+
+   Two kinds of output:
+
+   1. Reproduction sections — every figure/claim of the paper's
+      evaluation regenerated in the simulator (Fig. 3, the 4-minute
+      video demonstration, the red/green GUI), plus the extension
+      experiments of DESIGN.md (scaling, ablations, topology
+      families). Each prints the same rows/series the paper reports.
+
+   2. Microbenchmarks — bechamel Test.make timings of the hot
+      substrate operations (SPF, LPM, OF codec, flow-table lookup,
+      LLDP codec, LSA Fletcher checksum, RIB churn).
+
+   Usage: main.exe [all|fig3|demo|gui|scaling|ablation|families|micro]
+   Default "all" runs everything, with scaling capped at 250 switches
+   (the full 1000-switch sweep takes tens of minutes; request it with
+   `main.exe scaling`). *)
+
+open Rf_packet
+module Experiment = Rf_core.Experiment
+
+let std = Format.std_formatter
+
+let section name = Format.fprintf std "@.=== %s ===@." name
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmark fixtures                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ip = Ipv4_addr.of_string_exn
+
+let pfx = Ipv4_addr.Prefix.of_string_exn
+
+(* A converged 24-router OSPF line; its first daemon then re-runs SPF
+   under the timer. *)
+let spf_fixture () =
+  let engine = Rf_sim.Engine.create () in
+  let join a b =
+    Rf_routing.Iface.set_transmit a (fun f ->
+        ignore
+          (Rf_sim.Engine.schedule engine (Rf_sim.Vtime.span_ms 1) (fun () ->
+               Rf_routing.Iface.deliver b f)));
+    Rf_routing.Iface.set_transmit b (fun f ->
+        ignore
+          (Rf_sim.Engine.schedule engine (Rf_sim.Vtime.span_ms 1) (fun () ->
+               Rf_routing.Iface.deliver a f)))
+  in
+  let routers =
+    Array.init 24 (fun i ->
+        let rid = ip (Printf.sprintf "10.255.0.%d" (i + 1)) in
+        let rib = Rf_routing.Rib.create () in
+        Rf_routing.Ospfd.create engine
+          (Rf_routing.Ospfd.default_config ~router_id:rid)
+          rib)
+  in
+  Array.iteri
+    (fun i d ->
+      let stub =
+        Rf_routing.Iface.create
+          ~name:(Printf.sprintf "stub%d" i)
+          ~mac:(Mac.make_local (9000 + i))
+          ~ip:(ip (Printf.sprintf "10.9.%d.1" i))
+          ~prefix_len:24 ()
+      in
+      Rf_routing.Ospfd.add_interface d ~passive:true stub)
+    routers;
+  for i = 0 to Array.length routers - 2 do
+    let ia =
+      Rf_routing.Iface.create
+        ~name:(Printf.sprintf "r%d" i)
+        ~mac:(Mac.make_local (9100 + (2 * i)))
+        ~ip:(ip (Printf.sprintf "172.20.%d.1" i))
+        ~prefix_len:30 ()
+    in
+    let ib =
+      Rf_routing.Iface.create
+        ~name:(Printf.sprintf "l%d" (i + 1))
+        ~mac:(Mac.make_local (9101 + (2 * i)))
+        ~ip:(ip (Printf.sprintf "172.20.%d.2" i))
+        ~prefix_len:30 ()
+    in
+    join ia ib;
+    Rf_routing.Ospfd.add_interface routers.(i) ia;
+    Rf_routing.Ospfd.add_interface routers.(i + 1) ib
+  done;
+  Array.iter Rf_routing.Ospfd.start routers;
+  ignore (Rf_sim.Engine.run ~until:(Rf_sim.Vtime.of_s 60.) engine);
+  routers.(0)
+
+let trie_fixture () =
+  let trie = Rf_routing.Prefix_trie.create () in
+  let rng = Rf_sim.Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let addr = Ipv4_addr.of_int32 (Int32.of_int (Rf_sim.Rng.int rng 0x3FFFFFFF)) in
+    let len = 8 + Rf_sim.Rng.int rng 17 in
+    Rf_routing.Prefix_trie.insert trie (Ipv4_addr.Prefix.make addr len) len
+  done;
+  trie
+
+let flow_table_fixture () =
+  let engine = Rf_sim.Engine.create () in
+  let table = Rf_net.Flow_table.create () in
+  let now = Rf_sim.Engine.now engine in
+  for i = 0 to 999 do
+    let prefix =
+      Ipv4_addr.Prefix.make (Ipv4_addr.of_octets 10 (i lsr 8) (i land 0xff) 0) 24
+    in
+    let fm =
+      Rf_openflow.Of_msg.flow_add
+        ~priority:(0x4000 + (i land 0xff))
+        (Rf_openflow.Of_match.nw_dst_prefix prefix)
+        [ Rf_openflow.Of_action.output ((i mod 16) + 1) ]
+    in
+    ignore (Rf_net.Flow_table.apply_flow_mod table ~now fm)
+  done;
+  table
+
+let sample_udp_frame =
+  Packet.udp ~src_mac:(Mac.make_local 1) ~dst_mac:(Mac.make_local 2)
+    ~src_ip:(ip "10.0.1.2") ~dst_ip:(ip "10.0.200.2")
+    (Udp.make ~src_port:5004 ~dst_port:1234 (String.make 1200 'v'))
+
+let sample_flow_mod_wire =
+  Rf_openflow.Of_codec.to_wire
+    (Rf_openflow.Of_msg.msg
+       (Rf_openflow.Of_msg.Flow_mod
+          (Rf_openflow.Of_msg.flow_add
+             (Rf_openflow.Of_match.nw_dst_prefix (pfx "10.0.7.0/24"))
+             [
+               Rf_openflow.Of_action.Set_dl_src (Mac.make_local 77);
+               Rf_openflow.Of_action.Set_dl_dst (Mac.make_local 78);
+               Rf_openflow.Of_action.output 3;
+             ])))
+
+let sample_lldp_wire = Lldp.to_wire (Lldp.discovery_probe ~dpid:42L ~port:7)
+
+let sample_lsa =
+  {
+    Ospf_pkt.age = 1;
+    options = 2;
+    link_state_id = ip "10.255.0.1";
+    adv_router = ip "10.255.0.1";
+    seq = Ospf_pkt.initial_seq;
+    body =
+      Ospf_pkt.Router
+        {
+          links =
+            List.init 8 (fun i ->
+                {
+                  Ospf_pkt.link_id = ip (Printf.sprintf "10.255.0.%d" (i + 2));
+                  link_data = ip (Printf.sprintf "172.16.%d.1" i);
+                  link_type = Ospf_pkt.Point_to_point;
+                  metric = 10;
+                });
+        };
+  }
+
+let micro_tests () =
+  let open Bechamel in
+  let spf_daemon = spf_fixture () in
+  let trie = trie_fixture () in
+  let table = flow_table_fixture () in
+  let parsed_frame =
+    match Packet.parse sample_udp_frame with Ok p -> p | Error e -> failwith e
+  in
+  let key = Rf_openflow.Of_match.key_of_packet ~in_port:1 parsed_frame in
+  let rib = Rf_routing.Rib.create () in
+  let churn_route =
+    {
+      Rf_routing.Rib.r_prefix = pfx "10.1.2.0/24";
+      r_proto = Rf_routing.Rib.Ospf;
+      r_distance = 110;
+      r_metric = 30;
+      r_next_hop = Some (ip "172.16.0.2");
+      r_iface = "eth1";
+    }
+  in
+  [
+    Test.make ~name:"spf_24_routers"
+      (Staged.stage (fun () -> ignore (Rf_routing.Ospfd.spf_now spf_daemon)));
+    Test.make ~name:"lpm_lookup_10k_prefixes"
+      (Staged.stage (fun () ->
+           ignore (Rf_routing.Prefix_trie.lookup trie (ip "10.57.3.9"))));
+    Test.make ~name:"flow_table_lookup_1k_entries"
+      (Staged.stage (fun () -> ignore (Rf_net.Flow_table.lookup table key)));
+    Test.make ~name:"of_flow_mod_decode"
+      (Staged.stage (fun () ->
+           match Rf_openflow.Of_codec.of_wire sample_flow_mod_wire with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"packet_parse_udp_1200B"
+      (Staged.stage (fun () ->
+           match Packet.parse sample_udp_frame with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"lldp_probe_decode"
+      (Staged.stage (fun () ->
+           match Lldp.of_wire sample_lldp_wire with
+           | Ok l -> ignore (Lldp.parse_discovery l)
+           | Error e -> failwith e));
+    Test.make ~name:"lsa_encode_fletcher"
+      (Staged.stage (fun () -> ignore (Ospf_pkt.lsa_to_wire sample_lsa)));
+    Test.make ~name:"rib_update_withdraw"
+      (Staged.stage (fun () ->
+           Rf_routing.Rib.update rib churn_route;
+           Rf_routing.Rib.withdraw rib Rf_routing.Rib.Ospf churn_route.Rf_routing.Rib.r_prefix));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  section "Microbenchmarks (bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let tests = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  let clock =
+    Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock)
+  in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) clock []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.fprintf std "%-40s %16s@." "benchmark" "ns/run";
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Format.fprintf std "%-40s %16.1f@." name est
+      | Some _ | None -> Format.fprintf std "%-40s %16s@." name "-")
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let run_fig3 () =
+  section "E1 / Figure 3 — automatic vs manual configuration time";
+  Experiment.print_fig3 std (Experiment.fig3 ())
+
+let run_demo () =
+  section "E2 — demonstration: pan-European video streaming";
+  Experiment.print_demo std (Experiment.demo ())
+
+let run_gui () =
+  section "E3 — GUI red/green progression (every 60 sim-seconds)";
+  List.iter
+    (fun f -> Format.fprintf std "%s@." f)
+    (Experiment.gui_frames ~every_s:60.0 ())
+
+let run_scaling ?(sizes = [ 50; 100; 250 ]) () =
+  section "X1 — scaling (extension)";
+  Experiment.print_scaling std (Experiment.scaling ~sizes ())
+
+let run_ablation () =
+  section "X2 — ablations (extension)";
+  Experiment.print_ablation std "VM boot parallelism"
+    (Experiment.ablation_parallel_boot ());
+  Experiment.print_ablation std "LLDP probe interval"
+    (Experiment.ablation_probe_interval ());
+  Experiment.print_ablation std "RPC latency (controller placement)"
+    (Experiment.ablation_rpc_latency ());
+  Experiment.print_ablation std "routing protocol (OSPF vs RIPv2)"
+    (Experiment.ablation_protocol ())
+
+let run_census () =
+  section "X4 — control-plane message census (extension)";
+  Experiment.print_census std (Experiment.census ())
+
+let run_families () =
+  section "X3 — topology families (extension)";
+  Experiment.print_families std (Experiment.topo_families ())
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "fig3" -> run_fig3 ()
+  | "demo" -> run_demo ()
+  | "gui" -> run_gui ()
+  | "scaling" -> run_scaling ~sizes:[ 50; 100; 250; 500; 1000 ] ()
+  | "ablation" -> run_ablation ()
+  | "families" -> run_families ()
+  | "census" -> run_census ()
+  | "micro" -> run_micro ()
+  | "all" ->
+      run_fig3 ();
+      run_demo ();
+      run_gui ();
+      run_scaling ();
+      run_ablation ();
+      run_families ();
+      run_census ();
+      run_micro ()
+  | other ->
+      Format.eprintf
+        "unknown section %S (use all|fig3|demo|gui|scaling|ablation|families|census|micro)@."
+        other;
+      exit 2

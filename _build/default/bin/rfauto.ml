@@ -1,0 +1,290 @@
+(* rfauto — command-line front end for the reproduction experiments. *)
+
+open Cmdliner
+module Experiment = Rf_core.Experiment
+
+let std = Format.std_formatter
+
+(* --- fig3 --------------------------------------------------------- *)
+
+let sizes_arg =
+  let doc = "Ring sizes to sweep (comma separated)." in
+  Arg.(value & opt (list int) [ 4; 8; 12; 16; 20; 24; 28 ] & info [ "sizes" ] ~doc)
+
+let boot_arg =
+  let doc = "VM creation (clone+boot) time in seconds." in
+  Arg.(value & opt float 8.0 & info [ "boot-time" ] ~doc)
+
+let parallel_arg =
+  let doc = "Concurrent VM creations (1 = paper-era serialized RouteFlow)." in
+  Arg.(value & opt int 1 & info [ "parallel-boot" ] ~doc)
+
+let fig3_cmd =
+  let run sizes vm_boot_s parallel_boot =
+    Experiment.print_fig3 std
+      (Experiment.fig3 ~sizes ~vm_boot_s ~parallel_boot ())
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Reproduce Figure 3: automatic vs manual configuration time")
+    Term.(const run $ sizes_arg $ boot_arg $ parallel_arg)
+
+(* --- demo --------------------------------------------------------- *)
+
+let horizon_arg =
+  let doc = "Simulated horizon in seconds." in
+  Arg.(value & opt float 360.0 & info [ "horizon" ] ~doc)
+
+let server_arg =
+  let doc = "City hosting the video server." in
+  Arg.(value & opt string "Glasgow" & info [ "server" ] ~doc)
+
+let client_arg =
+  let doc = "City hosting the remote client." in
+  Arg.(value & opt string "Athens" & info [ "client" ] ~doc)
+
+let protocol_arg =
+  let doc = "Routing protocol the VMs run: ospf or rip." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("ospf", Rf_routeflow.Rf_system.Proto_ospf);
+             ("rip", Rf_routeflow.Rf_system.Proto_rip);
+           ])
+        Rf_routeflow.Rf_system.Proto_ospf
+    & info [ "protocol" ] ~doc)
+
+let pcap_arg =
+  let doc = "Write a pcap capture of the client's access link to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "pcap" ] ~doc ~docv:"FILE")
+
+let demo_cmd =
+  let run vm_boot_s horizon_s server_city client_city protocol pcap_path =
+    Experiment.print_demo std
+      (Experiment.demo ~vm_boot_s ~horizon_s ~server_city ~client_city ~protocol
+         ?pcap_path ())
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:
+         "Reproduce the demonstration: stream video across the pan-European \
+          topology while RouteFlow configures itself")
+    Term.(
+      const run $ boot_arg $ horizon_arg $ server_arg $ client_arg $ protocol_arg
+      $ pcap_arg)
+
+(* --- gui ----------------------------------------------------------- *)
+
+let gui_cmd =
+  let every_arg =
+    Arg.(value & opt float 30.0 & info [ "every" ] ~doc:"Frame period (sim s).")
+  in
+  let run vm_boot_s every_s =
+    List.iter
+      (fun frame -> Format.fprintf std "%s@." frame)
+      (Experiment.gui_frames ~vm_boot_s ~every_s ())
+  in
+  Cmd.v
+    (Cmd.info "gui" ~doc:"Render the red/green GUI frames of the demo run")
+    Term.(const run $ boot_arg $ every_arg)
+
+(* --- scaling -------------------------------------------------------- *)
+
+let scaling_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 50; 100; 250; 500; 1000 ]
+      & info [ "sizes" ] ~doc:"Ring sizes.")
+  in
+  let run sizes = Experiment.print_scaling std (Experiment.scaling ~sizes ()) in
+  Cmd.v
+    (Cmd.info "scaling" ~doc:"Extension: configuration time up to 1000 switches")
+    Term.(const run $ sizes)
+
+(* --- ablation -------------------------------------------------------- *)
+
+let ablation_cmd =
+  let which =
+    let doc = "Which knob: boot, probe, rpc, or proto." in
+    Arg.(
+      value
+      & pos 0
+          (enum [ ("boot", `Boot); ("probe", `Probe); ("rpc", `Rpc); ("proto", `Proto) ])
+          `Boot
+      & info [] ~doc)
+  in
+  let switches_arg =
+    Arg.(value & opt int 28 & info [ "switches" ] ~doc:"Ring size.")
+  in
+  let run which switches =
+    match which with
+    | `Boot ->
+        Experiment.print_ablation std "VM boot parallelism"
+          (Experiment.ablation_parallel_boot ~switches ())
+    | `Probe ->
+        Experiment.print_ablation std "LLDP probe interval"
+          (Experiment.ablation_probe_interval ~switches ())
+    | `Rpc ->
+        Experiment.print_ablation std "RPC latency (controller placement)"
+          (Experiment.ablation_rpc_latency ~switches ())
+    | `Proto ->
+        Experiment.print_ablation std "routing protocol (OSPF vs RIPv2)"
+          (Experiment.ablation_protocol ~switches ())
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Design-choice ablations on the 28-switch ring")
+    Term.(const run $ which $ switches_arg)
+
+(* --- inspect ---------------------------------------------------------- *)
+
+let inspect_cmd =
+  let n_arg = Arg.(value & opt int 4 & info [ "switches" ] ~doc:"Ring size.") in
+  let dpid_arg =
+    Arg.(value & opt int 1 & info [ "dpid" ] ~doc:"Switch whose VM to inspect.")
+  in
+  let run n dpid =
+    let topo = Rf_net.Topo_gen.ring n in
+    let options =
+      {
+        Rf_core.Scenario.default_options with
+        rf_params =
+          {
+            Rf_core.Scenario.default_options.Rf_core.Scenario.rf_params with
+            Rf_routeflow.Rf_system.vm_boot_time = Rf_sim.Vtime.span_s 2.0;
+          };
+      }
+    in
+    let s = Rf_core.Scenario.build ~options topo in
+    Rf_core.Scenario.run_for s (Rf_sim.Vtime.span_s ((2.0 *. float_of_int n) +. 30.));
+    let d = Int64.of_int dpid in
+    match Rf_routeflow.Rf_system.vm (Rf_core.Scenario.rf_system s) d with
+    | None -> Format.printf "switch %Ld has no VM@." d
+    | Some vm ->
+        Format.printf "=== %s: show ip route ===@.%s@." (Rf_routeflow.Vm.hostname vm)
+          (Rf_routing.Show.ip_route (Rf_routeflow.Vm.rib vm));
+        (match Rf_routeflow.Vm.ospfd vm with
+        | Some daemon ->
+            Format.printf "=== show ip ospf neighbor ===@.%s@."
+              (Rf_routing.Show.ip_ospf_neighbor daemon);
+            Format.printf "=== show ip ospf database ===@.%s@."
+              (Rf_routing.Show.ip_ospf_database daemon)
+        | None -> ());
+        (match Rf_routeflow.Vm.ripd vm with
+        | Some daemon ->
+            Format.printf "=== show ip rip ===@.%s@." (Rf_routing.Show.ip_rip daemon)
+        | None -> ());
+        (match Rf_routeflow.Vm.config_file vm "zebra.conf" with
+        | Some text -> Format.printf "=== zebra.conf ===@.%s@." text
+        | None -> ());
+        let dp = Rf_net.Network.datapath (Rf_core.Scenario.network s) d in
+        Format.printf "=== physical flow table (%d entries) ===@."
+          (Rf_net.Flow_table.size (Rf_net.Datapath.flow_table dp));
+        List.iter
+          (fun (e : Rf_net.Flow_table.entry) ->
+            Format.printf "  prio=%d %a -> %s@." e.Rf_net.Flow_table.e_priority
+              Rf_openflow.Of_match.pp e.Rf_net.Flow_table.e_match
+              (String.concat ", "
+                 (List.map
+                    (Format.asprintf "%a" Rf_openflow.Of_action.pp)
+                    e.Rf_net.Flow_table.e_actions)))
+          (Rf_net.Flow_table.entries (Rf_net.Datapath.flow_table dp))
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Run a ring scenario, then dump one VM's vtysh state and its switch's flow table")
+    Term.(const run $ n_arg $ dpid_arg)
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let n_arg = Arg.(value & opt int 4 & info [ "switches" ] ~doc:"Ring size.") in
+  let run n =
+    let topo = Rf_net.Topo_gen.ring n in
+    let s = Rf_core.Scenario.build topo in
+    Rf_core.Scenario.run_for s (Rf_sim.Vtime.span_s ((8.0 *. float_of_int n) +. 60.));
+    let timeline = Rf_core.Timeline.of_scenario s in
+    print_string (Rf_core.Timeline.render timeline);
+    let sum = Rf_core.Timeline.summarize timeline in
+    Format.printf
+      "@.%d switches detected, %d links detected, %d VMs ready, %d configured@."
+      sum.Rf_core.Timeline.switches_detected sum.Rf_core.Timeline.links_detected
+      sum.Rf_core.Timeline.vms_ready sum.Rf_core.Timeline.vms_configured;
+    (match sum.Rf_core.Timeline.last_vm_ready_s with
+    | Some t -> Format.printf "last VM ready at %.1f s@." t
+    | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the configuration event timeline of a ring run")
+    Term.(const run $ n_arg)
+
+(* --- run: user topology file ------------------------------------------- *)
+
+let run_cmd =
+  let topo_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "topo" ] ~docv:"FILE"
+          ~doc:"Topology file (switch/link/host lines; see Topo_file).")
+  in
+  let horizon_arg2 =
+    Arg.(value & opt float 0.0 & info [ "horizon" ] ~doc:"Sim seconds (0 = auto).")
+  in
+  let run topo_path horizon vm_boot_s =
+    match Rf_net.Topo_file.load topo_path with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1
+    | Ok topo ->
+        let options =
+          {
+            Rf_core.Scenario.default_options with
+            rf_params =
+              {
+                Rf_core.Scenario.default_options.Rf_core.Scenario.rf_params with
+                Rf_routeflow.Rf_system.vm_boot_time = Rf_sim.Vtime.span_s vm_boot_s;
+              };
+          }
+        in
+        let s = Rf_core.Scenario.build ~options topo in
+        let horizon =
+          if horizon > 0. then horizon
+          else
+            (vm_boot_s *. float_of_int (Rf_net.Topology.switch_count topo)) +. 120.
+        in
+        Rf_core.Scenario.run_for s (Rf_sim.Vtime.span_s horizon);
+        print_string (Rf_core.Timeline.render (Rf_core.Timeline.of_scenario s));
+        Format.printf "@.%s@." (Rf_core.Gui.render (Rf_core.Scenario.gui s));
+        (match Rf_core.Scenario.all_configured_at s with
+        | Some t ->
+            Format.printf "all switches configured at %.1f s@." (Rf_sim.Vtime.to_s t)
+        | None -> Format.printf "configuration incomplete within the horizon@.");
+        match Rf_core.Scenario.routing_converged_at s with
+        | Some t -> Format.printf "routing converged at %.1f s@." (Rf_sim.Vtime.to_s t)
+        | None -> Format.printf "routing not converged within the horizon@."
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Autoconfigure a user-supplied topology file and report the timeline")
+    Term.(const run $ topo_arg $ horizon_arg2 $ boot_arg)
+
+(* --- families --------------------------------------------------------- *)
+
+let families_cmd =
+  let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Switch count.") in
+  let run n = Experiment.print_families std (Experiment.topo_families ~n ()) in
+  Cmd.v
+    (Cmd.info "families" ~doc:"Configuration time across topology families")
+    Term.(const run $ n_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "rfauto" ~version:"1.0.0"
+       ~doc:
+         "Automatic configuration of routing control platforms in OpenFlow \
+          networks — reproduction experiments")
+    [ fig3_cmd; demo_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; trace_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bgp_peering.ml: Array Bgpd Format Iface Ipv4_addr List Mac Ospfd Printf Quagga_conf Rf_net Rf_packet Rf_routing Rf_sim Rib Show

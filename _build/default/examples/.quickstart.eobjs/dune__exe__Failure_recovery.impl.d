@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Format List Rf_core Rf_net Rf_routeflow Rf_routing Rf_sim

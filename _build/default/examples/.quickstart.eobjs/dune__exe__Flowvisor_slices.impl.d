@@ -1,0 +1,1 @@
+examples/flowvisor_slices.ml: Format Ipv4_addr List Lldp Packet Rf_controller Rf_flowvisor Rf_net Rf_openflow Rf_packet Rf_sim String

@@ -1,0 +1,1 @@
+examples/flowvisor_slices.mli:

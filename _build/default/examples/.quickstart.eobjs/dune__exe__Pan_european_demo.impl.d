@@ -1,0 +1,1 @@
+examples/pan_european_demo.ml: Array Format Rf_core Rf_net Rf_sim String Sys

@@ -1,0 +1,1 @@
+examples/pan_european_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Rf_core Rf_net Rf_routeflow Rf_routing Rf_sim

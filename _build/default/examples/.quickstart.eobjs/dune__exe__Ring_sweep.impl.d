@@ -1,0 +1,1 @@
+examples/ring_sweep.ml: Format List Rf_core

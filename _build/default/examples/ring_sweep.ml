@@ -1,0 +1,23 @@
+(* Figure 3 of the paper: automatic vs manual configuration time over
+   ring topologies of growing size, plus the effect of parallelising
+   VM creation (an extension the paper-era RouteFlow did not have).
+
+   Run with:  dune exec examples/ring_sweep.exe *)
+
+module Experiment = Rf_core.Experiment
+module Manual_model = Rf_core.Manual_model
+
+let () =
+  let std = Format.std_formatter in
+  Experiment.print_fig3 std (Experiment.fig3 ());
+  Format.printf "@.Same sweep with 4-way parallel VM cloning:@.";
+  Experiment.print_fig3 std (Experiment.fig3 ~parallel_boot:4 ());
+  (* The manual-model extrapolation the paper mentions in passing:
+     "for a large topology (typically for 1000 switches), it may take
+     many days". *)
+  Format.printf "@.Manual-configuration extrapolation (paper's model):@.";
+  List.iter
+    (fun n ->
+      Format.printf "  %4d switches: %a@." n Manual_model.pp_duration
+        (Manual_model.total_minutes Manual_model.paper_costs ~switches:n))
+    [ 28; 100; 500; 1000 ]

@@ -1,0 +1,1 @@
+lib/controller/discovery.ml: Format Hashtbl Int64 List Lldp Of_action Of_conn Of_msg Of_port Option Packet Rf_openflow Rf_packet Rf_sim

@@ -1,0 +1,1 @@
+lib/controller/discovery.mli: Format Of_conn Of_msg Rf_openflow Rf_sim

@@ -1,0 +1,1 @@
+lib/controller/of_conn.ml: Int32 List Of_codec Of_msg Of_port Option Rf_net Rf_openflow Rf_sim

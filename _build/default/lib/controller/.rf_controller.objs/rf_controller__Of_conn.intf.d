@@ -1,0 +1,1 @@
+lib/controller/of_conn.mli: Of_action Of_msg Rf_net Rf_openflow Rf_sim

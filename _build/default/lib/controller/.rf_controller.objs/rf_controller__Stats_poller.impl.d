@@ -1,0 +1,1 @@
+lib/controller/stats_poller.ml: Hashtbl Int64 List Of_conn Of_msg Of_port Option Rf_openflow Rf_sim

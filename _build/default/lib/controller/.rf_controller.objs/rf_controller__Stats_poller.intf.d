@@ -1,0 +1,1 @@
+lib/controller/stats_poller.mli: Of_conn Of_msg Rf_openflow Rf_sim

@@ -1,0 +1,115 @@
+open Rf_openflow
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  chan : Rf_net.Channel.endpoint;
+  framer : Of_codec.Framer.t;
+  mutable next_xid : int32;
+  mutable features : Of_msg.features option;
+  mutable handshake_done : bool;
+  mutable on_handshake : Of_msg.features -> unit;
+  mutable on_message : Of_msg.t -> unit;
+  mutable on_close : unit -> unit;
+  mutable echo_timer : Rf_sim.Engine.timer option;
+}
+
+let fresh_xid t =
+  t.next_xid <- Int32.add t.next_xid 1l;
+  t.next_xid
+
+let send_msg t m = Rf_net.Channel.send t.chan (Of_codec.to_wire m)
+
+let send t payload =
+  let xid = fresh_xid t in
+  send_msg t (Of_msg.msg ~xid payload);
+  xid
+
+let handle t (m : Of_msg.t) =
+  match m.payload with
+  | Of_msg.Hello -> ignore (send t Of_msg.Features_request)
+  | Of_msg.Echo_request data -> send_msg t (Of_msg.msg ~xid:m.xid (Of_msg.Echo_reply data))
+  | Of_msg.Echo_reply _ -> ()
+  | Of_msg.Features_reply f ->
+      t.features <- Some f;
+      if not t.handshake_done then begin
+        t.handshake_done <- true;
+        t.on_handshake f
+      end
+  | Of_msg.Error _ | Of_msg.Vendor _ | Of_msg.Features_request
+  | Of_msg.Get_config_request | Of_msg.Get_config_reply _ | Of_msg.Set_config _
+  | Of_msg.Packet_in _ | Of_msg.Flow_removed _ | Of_msg.Port_status _
+  | Of_msg.Packet_out _ | Of_msg.Flow_mod _ | Of_msg.Port_mod _
+  | Of_msg.Stats_request _ | Of_msg.Stats_reply _ | Of_msg.Barrier_request
+  | Of_msg.Barrier_reply ->
+      t.on_message m
+
+let create engine ?(echo_interval = Rf_sim.Vtime.span_s 15.0) chan =
+  let t =
+    {
+      engine;
+      chan;
+      framer = Of_codec.Framer.create ();
+      next_xid = 0l;
+      features = None;
+      handshake_done = false;
+      on_handshake = (fun _ -> ());
+      on_message = (fun _ -> ());
+      on_close = (fun () -> ());
+      echo_timer = None;
+    }
+  in
+  Rf_net.Channel.set_on_close chan (fun () ->
+      (match t.echo_timer with
+      | Some timer -> Rf_sim.Engine.cancel timer
+      | None -> ());
+      t.on_close ());
+  Rf_net.Channel.set_receiver chan (fun bytes ->
+      match Of_codec.Framer.input t.framer bytes with
+      | Ok msgs -> List.iter (handle t) msgs
+      | Error e ->
+          Rf_sim.Engine.record engine ~component:"of-conn" ~event:"framing-error" e;
+          Rf_net.Channel.close chan);
+  send_msg t (Of_msg.msg ~xid:0l Of_msg.Hello);
+  t.echo_timer <-
+    Some
+      (Rf_sim.Engine.periodic engine echo_interval (fun () ->
+           if Rf_net.Channel.is_open chan then
+             ignore (send t (Of_msg.Echo_request "keepalive"))));
+  t
+
+let dpid t = Option.map (fun f -> f.Of_msg.datapath_id) t.features
+
+let features t = t.features
+
+let set_on_handshake t f =
+  t.on_handshake <- f;
+  match t.features with Some feats when t.handshake_done -> f feats | Some _ | None -> ()
+
+let set_on_message t f = t.on_message <- f
+
+let set_on_close t f = t.on_close <- f
+
+let is_open t = Rf_net.Channel.is_open t.chan
+
+let close t = Rf_net.Channel.close t.chan
+
+let packet_out t ?(in_port = Of_port.none) ~actions data =
+  ignore
+    (send t
+       (Of_msg.Packet_out
+          { po_buffer_id = None; po_in_port = in_port; po_actions = actions; po_data = data }))
+
+let packet_out_buffered t ~buffer_id ~in_port ~actions =
+  ignore
+    (send t
+       (Of_msg.Packet_out
+          {
+            po_buffer_id = Some buffer_id;
+            po_in_port = in_port;
+            po_actions = actions;
+            po_data = "";
+          }))
+
+let flow_mod t fm = ignore (send t (Of_msg.Flow_mod fm))
+
+let barrier t = ignore (send t Of_msg.Barrier_request)

@@ -1,0 +1,50 @@
+(** Controller-side OpenFlow connection.
+
+    Wraps one control channel: performs the Hello / Features handshake,
+    answers echo requests, assigns transaction ids, and dispatches
+    incoming messages to the owning application. *)
+
+open Rf_openflow
+
+type t
+
+val create :
+  Rf_sim.Engine.t ->
+  ?echo_interval:Rf_sim.Vtime.span ->
+  Rf_net.Channel.endpoint ->
+  t
+(** Sends Hello immediately; requests features once the peer's Hello
+    arrives. [echo_interval] (default 15 s) paces keepalives. *)
+
+val dpid : t -> int64 option
+(** Known after the handshake completes. *)
+
+val features : t -> Of_msg.features option
+
+val set_on_handshake : t -> (Of_msg.features -> unit) -> unit
+
+val set_on_message : t -> (Of_msg.t -> unit) -> unit
+(** Receives every message except Hello, Echo and Features_reply
+    (handled internally). *)
+
+val set_on_close : t -> (unit -> unit) -> unit
+
+val send : t -> Of_msg.payload -> int32
+(** Assigns and returns a fresh xid. *)
+
+val send_msg : t -> Of_msg.t -> unit
+
+val is_open : t -> bool
+
+val close : t -> unit
+
+(** {1 Convenience senders} *)
+
+val packet_out :
+  t -> ?in_port:int -> actions:Of_action.t list -> string -> unit
+
+val packet_out_buffered : t -> buffer_id:int32 -> in_port:int -> actions:Of_action.t list -> unit
+
+val flow_mod : t -> Of_msg.flow_mod -> unit
+
+val barrier : t -> unit

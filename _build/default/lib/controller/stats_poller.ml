@@ -1,0 +1,83 @@
+open Rf_openflow
+
+type totals = {
+  rx_packets : int64;
+  tx_packets : int64;
+  rx_bytes : int64;
+  tx_bytes : int64;
+}
+
+let zero_totals = { rx_packets = 0L; tx_packets = 0L; rx_bytes = 0L; tx_bytes = 0L }
+
+let sum_ports stats =
+  List.fold_left
+    (fun acc (ps : Of_msg.port_stats) ->
+      {
+        rx_packets = Int64.add acc.rx_packets ps.ps_rx_packets;
+        tx_packets = Int64.add acc.tx_packets ps.ps_tx_packets;
+        rx_bytes = Int64.add acc.rx_bytes ps.ps_rx_bytes;
+        tx_bytes = Int64.add acc.tx_bytes ps.ps_tx_bytes;
+      })
+    zero_totals stats
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  interval : Rf_sim.Vtime.span;
+  samples : (int64, Of_msg.port_stats list) Hashtbl.t;
+  mutable on_sample : int64 -> Of_msg.port_stats list -> unit;
+  mutable polls : int;
+  mutable replies : int;
+}
+
+let create engine ?(interval = Rf_sim.Vtime.span_s 10.0) () =
+  {
+    engine;
+    interval;
+    samples = Hashtbl.create 32;
+    on_sample = (fun _ _ -> ());
+    polls = 0;
+    replies = 0;
+  }
+
+let attach t conn =
+  Of_conn.set_on_handshake conn (fun feats ->
+      let dpid = feats.Of_msg.datapath_id in
+      Of_conn.set_on_message conn (fun (m : Of_msg.t) ->
+          match m.Of_msg.payload with
+          | Of_msg.Stats_reply (Of_msg.Port_reply stats) ->
+              t.replies <- t.replies + 1;
+              Hashtbl.replace t.samples dpid stats;
+              t.on_sample dpid stats
+          | _ -> ());
+      ignore
+        (Rf_sim.Engine.periodic t.engine
+           ~jitter:(Rf_sim.Vtime.span_ms 500)
+           t.interval
+           (fun () ->
+             if Of_conn.is_open conn then begin
+               t.polls <- t.polls + 1;
+               ignore
+                 (Of_conn.send conn
+                    (Of_msg.Stats_request (Of_msg.Port_req Of_port.none)))
+             end)))
+
+let set_on_sample t f = t.on_sample <- f
+
+let latest_totals t dpid =
+  Option.map sum_ports (Hashtbl.find_opt t.samples dpid)
+
+let network_totals t =
+  Hashtbl.fold
+    (fun _ stats acc ->
+      let s = sum_ports stats in
+      {
+        rx_packets = Int64.add acc.rx_packets s.rx_packets;
+        tx_packets = Int64.add acc.tx_packets s.tx_packets;
+        rx_bytes = Int64.add acc.rx_bytes s.rx_bytes;
+        tx_bytes = Int64.add acc.tx_bytes s.tx_bytes;
+      })
+    t.samples zero_totals
+
+let polls_sent t = t.polls
+
+let replies_received t = t.replies

@@ -1,0 +1,39 @@
+(** Periodic port-statistics collection — the monitoring side of a
+    controller deployment. Polls every attached switch with
+    OFPST_PORT requests and aggregates byte/packet counters; exercised
+    through FlowVisor it also validates the proxy's xid translation
+    under steady load. *)
+
+open Rf_openflow
+
+type t
+
+val create : Rf_sim.Engine.t -> ?interval:Rf_sim.Vtime.span -> unit -> t
+(** Default polling interval 10 s. *)
+
+val attach : t -> Of_conn.t -> unit
+(** Starts polling once the connection's handshake completes. Takes
+    ownership of the connection's message stream — run the poller on
+    its own slice/connection (e.g. a dedicated FlowVisor monitoring
+    slice or piggybacked on the topology slice's spare bandwidth). *)
+
+val set_on_sample :
+  t -> (int64 -> Of_msg.port_stats list -> unit) -> unit
+(** Called with each reply (dpid, per-port counters). *)
+
+type totals = {
+  rx_packets : int64;
+  tx_packets : int64;
+  rx_bytes : int64;
+  tx_bytes : int64;
+}
+
+val latest_totals : t -> int64 -> totals option
+(** Sum over ports from the switch's most recent sample. *)
+
+val network_totals : t -> totals
+(** Sum over all switches' most recent samples. *)
+
+val polls_sent : t -> int
+
+val replies_received : t -> int

@@ -1,0 +1,1 @@
+lib/core/autoconfig.ml: Format Hashtbl Int64 Ip_alloc Ipv4_addr List Printf Rf_controller Rf_openflow Rf_packet Rf_rpc Rf_sim

@@ -1,0 +1,1 @@
+lib/core/autoconfig.mli: Ip_alloc Ipv4_addr Rf_controller Rf_packet Rf_rpc Rf_sim

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Float Format Gui Int64 List Manual_model Option Printf Rf_controller Rf_flowvisor Rf_net Rf_routeflow Rf_rpc Rf_sim Scenario String

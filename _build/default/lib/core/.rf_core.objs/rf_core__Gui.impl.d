@@ -1,0 +1,1 @@
+lib/core/gui.ml: Buffer Format Hashtbl Int64 List Printf Rf_sim

@@ -1,0 +1,1 @@
+lib/core/ip_alloc.ml: Ipv4_addr Rf_packet

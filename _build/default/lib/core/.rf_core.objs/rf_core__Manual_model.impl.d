@@ -1,0 +1,1 @@
+lib/core/manual_model.ml: Float Format Rf_sim

@@ -1,0 +1,1 @@
+lib/core/manual_model.mli: Format Rf_sim

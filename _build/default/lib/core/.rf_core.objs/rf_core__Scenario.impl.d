@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Autoconfig Gui Ipv4_addr List Printf Rf_controller Rf_flowvisor Rf_net Rf_packet Rf_routeflow Rf_routing Rf_rpc Rf_sim

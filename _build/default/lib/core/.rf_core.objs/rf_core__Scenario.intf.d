@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Autoconfig Gui Ipv4_addr Rf_controller Rf_flowvisor Rf_net Rf_packet Rf_routeflow Rf_rpc Rf_sim

@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Buffer Format Int64 List Option Rf_sim Scenario Seq String

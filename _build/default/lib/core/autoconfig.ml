@@ -1,0 +1,105 @@
+open Rf_packet
+module Discovery = Rf_controller.Discovery
+
+type admin_config = {
+  ac_range : Ipv4_addr.Prefix.t;
+  ac_edges : (int64 * int * Ipv4_addr.Prefix.t) list;
+}
+
+type link_alloc = { la_a : Ipv4_addr.t; la_b : Ipv4_addr.t; la_len : int }
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  rpc : Rf_rpc.Rpc_client.t;
+  config : admin_config;
+  alloc : Ip_alloc.t;
+  link_allocs : (Discovery.link, link_alloc) Hashtbl.t;
+  mutable switches : int;
+  mutable links : int;
+  mutable on_switch_reported : int64 -> unit;
+}
+
+let create engine disc rpc config =
+  let t =
+    {
+      engine;
+      rpc;
+      config;
+      alloc = Ip_alloc.create config.ac_range;
+      link_allocs = Hashtbl.create 64;
+      switches = 0;
+      links = 0;
+      on_switch_reported = (fun _ -> ());
+    }
+  in
+  Discovery.set_on_switch_up disc (fun dpid ports ->
+      t.switches <- t.switches + 1;
+      let physical =
+        List.length
+          (List.filter
+             (fun (p : Rf_openflow.Of_msg.phys_port) ->
+               Rf_openflow.Of_port.is_physical p.port_no)
+             ports)
+      in
+      Rf_sim.Engine.record engine ~component:"autoconf" ~event:"switch-detected"
+        (Printf.sprintf "sw%Ld ports=%d" dpid physical);
+      Rf_rpc.Rpc_client.send rpc
+        (Rf_rpc.Rpc_msg.Switch_up { dpid; n_ports = physical });
+      List.iter
+        (fun (edpid, port, subnet) ->
+          if Int64.equal edpid dpid then
+            Rf_rpc.Rpc_client.send rpc
+              (Rf_rpc.Rpc_msg.Edge_subnet
+                 {
+                   dpid;
+                   port;
+                   gateway = Ipv4_addr.Prefix.host subnet 1;
+                   prefix_len = Ipv4_addr.Prefix.length subnet;
+                 }))
+        config.ac_edges;
+      t.on_switch_reported dpid);
+  Discovery.set_on_link_up disc (fun link ->
+      t.links <- t.links + 1;
+      let alloc =
+        match Hashtbl.find_opt t.link_allocs link with
+        | Some a -> a (* a re-appearing link keeps its addresses *)
+        | None ->
+            let a, b, len = Ip_alloc.alloc_p2p t.alloc in
+            let a = { la_a = a; la_b = b; la_len = len } in
+            Hashtbl.replace t.link_allocs link a;
+            a
+      in
+      Rf_sim.Engine.record engine ~component:"autoconf" ~event:"link-detected"
+        (Format.asprintf "%a" Discovery.pp_link link);
+      Rf_rpc.Rpc_client.send rpc
+        (Rf_rpc.Rpc_msg.Link_up
+           {
+             a_dpid = link.Discovery.la_dpid;
+             a_port = link.Discovery.la_port;
+             a_ip = alloc.la_a;
+             a_prefix_len = alloc.la_len;
+             b_dpid = link.Discovery.lb_dpid;
+             b_port = link.Discovery.lb_port;
+             b_ip = alloc.la_b;
+             b_prefix_len = alloc.la_len;
+           }));
+  Discovery.set_on_switch_down disc (fun dpid ->
+      Rf_rpc.Rpc_client.send rpc (Rf_rpc.Rpc_msg.Switch_down { dpid }));
+  Discovery.set_on_link_down disc (fun link ->
+      Rf_rpc.Rpc_client.send rpc
+        (Rf_rpc.Rpc_msg.Link_down
+           {
+             a_dpid = link.Discovery.la_dpid;
+             a_port = link.Discovery.la_port;
+             b_dpid = link.Discovery.lb_dpid;
+             b_port = link.Discovery.lb_port;
+           }));
+  t
+
+let allocator t = t.alloc
+
+let switches_reported t = t.switches
+
+let links_reported t = t.links
+
+let set_on_switch_reported t f = t.on_switch_reported <- f

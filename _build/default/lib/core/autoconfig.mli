@@ -1,0 +1,37 @@
+(** The automatic-configuration framework (the paper's contribution).
+
+    Binds the topology controller's discovery events to RouteFlow
+    configuration messages: a detected switch becomes a [Switch_up] RPC
+    carrying (dpid, port count); a detected link triggers allocation of
+    a /30 from the administrator's range and a [Link_up] RPC carrying
+    the VM interface addresses; host-facing subnets from the
+    administrator's static input are pushed as [Edge_subnet] RPCs. *)
+
+open Rf_packet
+
+type admin_config = {
+  ac_range : Ipv4_addr.Prefix.t;
+      (** the virtual environment's IP range — the paper's only manual
+          input *)
+  ac_edges : (int64 * int * Ipv4_addr.Prefix.t) list;
+      (** host attachment points: switch, port, subnet (gateway = .1) *)
+}
+
+type t
+
+val create :
+  Rf_sim.Engine.t ->
+  Rf_controller.Discovery.t ->
+  Rf_rpc.Rpc_client.t ->
+  admin_config ->
+  t
+(** Installs itself as the discovery module's event consumer. *)
+
+val allocator : t -> Ip_alloc.t
+
+val switches_reported : t -> int
+
+val links_reported : t -> int
+
+val set_on_switch_reported : t -> (int64 -> unit) -> unit
+(** For GUI/experiment instrumentation. *)

@@ -1,0 +1,473 @@
+module Topology = Rf_net.Topology
+module Topo_gen = Rf_net.Topo_gen
+module Host = Rf_net.Host
+module Rf_system = Rf_routeflow.Rf_system
+module Vtime = Rf_sim.Vtime
+
+let to_s_opt = Option.map Vtime.to_s
+
+(* --- E1: Figure 3 -------------------------------------------------- *)
+
+type fig3_row = {
+  f3_switches : int;
+  f3_auto_s : float;
+  f3_converged_s : float option;
+  f3_manual_min : float;
+}
+
+let params ?(protocol = Rf_system.Proto_ospf) ~vm_boot_s ~parallel_boot () =
+  {
+    Rf_system.vm_boot_time = Vtime.span_s vm_boot_s;
+    parallel_boot;
+    config_apply_delay = Vtime.span_ms 200;
+    routing_protocol = protocol;
+  }
+
+let fig3 ?(sizes = [ 4; 8; 12; 16; 20; 24; 28 ]) ?(vm_boot_s = 8.0)
+    ?(parallel_boot = 1) () =
+  List.map
+    (fun n ->
+      let options =
+        { Scenario.default_options with rf_params = params ~vm_boot_s ~parallel_boot () }
+      in
+      let s = Scenario.build ~options (Topo_gen.ring n) in
+      (* Generous horizon: boots dominate. *)
+      let horizon = (vm_boot_s *. float_of_int n /. float_of_int parallel_boot) +. 120. in
+      Scenario.run_for s (Vtime.span_s horizon);
+      let auto =
+        match Scenario.all_configured_at s with
+        | Some t -> Vtime.to_s t
+        | None -> Float.nan
+      in
+      {
+        f3_switches = n;
+        f3_auto_s = auto;
+        f3_converged_s = to_s_opt (Scenario.routing_converged_at s);
+        f3_manual_min =
+          Manual_model.total_minutes Manual_model.paper_costs ~switches:n;
+      })
+    sizes
+
+let print_fig3 ppf rows =
+  Format.fprintf ppf
+    "Figure 3 — RouteFlow configuration time, ring topologies@.";
+  Format.fprintf ppf
+    "%-10s %14s %16s %14s %10s@." "switches" "auto (s)" "converged (s)"
+    "manual" "speedup";
+  List.iter
+    (fun r ->
+      let manual_s = r.f3_manual_min *. 60. in
+      Format.fprintf ppf "%-10d %14.1f %16s %14s %9.0fx@." r.f3_switches
+        r.f3_auto_s
+        (match r.f3_converged_s with
+        | Some c -> Printf.sprintf "%.1f" c
+        | None -> "-")
+        (Format.asprintf "%a" Manual_model.pp_duration r.f3_manual_min)
+        (manual_s /. r.f3_auto_s))
+    rows
+
+(* --- E2: the demonstration ---------------------------------------- *)
+
+type demo_result = {
+  d_switches : int;
+  d_links : int;
+  d_first_green_s : float option;
+  d_all_green_s : float option;
+  d_converged_s : float option;
+  d_video_first_packet_s : float option;
+  d_video_sent : int;
+  d_video_received : int;
+  d_flow_entries_total : int;
+  d_slow_path_packets : int;  (** data packets the VMs forwarded *)
+  d_steady_sent : int;  (** datagrams sent in the final minute *)
+  d_steady_received : int;
+  d_gui_timeline : (float * int) list;
+  d_gui_final_frame : string;
+}
+
+let city_dpid name =
+  let rec find i =
+    if i > 28 then invalid_arg (Printf.sprintf "unknown city %s" name)
+    else if String.equal (Topo_gen.pan_european_city (Int64.of_int i)) name then
+      Int64.of_int i
+    else find (i + 1)
+  in
+  find 1
+
+let demo ?(vm_boot_s = 8.0) ?(horizon_s = 360.0) ?(server_city = "Glasgow")
+    ?(client_city = "Athens") ?(protocol = Rf_system.Proto_ospf) ?pcap_path () =
+  let topo = Topo_gen.pan_european () in
+  Topology.add_host topo "server";
+  Topology.add_host topo "client";
+  ignore
+    (Topology.connect topo (Topology.Host "server")
+       (Topology.Switch (city_dpid server_city)));
+  ignore
+    (Topology.connect topo (Topology.Host "client")
+       (Topology.Switch (city_dpid client_city)));
+  let options =
+    {
+      Scenario.default_options with
+      rf_params = params ~protocol ~vm_boot_s ~parallel_boot:1 ();
+    }
+  in
+  let s = Scenario.build ~options topo in
+  let server = Scenario.host s "server" in
+  let client = Scenario.host s "client" in
+  (* The paper streams the clip from t=0, before any VM exists. A
+     video-rate stream: 25 fps. *)
+  let stream =
+    Host.start_udp_stream server ~dst:(Scenario.host_ip s "client")
+      ~dst_port:5004 ~period:(Vtime.span_ms 40) ~payload_size:1200 ()
+  in
+  (* Sample the GUI once per simulated second for the timeline. *)
+  let timeline = ref [] in
+  let last_green = ref (-1) in
+  ignore
+    (Rf_sim.Engine.periodic (Scenario.engine s) (Vtime.span_s 1.0) (fun () ->
+         let g = Gui.green_count (Scenario.gui s) in
+         if g <> !last_green then begin
+           last_green := g;
+           timeline :=
+             (Vtime.to_s (Rf_sim.Engine.now (Scenario.engine s)), g) :: !timeline
+         end));
+  (* Optional packet capture of the client's access link. *)
+  let capture =
+    match pcap_path with
+    | None -> None
+    | Some path -> (
+        match
+          Rf_net.Network.link (Scenario.network s) (Topology.Host "client")
+            (Topology.Switch (city_dpid client_city))
+        with
+        | Some link ->
+            let cap = Rf_net.Pcap.create () in
+            Rf_net.Pcap.tap_link (Scenario.engine s) cap link;
+            Some (cap, path)
+        | None -> None)
+  in
+  let sent_at_mark = ref 0 and recv_at_mark = ref 0 in
+  ignore
+    (Rf_sim.Engine.schedule (Scenario.engine s)
+       (Vtime.span_s (Float.max 0. (horizon_s -. 60.)))
+       (fun () ->
+         sent_at_mark := Host.udp_sent server;
+         recv_at_mark := Host.udp_received client));
+  Scenario.run_for s (Vtime.span_s horizon_s);
+  Host.stop_stream stream;
+  (match capture with
+  | Some (cap, path) -> Rf_net.Pcap.write_file cap path
+  | None -> ());
+  let steady_sent = Host.udp_sent server - !sent_at_mark in
+  let steady_recv = Host.udp_received client - !recv_at_mark in
+  let slow_path_total =
+    List.fold_left
+      (fun acc (_, vm) -> acc + Rf_routeflow.Vm.packets_forwarded_slow_path vm)
+      0
+      (Rf_system.vms (Scenario.rf_system s))
+  in
+  let flow_total =
+    List.fold_left
+      (fun acc (_, dp) -> acc + Rf_net.Flow_table.size (Rf_net.Datapath.flow_table dp))
+      0
+      (Rf_net.Network.datapaths (Scenario.network s))
+  in
+  let first_green =
+    match Gui.timeline (Scenario.gui s) with
+    | (_, t) :: _ -> Some (Vtime.to_s t)
+    | [] -> None
+  in
+  {
+    d_switches = Topology.switch_count topo;
+    d_links = List.length (Topology.switch_switch_edges topo);
+    d_first_green_s = first_green;
+    d_all_green_s = to_s_opt (Scenario.all_configured_at s);
+    d_converged_s = to_s_opt (Scenario.routing_converged_at s);
+    d_video_first_packet_s = to_s_opt (Host.first_udp_rx_time client);
+    d_video_sent = Host.udp_sent server;
+    d_video_received = Host.udp_received client;
+    d_flow_entries_total = flow_total;
+    d_slow_path_packets = slow_path_total;
+    d_steady_sent = steady_sent;
+    d_steady_received = steady_recv;
+    d_gui_timeline = List.rev !timeline;
+    d_gui_final_frame =
+      Gui.render ~label:(fun d -> Topo_gen.pan_european_city d) (Scenario.gui s);
+  }
+
+let print_demo ppf (d : demo_result) =
+  Format.fprintf ppf
+    "Demonstration — pan-European topology (%d switches, %d links)@."
+    d.d_switches d.d_links;
+  let opt = function
+    | Some v -> Printf.sprintf "%.1f s" v
+    | None -> "not reached"
+  in
+  Format.fprintf ppf "  first switch configured   %s@." (opt d.d_first_green_s);
+  Format.fprintf ppf "  all switches configured   %s@." (opt d.d_all_green_s);
+  Format.fprintf ppf "  routing converged         %s@." (opt d.d_converged_s);
+  Format.fprintf ppf "  video reaches client      %s  (paper: < 4 min)@."
+    (opt d.d_video_first_packet_s);
+  Format.fprintf ppf "  video datagrams           %d sent, %d delivered@."
+    d.d_video_sent d.d_video_received;
+  Format.fprintf ppf "  flow entries installed    %d@." d.d_flow_entries_total;
+  Format.fprintf ppf "  slow-path packets (VMs)   %d@." d.d_slow_path_packets;
+  Format.fprintf ppf
+    "  steady-state delivery     %d/%d in the final minute (%.1f%%)@."
+    d.d_steady_received d.d_steady_sent
+    (100. *. float_of_int d.d_steady_received
+    /. float_of_int (max 1 d.d_steady_sent));
+  Format.fprintf ppf "  GUI milestones (t, green): %s@."
+    (String.concat " "
+       (List.map
+          (fun (t, g) -> Printf.sprintf "(%.0fs,%d)" t g)
+          d.d_gui_timeline));
+  Format.fprintf ppf "%s" d.d_gui_final_frame
+
+(* --- E3: GUI frames ------------------------------------------------ *)
+
+let gui_frames ?(vm_boot_s = 8.0) ?(every_s = 30.0) () =
+  let topo = Topo_gen.pan_european () in
+  let options =
+    { Scenario.default_options with rf_params = params ~vm_boot_s ~parallel_boot:1 () }
+  in
+  let s = Scenario.build ~options topo in
+  let frames = ref [] in
+  ignore
+    (Rf_sim.Engine.periodic (Scenario.engine s) (Vtime.span_s every_s) (fun () ->
+         frames :=
+           Gui.render ~label:(fun d -> Topo_gen.pan_european_city d) (Scenario.gui s)
+           :: !frames));
+  Scenario.run_for s (Vtime.span_s (vm_boot_s *. 28. +. 60.));
+  List.rev !frames
+
+(* --- X1: scaling ---------------------------------------------------- *)
+
+type scaling_row = {
+  sc_switches : int;
+  sc_auto_s : float;
+  sc_manual_min : float;
+  sc_events : int;
+}
+
+let scaling ?(sizes = [ 50; 100; 250; 500; 1000 ]) () =
+  List.map
+    (fun n ->
+      let options =
+        {
+          Scenario.default_options with
+          rf_params = params ~vm_boot_s:8.0 ~parallel_boot:1 ();
+          probe_interval = Vtime.span_s 30.0;
+        }
+      in
+      let s = Scenario.build ~options (Topo_gen.ring n) in
+      Scenario.run_for s (Vtime.span_s ((8.0 *. float_of_int n) +. 180.));
+      {
+        sc_switches = n;
+        sc_auto_s =
+          (match Scenario.all_configured_at s with
+          | Some t -> Vtime.to_s t
+          | None -> Float.nan);
+        sc_manual_min =
+          Manual_model.total_minutes Manual_model.paper_costs ~switches:n;
+        sc_events = Rf_sim.Engine.events_executed (Scenario.engine s);
+      })
+    sizes
+
+let print_scaling ppf rows =
+  Format.fprintf ppf "Scaling — rings beyond the paper's 28 switches@.";
+  Format.fprintf ppf "%-10s %12s %16s %12s@." "switches" "auto" "manual"
+    "sim events";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10d %11.0fs %16s %12d@." r.sc_switches r.sc_auto_s
+        (Format.asprintf "%a" Manual_model.pp_duration r.sc_manual_min)
+        r.sc_events)
+    rows
+
+(* --- X2: ablations --------------------------------------------------- *)
+
+type ablation_row = {
+  ab_label : string;
+  ab_all_green_s : float option;
+  ab_converged_s : float option;
+}
+
+let run_ablation ~switches options label =
+  let s = Scenario.build ~options (Topo_gen.ring switches) in
+  Scenario.run_for s (Vtime.span_s ((8.0 *. float_of_int switches) +. 180.));
+  {
+    ab_label = label;
+    ab_all_green_s = to_s_opt (Scenario.all_configured_at s);
+    ab_converged_s = to_s_opt (Scenario.routing_converged_at s);
+  }
+
+let ablation_parallel_boot ?(switches = 28) () =
+  List.map
+    (fun p ->
+      run_ablation ~switches
+        { Scenario.default_options with rf_params = params ~vm_boot_s:8.0 ~parallel_boot:p () }
+        (Printf.sprintf "parallel_boot=%d" p))
+    [ 1; 2; 4; 8 ]
+
+let ablation_probe_interval ?(switches = 28) () =
+  List.map
+    (fun secs ->
+      run_ablation ~switches
+        {
+          Scenario.default_options with
+          rf_params = params ~vm_boot_s:8.0 ~parallel_boot:1 ();
+          probe_interval = Vtime.span_s secs;
+        }
+        (Printf.sprintf "probe_interval=%.0fs" secs))
+    [ 1.; 5.; 15.; 30. ]
+
+let ablation_rpc_latency ?(switches = 28) () =
+  List.map
+    (fun ms ->
+      run_ablation ~switches
+        {
+          Scenario.default_options with
+          rf_params = params ~vm_boot_s:8.0 ~parallel_boot:1 ();
+          rpc_latency = Vtime.span_ms ms;
+        }
+        (Printf.sprintf "rpc_latency=%dms" ms))
+    [ 1; 10; 50; 200 ]
+
+let ablation_protocol ?(switches = 28) () =
+  List.map
+    (fun (label, proto) ->
+      run_ablation ~switches
+        {
+          Scenario.default_options with
+          rf_params =
+            params ~protocol:proto ~vm_boot_s:8.0 ~parallel_boot:1 ();
+        }
+        label)
+    [ ("protocol=ospf", Rf_system.Proto_ospf); ("protocol=rip", Rf_system.Proto_rip) ]
+
+let print_ablation ppf title rows =
+  Format.fprintf ppf "Ablation — %s (28-switch ring)@." title;
+  Format.fprintf ppf "%-24s %14s %16s@." "variant" "all green (s)" "converged (s)";
+  List.iter
+    (fun r ->
+      let opt = function Some v -> Printf.sprintf "%.1f" v | None -> "-" in
+      Format.fprintf ppf "%-24s %14s %16s@." r.ab_label (opt r.ab_all_green_s)
+        (opt r.ab_converged_s))
+    rows
+
+(* --- X4: control-plane message census --------------------------------- *)
+
+type census = {
+  cn_switches : int;
+  cn_links : int;
+  cn_lldp_probes : int;
+  cn_lldp_received : int;
+  cn_rpc_messages : int;
+  cn_fv_to_topology : int;
+  cn_fv_to_routeflow : int;
+  cn_fv_from_topology : int;
+  cn_fv_from_routeflow : int;
+  cn_flow_mods : int;
+  cn_packet_ins_relayed : int;
+  cn_packet_outs : int;
+  cn_slow_path : int;
+  cn_sim_events : int;
+}
+
+let census ?(switches = 28) () =
+  let options =
+    { Scenario.default_options with rf_params = params ~vm_boot_s:8.0 ~parallel_boot:1 () }
+  in
+  let s = Scenario.build ~options (Topo_gen.ring switches) in
+  Scenario.run_for s (Vtime.span_s ((8.0 *. float_of_int switches) +. 120.));
+  let fv = Scenario.flowvisor s in
+  let disc = Scenario.discovery s in
+  let app = Scenario.rf_app s in
+  {
+    cn_switches = switches;
+    cn_links = switches;
+    cn_lldp_probes = Rf_controller.Discovery.probes_sent disc;
+    cn_lldp_received = Rf_controller.Discovery.lldp_received disc;
+    cn_rpc_messages = Rf_rpc.Rpc_client.sent (Scenario.rpc_client s);
+    cn_fv_to_topology = Rf_flowvisor.Flowvisor.messages_to_slice fv "topology";
+    cn_fv_to_routeflow = Rf_flowvisor.Flowvisor.messages_to_slice fv "routeflow";
+    cn_fv_from_topology = Rf_flowvisor.Flowvisor.messages_from_slice fv "topology";
+    cn_fv_from_routeflow = Rf_flowvisor.Flowvisor.messages_from_slice fv "routeflow";
+    cn_flow_mods = Rf_routeflow.Rf_controller_app.flow_mods_sent app;
+    cn_packet_ins_relayed = Rf_routeflow.Rf_controller_app.packet_ins_relayed app;
+    cn_packet_outs = Rf_routeflow.Rf_controller_app.packet_outs_sent app;
+    cn_slow_path =
+      List.fold_left
+        (fun acc (_, vm) -> acc + Rf_routeflow.Vm.packets_forwarded_slow_path vm)
+        0
+        (Rf_system.vms (Scenario.rf_system s));
+    cn_sim_events = Rf_sim.Engine.events_executed (Scenario.engine s);
+  }
+
+let print_census ppf c =
+  Format.fprintf ppf
+    "Control-plane census — %d-switch ring, full autoconfiguration run@."
+    c.cn_switches;
+  let row name v = Format.fprintf ppf "  %-36s %10d@." name v in
+  row "LLDP probes sent" c.cn_lldp_probes;
+  row "LLDP packet-ins received" c.cn_lldp_received;
+  row "RPC configuration messages" c.cn_rpc_messages;
+  row "FlowVisor -> topology slice msgs" c.cn_fv_to_topology;
+  row "FlowVisor <- topology slice msgs" c.cn_fv_from_topology;
+  row "FlowVisor -> routeflow slice msgs" c.cn_fv_to_routeflow;
+  row "FlowVisor <- routeflow slice msgs" c.cn_fv_from_routeflow;
+  row "flow-mods installed" c.cn_flow_mods;
+  row "packet-ins relayed into VMs" c.cn_packet_ins_relayed;
+  row "packet-outs from VMs" c.cn_packet_outs;
+  row "slow-path forwards inside VMs" c.cn_slow_path;
+  row "simulator events executed" c.cn_sim_events
+
+(* --- X3: topology families ------------------------------------------ *)
+
+type family_row = {
+  fam_name : string;
+  fam_switches : int;
+  fam_links : int;
+  fam_all_green_s : float option;
+  fam_converged_s : float option;
+}
+
+let topo_families ?(n = 16) () =
+  let families =
+    [
+      ("ring", Topo_gen.ring n);
+      ("line", Topo_gen.line n);
+      ("star", Topo_gen.star n);
+      ("grid", Topo_gen.grid 4 (n / 4));
+      ("random", Topo_gen.random ~seed:7 ~n ~extra_edges:(n / 2) ());
+    ]
+  in
+  List.map
+    (fun (name, topo) ->
+      let options =
+        { Scenario.default_options with rf_params = params ~vm_boot_s:8.0 ~parallel_boot:1 () }
+      in
+      let s = Scenario.build ~options topo in
+      Scenario.run_for s (Vtime.span_s ((8.0 *. float_of_int n) +. 180.));
+      {
+        fam_name = name;
+        fam_switches = Topology.switch_count topo;
+        fam_links = List.length (Topology.switch_switch_edges topo);
+        fam_all_green_s = to_s_opt (Scenario.all_configured_at s);
+        fam_converged_s = to_s_opt (Scenario.routing_converged_at s);
+      })
+    families
+
+let print_families ppf rows =
+  Format.fprintf ppf "Topology families (n≈16, 8 s serialized boots)@.";
+  Format.fprintf ppf "%-10s %9s %7s %14s %16s@." "family" "switches" "links"
+    "all green (s)" "converged (s)";
+  List.iter
+    (fun r ->
+      let opt = function Some v -> Printf.sprintf "%.1f" v | None -> "-" in
+      Format.fprintf ppf "%-10s %9d %7d %14s %16s@." r.fam_name r.fam_switches
+        r.fam_links
+        (opt r.fam_all_green_s)
+        (opt r.fam_converged_s))
+    rows

@@ -1,0 +1,140 @@
+(** Reproductions of the paper's evaluation artifacts plus the
+    extension experiments listed in DESIGN.md.
+
+    All times are *simulated* seconds; the manual baseline is the
+    paper's analytical model. *)
+
+(** {1 E1 — Figure 3: automatic vs manual configuration time} *)
+
+type fig3_row = {
+  f3_switches : int;
+  f3_auto_s : float;  (** all switches green (VM created + configured) *)
+  f3_converged_s : float option;  (** OSPF routes complete everywhere *)
+  f3_manual_min : float;  (** paper model: 15 min per switch *)
+}
+
+val fig3 :
+  ?sizes:int list ->
+  ?vm_boot_s:float ->
+  ?parallel_boot:int ->
+  unit ->
+  fig3_row list
+(** Default sizes 4, 8, ..., 28 (ring topologies, as in the paper). *)
+
+val print_fig3 : Format.formatter -> fig3_row list -> unit
+
+(** {1 E2 — Demonstration: pan-European video streaming} *)
+
+type demo_result = {
+  d_switches : int;
+  d_links : int;
+  d_first_green_s : float option;
+  d_all_green_s : float option;
+  d_converged_s : float option;
+  d_video_first_packet_s : float option;
+  d_video_sent : int;
+  d_video_received : int;
+  d_flow_entries_total : int;
+  d_slow_path_packets : int;  (** data packets the VMs forwarded *)
+  d_steady_sent : int;  (** datagrams sent in the final minute *)
+  d_steady_received : int;
+  d_gui_timeline : (float * int) list;  (** (time, #green) milestones *)
+  d_gui_final_frame : string;
+}
+
+val demo :
+  ?vm_boot_s:float ->
+  ?horizon_s:float ->
+  ?server_city:string ->
+  ?client_city:string ->
+  ?protocol:Rf_routeflow.Rf_system.protocol ->
+  ?pcap_path:string ->
+  unit ->
+  demo_result
+(** Default: 8 s boots, 360 s horizon, video streamed from a server in
+    Glasgow to a client in Athens (opposite ends of the topology).
+    [pcap_path] writes a Wireshark-readable capture of the client's
+    access link. *)
+
+val print_demo : Format.formatter -> demo_result -> unit
+
+(** {1 E3 — GUI: red/green frames over the demo run} *)
+
+val gui_frames : ?vm_boot_s:float -> ?every_s:float -> unit -> string list
+
+(** {1 X1 — scaling beyond the paper (up to 1000 switches)} *)
+
+type scaling_row = {
+  sc_switches : int;
+  sc_auto_s : float;
+  sc_manual_min : float;
+  sc_events : int;  (** simulator events executed *)
+}
+
+val scaling : ?sizes:int list -> unit -> scaling_row list
+(** Default sizes 50, 100, 250, 500, 1000; discovery slowed to 30 s
+    probes to keep event counts proportionate at scale. *)
+
+val print_scaling : Format.formatter -> scaling_row list -> unit
+
+(** {1 X2 — ablations} *)
+
+type ablation_row = {
+  ab_label : string;
+  ab_all_green_s : float option;
+  ab_converged_s : float option;
+}
+
+val ablation_parallel_boot : ?switches:int -> unit -> ablation_row list
+(** Serialized (paper-era RouteFlow) vs 2/4/8-way parallel VM cloning. *)
+
+val ablation_probe_interval : ?switches:int -> unit -> ablation_row list
+
+val ablation_rpc_latency : ?switches:int -> unit -> ablation_row list
+(** Co-located vs remote topology controller (RPC RTT sweep). *)
+
+val ablation_protocol : ?switches:int -> unit -> ablation_row list
+(** The framework is protocol-agnostic: the same run with the VMs on
+    OSPF vs RIPv2 (triggered updates let RIP converge within seconds
+    of the last boot too; VM cloning dominates both). *)
+
+val print_ablation : Format.formatter -> string -> ablation_row list -> unit
+
+(** {1 X4 — control-plane message census (extension)} *)
+
+type census = {
+  cn_switches : int;
+  cn_links : int;
+  cn_lldp_probes : int;
+  cn_lldp_received : int;
+  cn_rpc_messages : int;
+  cn_fv_to_topology : int;
+  cn_fv_to_routeflow : int;
+  cn_fv_from_topology : int;
+  cn_fv_from_routeflow : int;
+  cn_flow_mods : int;
+  cn_packet_ins_relayed : int;
+  cn_packet_outs : int;
+  cn_slow_path : int;
+  cn_sim_events : int;
+}
+
+val census : ?switches:int -> unit -> census
+(** Counts every control-plane message category over one full
+    autoconfiguration run of a ring. *)
+
+val print_census : Format.formatter -> census -> unit
+
+(** {1 X3 — topology families} *)
+
+type family_row = {
+  fam_name : string;
+  fam_switches : int;
+  fam_links : int;
+  fam_all_green_s : float option;
+  fam_converged_s : float option;
+}
+
+val topo_families : ?n:int -> unit -> family_row list
+
+val print_families : Format.formatter -> family_row list -> unit

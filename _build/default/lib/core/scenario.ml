@@ -1,0 +1,235 @@
+open Rf_packet
+module Topology = Rf_net.Topology
+module Network = Rf_net.Network
+module Channel = Rf_net.Channel
+module Flowvisor = Rf_flowvisor.Flowvisor
+module Flowspace = Rf_flowvisor.Flowspace
+module Discovery = Rf_controller.Discovery
+module Rf_system = Rf_routeflow.Rf_system
+module Rf_controller_app = Rf_routeflow.Rf_controller_app
+module Rf_vs = Rf_routeflow.Rf_vs
+
+type options = {
+  seed : int;
+  rf_params : Rf_system.params;
+  probe_interval : Rf_sim.Vtime.span;
+  control_latency : Rf_sim.Vtime.span;
+  rpc_latency : Rf_sim.Vtime.span;
+  ip_range : Ipv4_addr.Prefix.t;
+}
+
+let default_options =
+  {
+    seed = 42;
+    rf_params = Rf_system.default_params;
+    probe_interval = Rf_sim.Vtime.span_s 5.0;
+    control_latency = Rf_sim.Vtime.span_ms 1;
+    rpc_latency = Rf_sim.Vtime.span_ms 1;
+    ip_range = Ipv4_addr.Prefix.of_string_exn "172.16.0.0/16";
+  }
+
+type host_plan = { hp_subnet : Ipv4_addr.Prefix.t; hp_ip : Ipv4_addr.t }
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  topo : Topology.t;
+  net : Network.t;
+  fv : Flowvisor.t;
+  disc : Discovery.t;
+  autoconf : Autoconfig.t;
+  rf_sys : Rf_system.t;
+  rf_app : Rf_controller_app.t;
+  rpc_client : Rf_rpc.Rpc_client.t;
+  rpc_server : Rf_rpc.Rpc_server.t;
+  gui : Gui.t;
+  host_plans : (string * host_plan) list;
+  n_switches : int;
+  n_subnets : int;
+  mutable vm_ready_listeners : (int64 -> unit) list;
+  mutable converged_at : Rf_sim.Vtime.t option;
+}
+
+let host_plans_of topo =
+  List.mapi
+    (fun i name ->
+      let k = i + 1 in
+      let subnet =
+        Ipv4_addr.Prefix.make (Ipv4_addr.of_octets 10 0 (k land 0xff) 0) 24
+      in
+      ignore ((k lsr 8) land 0xff);
+      (name, { hp_subnet = subnet; hp_ip = Ipv4_addr.Prefix.host subnet 2 }))
+    (Topology.hosts topo)
+
+let edges_of_plans topo plans =
+  List.filter_map
+    (fun (e : Topology.edge) ->
+      let host_end, sw_end =
+        match (e.a, e.b) with
+        | Topology.Host h, Topology.Switch d -> (Some (h, e.a_port), Some (d, e.b_port))
+        | Topology.Switch d, Topology.Host h -> (Some (h, e.b_port), Some (d, e.a_port))
+        | Topology.Switch _, Topology.Switch _ | Topology.Host _, Topology.Host _
+          ->
+            (None, None)
+      in
+      match (host_end, sw_end) with
+      | Some (h, _), Some (d, sw_port) ->
+          let plan = List.assoc h plans in
+          Some (d, sw_port, plan.hp_subnet)
+      | (Some _ | None), (Some _ | None) -> None)
+    (Topology.edges topo)
+
+let build ?(options = default_options) topo =
+  let engine = Rf_sim.Engine.create ~seed:options.seed () in
+  let host_plans = host_plans_of topo in
+  let admin_edges = edges_of_plans topo host_plans in
+
+  (* RouteFlow side. *)
+  let vs = Rf_vs.create engine () in
+  let rf_app = Rf_controller_app.create engine vs in
+  let rf_sys = Rf_system.create engine rf_app vs options.rf_params in
+
+  (* RPC plumbing. *)
+  let client_end, server_end =
+    Channel.create engine ~latency:options.rpc_latency ~name:"rpc" ()
+  in
+  let rpc_client = Rf_rpc.Rpc_client.create engine client_end in
+  let rpc_server = Rf_rpc.Rpc_server.create engine server_end in
+  Rf_rpc.Rpc_server.set_handler rpc_server (fun msg ->
+      match msg with
+      | Rf_rpc.Rpc_msg.Switch_up { dpid; n_ports } ->
+          Rf_system.switch_up rf_sys ~dpid ~n_ports
+      | Rf_rpc.Rpc_msg.Switch_down { dpid } -> Rf_system.switch_down rf_sys ~dpid
+      | Rf_rpc.Rpc_msg.Link_up l ->
+          Rf_system.link_config rf_sys
+            ~a:(l.a_dpid, l.a_port, l.a_ip, l.a_prefix_len)
+            ~b:(l.b_dpid, l.b_port, l.b_ip, l.b_prefix_len);
+          Rf_system.link_up_again rf_sys ~a:(l.a_dpid, l.a_port)
+            ~b:(l.b_dpid, l.b_port)
+      | Rf_rpc.Rpc_msg.Link_down l ->
+          Rf_system.link_down rf_sys ~a:(l.a_dpid, l.a_port)
+            ~b:(l.b_dpid, l.b_port)
+      | Rf_rpc.Rpc_msg.Edge_subnet e ->
+          Rf_system.edge_config rf_sys ~dpid:e.dpid ~port:e.port
+            ~gateway:e.gateway ~prefix_len:e.prefix_len);
+
+  (* Topology controller side. *)
+  let disc = Discovery.create engine ~probe_interval:options.probe_interval () in
+  let autoconf =
+    Autoconfig.create engine disc rpc_client
+      { Autoconfig.ac_range = options.ip_range; ac_edges = admin_edges }
+  in
+
+  (* FlowVisor with the two slices of the paper. *)
+  let fv = Flowvisor.create engine ~controller_latency:options.control_latency () in
+  Flowvisor.add_slice fv
+    (Flowspace.lldp_slice ~name:"topology")
+    ~attach:(fun ~dpid endpoint ->
+      ignore dpid;
+      Discovery.attach disc (Rf_controller.Of_conn.create engine endpoint));
+  Flowvisor.add_slice fv
+    (Flowspace.data_slice ~name:"routeflow")
+    ~attach:(fun ~dpid endpoint -> Rf_controller_app.attach rf_app ~dpid endpoint);
+
+  (* The emulated network. *)
+  let host_config name =
+    let plan = List.assoc name host_plans in
+    {
+      Network.hc_ip = plan.hp_ip;
+      hc_prefix_len = Ipv4_addr.Prefix.length plan.hp_subnet;
+      hc_gateway = Ipv4_addr.Prefix.host plan.hp_subnet 1;
+    }
+  in
+  let net =
+    Network.build engine topo ~host_config
+      ~attach_controller:(Flowvisor.switch_attach fv)
+      ~control_latency:options.control_latency ()
+  in
+
+  (* GUI and instrumentation. *)
+  let gui = Gui.create engine () in
+  List.iter (fun d -> Gui.add_switch gui d) (Topology.switches topo);
+  let n_switches = Topology.switch_count topo in
+  let n_subnets =
+    List.length (Topology.switch_switch_edges topo) + List.length admin_edges
+  in
+  let t =
+    {
+      engine;
+      topo;
+      net;
+      fv;
+      disc;
+      autoconf;
+      rf_sys;
+      rf_app;
+      rpc_client;
+      rpc_server;
+      gui;
+      host_plans;
+      n_switches;
+      n_subnets;
+      vm_ready_listeners = [];
+      converged_at = None;
+    }
+  in
+  Rf_system.set_on_vm_ready rf_sys (fun dpid ->
+      Gui.set_green gui dpid;
+      List.iter (fun f -> f dpid) t.vm_ready_listeners);
+  (* Convergence probe: every VM's RIB covers every subnet. *)
+  let converged () =
+    Rf_system.configured_count rf_sys = n_switches
+    && n_subnets > 0
+    && List.for_all
+         (fun (_, vm) ->
+           Rf_routing.Rib.size (Rf_routeflow.Vm.rib vm) >= n_subnets)
+         (Rf_system.vms rf_sys)
+  in
+  ignore
+    (Rf_sim.Engine.periodic engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
+         if t.converged_at = None && converged () then
+           t.converged_at <- Some (Rf_sim.Engine.now engine)));
+  t
+
+let engine t = t.engine
+
+let network t = t.net
+
+let flowvisor t = t.fv
+
+let discovery t = t.disc
+
+let autoconfig t = t.autoconf
+
+let rf_system t = t.rf_sys
+
+let rf_app t = t.rf_app
+
+let rpc_client t = t.rpc_client
+
+let rpc_server t = t.rpc_server
+
+let gui t = t.gui
+
+let host t name = Network.host t.net name
+
+let host_ip t name =
+  match List.assoc_opt name t.host_plans with
+  | Some plan -> plan.hp_ip
+  | None -> invalid_arg (Printf.sprintf "Scenario.host_ip: unknown host %s" name)
+
+let switch_count t = t.n_switches
+
+let run_for t span =
+  ignore
+    (Rf_sim.Engine.run
+       ~until:(Rf_sim.Vtime.add (Rf_sim.Engine.now t.engine) span)
+       t.engine)
+
+let add_vm_ready_listener t f =
+  t.vm_ready_listeners <- t.vm_ready_listeners @ [ f ]
+
+let all_configured_at t = Gui.all_green_at t.gui
+
+let routing_converged_at t = t.converged_at
+
+let total_subnets t = t.n_subnets

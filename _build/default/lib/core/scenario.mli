@@ -1,0 +1,73 @@
+(** Builds the complete system of the paper's Fig. 2 around an emulated
+    topology: switches and hosts ({!Rf_net.Network}), FlowVisor with
+    the topology and RouteFlow slices, the topology controller
+    (discovery + autoconfig + RPC client), and the RF-controller (RPC
+    server + RouteFlow + VMs), plus the red/green GUI.
+
+    Host subnets are assigned 10.0.k.0/24 in host-name order: host = .2,
+    VM gateway = .1; these become the administrator's static edge input
+    to the topology controller. *)
+
+open Rf_packet
+
+type options = {
+  seed : int;
+  rf_params : Rf_routeflow.Rf_system.params;
+  probe_interval : Rf_sim.Vtime.span;  (** LLDP probe period *)
+  control_latency : Rf_sim.Vtime.span;  (** switch↔FlowVisor↔controller *)
+  rpc_latency : Rf_sim.Vtime.span;  (** RPC client↔server *)
+  ip_range : Ipv4_addr.Prefix.t;  (** the administrator's range *)
+}
+
+val default_options : options
+(** seed 42, paper-era RouteFlow params (8 s serialized boots), 5 s
+    probes, 1 ms control and RPC latency, range 172.16.0.0/16. *)
+
+type t
+
+val build : ?options:options -> Rf_net.Topology.t -> t
+
+(** {1 Component access} *)
+
+val engine : t -> Rf_sim.Engine.t
+
+val network : t -> Rf_net.Network.t
+
+val flowvisor : t -> Rf_flowvisor.Flowvisor.t
+
+val discovery : t -> Rf_controller.Discovery.t
+
+val autoconfig : t -> Autoconfig.t
+
+val rf_system : t -> Rf_routeflow.Rf_system.t
+
+val rf_app : t -> Rf_routeflow.Rf_controller_app.t
+
+val rpc_client : t -> Rf_rpc.Rpc_client.t
+
+val rpc_server : t -> Rf_rpc.Rpc_server.t
+
+val gui : t -> Gui.t
+
+val host : t -> string -> Rf_net.Host.t
+
+val host_ip : t -> string -> Ipv4_addr.t
+
+val switch_count : t -> int
+
+(** {1 Running and instrumentation} *)
+
+val run_for : t -> Rf_sim.Vtime.span -> unit
+(** Advances the simulation by the given span of virtual time. *)
+
+val add_vm_ready_listener : t -> (int64 -> unit) -> unit
+
+val all_configured_at : t -> Rf_sim.Vtime.t option
+(** When the last switch turned green (paper metric: every switch has
+    its VM). *)
+
+val routing_converged_at : t -> Rf_sim.Vtime.t option
+(** When every VM's RIB covered every subnet of the network (checked
+    once per simulated second). *)
+
+val total_subnets : t -> int

@@ -1,0 +1,1 @@
+lib/flowvisor/flowspace.ml: Ethernet List Of_match Rf_openflow Rf_packet

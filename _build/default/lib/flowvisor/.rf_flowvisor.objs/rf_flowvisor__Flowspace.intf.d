@@ -1,0 +1,1 @@
+lib/flowvisor/flowspace.mli: Of_match Rf_openflow

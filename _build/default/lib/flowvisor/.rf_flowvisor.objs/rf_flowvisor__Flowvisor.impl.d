@@ -1,0 +1,1 @@
+lib/flowvisor/flowvisor.ml: Flowspace Hashtbl Int32 Int64 List Of_codec Of_match Of_msg Packet Printf Rf_controller Rf_net Rf_openflow Rf_packet Rf_sim String

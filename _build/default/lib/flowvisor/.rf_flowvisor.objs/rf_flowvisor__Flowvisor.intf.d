@@ -1,0 +1,1 @@
+lib/flowvisor/flowvisor.mli: Flowspace Rf_net Rf_sim

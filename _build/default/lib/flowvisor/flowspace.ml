@@ -1,0 +1,23 @@
+open Rf_packet
+open Rf_openflow
+
+type t = { fs_name : string; fs_patterns : Of_match.t list }
+
+let make ~name patterns = { fs_name = name; fs_patterns = patterns }
+
+let owns_key t key = List.exists (fun p -> Of_match.matches p key) t.fs_patterns
+
+let permits_match t m =
+  List.exists (fun p -> Of_match.subsumes p m) t.fs_patterns
+
+let classify slices key = List.find_opt (fun s -> owns_key s key) slices
+
+let lldp_slice ~name =
+  make ~name [ Of_match.dl_type_is Ethernet.ethertype_lldp ]
+
+let data_slice ~name =
+  make ~name
+    [
+      Of_match.dl_type_is Ethernet.ethertype_arp;
+      Of_match.dl_type_is Ethernet.ethertype_ipv4;
+    ]

@@ -1,0 +1,26 @@
+(** Slice flowspaces.
+
+    A slice owns the part of the header space covered by any of its
+    match patterns. Classification assigns each packet to the first
+    slice (in registration order) owning its header; flow-mod policing
+    requires the installed match to be fully inside the slice. *)
+
+open Rf_openflow
+
+type t = { fs_name : string; fs_patterns : Of_match.t list }
+
+val make : name:string -> Of_match.t list -> t
+
+val owns_key : t -> Of_match.key -> bool
+
+val permits_match : t -> Of_match.t -> bool
+(** True when some pattern subsumes the whole match. *)
+
+val classify : t list -> Of_match.key -> t option
+(** First slice owning the key. *)
+
+val lldp_slice : name:string -> t
+(** The topology-controller slice of the paper: all LLDP traffic. *)
+
+val data_slice : name:string -> t
+(** The RouteFlow slice: ARP and IPv4. *)

@@ -1,0 +1,257 @@
+open Rf_packet
+open Rf_openflow
+module Of_conn = Rf_controller.Of_conn
+
+type slice_state = {
+  def : Flowspace.t;
+  attach : dpid:int64 -> Rf_net.Channel.endpoint -> unit;
+  mutable to_slice : int;
+  mutable from_slice : int;
+  mutable denied : int;
+}
+
+type slice_conn = {
+  fv_end : Rf_net.Channel.endpoint;
+  framer : Of_codec.Framer.t;
+}
+
+type switch_state = {
+  sw_conn : Of_conn.t;
+  features : Of_msg.features;
+  slice_conns : (string, slice_conn) Hashtbl.t;
+  xid_map : (int32, string * int32) Hashtbl.t;
+  mutable next_xid : int32;
+}
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  controller_latency : Rf_sim.Vtime.span;
+  mutable slice_list : slice_state list;  (** registration order *)
+  switches : (int64, switch_state) Hashtbl.t;
+}
+
+let create engine ?(controller_latency = Rf_sim.Vtime.span_ms 1) () =
+  { engine; controller_latency; slice_list = []; switches = Hashtbl.create 64 }
+
+let add_slice t def ~attach =
+  t.slice_list <-
+    t.slice_list @ [ { def; attach; to_slice = 0; from_slice = 0; denied = 0 } ]
+
+let slice_named t name =
+  List.find_opt (fun s -> String.equal s.def.Flowspace.fs_name name) t.slice_list
+
+let send_to_slice slice conn (m : Of_msg.t) =
+  slice.to_slice <- slice.to_slice + 1;
+  Rf_net.Channel.send conn.fv_end (Of_codec.to_wire m)
+
+let fresh_xid sw =
+  sw.next_xid <- Int32.add sw.next_xid 1l;
+  sw.next_xid
+
+(* Forward a controller-originated request to the switch, remembering
+   which slice and original xid a reply must return to. *)
+let forward_to_switch sw ~slice_name (m : Of_msg.t) =
+  let xid = fresh_xid sw in
+  Hashtbl.replace sw.xid_map xid (slice_name, m.xid);
+  Of_conn.send_msg sw.sw_conn { m with xid }
+
+let classify_frame t frame ~in_port =
+  match Packet.parse frame with
+  | Error _ -> None
+  | Ok pkt ->
+      let key = Of_match.key_of_packet ~in_port pkt in
+      List.find_opt (fun s -> Flowspace.owns_key s.def key) t.slice_list
+
+let eperm_flow_mod xid =
+  Of_msg.msg ~xid
+    (Of_msg.Error
+       {
+         err_type = Of_msg.error_flow_mod_failed;
+         err_code = 6 (* OFPFMFC_EPERM *);
+         err_data = "flowvisor: match outside slice flowspace";
+       })
+
+let eperm_packet_out xid =
+  Of_msg.msg ~xid
+    (Of_msg.Error
+       {
+         err_type = Of_msg.error_bad_request;
+         err_code = 4 (* OFPBRC_EPERM *);
+         err_data = "flowvisor: packet outside slice flowspace";
+       })
+
+let handle_from_slice _t sw slice conn (m : Of_msg.t) =
+  slice.from_slice <- slice.from_slice + 1;
+  let reply msg = send_to_slice slice conn msg in
+  match m.payload with
+  | Of_msg.Hello -> ()
+  | Of_msg.Echo_request data -> reply (Of_msg.msg ~xid:m.xid (Of_msg.Echo_reply data))
+  | Of_msg.Echo_reply _ -> ()
+  | Of_msg.Features_request ->
+      reply (Of_msg.msg ~xid:m.xid (Of_msg.Features_reply sw.features))
+  | Of_msg.Get_config_request ->
+      reply
+        (Of_msg.msg ~xid:m.xid
+           (Of_msg.Get_config_reply { flags = 0; miss_send_len = 128 }))
+  | Of_msg.Set_config _ ->
+      (* Pass through: slices sharing a switch share its miss_send_len;
+         the RouteFlow slice raises it to get whole frames relayed. *)
+      forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
+  | Of_msg.Flow_mod fm ->
+      if Flowspace.permits_match slice.def fm.fm_match then
+        forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
+      else begin
+        slice.denied <- slice.denied + 1;
+        reply (eperm_flow_mod m.xid)
+      end
+  | Of_msg.Packet_out po ->
+      let allowed =
+        match Packet.parse po.po_data with
+        | Error _ -> po.po_buffer_id <> None
+        | Ok pkt ->
+            let key = Of_match.key_of_packet ~in_port:po.po_in_port pkt in
+            Flowspace.owns_key slice.def key
+      in
+      if allowed then
+        forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
+      else begin
+        slice.denied <- slice.denied + 1;
+        reply (eperm_packet_out m.xid)
+      end
+  | Of_msg.Stats_request _ | Of_msg.Barrier_request ->
+      forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
+  | Of_msg.Port_mod _ ->
+      (* Port state is shared by every slice; FlowVisor denies it. *)
+      slice.denied <- slice.denied + 1;
+      reply
+        (Of_msg.msg ~xid:m.xid
+           (Of_msg.Error
+              { err_type = 4 (* PORT_MOD_FAILED *); err_code = 1 (* EPERM *);
+                err_data = "flowvisor: port-mod not permitted" }))
+  | Of_msg.Vendor _ ->
+      reply
+        (Of_msg.msg ~xid:m.xid
+           (Of_msg.Error
+              {
+                err_type = Of_msg.error_bad_request;
+                err_code = 3;
+                err_data = "";
+              }))
+  | Of_msg.Error _ | Of_msg.Features_reply _ | Of_msg.Get_config_reply _
+  | Of_msg.Packet_in _ | Of_msg.Flow_removed _ | Of_msg.Port_status _
+  | Of_msg.Stats_reply _ | Of_msg.Barrier_reply ->
+      ()
+
+let broadcast_to_slices t sw msg =
+  Hashtbl.iter
+    (fun name conn ->
+      match slice_named t name with
+      | Some slice -> send_to_slice slice conn msg
+      | None -> ())
+    sw.slice_conns
+
+let handle_from_switch t sw (m : Of_msg.t) =
+  match m.payload with
+  | Of_msg.Packet_in pi -> (
+      match classify_frame t pi.pi_data ~in_port:pi.pi_in_port with
+      | Some slice -> (
+          match Hashtbl.find_opt sw.slice_conns slice.def.Flowspace.fs_name with
+          | Some conn -> send_to_slice slice conn m
+          | None -> ())
+      | None -> ())
+  | Of_msg.Flow_removed fr -> (
+      let owner =
+        List.find_opt
+          (fun s -> Flowspace.permits_match s.def fr.fr_match)
+          t.slice_list
+      in
+      match owner with
+      | Some slice -> (
+          match Hashtbl.find_opt sw.slice_conns slice.def.Flowspace.fs_name with
+          | Some conn -> send_to_slice slice conn m
+          | None -> ())
+      | None -> ())
+  | Of_msg.Port_status _ -> broadcast_to_slices t sw m
+  | Of_msg.Error _ | Of_msg.Stats_reply _ | Of_msg.Barrier_reply -> (
+      match Hashtbl.find_opt sw.xid_map m.xid with
+      | Some (slice_name, orig_xid) -> (
+          (match m.payload with
+          | Of_msg.Error _ -> () (* keep mapping: stats may still reply *)
+          | Of_msg.Stats_reply _ | Of_msg.Barrier_reply ->
+              Hashtbl.remove sw.xid_map m.xid
+          | Of_msg.Hello | Of_msg.Echo_request _ | Of_msg.Echo_reply _
+          | Of_msg.Vendor _ | Of_msg.Features_request | Of_msg.Features_reply _
+          | Of_msg.Get_config_request | Of_msg.Get_config_reply _
+          | Of_msg.Set_config _ | Of_msg.Packet_in _ | Of_msg.Flow_removed _
+          | Of_msg.Port_status _ | Of_msg.Packet_out _ | Of_msg.Flow_mod _
+          | Of_msg.Port_mod _ | Of_msg.Stats_request _ | Of_msg.Barrier_request ->
+              ());
+          match (slice_named t slice_name, Hashtbl.find_opt sw.slice_conns slice_name) with
+          | Some slice, Some conn -> send_to_slice slice conn { m with xid = orig_xid }
+          | (Some _ | None), (Some _ | None) -> ())
+      | None -> ())
+  | Of_msg.Hello | Of_msg.Echo_request _ | Of_msg.Echo_reply _ | Of_msg.Vendor _
+  | Of_msg.Features_request | Of_msg.Features_reply _ | Of_msg.Get_config_request
+  | Of_msg.Get_config_reply _ | Of_msg.Set_config _ | Of_msg.Packet_out _
+  | Of_msg.Flow_mod _ | Of_msg.Port_mod _ | Of_msg.Stats_request _
+  | Of_msg.Barrier_request ->
+      ()
+
+let switch_attach t ~dpid:_ endpoint =
+  let conn = Of_conn.create t.engine endpoint in
+  Of_conn.set_on_handshake conn (fun features ->
+      let dpid = features.Of_msg.datapath_id in
+      let sw =
+        {
+          sw_conn = conn;
+          features;
+          slice_conns = Hashtbl.create 4;
+          xid_map = Hashtbl.create 64;
+          next_xid = 0x40000000l;
+        }
+      in
+      Hashtbl.replace t.switches dpid sw;
+      Of_conn.set_on_message conn (fun m -> handle_from_switch t sw m);
+      (* A switch disconnect tears down its impersonated connection in
+         every slice, so slice controllers observe the loss. *)
+      Of_conn.set_on_close conn (fun () ->
+          Hashtbl.iter
+            (fun _ sconn -> Rf_net.Channel.close sconn.fv_end)
+            sw.slice_conns;
+          Hashtbl.remove t.switches dpid);
+      (* One impersonated switch connection per slice. *)
+      List.iter
+        (fun slice ->
+          let fv_end, ctl_end =
+            Rf_net.Channel.create t.engine ~latency:t.controller_latency
+              ~name:
+                (Printf.sprintf "fv-%s-%Ld" slice.def.Flowspace.fs_name dpid)
+              ()
+          in
+          let sconn = { fv_end; framer = Of_codec.Framer.create () } in
+          Hashtbl.replace sw.slice_conns slice.def.Flowspace.fs_name sconn;
+          Rf_net.Channel.set_receiver fv_end (fun bytes ->
+              match Of_codec.Framer.input sconn.framer bytes with
+              | Ok msgs -> List.iter (handle_from_slice t sw slice sconn) msgs
+              | Error e ->
+                  Rf_sim.Engine.record t.engine ~component:"flowvisor"
+                    ~event:"framing-error" e;
+                  Rf_net.Channel.close fv_end);
+          (* Behave like a switch: greet the slice controller. *)
+          send_to_slice slice sconn (Of_msg.msg ~xid:0l Of_msg.Hello);
+          slice.attach ~dpid ctl_end)
+        t.slice_list)
+
+let slices t = List.map (fun s -> s.def.Flowspace.fs_name) t.slice_list
+
+let switches_connected t =
+  Hashtbl.fold (fun d _ acc -> d :: acc) t.switches []
+  |> List.sort Int64.compare
+
+let stat t name f = match slice_named t name with Some s -> f s | None -> 0
+
+let messages_to_slice t name = stat t name (fun s -> s.to_slice)
+
+let messages_from_slice t name = stat t name (fun s -> s.from_slice)
+
+let denied_flow_mods t name = stat t name (fun s -> s.denied)

@@ -1,0 +1,44 @@
+(** FlowVisor: a transparent OpenFlow proxy that lets several
+    controllers share the same switches, each confined to its slice.
+
+    Toward each switch, FlowVisor is the controller (it completes the
+    handshake itself). Toward each slice controller, it impersonates
+    every connected switch over a dedicated channel, answering
+    handshakes from cached features, policing flow-mods and packet-outs
+    against the slice's flowspace, classifying packet-ins to the owning
+    slice, and translating transaction ids both ways. *)
+
+
+type t
+
+val create : Rf_sim.Engine.t -> ?controller_latency:Rf_sim.Vtime.span -> unit -> t
+
+val add_slice :
+  t ->
+  Flowspace.t ->
+  attach:(dpid:int64 -> Rf_net.Channel.endpoint -> unit) ->
+  unit
+(** [attach] is invoked once per (slice, switch) as switches complete
+    their handshake; the endpoint speaks OpenFlow 1.0 and behaves like
+    a direct connection to that switch. Classification follows slice
+    registration order. Must be called before switches connect. *)
+
+val switch_attach : t -> dpid:int64 -> Rf_net.Channel.endpoint -> unit
+(** Give FlowVisor the controller-side endpoint of a switch's control
+    channel — pass this (partially applied) as [attach_controller] to
+    {!Rf_net.Network.build}. The [dpid] parameter is redundant with the
+    handshake and only used for bookkeeping labels. *)
+
+(** {1 Introspection} *)
+
+val slices : t -> string list
+
+val switches_connected : t -> int64 list
+
+val messages_to_slice : t -> string -> int
+(** Switch→controller messages forwarded into a slice. *)
+
+val messages_from_slice : t -> string -> int
+
+val denied_flow_mods : t -> string -> int
+(** Flow-mods rejected because they escaped the slice's flowspace. *)

@@ -1,0 +1,1 @@
+lib/net/datapath.ml: Array Bytes Char Ethernet Flow_table Hashtbl Int32 Int64 Ipv4_addr List Mac Of_action Of_match Of_msg Of_port Packet Printf Rf_openflow Rf_packet Rf_sim String Wire

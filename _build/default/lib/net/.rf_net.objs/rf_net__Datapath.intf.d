@@ -1,0 +1,1 @@
+lib/net/datapath.mli: Flow_table Mac Of_match Of_msg Of_port Rf_openflow Rf_packet Rf_sim

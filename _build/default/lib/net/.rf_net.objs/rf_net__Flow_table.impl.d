@@ -1,0 +1,1 @@
+lib/net/flow_table.ml: Int64 List Of_action Of_match Of_msg Rf_openflow Rf_sim

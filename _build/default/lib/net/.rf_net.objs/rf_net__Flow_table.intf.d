@@ -1,0 +1,1 @@
+lib/net/flow_table.mli: Of_action Of_match Of_msg Of_port Rf_openflow Rf_sim

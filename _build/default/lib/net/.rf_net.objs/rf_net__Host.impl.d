@@ -1,0 +1,1 @@
+lib/net/host.ml: Arp Icmp Int32 Ipv4 Ipv4_addr List Mac Map Packet Rf_packet Rf_sim Udp Wire

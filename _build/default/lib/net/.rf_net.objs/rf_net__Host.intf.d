@@ -1,0 +1,1 @@
+lib/net/host.mli: Ipv4_addr Mac Rf_packet Rf_sim

@@ -1,0 +1,1 @@
+lib/net/link.mli: Datapath Host Rf_sim

@@ -1,0 +1,1 @@
+lib/net/network.ml: Channel Datapath Hashtbl Host Int64 Ipv4_addr Link List Mac Of_agent Printf Rf_packet Rf_sim String Topology

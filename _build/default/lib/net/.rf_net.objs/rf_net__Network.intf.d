@@ -1,0 +1,1 @@
+lib/net/network.mli: Channel Datapath Host Ipv4_addr Link Rf_packet Rf_sim Topology

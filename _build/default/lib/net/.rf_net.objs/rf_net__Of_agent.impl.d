@@ -1,0 +1,1 @@
+lib/net/of_agent.ml: Channel Datapath Int32 List Of_codec Of_msg Printf Rf_openflow Rf_sim

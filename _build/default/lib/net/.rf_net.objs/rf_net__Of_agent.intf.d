@@ -1,0 +1,1 @@
+lib/net/of_agent.mli: Channel Datapath Rf_sim

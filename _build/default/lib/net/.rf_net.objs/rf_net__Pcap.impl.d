@@ -1,0 +1,1 @@
+lib/net/pcap.ml: Buffer Char Link Rf_sim String

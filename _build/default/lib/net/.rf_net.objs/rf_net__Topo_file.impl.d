@@ -1,0 +1,1 @@
+lib/net/topo_file.ml: Buffer Int64 List Printf Rf_sim String Topology

@@ -1,0 +1,1 @@
+lib/net/topo_gen.ml: Array Int64 List Rf_sim Topology

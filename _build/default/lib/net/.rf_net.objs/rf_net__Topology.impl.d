@@ -1,0 +1,1 @@
+lib/net/topology.ml: Format Int Int64 List Map Queue Rf_sim String

@@ -1,0 +1,36 @@
+(** Reliable, ordered, bidirectional byte channels.
+
+    These model the control-plane TCP connections of the paper's
+    testbed: switch↔FlowVisor, FlowVisor↔controller, and RPC
+    client↔server sessions. Delivery is in order with a fixed one-way
+    latency; there is no loss (the real transport is TCP). *)
+
+type endpoint
+(** One side of a channel. *)
+
+val create :
+  Rf_sim.Engine.t ->
+  ?latency:Rf_sim.Vtime.span ->
+  ?name:string ->
+  unit ->
+  endpoint * endpoint
+(** A connected pair. Default latency 1 ms. *)
+
+val send : endpoint -> string -> unit
+(** Queues bytes for the peer; they arrive after the channel latency.
+    Sending on a closed channel is a silent no-op (as writes to a dying
+    TCP connection are, from the application's viewpoint). *)
+
+val set_receiver : endpoint -> (string -> unit) -> unit
+(** At most one receiver per endpoint; bytes delivered before a
+    receiver is installed are buffered. *)
+
+val close : endpoint -> unit
+(** Closes both directions; the peer's [set_on_close] fires after the
+    channel latency. *)
+
+val set_on_close : endpoint -> (unit -> unit) -> unit
+
+val is_open : endpoint -> bool
+
+val name : endpoint -> string

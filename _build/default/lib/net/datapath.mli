@@ -1,0 +1,72 @@
+(** An emulated OpenFlow 1.0 datapath (the Open vSwitch role).
+
+    The datapath owns ports, the flow table and the packet-in buffer
+    store. It is controller-agnostic: {!Of_agent} drives it over a
+    control channel by installing the callbacks below. *)
+
+open Rf_packet
+open Rf_openflow
+
+type t
+
+val create :
+  Rf_sim.Engine.t -> dpid:int64 -> n_ports:int -> ?table_capacity:int -> unit -> t
+(** Ports are numbered 1..n_ports, each with a deterministic
+    locally-administered MAC. A periodic task expires flow entries
+    once per second. *)
+
+val dpid : t -> int64
+
+val engine : t -> Rf_sim.Engine.t
+
+val n_ports : t -> int
+
+val port_mac : t -> int -> Mac.t
+
+val port_up : t -> int -> bool
+
+val set_port_up : t -> int -> bool -> unit
+(** Triggers the port-status callback on change. *)
+
+val set_transmit : t -> port:int -> (string -> unit) -> unit
+(** Installs the link-layer transmit function of a port. *)
+
+val receive_frame : t -> in_port:int -> string -> unit
+(** A frame arrived from the wire. *)
+
+val flow_table : t -> Flow_table.t
+
+val features : t -> Of_msg.features
+
+val miss_send_len : t -> int
+
+val set_miss_send_len : t -> int -> unit
+
+(** {1 Controller-side operations (used by the OF agent)} *)
+
+val handle_flow_mod : t -> Of_msg.flow_mod -> (unit, Of_msg.error) result
+
+val handle_packet_out : t -> Of_msg.packet_out -> (unit, Of_msg.error) result
+
+val flow_stats :
+  t -> match_:Of_match.t -> out_port:Of_port.t option -> Of_msg.flow_stats list
+
+val port_stats : t -> port:int -> Of_msg.port_stats list
+(** [port = Of_port.none] returns all ports. *)
+
+val set_on_packet_in : t -> (Of_msg.packet_in -> unit) -> unit
+
+val set_on_flow_removed : t -> (Of_msg.flow_removed -> unit) -> unit
+
+val set_on_port_status :
+  t -> (Of_msg.port_status_reason -> Of_msg.phys_port -> unit) -> unit
+
+(** {1 Introspection for experiments} *)
+
+val packets_forwarded : t -> int
+
+val packets_missed : t -> int
+
+val packets_dropped : t -> int
+(** Dropped for lack of a controller decision (no buffer space, output
+    on a down port, TTL and parse failures). *)

@@ -1,0 +1,165 @@
+open Rf_openflow
+
+type entry = {
+  e_match : Of_match.t;
+  e_priority : int;
+  e_cookie : int64;
+  e_idle_timeout : int;
+  e_hard_timeout : int;
+  e_notify_removed : bool;
+  mutable e_actions : Of_action.t list;
+  mutable e_packets : int64;
+  mutable e_bytes : int64;
+  e_installed : Rf_sim.Vtime.t;
+  mutable e_last_used : Rf_sim.Vtime.t;
+}
+
+type removal_reason = Expired_idle | Expired_hard | Deleted
+
+type t = { mutable entries : entry list; capacity : int }
+(* Entries kept sorted by priority descending; stable within equal
+   priority (insertion order). Table sizes here are small enough that a
+   sorted list keeps the semantics obvious. *)
+
+let create ?(capacity = 65536) () = { entries = []; capacity }
+
+let size t = List.length t.entries
+
+let entries t = t.entries
+
+let lookup t key = List.find_opt (fun e -> Of_match.matches e.e_match key) t.entries
+
+let account e ~now ~bytes =
+  e.e_packets <- Int64.succ e.e_packets;
+  e.e_bytes <- Int64.add e.e_bytes (Int64.of_int bytes);
+  e.e_last_used <- now
+
+let insert_sorted t entry =
+  let rec go = function
+    | [] -> [ entry ]
+    | e :: rest ->
+        if entry.e_priority > e.e_priority then entry :: e :: rest
+        else e :: go rest
+  in
+  t.entries <- go t.entries
+
+let entry_outputs_to port e =
+  List.exists
+    (fun a ->
+      match a with
+      | Of_action.Output { port = p; _ } -> p = port
+      | Of_action.Set_dl_src _ | Of_action.Set_dl_dst _ | Of_action.Set_nw_src _
+      | Of_action.Set_nw_dst _ | Of_action.Set_nw_tos _ | Of_action.Set_tp_src _
+      | Of_action.Set_tp_dst _ | Of_action.Strip_vlan ->
+          false)
+    e.e_actions
+
+let matches_for_delete ~strict (fm : Of_msg.flow_mod) e =
+  let match_ok =
+    if strict then
+      Of_match.equal fm.fm_match e.e_match && fm.fm_priority = e.e_priority
+    else Of_match.subsumes fm.fm_match e.e_match
+  in
+  let out_port_ok =
+    match fm.fm_out_port with
+    | None -> true
+    | Some port -> entry_outputs_to port e
+  in
+  match_ok && out_port_ok
+
+let rec apply_flow_mod t ~now (fm : Of_msg.flow_mod) =
+  match fm.fm_command with
+  | Of_msg.Add ->
+      let identical e =
+        Of_match.equal fm.fm_match e.e_match && fm.fm_priority = e.e_priority
+      in
+      let without = List.filter (fun e -> not (identical e)) t.entries in
+      if List.length without >= t.capacity then Error "all tables full"
+      else begin
+        t.entries <- without;
+        insert_sorted t
+          {
+            e_match = fm.fm_match;
+            e_priority = fm.fm_priority;
+            e_cookie = fm.fm_cookie;
+            e_idle_timeout = fm.fm_idle_timeout;
+            e_hard_timeout = fm.fm_hard_timeout;
+            e_notify_removed = fm.fm_notify_removed;
+            e_actions = fm.fm_actions;
+            e_packets = 0L;
+            e_bytes = 0L;
+            e_installed = now;
+            e_last_used = now;
+          };
+        Ok []
+      end
+  | Of_msg.Modify | Of_msg.Modify_strict ->
+      let strict = fm.fm_command = Of_msg.Modify_strict in
+      let touched = ref false in
+      List.iter
+        (fun e ->
+          let hit =
+            if strict then
+              Of_match.equal fm.fm_match e.e_match && fm.fm_priority = e.e_priority
+            else Of_match.subsumes fm.fm_match e.e_match
+          in
+          if hit then begin
+            e.e_actions <- fm.fm_actions;
+            touched := true
+          end)
+        t.entries;
+      if !touched then Ok []
+      else
+        (* OF 1.0: a modify that matches nothing behaves as an add. *)
+        apply_flow_mod t ~now { fm with fm_command = Of_msg.Add }
+  | Of_msg.Delete | Of_msg.Delete_strict ->
+      let strict = fm.fm_command = Of_msg.Delete_strict in
+      let removed, kept =
+        List.partition (matches_for_delete ~strict fm) t.entries
+      in
+      t.entries <- kept;
+      Ok removed
+
+let expire t ~now =
+  let expired e =
+    let age_since from limit =
+      limit > 0
+      && Rf_sim.Vtime.(add from (Rf_sim.Vtime.span_s (float_of_int limit)) <= now)
+    in
+    if age_since e.e_installed e.e_hard_timeout then Some Expired_hard
+    else if age_since e.e_last_used e.e_idle_timeout then Some Expired_idle
+    else None
+  in
+  let gone, kept =
+    List.fold_left
+      (fun (gone, kept) e ->
+        match expired e with
+        | Some reason -> ((e, reason) :: gone, kept)
+        | None -> (gone, e :: kept))
+      ([], []) t.entries
+  in
+  t.entries <- List.rev kept;
+  List.rev gone
+
+let stats t ~match_ ~out_port ~now =
+  List.filter_map
+    (fun e ->
+      let match_ok = Of_match.subsumes match_ e.e_match in
+      let out_ok =
+        match out_port with None -> true | Some p -> entry_outputs_to p e
+      in
+      if match_ok && out_ok then
+        Some
+          {
+            Of_msg.fs_match = e.e_match;
+            fs_priority = e.e_priority;
+            fs_cookie = e.e_cookie;
+            fs_duration_s =
+              int_of_float
+                (Rf_sim.Vtime.span_to_s (Rf_sim.Vtime.diff now e.e_installed));
+            fs_packet_count = e.e_packets;
+            fs_byte_count = e.e_bytes;
+            fs_actions = e.e_actions;
+          }
+      else None)
+    t.entries

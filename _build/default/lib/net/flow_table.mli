@@ -1,0 +1,53 @@
+(** A single OpenFlow 1.0 flow table.
+
+    Implements the OF 1.0 semantics the substrate needs: highest
+    priority wins on lookup, non-strict modify/delete subsume by match,
+    strict variants require equal match and priority, idle and hard
+    timeouts, and per-entry packet/byte counters. *)
+
+open Rf_openflow
+
+type entry = {
+  e_match : Of_match.t;
+  e_priority : int;
+  e_cookie : int64;
+  e_idle_timeout : int;  (** seconds; 0 = none *)
+  e_hard_timeout : int;
+  e_notify_removed : bool;
+  mutable e_actions : Of_action.t list;
+  mutable e_packets : int64;
+  mutable e_bytes : int64;
+  e_installed : Rf_sim.Vtime.t;
+  mutable e_last_used : Rf_sim.Vtime.t;
+}
+
+type removal_reason = Expired_idle | Expired_hard | Deleted
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536; adds beyond it are rejected with an
+    "all tables full" error, as a real switch would. *)
+
+val size : t -> int
+
+val entries : t -> entry list
+(** Priority-descending, then insertion order. *)
+
+val lookup : t -> Of_match.key -> entry option
+(** Does not touch counters; callers account explicitly. *)
+
+val account : entry -> now:Rf_sim.Vtime.t -> bytes:int -> unit
+
+val apply_flow_mod :
+  t -> now:Rf_sim.Vtime.t -> Of_msg.flow_mod -> (entry list, string) result
+(** Returns the entries removed by a delete command ([] for add and
+    modify). Add with an existing identical (match, priority) entry
+    replaces it, resetting counters. *)
+
+val expire : t -> now:Rf_sim.Vtime.t -> (entry * removal_reason) list
+(** Removes and returns timed-out entries. *)
+
+val stats :
+  t -> match_:Of_match.t -> out_port:Of_port.t option -> now:Rf_sim.Vtime.t ->
+  Of_msg.flow_stats list

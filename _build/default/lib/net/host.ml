@@ -1,0 +1,228 @@
+open Rf_packet
+
+module Ip_map = Map.Make (Ipv4_addr)
+
+type pending = { mutable frames : (Ipv4_addr.t -> Mac.t -> string) list }
+(* Deferred frame builders: invoked once the next hop's MAC is known. *)
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  name : string;
+  mac : Mac.t;
+  ip : Ipv4_addr.t;
+  prefix : Ipv4_addr.Prefix.t;
+  gateway : Ipv4_addr.t;
+  mutable transmit : (string -> unit) option;
+  mutable arp : Mac.t Ip_map.t;
+  mutable waiting : pending Ip_map.t;  (** keyed by next-hop IP *)
+  mutable udp_handler :
+    (src:Ipv4_addr.t -> src_port:int -> dst_port:int -> payload:string -> unit)
+    option;
+  mutable echo_handler : (src:Ipv4_addr.t -> seq:int -> unit) option;
+  mutable udp_rx : int;
+  mutable udp_tx : int;
+  mutable frames_rx : int;
+  mutable first_udp_rx : Rf_sim.Vtime.t option;
+  mutable next_src_port : int;
+}
+
+let arp_retry_period = Rf_sim.Vtime.span_s 2.0
+
+let create engine ~name ~mac ~ip ~prefix_len ~gateway () =
+  {
+    engine;
+    name;
+    mac;
+    ip;
+    prefix = Ipv4_addr.Prefix.make ip prefix_len;
+    gateway;
+    transmit = None;
+    arp = Ip_map.empty;
+    waiting = Ip_map.empty;
+    udp_handler = None;
+    echo_handler = None;
+    udp_rx = 0;
+    udp_tx = 0;
+    frames_rx = 0;
+    first_udp_rx = None;
+    next_src_port = 40000;
+  }
+
+let name t = t.name
+
+let mac t = t.mac
+
+let ip t = t.ip
+
+let gateway t = t.gateway
+
+let set_transmit t f = t.transmit <- Some f
+
+let raw_send t frame =
+  match t.transmit with Some f -> f frame | None -> ()
+
+let gratuitous_arp t =
+  raw_send t
+    (Packet.arp ~src:t.mac ~dst:Mac.broadcast
+       (Arp.request ~sender_mac:t.mac ~sender_ip:t.ip ~target_ip:t.ip))
+
+let next_hop t dst =
+  if Ipv4_addr.Prefix.mem dst t.prefix then dst else t.gateway
+
+let send_arp_request t target =
+  raw_send t
+    (Packet.arp ~src:t.mac ~dst:Mac.broadcast
+       (Arp.request ~sender_mac:t.mac ~sender_ip:t.ip ~target_ip:target))
+
+let rec arp_retry t target =
+  if Ip_map.mem target t.waiting then begin
+    send_arp_request t target;
+    ignore (Rf_sim.Engine.schedule t.engine arp_retry_period (fun () -> arp_retry t target))
+  end
+
+let resolve_and_send t dst build =
+  let hop = next_hop t dst in
+  match Ip_map.find_opt hop t.arp with
+  | Some hop_mac -> raw_send t (build hop hop_mac)
+  | None -> (
+      match Ip_map.find_opt hop t.waiting with
+      | Some p ->
+          (* Linux keeps only a few packets per unresolved neighbour;
+             keep the newest three. *)
+          p.frames <- build :: (if List.length p.frames >= 3 then List.filteri (fun i _ -> i < 2) p.frames else p.frames)
+      | None ->
+          t.waiting <- Ip_map.add hop { frames = [ build ] } t.waiting;
+          send_arp_request t hop;
+          ignore
+            (Rf_sim.Engine.schedule t.engine arp_retry_period (fun () ->
+                 arp_retry t hop)))
+
+let learn t ip mac =
+  t.arp <- Ip_map.add ip mac t.arp;
+  match Ip_map.find_opt ip t.waiting with
+  | None -> ()
+  | Some p ->
+      t.waiting <- Ip_map.remove ip t.waiting;
+      List.iter (fun build -> raw_send t (build ip mac)) (List.rev p.frames)
+
+let send_udp t ?src_port ~dst ~dst_port payload =
+  let src_port =
+    match src_port with
+    | Some p -> p
+    | None ->
+        t.next_src_port <- t.next_src_port + 1;
+        t.next_src_port
+  in
+  t.udp_tx <- t.udp_tx + 1;
+  resolve_and_send t dst (fun _hop hop_mac ->
+      Packet.udp ~src_mac:t.mac ~dst_mac:hop_mac ~src_ip:t.ip ~dst_ip:dst
+        (Udp.make ~src_port ~dst_port payload))
+
+let ping t ~dst ~seq =
+  resolve_and_send t dst (fun _hop hop_mac ->
+      Packet.icmp ~src_mac:t.mac ~dst_mac:hop_mac ~src_ip:t.ip ~dst_ip:dst
+        (Icmp.Echo_request { ident = 1; seq; payload = "rf-ping" }))
+
+let set_udp_handler t f = t.udp_handler <- Some f
+
+let set_echo_handler t f = t.echo_handler <- Some f
+
+let handle_arp t (a : Arp.t) =
+  (* Learn from every ARP we see addressed to us or broadcast. *)
+  if not (Ipv4_addr.equal a.sender_ip Ipv4_addr.any) then
+    learn t a.sender_ip a.sender_mac;
+  match a.op with
+  | Arp.Request when Ipv4_addr.equal a.target_ip t.ip ->
+      raw_send t
+        (Packet.arp ~src:t.mac ~dst:a.sender_mac
+           (Arp.reply ~sender_mac:t.mac ~sender_ip:t.ip ~target_mac:a.sender_mac
+              ~target_ip:a.sender_ip))
+  | Arp.Request | Arp.Reply -> ()
+
+let handle_ipv4 t (ip : Ipv4.t) l4 =
+  if Ipv4_addr.equal ip.dst t.ip then begin
+    match l4 with
+    | Packet.Udp u ->
+        t.udp_rx <- t.udp_rx + 1;
+        if t.first_udp_rx = None then
+          t.first_udp_rx <- Some (Rf_sim.Engine.now t.engine);
+        (match t.udp_handler with
+        | Some f ->
+            f ~src:ip.src ~src_port:u.src_port ~dst_port:u.dst_port
+              ~payload:u.payload
+        | None -> ())
+    | Packet.Icmp (Icmp.Echo_request { ident; seq; payload }) ->
+        resolve_and_send t ip.src (fun _hop hop_mac ->
+            Packet.icmp ~src_mac:t.mac ~dst_mac:hop_mac ~src_ip:t.ip
+              ~dst_ip:ip.src (Icmp.Echo_reply { ident; seq; payload }))
+    | Packet.Icmp (Icmp.Echo_reply { seq; _ }) -> (
+        match t.echo_handler with
+        | Some f -> f ~src:ip.src ~seq
+        | None -> ())
+    | Packet.Icmp (Icmp.Dest_unreachable _ | Icmp.Time_exceeded _)
+    | Packet.Tcp _ | Packet.Ospf _ | Packet.Raw_l4 _ ->
+        ()
+  end
+
+let receive_frame t frame =
+  t.frames_rx <- t.frames_rx + 1;
+  let for_us dst = Mac.equal dst t.mac || Mac.is_broadcast dst || Mac.is_multicast dst in
+  match Packet.parse frame with
+  | Error _ -> ()
+  | Ok pkt ->
+      if for_us pkt.eth.dst then begin
+        match pkt.l3 with
+        | Packet.Arp a -> handle_arp t a
+        | Packet.Ipv4 (ip, l4) -> handle_ipv4 t ip l4
+        | Packet.Lldp _ | Packet.Raw_l3 _ -> ()
+      end
+
+type stream = {
+  host : t;
+  mutable timer : Rf_sim.Engine.timer option;
+  mutable sent : int;
+  limit : int option;
+}
+
+let start_udp_stream t ~dst ~dst_port ~period ~payload_size ?count () =
+  let s = { host = t; timer = None; sent = 0; limit = count } in
+  let src_port = 5004 in
+  let payload seq =
+    (* An RTP-flavoured payload: sequence number then filler. *)
+    let w = Wire.Writer.create ~initial:payload_size () in
+    Wire.Writer.u32 w (Int32.of_int seq);
+    Wire.Writer.zeros w (max 0 (payload_size - 4));
+    Wire.Writer.contents w
+  in
+  let tick () =
+    match s.limit with
+    | Some n when s.sent >= n -> (
+        match s.timer with
+        | Some timer -> Rf_sim.Engine.cancel timer
+        | None -> ())
+    | Some _ | None ->
+        send_udp t ~src_port ~dst ~dst_port (payload s.sent);
+        s.sent <- s.sent + 1
+  in
+  tick ();
+  s.timer <- Some (Rf_sim.Engine.periodic t.engine period tick);
+  s
+
+let stop_stream s =
+  match s.timer with
+  | Some timer ->
+      Rf_sim.Engine.cancel timer;
+      s.timer <- None
+  | None -> ()
+
+let stream_sent s = s.sent
+
+let udp_received t = t.udp_rx
+
+let udp_sent t = t.udp_tx
+
+let first_udp_rx_time t = t.first_udp_rx
+
+let arp_cache t = Ip_map.bindings t.arp
+
+let frames_received t = t.frames_rx

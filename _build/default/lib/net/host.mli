@@ -1,0 +1,83 @@
+(** End hosts with a minimal IPv4 stack: ARP (with request retry and
+    learning), ICMP echo, and UDP send/receive. Used as the video
+    server and remote client of the paper's demonstration. *)
+
+open Rf_packet
+
+type t
+
+val create :
+  Rf_sim.Engine.t ->
+  name:string ->
+  mac:Mac.t ->
+  ip:Ipv4_addr.t ->
+  prefix_len:int ->
+  gateway:Ipv4_addr.t ->
+  unit ->
+  t
+
+val name : t -> string
+
+val mac : t -> Mac.t
+
+val ip : t -> Ipv4_addr.t
+
+val gateway : t -> Ipv4_addr.t
+
+val set_transmit : t -> (string -> unit) -> unit
+
+val receive_frame : t -> string -> unit
+
+val gratuitous_arp : t -> unit
+(** Announce our own binding (hosts do this when an interface comes
+    up); also primes switches' tables with our MAC. *)
+
+val send_udp : t -> ?src_port:int -> dst:Ipv4_addr.t -> dst_port:int -> string -> unit
+(** Resolves the next hop (direct neighbour or gateway) via ARP; frames
+    queue while resolution is pending and ARP requests are retried
+    every 2 s until answered. *)
+
+val set_udp_handler :
+  t -> (src:Ipv4_addr.t -> src_port:int -> dst_port:int -> payload:string -> unit)
+  -> unit
+(** A single handler for all ports (scenarios demux themselves). When
+    unset, datagrams still count in [udp_received]. *)
+
+val ping : t -> dst:Ipv4_addr.t -> seq:int -> unit
+
+val set_echo_handler : t -> (src:Ipv4_addr.t -> seq:int -> unit) -> unit
+(** Called on each received echo reply. *)
+
+(** {1 Constant-rate UDP streams (the demo's video traffic)} *)
+
+type stream
+
+val start_udp_stream :
+  t ->
+  dst:Ipv4_addr.t ->
+  dst_port:int ->
+  period:Rf_sim.Vtime.span ->
+  payload_size:int ->
+  ?count:int ->
+  unit ->
+  stream
+(** Sends the first datagram immediately, then every [period].
+    Unlimited when [count] is omitted. *)
+
+val stop_stream : stream -> unit
+
+val stream_sent : stream -> int
+
+(** {1 Counters} *)
+
+val udp_received : t -> int
+
+val udp_sent : t -> int
+
+val first_udp_rx_time : t -> Rf_sim.Vtime.t option
+(** When the first datagram arrived — the demo's "video reaches the
+    client" instant. *)
+
+val arp_cache : t -> (Ipv4_addr.t * Mac.t) list
+
+val frames_received : t -> int

@@ -1,0 +1,61 @@
+type attachment = To_switch of Datapath.t * int | To_host of Host.t
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  latency : Rf_sim.Vtime.span;
+  a : attachment;
+  b : attachment;
+  mutable up : bool;
+  mutable carried : int;
+  mutable dropped : int;
+  mutable tap : (string -> unit) option;
+}
+
+let deliver side frame =
+  match side with
+  | To_switch (dp, port) -> Datapath.receive_frame dp ~in_port:port frame
+  | To_host h -> Host.receive_frame h frame
+
+let attach t side other =
+  let transmit frame =
+    if t.up then
+      ignore
+        (Rf_sim.Engine.schedule t.engine t.latency (fun () ->
+             if t.up then begin
+               t.carried <- t.carried + 1;
+               (match t.tap with Some f -> f frame | None -> ());
+               deliver other frame
+             end
+             else t.dropped <- t.dropped + 1))
+    else t.dropped <- t.dropped + 1
+  in
+  match side with
+  | To_switch (dp, port) -> Datapath.set_transmit dp ~port transmit
+  | To_host h -> Host.set_transmit h transmit
+
+let connect engine ?(latency = Rf_sim.Vtime.span_ms 1) a b =
+  let t =
+    { engine; latency; a; b; up = true; carried = 0; dropped = 0; tap = None }
+  in
+  attach t a b;
+  attach t b a;
+  t
+
+let set_up t up =
+  if t.up <> up then begin
+    t.up <- up;
+    let toggle = function
+      | To_switch (dp, port) -> Datapath.set_port_up dp port up
+      | To_host _ -> ()
+    in
+    toggle t.a;
+    toggle t.b
+  end
+
+let is_up t = t.up
+
+let set_tap t f = t.tap <- Some f
+
+let frames_carried t = t.carried
+
+let frames_dropped t = t.dropped

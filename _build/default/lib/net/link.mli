@@ -1,0 +1,31 @@
+(** Data-plane links with propagation latency and failure injection. *)
+
+type t
+
+type attachment =
+  | To_switch of Datapath.t * int  (** datapath, port number *)
+  | To_host of Host.t
+
+val connect :
+  Rf_sim.Engine.t ->
+  ?latency:Rf_sim.Vtime.span ->
+  attachment ->
+  attachment ->
+  t
+(** Wires the two attachments together: installs each side's transmit
+    function so frames appear at the other side after [latency]
+    (default 1 ms). Frames in flight when the link goes down are
+    dropped. *)
+
+val set_up : t -> bool -> unit
+(** Also drives the port-status state on switch attachments. *)
+
+val is_up : t -> bool
+
+val set_tap : t -> (string -> unit) -> unit
+(** Observes every frame the link delivers (both directions); used by
+    the pcap capture. One tap per link. *)
+
+val frames_carried : t -> int
+
+val frames_dropped : t -> int

@@ -1,0 +1,132 @@
+open Rf_packet
+
+type host_config = {
+  hc_ip : Ipv4_addr.t;
+  hc_prefix_len : int;
+  hc_gateway : Ipv4_addr.t;
+}
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  topo : Topology.t;
+  dps : (int64, Datapath.t) Hashtbl.t;
+  host_tbl : (string, Host.t) Hashtbl.t;
+  agents : (int64, Of_agent.t) Hashtbl.t;
+  links : (Topology.node * Topology.node, Link.t) Hashtbl.t;
+  mutable reconnect : (int64 -> unit) option;
+}
+
+let engine t = t.engine
+
+let topology t = t.topo
+
+let datapath t dpid =
+  match Hashtbl.find_opt t.dps dpid with
+  | Some dp -> dp
+  | None -> invalid_arg (Printf.sprintf "Network.datapath: unknown dpid %Ld" dpid)
+
+let datapaths t =
+  Hashtbl.fold (fun d dp acc -> (d, dp) :: acc) t.dps []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+let host t name =
+  match Hashtbl.find_opt t.host_tbl name with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Network.host: unknown host %s" name)
+
+let hosts t =
+  Hashtbl.fold (fun n h acc -> (n, h) :: acc) t.host_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let link t a b =
+  match Hashtbl.find_opt t.links (a, b) with
+  | Some l -> Some l
+  | None -> Hashtbl.find_opt t.links (b, a)
+
+let set_link_up t a b up =
+  match link t a b with
+  | Some l -> Link.set_up l up
+  | None -> raise Not_found
+
+let disconnect_switch t dpid =
+  match Hashtbl.find_opt t.agents dpid with
+  | Some agent -> Of_agent.disconnect agent
+  | None -> ()
+
+let reconnect_switch t dpid =
+  match t.reconnect with Some f -> f dpid | None -> ()
+
+let total_data_frames t =
+  Hashtbl.fold (fun _ l acc -> acc + Link.frames_carried l) t.links 0
+
+let build engine topo ~host_config ~attach_controller
+    ?(control_latency = Rf_sim.Vtime.span_ms 1)
+    ?(switch_boot_delay = fun _ -> Rf_sim.Vtime.span_zero) () =
+  let t =
+    {
+      engine;
+      topo;
+      dps = Hashtbl.create 64;
+      host_tbl = Hashtbl.create 16;
+      agents = Hashtbl.create 64;
+      links = Hashtbl.create 64;
+      reconnect = None;
+    }
+  in
+  (* Datapaths, with one port per topology edge endpoint. *)
+  List.iter
+    (fun dpid ->
+      let n_ports = Topology.degree topo (Topology.Switch dpid) in
+      let dp = Datapath.create engine ~dpid ~n_ports:(max 1 n_ports) () in
+      Hashtbl.replace t.dps dpid dp)
+    (Topology.switches topo);
+  (* Hosts. *)
+  let host_index = ref 0 in
+  List.iter
+    (fun name ->
+      incr host_index;
+      let cfg = host_config name in
+      let mac = Mac.make_local ((1 lsl 36) lor !host_index) in
+      let h =
+        Host.create engine ~name ~mac ~ip:cfg.hc_ip ~prefix_len:cfg.hc_prefix_len
+          ~gateway:cfg.hc_gateway ()
+      in
+      Hashtbl.replace t.host_tbl name h)
+    (Topology.hosts topo);
+  (* Data-plane links. *)
+  List.iter
+    (fun (e : Topology.edge) ->
+      let attachment node port =
+        match node with
+        | Topology.Switch dpid -> Link.To_switch (datapath t dpid, port)
+        | Topology.Host name -> Link.To_host (host t name)
+      in
+      let l =
+        Link.connect engine ~latency:e.latency (attachment e.a e.a_port)
+          (attachment e.b e.b_port)
+      in
+      Hashtbl.replace t.links (e.a, e.b) l)
+    (Topology.edges topo);
+  (* Control connections, possibly staggered. *)
+  let connect dpid =
+    let dp = datapath t dpid in
+    let switch_end, controller_end =
+      Channel.create engine ~latency:control_latency
+        ~name:(Printf.sprintf "ctl-%Ld" dpid)
+        ()
+    in
+    let agent = Of_agent.create engine dp switch_end in
+    Hashtbl.replace t.agents dpid agent;
+    attach_controller ~dpid controller_end
+  in
+  t.reconnect <- Some connect;
+  List.iter
+    (fun (dpid, _dp) ->
+      let delay = switch_boot_delay dpid in
+      if Rf_sim.Vtime.span_compare delay Rf_sim.Vtime.span_zero <= 0 then
+        connect dpid
+      else ignore (Rf_sim.Engine.schedule engine delay (fun () -> connect dpid)))
+    (datapaths t);
+  (* Host self-announcement. *)
+  List.iter (fun (_, h) -> Host.gratuitous_arp h) (hosts t);
+  t

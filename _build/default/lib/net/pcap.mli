@@ -1,0 +1,28 @@
+(** Classic pcap (libpcap 2.4) capture writer.
+
+    Frames captured from simulated links serialize into a byte-exact
+    pcap stream that Wireshark/tcpdump open directly — virtual
+    timestamps become the capture clock. Anything that exposes raw
+    frames (VM NIC receivers, host transmit hooks) can feed
+    [add_frame] as well. *)
+
+type t
+
+val create : ?snaplen:int -> unit -> t
+(** An in-memory capture; default snaplen 65535. *)
+
+val add_frame : t -> at:Rf_sim.Vtime.t -> string -> unit
+(** Appends one Ethernet frame with the given virtual timestamp.
+    Frames longer than the snaplen are truncated, with the original
+    length recorded, as libpcap does. *)
+
+val frame_count : t -> int
+
+val contents : t -> string
+(** Global header followed by all records. *)
+
+val write_file : t -> string -> unit
+
+val tap_link : Rf_sim.Engine.t -> t -> Link.t -> unit
+(** Captures every frame the link delivers from now on (both
+    directions). *)

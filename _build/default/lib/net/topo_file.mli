@@ -1,0 +1,24 @@
+(** A small text format for describing topologies, so experiments can
+    run on user-supplied networks:
+
+    {v
+    # comment
+    switch 1
+    switch 2
+    link 1 2            # optional: latency_ms cost
+    link 2 3 5 20
+    host server 1
+    host client 3
+    v}
+
+    Switches may also be declared implicitly by [link] lines. *)
+
+val parse : string -> (Topology.t, string) result
+(** Parses the format above; errors carry the offending line number. *)
+
+val load : string -> (Topology.t, string) result
+(** Reads and parses a file. *)
+
+val to_string : Topology.t -> string
+(** Serializes a topology back to the format (ports are implied by
+    declaration order, matching {!Topology.connect}'s allocation). *)

@@ -1,0 +1,30 @@
+(** Topology generators.
+
+    [ring] is the workload of the paper's Fig. 3 experiment;
+    [pan_european] is the 28-node demo topology (de Maesschalck et al.,
+    Photonic Network Communications 2003, the paper's reference [5]). *)
+
+val ring : ?latency:Rf_sim.Vtime.span -> int -> Topology.t
+(** [ring n] with [n >= 3] switches, dpids 1..n. *)
+
+val line : ?latency:Rf_sim.Vtime.span -> int -> Topology.t
+(** [line n] with [n >= 2]. *)
+
+val star : ?latency:Rf_sim.Vtime.span -> int -> Topology.t
+(** [star n]: hub dpid 1 plus [n-1] leaves. *)
+
+val grid : ?latency:Rf_sim.Vtime.span -> int -> int -> Topology.t
+(** [grid w h], dpids row-major from 1. *)
+
+val random :
+  ?latency:Rf_sim.Vtime.span -> seed:int -> n:int -> extra_edges:int -> unit -> Topology.t
+(** A connected random graph: a random spanning tree plus
+    [extra_edges] random chords (no duplicates, no self-loops). *)
+
+val pan_european : unit -> Topology.t
+(** 28 nodes, 41 links; dpids 1..28. Link latencies approximate
+    geographic distance. *)
+
+val pan_european_city : int64 -> string
+(** City name of a pan-European dpid; raises [Not_found] for ids
+    outside 1..28. *)

@@ -1,0 +1,1 @@
+lib/openflow/of_action.ml: Format Ipv4_addr List Mac Of_port Printf Rf_packet Wire

@@ -1,0 +1,1 @@
+lib/openflow/of_action.mli: Format Ipv4_addr Mac Of_port Rf_packet Wire

@@ -1,0 +1,1 @@
+lib/openflow/of_codec.ml: Char Int32 List Mac Of_action Of_match Of_msg Of_port Option Printf Result Rf_packet Stdlib String Wire

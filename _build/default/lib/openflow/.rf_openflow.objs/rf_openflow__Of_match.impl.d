@@ -1,0 +1,1 @@
+lib/openflow/of_match.ml: Arp Ethernet Format Icmp Int Int32 Ipv4_addr Mac Option Packet Rf_packet Wire

@@ -1,0 +1,1 @@
+lib/openflow/of_match.mli: Format Ipv4_addr Mac Packet Rf_packet Wire

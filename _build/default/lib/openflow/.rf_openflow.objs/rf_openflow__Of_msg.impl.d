@@ -1,0 +1,1 @@
+lib/openflow/of_msg.ml: Format List Mac Of_action Of_match Of_port Rf_packet

@@ -1,0 +1,1 @@
+lib/openflow/of_msg.mli: Format Mac Of_action Of_match Of_port Rf_packet

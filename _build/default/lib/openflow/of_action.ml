@@ -1,0 +1,114 @@
+open Rf_packet
+
+type t =
+  | Output of { port : Of_port.t; max_len : int }
+  | Set_dl_src of Mac.t
+  | Set_dl_dst of Mac.t
+  | Set_nw_src of Ipv4_addr.t
+  | Set_nw_dst of Ipv4_addr.t
+  | Set_nw_tos of int
+  | Set_tp_src of int
+  | Set_tp_dst of int
+  | Strip_vlan
+
+let output port = Output { port; max_len = 65535 }
+
+let to_controller = output Of_port.controller
+
+let size = function
+  | Output _ | Strip_vlan | Set_nw_src _ | Set_nw_dst _ | Set_nw_tos _
+  | Set_tp_src _ | Set_tp_dst _ ->
+      8
+  | Set_dl_src _ | Set_dl_dst _ -> 16
+
+let encode w action =
+  match action with
+  | Output { port; max_len } ->
+      Wire.Writer.u16 w 0 (* OFPAT_OUTPUT *);
+      Wire.Writer.u16 w 8;
+      Wire.Writer.u16 w port;
+      Wire.Writer.u16 w max_len
+  | Strip_vlan ->
+      Wire.Writer.u16 w 3;
+      Wire.Writer.u16 w 8;
+      Wire.Writer.zeros w 4
+  | Set_dl_src mac ->
+      Wire.Writer.u16 w 4;
+      Wire.Writer.u16 w 16;
+      Wire.Writer.bytes w (Mac.to_bytes mac);
+      Wire.Writer.zeros w 6
+  | Set_dl_dst mac ->
+      Wire.Writer.u16 w 5;
+      Wire.Writer.u16 w 16;
+      Wire.Writer.bytes w (Mac.to_bytes mac);
+      Wire.Writer.zeros w 6
+  | Set_nw_src ip ->
+      Wire.Writer.u16 w 6;
+      Wire.Writer.u16 w 8;
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 ip)
+  | Set_nw_dst ip ->
+      Wire.Writer.u16 w 7;
+      Wire.Writer.u16 w 8;
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 ip)
+  | Set_nw_tos tos ->
+      Wire.Writer.u16 w 8;
+      Wire.Writer.u16 w 8;
+      Wire.Writer.u8 w tos;
+      Wire.Writer.zeros w 3
+  | Set_tp_src port ->
+      Wire.Writer.u16 w 9;
+      Wire.Writer.u16 w 8;
+      Wire.Writer.u16 w port;
+      Wire.Writer.zeros w 2
+  | Set_tp_dst port ->
+      Wire.Writer.u16 w 10;
+      Wire.Writer.u16 w 8;
+      Wire.Writer.u16 w port;
+      Wire.Writer.zeros w 2
+
+let list_to_wire actions =
+  let w = Wire.Writer.create ~initial:32 () in
+  List.iter (encode w) actions;
+  Wire.Writer.contents w
+
+let decode_one r =
+  let typ = Wire.Reader.u16 r in
+  let len = Wire.Reader.u16 r in
+  if len < 8 then Error "of_action: length too small"
+  else
+    let body = Wire.Reader.sub r (len - 4) in
+    match typ with
+    | 0 ->
+        let port = Wire.Reader.u16 body in
+        let max_len = Wire.Reader.u16 body in
+        Ok (Output { port; max_len })
+    | 3 -> Ok Strip_vlan
+    | 4 -> Ok (Set_dl_src (Mac.of_bytes (Wire.Reader.bytes body 6)))
+    | 5 -> Ok (Set_dl_dst (Mac.of_bytes (Wire.Reader.bytes body 6)))
+    | 6 -> Ok (Set_nw_src (Ipv4_addr.of_int32 (Wire.Reader.u32 body)))
+    | 7 -> Ok (Set_nw_dst (Ipv4_addr.of_int32 (Wire.Reader.u32 body)))
+    | 8 -> Ok (Set_nw_tos (Wire.Reader.u8 body))
+    | 9 -> Ok (Set_tp_src (Wire.Reader.u16 body))
+    | 10 -> Ok (Set_tp_dst (Wire.Reader.u16 body))
+    | n -> Error (Printf.sprintf "of_action: unsupported type %d" n)
+
+let list_of_wire r =
+  let rec loop acc =
+    if Wire.Reader.remaining r < 4 then Ok (List.rev acc)
+    else
+      match decode_one r with
+      | Ok a -> loop (a :: acc)
+      | Error e -> Error e
+  in
+  try loop [] with Wire.Truncated -> Error "of_action: truncated"
+
+let pp ppf = function
+  | Output { port; _ } -> Format.fprintf ppf "output(%a)" Of_port.pp port
+  | Set_dl_src m -> Format.fprintf ppf "set_dl_src(%a)" Mac.pp m
+  | Set_dl_dst m -> Format.fprintf ppf "set_dl_dst(%a)" Mac.pp m
+  | Set_nw_src a -> Format.fprintf ppf "set_nw_src(%a)" Ipv4_addr.pp a
+  | Set_nw_dst a -> Format.fprintf ppf "set_nw_dst(%a)" Ipv4_addr.pp a
+  | Set_nw_tos t -> Format.fprintf ppf "set_nw_tos(%d)" t
+  | Set_tp_src p -> Format.fprintf ppf "set_tp_src(%d)" p
+  | Set_tp_dst p -> Format.fprintf ppf "set_tp_dst(%d)" p
+  | Strip_vlan -> Format.fprintf ppf "strip_vlan"

@@ -1,0 +1,32 @@
+type t = int
+
+let max_physical = 0xff00
+
+let in_port = 0xfff8
+
+let table = 0xfff9
+
+let normal = 0xfffa
+
+let flood = 0xfffb
+
+let all = 0xfffc
+
+let controller = 0xfffd
+
+let local = 0xfffe
+
+let none = 0xffff
+
+let is_physical p = p >= 1 && p <= max_physical
+
+let pp ppf p =
+  if p = in_port then Format.pp_print_string ppf "IN_PORT"
+  else if p = table then Format.pp_print_string ppf "TABLE"
+  else if p = normal then Format.pp_print_string ppf "NORMAL"
+  else if p = flood then Format.pp_print_string ppf "FLOOD"
+  else if p = all then Format.pp_print_string ppf "ALL"
+  else if p = controller then Format.pp_print_string ppf "CONTROLLER"
+  else if p = local then Format.pp_print_string ppf "LOCAL"
+  else if p = none then Format.pp_print_string ppf "NONE"
+  else Format.pp_print_int ppf p

@@ -1,0 +1,21 @@
+(** OpenFlow 1.0 port numbers, including the reserved pseudo-ports. *)
+
+type t = int
+(** Physical ports are 1..0xff00; larger values are reserved. *)
+
+val max_physical : int
+
+val in_port : t
+(** OFPP_IN_PORT: send back out the ingress port. *)
+
+val table : t
+val normal : t
+val flood : t
+val all : t
+val controller : t
+val local : t
+val none : t
+
+val is_physical : t -> bool
+
+val pp : Format.formatter -> t -> unit

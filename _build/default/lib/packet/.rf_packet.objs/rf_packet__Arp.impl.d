@@ -1,0 +1,1 @@
+lib/packet/arp.ml: Ethernet Format Ipv4_addr Mac Printf Wire

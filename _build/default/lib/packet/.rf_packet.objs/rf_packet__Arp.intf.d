@@ -1,0 +1,1 @@
+lib/packet/arp.mli: Format Ipv4_addr Mac

@@ -1,0 +1,1 @@
+lib/packet/ethernet.ml: Format Mac String Wire

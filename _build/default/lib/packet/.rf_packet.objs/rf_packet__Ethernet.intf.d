@@ -1,0 +1,1 @@
+lib/packet/ethernet.mli: Format Mac

@@ -1,0 +1,1 @@
+lib/packet/icmp.ml: Format Printf Wire

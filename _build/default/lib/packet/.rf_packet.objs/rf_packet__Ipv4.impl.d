@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Format Ipv4_addr String Wire

@@ -1,0 +1,1 @@
+lib/packet/ipv4_addr.ml: Format Int Int32 Printf String

@@ -1,0 +1,1 @@
+lib/packet/lldp.ml: Char Format List String Wire

@@ -1,0 +1,1 @@
+lib/packet/mac.ml: Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/packet/ospf_pkt.ml: Char Format Int Int32 Ipv4_addr List Printf Result String Wire

@@ -1,0 +1,1 @@
+lib/packet/ospf_pkt.mli: Format Ipv4_addr Wire

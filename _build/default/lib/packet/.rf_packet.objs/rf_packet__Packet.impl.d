@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Arp Ethernet Format Icmp Ipv4 Lldp Mac Ospf_pkt Result Tcp Udp

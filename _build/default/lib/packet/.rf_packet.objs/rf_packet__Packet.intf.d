@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Arp Ethernet Format Icmp Ipv4 Ipv4_addr Lldp Mac Ospf_pkt Tcp Udp

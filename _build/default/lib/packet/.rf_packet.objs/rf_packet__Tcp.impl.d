@@ -1,0 +1,1 @@
+lib/packet/tcp.ml: Format String Wire

@@ -1,0 +1,1 @@
+lib/packet/wire.ml: Bytes Char Int32 Int64 String

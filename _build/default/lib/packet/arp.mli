@@ -1,0 +1,26 @@
+(** ARP for IPv4 over Ethernet. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4_addr.t;
+  target_mac : Mac.t;
+  target_ip : Ipv4_addr.t;
+}
+
+val request : sender_mac:Mac.t -> sender_ip:Ipv4_addr.t -> target_ip:Ipv4_addr.t -> t
+
+val reply :
+  sender_mac:Mac.t ->
+  sender_ip:Ipv4_addr.t ->
+  target_mac:Mac.t ->
+  target_ip:Ipv4_addr.t ->
+  t
+
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(** ICMP echo (ping) and destination-unreachable messages. *)
+
+type t =
+  | Echo_request of { ident : int; seq : int; payload : string }
+  | Echo_reply of { ident : int; seq : int; payload : string }
+  | Dest_unreachable of { code : int; original : string }
+  | Time_exceeded of { original : string }
+
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t
+(** Immutable MAC address. *)
+
+val broadcast : t
+
+val zero : t
+
+val lldp_multicast : t
+(** 01:80:c2:00:00:0e — the LLDP nearest-bridge group address. *)
+
+val of_int64 : int64 -> t
+(** Low 48 bits are used. *)
+
+val to_int64 : t -> int64
+
+val of_bytes : string -> t
+(** Requires exactly 6 bytes. *)
+
+val to_bytes : t -> string
+
+val of_string : string -> t option
+(** Parses ["aa:bb:cc:dd:ee:ff"]. *)
+
+val make_local : int -> t
+(** [make_local n] is a deterministic locally-administered unicast
+    address derived from [n]; used to assign switch-port and VM-NIC
+    addresses. *)
+
+val is_broadcast : t -> bool
+
+val is_multicast : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,424 @@
+type link_type = Point_to_point | Transit | Stub | Virtual_link
+
+type router_link = {
+  link_id : Ipv4_addr.t;
+  link_data : Ipv4_addr.t;
+  link_type : link_type;
+  metric : int;
+}
+
+type lsa_body =
+  | Router of { links : router_link list }
+  | Network of { mask : Ipv4_addr.t; attached : Ipv4_addr.t list }
+  | Opaque of { lsa_type : int; data : string }
+
+type lsa = {
+  age : int;
+  options : int;
+  link_state_id : Ipv4_addr.t;
+  adv_router : Ipv4_addr.t;
+  seq : int32;
+  body : lsa_body;
+}
+
+type lsa_key = { k_type : int; k_id : Ipv4_addr.t; k_adv : Ipv4_addr.t }
+
+type lsa_header = {
+  h_age : int;
+  h_options : int;
+  h_key : lsa_key;
+  h_seq : int32;
+  h_checksum : int;
+  h_length : int;
+}
+
+let initial_seq = 0x80000001l
+
+let max_age = 3600
+
+let lsa_type lsa =
+  match lsa.body with
+  | Router _ -> 1
+  | Network _ -> 2
+  | Opaque { lsa_type; _ } -> lsa_type
+
+let key_of_lsa lsa =
+  { k_type = lsa_type lsa; k_id = lsa.link_state_id; k_adv = lsa.adv_router }
+
+(* Fletcher checksum per RFC 2328 §12.1.7 / RFC 905 Annex B. The region
+   excludes the 2-byte LS age field; [off] is the offset of the checksum
+   field within the region. *)
+let fletcher16 region off =
+  let c0 = ref 0 and c1 = ref 0 in
+  String.iteri
+    (fun i c ->
+      let b = if i = off || i = off + 1 then 0 else Char.code c in
+      c0 := (!c0 + b) mod 255;
+      c1 := (!c1 + !c0) mod 255)
+    region;
+  let len = String.length region in
+  let x = ((len - off - 1) * !c0 - !c1) mod 255 in
+  let x = if x <= 0 then x + 255 else x in
+  let y = 510 - !c0 - x in
+  let y = if y > 255 then y - 255 else if y <= 0 then y + 255 else y in
+  (x lsl 8) lor y
+
+let link_type_code = function
+  | Point_to_point -> 1
+  | Transit -> 2
+  | Stub -> 3
+  | Virtual_link -> 4
+
+let link_type_of_code = function
+  | 1 -> Ok Point_to_point
+  | 2 -> Ok Transit
+  | 3 -> Ok Stub
+  | 4 -> Ok Virtual_link
+  | n -> Error (Printf.sprintf "ospf: bad router-link type %d" n)
+
+let encode_body body =
+  let w = Wire.Writer.create ~initial:32 () in
+  (match body with
+  | Router { links } ->
+      Wire.Writer.u8 w 0 (* V/E/B flags: plain internal router *);
+      Wire.Writer.u8 w 0;
+      Wire.Writer.u16 w (List.length links);
+      List.iter
+        (fun l ->
+          Wire.Writer.u32 w (Ipv4_addr.to_int32 l.link_id);
+          Wire.Writer.u32 w (Ipv4_addr.to_int32 l.link_data);
+          Wire.Writer.u8 w (link_type_code l.link_type);
+          Wire.Writer.u8 w 0 (* #TOS *);
+          Wire.Writer.u16 w l.metric)
+        links
+  | Network { mask; attached } ->
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 mask);
+      List.iter (fun r -> Wire.Writer.u32 w (Ipv4_addr.to_int32 r)) attached
+  | Opaque { data; _ } -> Wire.Writer.bytes w data);
+  Wire.Writer.contents w
+
+(* An encoded LSA: 20-byte header followed by the body. The checksum
+   field sits at bytes 16-17 of the LSA, i.e. offset 14 of the region
+   that excludes the age field. *)
+let lsa_to_wire lsa =
+  let body = encode_body lsa.body in
+  let length = 20 + String.length body in
+  let w = Wire.Writer.create ~initial:length () in
+  Wire.Writer.u16 w lsa.age;
+  Wire.Writer.u8 w lsa.options;
+  Wire.Writer.u8 w (lsa_type lsa);
+  Wire.Writer.u32 w (Ipv4_addr.to_int32 lsa.link_state_id);
+  Wire.Writer.u32 w (Ipv4_addr.to_int32 lsa.adv_router);
+  Wire.Writer.u32 w lsa.seq;
+  Wire.Writer.u16 w 0 (* checksum placeholder *);
+  Wire.Writer.u16 w length;
+  Wire.Writer.bytes w body;
+  let encoded = Wire.Writer.contents w in
+  let region = String.sub encoded 2 (String.length encoded - 2) in
+  Wire.Writer.patch_u16 w 16 (fletcher16 region 14);
+  Wire.Writer.contents w
+
+let header_of_lsa lsa =
+  let encoded = lsa_to_wire lsa in
+  let checksum = (Char.code encoded.[16] lsl 8) lor Char.code encoded.[17] in
+  {
+    h_age = lsa.age;
+    h_options = lsa.options;
+    h_key = key_of_lsa lsa;
+    h_seq = lsa.seq;
+    h_checksum = checksum;
+    h_length = String.length encoded;
+  }
+
+let compare_instance a b =
+  (* Sequence numbers are signed 32-bit values starting at 0x80000001. *)
+  match Int32.compare a.h_seq b.h_seq with
+  | 0 -> (
+      match Int.compare a.h_checksum b.h_checksum with
+      | 0 ->
+          let age_class h = if h.h_age >= max_age then 1 else 0 in
+          (* A MaxAge instance is considered more recent. *)
+          (match Int.compare (age_class a) (age_class b) with
+          | 0 ->
+              let da = a.h_age and db = b.h_age in
+              (* Materially younger (by > 15 min) wins; else same. *)
+              if abs (da - db) > 900 then Int.compare db da else 0
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let decode_body typ r =
+  match typ with
+  | 1 ->
+      let _flags = Wire.Reader.u8 r in
+      let _zero = Wire.Reader.u8 r in
+      let n = Wire.Reader.u16 r in
+      let rec links acc i =
+        if i = 0 then Ok (List.rev acc)
+        else begin
+          let link_id = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+          let link_data = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+          let code = Wire.Reader.u8 r in
+          let _tos = Wire.Reader.u8 r in
+          let metric = Wire.Reader.u16 r in
+          match link_type_of_code code with
+          | Ok link_type ->
+              links ({ link_id; link_data; link_type; metric } :: acc) (i - 1)
+          | Error e -> Error e
+        end
+      in
+      Result.map (fun links -> Router { links }) (links [] n)
+  | 2 ->
+      let mask = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+      let rec attached acc =
+        if Wire.Reader.remaining r < 4 then List.rev acc
+        else attached (Ipv4_addr.of_int32 (Wire.Reader.u32 r) :: acc)
+      in
+      Ok (Network { mask; attached = attached [] })
+  | other -> Ok (Opaque { lsa_type = other; data = Wire.Reader.rest r })
+
+let lsa_of_wire r =
+  try
+    let start = Wire.Reader.pos r in
+    let age = Wire.Reader.u16 r in
+    let options = Wire.Reader.u8 r in
+    let typ = Wire.Reader.u8 r in
+    let link_state_id = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+    let adv_router = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+    let seq = Wire.Reader.u32 r in
+    let _checksum = Wire.Reader.u16 r in
+    let length = Wire.Reader.u16 r in
+    if length < 20 then Error "ospf: LSA length too small"
+    else begin
+      ignore start;
+      let body_reader = Wire.Reader.sub r (length - 20) in
+      Result.map
+        (fun body -> { age; options; link_state_id; adv_router; seq; body })
+        (decode_body typ body_reader)
+    end
+  with Wire.Truncated -> Error "ospf: truncated LSA"
+
+let lsa_header_to_wire w h =
+  Wire.Writer.u16 w h.h_age;
+  Wire.Writer.u8 w h.h_options;
+  Wire.Writer.u8 w h.h_key.k_type;
+  Wire.Writer.u32 w (Ipv4_addr.to_int32 h.h_key.k_id);
+  Wire.Writer.u32 w (Ipv4_addr.to_int32 h.h_key.k_adv);
+  Wire.Writer.u32 w h.h_seq;
+  Wire.Writer.u16 w h.h_checksum;
+  Wire.Writer.u16 w h.h_length
+
+let lsa_header_of_wire r =
+  let h_age = Wire.Reader.u16 r in
+  let h_options = Wire.Reader.u8 r in
+  let k_type = Wire.Reader.u8 r in
+  let k_id = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+  let k_adv = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+  let h_seq = Wire.Reader.u32 r in
+  let h_checksum = Wire.Reader.u16 r in
+  let h_length = Wire.Reader.u16 r in
+  { h_age; h_options; h_key = { k_type; k_id; k_adv }; h_seq; h_checksum; h_length }
+
+type hello = {
+  netmask : Ipv4_addr.t;
+  hello_interval : int;
+  dead_interval : int;
+  priority : int;
+  dr : Ipv4_addr.t;
+  bdr : Ipv4_addr.t;
+  neighbors : Ipv4_addr.t list;
+}
+
+type db_desc = {
+  mtu : int;
+  dd_init : bool;
+  dd_more : bool;
+  dd_master : bool;
+  dd_seq : int32;
+  headers : lsa_header list;
+}
+
+type payload =
+  | Hello of hello
+  | Db_desc of db_desc
+  | Ls_request of lsa_key list
+  | Ls_update of lsa list
+  | Ls_ack of lsa_header list
+
+type t = { router_id : Ipv4_addr.t; area_id : Ipv4_addr.t; payload : payload }
+
+let payload_type = function
+  | Hello _ -> 1
+  | Db_desc _ -> 2
+  | Ls_request _ -> 3
+  | Ls_update _ -> 4
+  | Ls_ack _ -> 5
+
+let encode_payload w = function
+  | Hello h ->
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 h.netmask);
+      Wire.Writer.u16 w h.hello_interval;
+      Wire.Writer.u8 w 0x02 (* options: E *);
+      Wire.Writer.u8 w h.priority;
+      Wire.Writer.u32 w (Int32.of_int h.dead_interval);
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 h.dr);
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 h.bdr);
+      List.iter (fun n -> Wire.Writer.u32 w (Ipv4_addr.to_int32 n)) h.neighbors
+  | Db_desc d ->
+      Wire.Writer.u16 w d.mtu;
+      Wire.Writer.u8 w 0x02;
+      Wire.Writer.u8 w
+        ((if d.dd_init then 0x04 else 0)
+        lor (if d.dd_more then 0x02 else 0)
+        lor if d.dd_master then 0x01 else 0);
+      Wire.Writer.u32 w d.dd_seq;
+      List.iter (lsa_header_to_wire w) d.headers
+  | Ls_request keys ->
+      List.iter
+        (fun k ->
+          Wire.Writer.u32 w (Int32.of_int k.k_type);
+          Wire.Writer.u32 w (Ipv4_addr.to_int32 k.k_id);
+          Wire.Writer.u32 w (Ipv4_addr.to_int32 k.k_adv))
+        keys
+  | Ls_update lsas ->
+      Wire.Writer.u32 w (Int32.of_int (List.length lsas));
+      List.iter (fun lsa -> Wire.Writer.bytes w (lsa_to_wire lsa)) lsas
+  | Ls_ack headers -> List.iter (lsa_header_to_wire w) headers
+
+let to_wire t =
+  let body = Wire.Writer.create ~initial:64 () in
+  encode_payload body t.payload;
+  let body = Wire.Writer.contents body in
+  let w = Wire.Writer.create ~initial:(24 + String.length body) () in
+  Wire.Writer.u8 w 2 (* version *);
+  Wire.Writer.u8 w (payload_type t.payload);
+  Wire.Writer.u16 w (24 + String.length body);
+  Wire.Writer.u32 w (Ipv4_addr.to_int32 t.router_id);
+  Wire.Writer.u32 w (Ipv4_addr.to_int32 t.area_id);
+  Wire.Writer.u16 w 0 (* checksum placeholder *);
+  Wire.Writer.u16 w 0 (* autype: null *);
+  Wire.Writer.u64 w 0L (* auth data *);
+  Wire.Writer.bytes w body;
+  let encoded = Wire.Writer.contents w in
+  Wire.Writer.patch_u16 w 12 (Wire.checksum encoded);
+  Wire.Writer.contents w
+
+let decode_payload typ r =
+  try
+    match typ with
+    | 1 ->
+        let netmask = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+        let hello_interval = Wire.Reader.u16 r in
+        let _options = Wire.Reader.u8 r in
+        let priority = Wire.Reader.u8 r in
+        let dead_interval = Int32.to_int (Wire.Reader.u32 r) in
+        let dr = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+        let bdr = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+        let rec neighbors acc =
+          if Wire.Reader.remaining r < 4 then List.rev acc
+          else neighbors (Ipv4_addr.of_int32 (Wire.Reader.u32 r) :: acc)
+        in
+        Ok
+          (Hello
+             {
+               netmask;
+               hello_interval;
+               dead_interval;
+               priority;
+               dr;
+               bdr;
+               neighbors = neighbors [];
+             })
+    | 2 ->
+        let mtu = Wire.Reader.u16 r in
+        let _options = Wire.Reader.u8 r in
+        let flags = Wire.Reader.u8 r in
+        let dd_seq = Wire.Reader.u32 r in
+        let rec headers acc =
+          if Wire.Reader.remaining r < 20 then List.rev acc
+          else headers (lsa_header_of_wire r :: acc)
+        in
+        Ok
+          (Db_desc
+             {
+               mtu;
+               dd_init = flags land 0x04 <> 0;
+               dd_more = flags land 0x02 <> 0;
+               dd_master = flags land 0x01 <> 0;
+               dd_seq;
+               headers = headers [];
+             })
+    | 3 ->
+        let rec keys acc =
+          if Wire.Reader.remaining r < 12 then List.rev acc
+          else begin
+            let k_type = Int32.to_int (Wire.Reader.u32 r) in
+            let k_id = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+            let k_adv = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+            keys ({ k_type; k_id; k_adv } :: acc)
+          end
+        in
+        Ok (Ls_request (keys []))
+    | 4 ->
+        let n = Int32.to_int (Wire.Reader.u32 r) in
+        let rec lsas acc i =
+          if i = 0 then Ok (Ls_update (List.rev acc))
+          else
+            match lsa_of_wire r with
+            | Ok lsa -> lsas (lsa :: acc) (i - 1)
+            | Error e -> Error e
+        in
+        lsas [] n
+    | 5 ->
+        let rec headers acc =
+          if Wire.Reader.remaining r < 20 then List.rev acc
+          else headers (lsa_header_of_wire r :: acc)
+        in
+        Ok (Ls_ack (headers []))
+    | n -> Error (Printf.sprintf "ospf: unknown packet type %d" n)
+  with Wire.Truncated -> Error "ospf: truncated payload"
+
+let of_wire s =
+  try
+    if Wire.checksum s <> 0 then Error "ospf: bad packet checksum"
+    else begin
+      let r = Wire.Reader.of_string s in
+      let version = Wire.Reader.u8 r in
+      if version <> 2 then Error "ospf: not OSPFv2"
+      else begin
+        let typ = Wire.Reader.u8 r in
+        let length = Wire.Reader.u16 r in
+        let router_id = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+        let area_id = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+        let _checksum = Wire.Reader.u16 r in
+        let _autype = Wire.Reader.u16 r in
+        let _auth = Wire.Reader.u64 r in
+        if length < 24 || length > String.length s then
+          Error "ospf: bad packet length"
+        else
+          let body = Wire.Reader.sub r (length - 24) in
+          Result.map
+            (fun payload -> { router_id; area_id; payload })
+            (decode_payload typ body)
+      end
+    end
+  with Wire.Truncated -> Error "ospf: truncated packet"
+
+let pp_key ppf k =
+  Format.fprintf ppf "type=%d id=%a adv=%a" k.k_type Ipv4_addr.pp k.k_id
+    Ipv4_addr.pp k.k_adv
+
+let pp_lsa ppf lsa =
+  Format.fprintf ppf "lsa %a seq=%08lx age=%d" pp_key (key_of_lsa lsa) lsa.seq
+    lsa.age
+
+let pp ppf t =
+  let kind =
+    match t.payload with
+    | Hello _ -> "hello"
+    | Db_desc _ -> "db-desc"
+    | Ls_request _ -> "ls-request"
+    | Ls_update l -> Printf.sprintf "ls-update(%d)" (List.length l)
+    | Ls_ack l -> Printf.sprintf "ls-ack(%d)" (List.length l)
+  in
+  Format.fprintf ppf "ospf %s from %a" kind Ipv4_addr.pp t.router_id

@@ -1,0 +1,111 @@
+(** OSPFv2 (RFC 2328) packet and LSA wire formats.
+
+    The ospfd substrate exchanges these over the virtual topology; the
+    subset covers what a Quagga deployment inside RouteFlow exercises:
+    Hello, Database Description, LS Request, LS Update and LS Ack
+    packets, and Router / Network / opaque-body LSAs. LSA checksums use
+    the standard Fletcher algorithm; packet checksums use the Internet
+    checksum. *)
+
+(** {1 LSAs} *)
+
+type link_type = Point_to_point | Transit | Stub | Virtual_link
+
+type router_link = {
+  link_id : Ipv4_addr.t;
+  link_data : Ipv4_addr.t;
+  link_type : link_type;
+  metric : int;
+}
+
+type lsa_body =
+  | Router of { links : router_link list }
+  | Network of { mask : Ipv4_addr.t; attached : Ipv4_addr.t list }
+  | Opaque of { lsa_type : int; data : string }
+
+type lsa = {
+  age : int;
+  options : int;
+  link_state_id : Ipv4_addr.t;
+  adv_router : Ipv4_addr.t;
+  seq : int32;
+  body : lsa_body;
+}
+
+type lsa_key = { k_type : int; k_id : Ipv4_addr.t; k_adv : Ipv4_addr.t }
+(** Identity of an LSA inside the LSDB. *)
+
+type lsa_header = {
+  h_age : int;
+  h_options : int;
+  h_key : lsa_key;
+  h_seq : int32;
+  h_checksum : int;
+  h_length : int;
+}
+
+val initial_seq : int32
+(** 0x80000001, the first sequence number of any LSA instance. *)
+
+val max_age : int
+(** 3600 s; an LSA at MaxAge is being flushed. *)
+
+val lsa_type : lsa -> int
+
+val key_of_lsa : lsa -> lsa_key
+
+val header_of_lsa : lsa -> lsa_header
+(** Computes length and Fletcher checksum of the encoded LSA. *)
+
+val compare_instance : lsa_header -> lsa_header -> int
+(** Per RFC 2328 §13.1: positive when the first header denotes the more
+    recent instance (sequence, then checksum, then age). *)
+
+val lsa_to_wire : lsa -> string
+
+val lsa_of_wire : Wire.Reader.t -> (lsa, string) result
+
+val fletcher16 : string -> int -> int
+(** [fletcher16 region checksum_offset]: checksum of [region] with the
+    16-bit field at [checksum_offset] treated as the value to solve
+    for. Exposed for tests. *)
+
+(** {1 Packets} *)
+
+type hello = {
+  netmask : Ipv4_addr.t;
+  hello_interval : int;
+  dead_interval : int;
+  priority : int;
+  dr : Ipv4_addr.t;
+  bdr : Ipv4_addr.t;
+  neighbors : Ipv4_addr.t list;
+}
+
+type db_desc = {
+  mtu : int;
+  dd_init : bool;
+  dd_more : bool;
+  dd_master : bool;
+  dd_seq : int32;
+  headers : lsa_header list;
+}
+
+type payload =
+  | Hello of hello
+  | Db_desc of db_desc
+  | Ls_request of lsa_key list
+  | Ls_update of lsa list
+  | Ls_ack of lsa_header list
+
+type t = { router_id : Ipv4_addr.t; area_id : Ipv4_addr.t; payload : payload }
+
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+
+val pp_lsa : Format.formatter -> lsa -> unit
+
+val pp_key : Format.formatter -> lsa_key -> unit

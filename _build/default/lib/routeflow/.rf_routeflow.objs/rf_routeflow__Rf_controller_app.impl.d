@@ -1,0 +1,1 @@
+lib/routeflow/rf_controller_app.ml: Char Ethernet Hashtbl Int64 Ipv4_addr List Of_action Of_match Of_msg Rf_controller Rf_openflow Rf_packet Rf_sim Rf_vs String Vm

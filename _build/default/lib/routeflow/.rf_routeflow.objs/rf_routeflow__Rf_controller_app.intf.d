@@ -1,0 +1,1 @@
+lib/routeflow/rf_controller_app.mli: Of_match Rf_net Rf_openflow Rf_sim Rf_vs Vm

@@ -1,0 +1,1 @@
+lib/routeflow/rf_system.ml: Hashtbl Iface Int Int64 Ipv4_addr List Ospfd Printf Quagga_conf Rf_controller_app Rf_packet Rf_routing Rf_sim Rf_vs Ripd Vm

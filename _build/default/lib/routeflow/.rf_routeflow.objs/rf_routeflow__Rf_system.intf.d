@@ -1,0 +1,1 @@
+lib/routeflow/rf_system.mli: Ipv4_addr Rf_controller_app Rf_packet Rf_sim Rf_vs Vm

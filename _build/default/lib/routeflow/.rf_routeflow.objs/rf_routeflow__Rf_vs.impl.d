@@ -1,0 +1,1 @@
+lib/routeflow/rf_vs.ml: Hashtbl Iface Rf_routing Rf_sim Vm

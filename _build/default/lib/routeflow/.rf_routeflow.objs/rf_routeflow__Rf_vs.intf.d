@@ -1,0 +1,1 @@
+lib/routeflow/rf_vs.mli: Rf_sim Vm

@@ -1,0 +1,1 @@
+lib/routeflow/vm.ml: Arp Array Bgpd Format Hashtbl Icmp Iface Int64 Ipv4 Ipv4_addr List Mac Option Ospfd Packet Printf Quagga_conf Rf_packet Rf_routing Rf_sim Rib Ripd Stdlib String Zebra

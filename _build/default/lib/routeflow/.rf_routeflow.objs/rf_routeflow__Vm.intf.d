@@ -1,0 +1,1 @@
+lib/routeflow/vm.mli: Bgpd Format Iface Ipv4_addr Mac Ospfd Rf_packet Rf_routing Rf_sim Rib Ripd Zebra

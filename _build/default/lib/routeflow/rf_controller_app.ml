@@ -1,0 +1,127 @@
+open Rf_packet
+open Rf_openflow
+module Of_conn = Rf_controller.Of_conn
+
+type sw = { conn : Of_conn.t; mutable installed : Vm.flow_route list }
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  vs : Rf_vs.t;
+  switches : (int64, sw) Hashtbl.t;
+  mutable flow_mods : int;
+  mutable pkt_in : int;
+  mutable pkt_out : int;
+}
+
+let priority_of_prefix_len len = 0x4000 + (len * 64)
+
+let match_of_route (fr : Vm.flow_route) =
+  Of_match.nw_dst_prefix fr.Vm.fr_prefix
+
+let create engine vs =
+  let t =
+    {
+      engine;
+      vs;
+      switches = Hashtbl.create 64;
+      flow_mods = 0;
+      pkt_in = 0;
+      pkt_out = 0;
+    }
+  in
+  Rf_vs.set_physical_out vs (fun ~dpid ~port frame ->
+      match Hashtbl.find_opt t.switches dpid with
+      | Some sw when Of_conn.is_open sw.conn ->
+          t.pkt_out <- t.pkt_out + 1;
+          Of_conn.packet_out sw.conn ~actions:[ Of_action.output port ] frame
+      | Some _ | None -> ());
+  t
+
+let attach t ~dpid:_ endpoint =
+  let conn = Of_conn.create t.engine endpoint in
+  Of_conn.set_on_handshake conn (fun features ->
+      let dpid = features.Of_msg.datapath_id in
+      Hashtbl.replace t.switches dpid { conn; installed = [] };
+      Of_conn.set_on_close conn (fun () -> Hashtbl.remove t.switches dpid);
+      (* Full frames in packet-ins: the VM needs whole packets for its
+         slow path, not 128-byte heads plus buffer ids. *)
+      ignore
+        (Of_conn.send conn
+           (Of_msg.Set_config { flags = 0; miss_send_len = 0xffff })));
+  Of_conn.set_on_message conn (fun (m : Of_msg.t) ->
+      match m.payload with
+      | Of_msg.Packet_in pi -> (
+          match Of_conn.dpid conn with
+          | Some dpid ->
+              (* LLDP belongs to the topology slice; FlowVisor already
+                 filters, but be defensive. *)
+              let is_lldp =
+                String.length pi.pi_data >= 14
+                && (Char.code pi.pi_data.[12] lsl 8) lor Char.code pi.pi_data.[13]
+                   = Ethernet.ethertype_lldp
+              in
+              if not is_lldp then begin
+                t.pkt_in <- t.pkt_in + 1;
+                Rf_vs.inject_from_physical t.vs ~dpid ~port:pi.pi_in_port
+                  pi.pi_data
+              end
+          | None -> ())
+      | Of_msg.Error _ | Of_msg.Flow_removed _ | Of_msg.Port_status _
+      | Of_msg.Stats_reply _ | Of_msg.Barrier_reply | Of_msg.Hello
+      | Of_msg.Echo_request _ | Of_msg.Echo_reply _ | Of_msg.Vendor _
+      | Of_msg.Features_request | Of_msg.Features_reply _
+      | Of_msg.Get_config_request | Of_msg.Get_config_reply _
+      | Of_msg.Set_config _ | Of_msg.Packet_out _ | Of_msg.Flow_mod _
+      | Of_msg.Port_mod _ | Of_msg.Stats_request _ | Of_msg.Barrier_request ->
+          ())
+
+let is_connected t dpid = Hashtbl.mem t.switches dpid
+
+let connected_switches t =
+  Hashtbl.fold (fun d _ acc -> d :: acc) t.switches [] |> List.sort Int64.compare
+
+let flow_mod_of_route ~add (fr : Vm.flow_route) =
+  let priority =
+    priority_of_prefix_len (Ipv4_addr.Prefix.length fr.Vm.fr_prefix)
+  in
+  if add then
+    Of_msg.flow_add ~priority (match_of_route fr)
+      [
+        Of_action.Set_dl_src fr.Vm.fr_src_mac;
+        Of_action.Set_dl_dst fr.Vm.fr_dst_mac;
+        Of_action.output fr.Vm.fr_port;
+      ]
+  else Of_msg.flow_delete ~strict:true ~priority (match_of_route fr)
+
+let sync_flows t ~dpid flows =
+  match Hashtbl.find_opt t.switches dpid with
+  | None -> ()
+  | Some sw ->
+      let stale =
+        List.filter (fun f -> not (List.mem f flows)) sw.installed
+      in
+      let fresh =
+        List.filter (fun f -> not (List.mem f sw.installed)) flows
+      in
+      List.iter
+        (fun f ->
+          t.flow_mods <- t.flow_mods + 1;
+          Of_conn.flow_mod sw.conn (flow_mod_of_route ~add:false f))
+        stale;
+      List.iter
+        (fun f ->
+          t.flow_mods <- t.flow_mods + 1;
+          Of_conn.flow_mod sw.conn (flow_mod_of_route ~add:true f))
+        fresh;
+      sw.installed <- flows
+
+let installed_flows t dpid =
+  match Hashtbl.find_opt t.switches dpid with
+  | Some sw -> sw.installed
+  | None -> []
+
+let flow_mods_sent t = t.flow_mods
+
+let packet_ins_relayed t = t.pkt_in
+
+let packet_outs_sent t = t.pkt_out

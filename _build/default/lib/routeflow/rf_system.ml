@@ -1,0 +1,317 @@
+open Rf_packet
+open Rf_routing
+
+type protocol = Proto_ospf | Proto_rip
+
+type params = {
+  vm_boot_time : Rf_sim.Vtime.span;
+  parallel_boot : int;
+  config_apply_delay : Rf_sim.Vtime.span;
+  routing_protocol : protocol;
+}
+
+let default_params =
+  {
+    vm_boot_time = Rf_sim.Vtime.span_s 8.0;
+    parallel_boot = 1;
+    config_apply_delay = Rf_sim.Vtime.span_ms 200;
+    routing_protocol = Proto_ospf;
+  }
+
+type nic_role = P2p | Edge
+
+type nic_desired = { nd_ip : Ipv4_addr.t; nd_len : int; nd_role : nic_role }
+
+type sw_state = {
+  ss_dpid : int64;
+  ss_ports : int;
+  mutable ss_vm : Vm.t option;
+  ss_nics : (int, nic_desired) Hashtbl.t;
+  mutable ss_dirty : bool;  (** config regeneration scheduled *)
+}
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  app : Rf_controller_app.t;
+  vs : Rf_vs.t;
+  params : params;
+  switches : (int64, sw_state) Hashtbl.t;
+  mutable vlinks : ((int64 * int) * (int64 * int)) list;
+  mutable boot_queue : sw_state list;  (** FIFO, head = oldest *)
+  mutable booting : int;
+  mutable created : int;
+  mutable on_vm_ready : int64 -> unit;
+}
+
+let create engine app vs params =
+  if params.parallel_boot < 1 then invalid_arg "Rf_system: parallel_boot >= 1";
+  {
+    engine;
+    app;
+    vs;
+    params;
+    switches = Hashtbl.create 64;
+    vlinks = [];
+    boot_queue = [];
+    booting = 0;
+    created = 0;
+    on_vm_ready = (fun _ -> ());
+  }
+
+let router_id_of dpid =
+  let d = Int64.to_int dpid in
+  Ipv4_addr.of_octets 10 255 ((d lsr 8) land 0xff) (d land 0xff)
+
+(* --- config generation -------------------------------------------- *)
+
+let generate_configs t ss =
+  let nics =
+    Hashtbl.fold (fun port nd acc -> (port, nd) :: acc) ss.ss_nics []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let zebra =
+    Quagga_conf.generate_zebra
+      {
+        Quagga_conf.z_hostname = Printf.sprintf "vm-%Ld" ss.ss_dpid;
+        z_password = "rfauto";
+        z_ifaces =
+          List.map
+            (fun (port, nd) ->
+              {
+                Quagga_conf.ic_name = Printf.sprintf "eth%d" port;
+                ic_ip = nd.nd_ip;
+                ic_prefix_len = nd.nd_len;
+              })
+            nics;
+        z_statics = [];
+      }
+  in
+  let passive =
+    List.filter_map
+      (fun (port, nd) ->
+        match nd.nd_role with
+        | Edge -> Some (Printf.sprintf "eth%d" port)
+        | P2p -> None)
+      nics
+  in
+  let routing =
+    match t.params.routing_protocol with
+    | Proto_ospf ->
+        ( "ospfd.conf",
+          Quagga_conf.generate_ospfd
+            {
+              Quagga_conf.o_hostname = Printf.sprintf "vm-%Ld" ss.ss_dpid;
+              o_router_id = router_id_of ss.ss_dpid;
+              o_networks =
+                List.map
+                  (fun (_port, nd) ->
+                    (Ipv4_addr.Prefix.make nd.nd_ip nd.nd_len, Ipv4_addr.any))
+                  nics;
+              o_passive = passive;
+              o_hello_interval = 10;
+              o_dead_interval = 40;
+            } )
+    | Proto_rip ->
+        ( "ripd.conf",
+          Quagga_conf.generate_ripd
+            {
+              Quagga_conf.r_hostname = Printf.sprintf "vm-%Ld" ss.ss_dpid;
+              r_networks =
+                List.map
+                  (fun (_port, nd) -> Ipv4_addr.Prefix.make nd.nd_ip nd.nd_len)
+                  nics;
+              r_passive = passive;
+              r_update = 30;
+              r_timeout = 180;
+              r_garbage = 120;
+            } )
+  in
+  (zebra, routing)
+
+(* --- reconciliation ------------------------------------------------ *)
+
+let reconcile_vlinks t =
+  List.iter
+    (fun ((a_dpid, a_port), (b_dpid, b_port)) ->
+      let nic_ready dpid port =
+        match Hashtbl.find_opt t.switches dpid with
+        | Some { ss_vm = Some vm; _ } when port >= 1 && port <= Vm.n_ports vm ->
+            Iface.is_addressed (Vm.nic vm port)
+        | Some _ | None -> false
+      in
+      if
+        nic_ready a_dpid a_port && nic_ready b_dpid b_port
+        && not (Rf_vs.has_virtual_link t.vs (a_dpid, a_port))
+      then
+        Rf_vs.connect_ports t.vs ~a:(a_dpid, a_port) ~b:(b_dpid, b_port))
+    t.vlinks
+
+let apply_configs t ss =
+  match ss.ss_vm with
+  | None -> ()
+  | Some vm ->
+      if Hashtbl.length ss.ss_nics > 0 then begin
+        let zebra, (routing_file, routing_text) = generate_configs t ss in
+        (match Vm.apply_zebra_config vm zebra with
+        | Ok () -> ()
+        | Error e ->
+            Rf_sim.Engine.record t.engine ~component:"rf-server"
+              ~event:"config-error" e);
+        let apply_routing =
+          match routing_file with
+          | "ripd.conf" -> Vm.apply_ripd_config vm
+          | _ -> Vm.apply_ospfd_config vm
+        in
+        (match apply_routing routing_text with
+        | Ok () -> ()
+        | Error e ->
+            Rf_sim.Engine.record t.engine ~component:"rf-server"
+              ~event:"config-error" e);
+        Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"configured"
+          (Printf.sprintf "vm-%Ld" ss.ss_dpid);
+        reconcile_vlinks t
+      end
+
+let schedule_apply t ss =
+  if not ss.ss_dirty then begin
+    ss.ss_dirty <- true;
+    ignore
+      (Rf_sim.Engine.schedule t.engine t.params.config_apply_delay (fun () ->
+           ss.ss_dirty <- false;
+           apply_configs t ss))
+  end
+
+(* --- VM boot queue -------------------------------------------------- *)
+
+let rec start_boots t =
+  match t.boot_queue with
+  | [] -> ()
+  | ss :: rest ->
+      if t.booting < t.params.parallel_boot then begin
+        t.boot_queue <- rest;
+        t.booting <- t.booting + 1;
+        Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"vm-boot-start"
+          (Printf.sprintf "vm-%Ld" ss.ss_dpid);
+        ignore
+          (Rf_sim.Engine.schedule t.engine t.params.vm_boot_time (fun () ->
+               t.booting <- t.booting - 1;
+               finish_boot t ss;
+               start_boots t));
+        start_boots t
+      end
+
+and finish_boot t ss =
+  let vm = Vm.create t.engine ~dpid:ss.ss_dpid ~n_ports:ss.ss_ports () in
+  ss.ss_vm <- Some vm;
+  t.created <- t.created + 1;
+  Rf_vs.register_vm t.vs vm;
+  Vm.set_on_flows_changed vm (fun () ->
+      Rf_controller_app.sync_flows t.app ~dpid:ss.ss_dpid (Vm.flow_routes vm));
+  Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"vm-ready"
+    (Printf.sprintf "vm-%Ld" ss.ss_dpid);
+  t.on_vm_ready ss.ss_dpid;
+  (* Any configuration that arrived while the VM was booting. *)
+  schedule_apply t ss
+
+let switch_up t ~dpid ~n_ports =
+  if not (Hashtbl.mem t.switches dpid) then begin
+    let ss =
+      {
+        ss_dpid = dpid;
+        ss_ports = max 1 n_ports;
+        ss_vm = None;
+        ss_nics = Hashtbl.create 4;
+        ss_dirty = false;
+      }
+    in
+    Hashtbl.replace t.switches dpid ss;
+    t.boot_queue <- t.boot_queue @ [ ss ];
+    start_boots t
+  end
+
+let switch_down t ~dpid =
+  match Hashtbl.find_opt t.switches dpid with
+  | None -> ()
+  | Some ss ->
+      (match ss.ss_vm with
+      | Some vm ->
+          (match Vm.ospfd vm with Some d -> Ospfd.stop d | None -> ());
+          (match Vm.ripd vm with Some d -> Ripd.stop d | None -> ());
+          List.iter
+            (fun ((a, b) as link) ->
+              if fst a = dpid || fst b = dpid then begin
+                Rf_vs.disconnect_ports t.vs ~a ~b;
+                ignore link
+              end)
+            t.vlinks;
+          t.vlinks <-
+            List.filter
+              (fun ((a, _), (b, _)) ->
+                not (Int64.equal a dpid || Int64.equal b dpid))
+              t.vlinks
+      | None ->
+          t.boot_queue <-
+            List.filter (fun q -> not (Int64.equal q.ss_dpid dpid)) t.boot_queue);
+      Hashtbl.remove t.switches dpid
+
+let link_config t ~a:(a_dpid, a_port, a_ip, a_len) ~b:(b_dpid, b_port, b_ip, b_len)
+    =
+  let record dpid port ip len =
+    match Hashtbl.find_opt t.switches dpid with
+    | None ->
+        Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"link-unknown-switch"
+          (Printf.sprintf "sw%Ld" dpid)
+    | Some ss ->
+        Hashtbl.replace ss.ss_nics port { nd_ip = ip; nd_len = len; nd_role = P2p };
+        schedule_apply t ss
+  in
+  record a_dpid a_port a_ip a_len;
+  record b_dpid b_port b_ip b_len;
+  let link = ((a_dpid, a_port), (b_dpid, b_port)) in
+  if not (List.mem link t.vlinks) then t.vlinks <- link :: t.vlinks
+
+let set_nic_state t (dpid, port) up =
+  match Hashtbl.find_opt t.switches dpid with
+  | Some { ss_vm = Some vm; _ } when port >= 1 && port <= Vm.n_ports vm ->
+      Iface.set_up (Vm.nic vm port) up
+  | Some _ | None -> ()
+
+let link_down t ~a ~b =
+  Rf_vs.disconnect_ports t.vs ~a ~b;
+  set_nic_state t a false;
+  set_nic_state t b false
+
+let link_up_again t ~a ~b =
+  set_nic_state t a true;
+  set_nic_state t b true;
+  reconcile_vlinks t
+
+let edge_config t ~dpid ~port ~gateway ~prefix_len =
+  match Hashtbl.find_opt t.switches dpid with
+  | None -> ()
+  | Some ss ->
+      Hashtbl.replace ss.ss_nics port
+        { nd_ip = gateway; nd_len = prefix_len; nd_role = Edge };
+      schedule_apply t ss
+
+let vm t dpid =
+  match Hashtbl.find_opt t.switches dpid with
+  | Some ss -> ss.ss_vm
+  | None -> None
+
+let vms t =
+  Hashtbl.fold
+    (fun dpid ss acc ->
+      match ss.ss_vm with Some v -> (dpid, v) :: acc | None -> acc)
+    t.switches []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+let is_configured t dpid = vm t dpid <> None
+
+let configured_count t = List.length (vms t)
+
+let set_on_vm_ready t f = t.on_vm_ready <- f
+
+let vms_created t = t.created
+
+let boot_queue_length t = List.length t.boot_queue

@@ -1,0 +1,1 @@
+lib/routing/bgp_msg.ml: Char Format Int32 Ipv4_addr List Printf Result Rf_packet String Wire

@@ -1,0 +1,1 @@
+lib/routing/bgp_msg.mli: Format Ipv4_addr Rf_packet

@@ -1,0 +1,1 @@
+lib/routing/bgpd.ml: Bgp_msg Format Hashtbl Int Ipv4_addr List Map Rf_packet Rf_sim Rib

@@ -1,0 +1,1 @@
+lib/routing/bgpd.mli: Format Ipv4_addr Rf_packet Rf_sim Rib

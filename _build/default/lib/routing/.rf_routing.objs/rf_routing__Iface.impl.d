@@ -1,0 +1,1 @@
+lib/routing/iface.ml: Ipv4_addr List Mac Rf_packet

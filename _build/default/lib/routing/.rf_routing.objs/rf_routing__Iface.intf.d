@@ -1,0 +1,1 @@
+lib/routing/iface.mli: Ipv4_addr Mac Rf_packet

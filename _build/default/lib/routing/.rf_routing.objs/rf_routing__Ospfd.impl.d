@@ -1,0 +1,1 @@
+lib/routing/ospfd.ml: Array Format Hashtbl Iface Int32 Ipv4_addr List Mac Option Ospf_pkt Packet Printf Rf_packet Rf_sim Rib String

@@ -1,0 +1,1 @@
+lib/routing/ospfd.mli: Format Iface Ipv4_addr Ospf_pkt Rf_packet Rf_sim Rib

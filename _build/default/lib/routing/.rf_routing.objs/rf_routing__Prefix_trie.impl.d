@@ -1,0 +1,1 @@
+lib/routing/prefix_trie.ml: Int32 Ipv4_addr List Rf_packet

@@ -1,0 +1,1 @@
+lib/routing/prefix_trie.mli: Ipv4_addr Rf_packet

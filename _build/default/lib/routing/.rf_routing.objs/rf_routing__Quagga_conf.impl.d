@@ -1,0 +1,1 @@
+lib/routing/quagga_conf.ml: Buffer Ipv4_addr List Printf Result Rf_packet String

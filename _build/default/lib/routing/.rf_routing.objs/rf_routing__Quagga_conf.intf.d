@@ -1,0 +1,1 @@
+lib/routing/quagga_conf.mli: Ipv4_addr Rf_packet

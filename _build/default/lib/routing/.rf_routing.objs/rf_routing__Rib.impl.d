@@ -1,0 +1,1 @@
+lib/routing/rib.ml: Format Hashtbl Int Ipv4_addr List Option Prefix_trie Rf_packet String

@@ -1,0 +1,1 @@
+lib/routing/rib.mli: Format Ipv4_addr Rf_packet

@@ -1,0 +1,1 @@
+lib/routing/rip_pkt.ml: Format Int32 Ipv4_addr List Mac Printf Result Rf_packet Wire

@@ -1,0 +1,1 @@
+lib/routing/rip_pkt.mli: Format Ipv4_addr Mac Rf_packet

@@ -1,0 +1,1 @@
+lib/routing/ripd.ml: Hashtbl Iface Ipv4 Ipv4_addr List Packet Rf_packet Rf_sim Rib Rip_pkt String Udp

@@ -1,0 +1,1 @@
+lib/routing/ripd.mli: Iface Ipv4_addr Rf_packet Rf_sim Rib

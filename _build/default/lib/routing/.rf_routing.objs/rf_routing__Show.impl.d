@@ -1,0 +1,1 @@
+lib/routing/show.ml: Bgpd Buffer Ipv4_addr List Ospf_pkt Ospfd Printf Rf_packet Rib Ripd

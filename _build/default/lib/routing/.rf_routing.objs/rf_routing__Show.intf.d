@@ -1,0 +1,1 @@
+lib/routing/show.mli: Bgpd Ospfd Rib Ripd

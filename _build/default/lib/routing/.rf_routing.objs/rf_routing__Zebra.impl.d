@@ -1,0 +1,1 @@
+lib/routing/zebra.ml: Iface Ipv4_addr List Printf Quagga_conf Rf_packet Rib String

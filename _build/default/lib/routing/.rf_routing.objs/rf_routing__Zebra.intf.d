@@ -1,0 +1,1 @@
+lib/routing/zebra.mli: Iface Ipv4_addr Quagga_conf Rf_packet Rib

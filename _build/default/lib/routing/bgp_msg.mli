@@ -1,0 +1,42 @@
+(** BGP-4 (RFC 4271) message wire format — the subset a Quagga bgpd in
+    a RouteFlow VM exchanges: OPEN, UPDATE (with ORIGIN / AS_PATH /
+    NEXT_HOP attributes), KEEPALIVE and NOTIFICATION. *)
+
+open Rf_packet
+
+type open_msg = {
+  o_asn : int;
+  o_hold_time : int;  (** seconds *)
+  o_router_id : Ipv4_addr.t;
+}
+
+type update = {
+  u_withdrawn : Ipv4_addr.Prefix.t list;
+  u_as_path : int list;  (** empty for withdraw-only updates *)
+  u_next_hop : Ipv4_addr.t option;
+  u_nlri : Ipv4_addr.Prefix.t list;
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of { code : int; subcode : int }
+  | Keepalive
+
+type msg = t
+
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
+
+(** Stream framing over the 19-byte BGP header (16-byte marker,
+    length, type). *)
+module Framer : sig
+  type t
+
+  val create : unit -> t
+
+  val input : t -> string -> (msg list, string) result
+end
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,801 @@
+open Rf_packet
+
+type config = {
+  router_id : Ipv4_addr.t;
+  area_id : Ipv4_addr.t;
+  hello_interval : int;
+  dead_interval : int;
+  rxmt_interval : int;
+  spf_delay : Rf_sim.Vtime.span;
+  reference_cost : int;
+}
+
+let default_config ~router_id =
+  {
+    router_id;
+    area_id = Ipv4_addr.any;
+    hello_interval = 10;
+    dead_interval = 40;
+    rxmt_interval = 5;
+    spf_delay = Rf_sim.Vtime.span_s 1.0;
+    reference_cost = 10;
+  }
+
+type neighbor_state = Down | Init | Exstart | Exchange | Loading | Full
+
+type neighbor_info = {
+  ni_router_id : Ipv4_addr.t;
+  ni_addr : Ipv4_addr.t;
+  ni_iface : string;
+  ni_state : neighbor_state;
+}
+
+type oiface = {
+  ifc : Iface.t;
+  cost : int;
+  passive : bool;
+  mutable hello_timer : Rf_sim.Engine.timer option;
+}
+
+type neighbor = {
+  n_router_id : Ipv4_addr.t;
+  mutable n_addr : Ipv4_addr.t;
+  n_oiface : oiface;
+  mutable n_state : neighbor_state;
+  mutable n_last_hello : Rf_sim.Vtime.t;
+  mutable n_req : Ospf_pkt.lsa_key list;
+  n_rxmt : (Ospf_pkt.lsa_key, unit) Hashtbl.t;
+  mutable n_rxmt_timer : Rf_sim.Engine.timer option;
+}
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  cfg : config;
+  rib : Rib.t;
+  mutable ifaces : oiface list;
+  nbr_tbl : (Ipv4_addr.t, neighbor) Hashtbl.t;
+  lsdb : (Ospf_pkt.lsa_key, Ospf_pkt.lsa) Hashtbl.t;
+  mutable my_seq : int32;
+  mutable spf_scheduled : bool;
+  mutable spf_count : int;
+  mutable started : bool;
+  mutable timers : Rf_sim.Engine.timer list;
+  mutable last_routes : Rib.route list;
+  mutable on_route_change : unit -> unit;
+}
+
+let ospf_multicast_mac = Mac.of_int64 0x01005E000005L
+
+let create engine cfg rib =
+  {
+    engine;
+    cfg;
+    rib;
+    ifaces = [];
+    nbr_tbl = Hashtbl.create 16;
+    lsdb = Hashtbl.create 64;
+    my_seq = Ospf_pkt.initial_seq;
+    spf_scheduled = false;
+    spf_count = 0;
+    started = false;
+    timers = [];
+    last_routes = [];
+    on_route_change = (fun () -> ());
+  }
+
+let config t = t.cfg
+
+let router_id t = t.cfg.router_id
+
+let set_on_route_change t f = t.on_route_change <- f
+
+let send_pkt t (oif : oiface) payload =
+  let pkt =
+    { Ospf_pkt.router_id = t.cfg.router_id; area_id = t.cfg.area_id; payload }
+  in
+  Iface.send oif.ifc
+    (Packet.ospf ~src_mac:(Iface.mac oif.ifc) ~dst_mac:ospf_multicast_mac
+       ~src_ip:(Iface.ip oif.ifc) ~dst_ip:Ipv4_addr.ospf_all_routers pkt)
+
+(* --- hello ------------------------------------------------------- *)
+
+let neighbors_on t oif =
+  Hashtbl.fold
+    (fun _ n acc ->
+      if String.equal (Iface.name n.n_oiface.ifc) (Iface.name oif.ifc) then
+        n :: acc
+      else acc)
+    t.nbr_tbl []
+
+let send_hello t oif =
+  if (not oif.passive) && Iface.is_up oif.ifc then
+    send_pkt t oif
+      (Ospf_pkt.Hello
+         {
+           netmask = Iface.netmask oif.ifc;
+           hello_interval = t.cfg.hello_interval;
+           dead_interval = t.cfg.dead_interval;
+           priority = 1;
+           dr = Ipv4_addr.any;
+           bdr = Ipv4_addr.any;
+           neighbors = List.map (fun n -> n.n_router_id) (neighbors_on t oif);
+         })
+
+(* --- LSA origination and flooding -------------------------------- *)
+
+let arm_rxmt t nbr =
+  if nbr.n_rxmt_timer = None then begin
+    let timer =
+      Rf_sim.Engine.periodic t.engine
+        (Rf_sim.Vtime.span_s (float_of_int t.cfg.rxmt_interval))
+        (fun () ->
+          if Hashtbl.length nbr.n_rxmt > 0 then begin
+            let lsas =
+              Hashtbl.fold
+                (fun key () acc ->
+                  match Hashtbl.find_opt t.lsdb key with
+                  | Some lsa -> lsa :: acc
+                  | None ->
+                      Hashtbl.remove nbr.n_rxmt key;
+                      acc)
+                nbr.n_rxmt []
+            in
+            if lsas <> [] then send_pkt t nbr.n_oiface (Ospf_pkt.Ls_update lsas)
+          end)
+    in
+    nbr.n_rxmt_timer <- Some timer
+  end
+
+let flood t ?except lsa =
+  let key = Ospf_pkt.key_of_lsa lsa in
+  List.iter
+    (fun oif ->
+      let skip =
+        match except with
+        | Some name -> String.equal (Iface.name oif.ifc) name
+        | None -> false
+      in
+      if (not skip) && not oif.passive then begin
+        let targets =
+          List.filter
+            (fun n ->
+              match n.n_state with
+              | Exchange | Loading | Full -> true
+              | Down | Init | Exstart -> false)
+            (neighbors_on t oif)
+        in
+        if targets <> [] then begin
+          send_pkt t oif (Ospf_pkt.Ls_update [ lsa ]);
+          List.iter
+            (fun n ->
+              Hashtbl.replace n.n_rxmt key ();
+              arm_rxmt t n)
+            targets
+        end
+      end)
+    t.ifaces
+
+let rec schedule_spf t =
+  if not t.spf_scheduled then begin
+    t.spf_scheduled <- true;
+    ignore
+      (Rf_sim.Engine.schedule t.engine t.cfg.spf_delay (fun () -> run_spf t))
+  end
+
+and run_spf t =
+  t.spf_scheduled <- false;
+  t.spf_count <- t.spf_count + 1;
+  (* Vertices = router LSAs; a p2p edge A->B counts only when B's LSA
+     links back to A (bidirectionality check of RFC 2328 §16.1). *)
+  let lsa_of rid =
+    Hashtbl.find_opt t.lsdb { Ospf_pkt.k_type = 1; k_id = rid; k_adv = rid }
+  in
+  let p2p_links lsa =
+    match lsa.Ospf_pkt.body with
+    | Ospf_pkt.Router { links } ->
+        List.filter
+          (fun (l : Ospf_pkt.router_link) -> l.link_type = Ospf_pkt.Point_to_point)
+          links
+    | Ospf_pkt.Network _ | Ospf_pkt.Opaque _ -> []
+  in
+  let stub_links lsa =
+    match lsa.Ospf_pkt.body with
+    | Ospf_pkt.Router { links } ->
+        List.filter
+          (fun (l : Ospf_pkt.router_link) -> l.link_type = Ospf_pkt.Stub)
+          links
+    | Ospf_pkt.Network _ | Ospf_pkt.Opaque _ -> []
+  in
+  let has_back_link from_rid to_lsa =
+    List.exists
+      (fun (l : Ospf_pkt.router_link) -> Ipv4_addr.equal l.link_id from_rid)
+      (p2p_links to_lsa)
+  in
+  (* Dijkstra with (dist, first_hop router id). The frontier is a
+     binary min-heap of (dist, rid) with lazy deletion: stale entries
+     are skipped when their recorded distance no longer matches. *)
+  let dist : (Ipv4_addr.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let first_hop : (Ipv4_addr.t, Ipv4_addr.t) Hashtbl.t = Hashtbl.create 64 in
+  let visited : (Ipv4_addr.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let heap = ref (Array.make 64 (0, Ipv4_addr.any)) in
+  let heap_len = ref 0 in
+  let swap i j =
+    let tmp = !heap.(i) in
+    !heap.(i) <- !heap.(j);
+    !heap.(j) <- tmp
+  in
+  let push d rid =
+    if !heap_len = Array.length !heap then begin
+      let bigger = Array.make (2 * Array.length !heap) (0, Ipv4_addr.any) in
+      Array.blit !heap 0 bigger 0 !heap_len;
+      heap := bigger
+    end;
+    !heap.(!heap_len) <- (d, rid);
+    incr heap_len;
+    let i = ref (!heap_len - 1) in
+    while !i > 0 && fst !heap.((!i - 1) / 2) > fst !heap.(!i) do
+      swap !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  in
+  let pop () =
+    if !heap_len = 0 then None
+    else begin
+      let top = !heap.(0) in
+      decr heap_len;
+      !heap.(0) <- !heap.(!heap_len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < !heap_len && fst !heap.(l) < fst !heap.(!smallest) then
+          smallest := l;
+        if r < !heap_len && fst !heap.(r) < fst !heap.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+  in
+  Hashtbl.replace dist t.cfg.router_id 0;
+  push 0 t.cfg.router_id;
+  let rec loop () =
+    match pop () with
+    | None -> ()
+    | Some (d, rid) ->
+        let stale =
+          Hashtbl.mem visited rid
+          || match Hashtbl.find_opt dist rid with Some cur -> cur <> d | None -> true
+        in
+        if not stale then begin
+          Hashtbl.replace visited rid ();
+          match lsa_of rid with
+          | None -> ()
+          | Some lsa ->
+              List.iter
+                (fun (l : Ospf_pkt.router_link) ->
+                  let nbr_rid = l.link_id in
+                  match lsa_of nbr_rid with
+                  | Some nbr_lsa when has_back_link rid nbr_lsa ->
+                      let nd = d + l.metric in
+                      let better =
+                        match Hashtbl.find_opt dist nbr_rid with
+                        | Some old -> nd < old
+                        | None -> true
+                      in
+                      if better then begin
+                        Hashtbl.replace dist nbr_rid nd;
+                        push nd nbr_rid;
+                        let hop =
+                          if Ipv4_addr.equal rid t.cfg.router_id then nbr_rid
+                          else
+                            match Hashtbl.find_opt first_hop rid with
+                            | Some h -> h
+                            | None -> nbr_rid
+                        in
+                        Hashtbl.replace first_hop nbr_rid hop
+                      end
+                  | Some _ | None -> ())
+                (p2p_links lsa)
+        end;
+        loop ()
+  in
+  loop ();
+  (* Build OSPF routes from remote routers' stub links. *)
+  let candidates : (Ipv4_addr.Prefix.t, Rib.route) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun rid d ->
+      if not (Ipv4_addr.equal rid t.cfg.router_id) then
+        match (lsa_of rid, Hashtbl.find_opt first_hop rid) with
+        | Some lsa, Some hop -> (
+            match Hashtbl.find_opt t.nbr_tbl hop with
+            | Some hop_nbr when hop_nbr.n_state = Full ->
+                List.iter
+                  (fun (l : Ospf_pkt.router_link) ->
+                    let mask_len =
+                      let m = Ipv4_addr.to_int32 l.link_data in
+                      let rec count i acc =
+                        if i = 32 then acc
+                        else
+                          count (i + 1)
+                            (acc
+                            + Int32.to_int
+                                (Int32.logand
+                                   (Int32.shift_right_logical m (31 - i))
+                                   1l))
+                      in
+                      count 0 0
+                    in
+                    let prefix = Ipv4_addr.Prefix.make l.link_id mask_len in
+                    let metric = d + l.metric in
+                    let route =
+                      {
+                        Rib.r_prefix = prefix;
+                        r_proto = Rib.Ospf;
+                        r_distance = Rib.default_distance Rib.Ospf;
+                        r_metric = metric;
+                        r_next_hop = Some hop_nbr.n_addr;
+                        r_iface = Iface.name hop_nbr.n_oiface.ifc;
+                      }
+                    in
+                    match Hashtbl.find_opt candidates prefix with
+                    | Some existing when existing.Rib.r_metric <= metric -> ()
+                    | Some _ | None -> Hashtbl.replace candidates prefix route)
+                  (stub_links lsa)
+            | Some _ | None -> ())
+        | (Some _ | None), (Some _ | None) -> ())
+    dist;
+  (* Drop prefixes we own directly: connected wins anyway, but keeping
+     them out of the OSPF table matches Quagga. *)
+  let own_prefixes = List.map (fun oif -> Iface.prefix oif.ifc) t.ifaces in
+  let routes =
+    Hashtbl.fold
+      (fun prefix route acc ->
+        if List.exists (Ipv4_addr.Prefix.equal prefix) own_prefixes then acc
+        else route :: acc)
+      candidates []
+    |> List.sort (fun a b -> Ipv4_addr.Prefix.compare a.Rib.r_prefix b.Rib.r_prefix)
+  in
+  Rib.replace_proto t.rib Rib.Ospf routes;
+  let changed = routes <> t.last_routes in
+  t.last_routes <- routes;
+  if changed then t.on_route_change ()
+
+let install_lsa t lsa =
+  Hashtbl.replace t.lsdb (Ospf_pkt.key_of_lsa lsa) lsa;
+  schedule_spf t
+
+let originate_router_lsa t =
+  let links =
+    List.concat_map
+      (fun oif ->
+        if not (Iface.is_up oif.ifc) then []
+        else begin
+          let p2p =
+            if oif.passive then []
+            else
+              List.filter_map
+                (fun n ->
+                  if n.n_state = Full then
+                    Some
+                      {
+                        Ospf_pkt.link_id = n.n_router_id;
+                        link_data = Iface.ip oif.ifc;
+                        link_type = Ospf_pkt.Point_to_point;
+                        metric = oif.cost;
+                      }
+                  else None)
+                (neighbors_on t oif)
+          in
+          let stub =
+            {
+              Ospf_pkt.link_id = Ipv4_addr.Prefix.network (Iface.prefix oif.ifc);
+              link_data = Iface.netmask oif.ifc;
+              link_type = Ospf_pkt.Stub;
+              metric = oif.cost;
+            }
+          in
+          p2p @ [ stub ]
+        end)
+      t.ifaces
+  in
+  t.my_seq <- Int32.add t.my_seq 1l;
+  let lsa =
+    {
+      Ospf_pkt.age = 1;
+      options = 0x02;
+      link_state_id = t.cfg.router_id;
+      adv_router = t.cfg.router_id;
+      seq = t.my_seq;
+      body = Ospf_pkt.Router { links };
+    }
+  in
+  install_lsa t lsa;
+  flood t lsa
+
+(* --- adjacency ---------------------------------------------------- *)
+
+let my_headers t =
+  Hashtbl.fold (fun _ lsa acc -> Ospf_pkt.header_of_lsa lsa :: acc) t.lsdb []
+
+let send_dd t nbr =
+  send_pkt t nbr.n_oiface
+    (Ospf_pkt.Db_desc
+       {
+         mtu = 1500;
+         dd_init = false;
+         dd_more = false;
+         dd_master = Ipv4_addr.compare t.cfg.router_id nbr.n_router_id > 0;
+         dd_seq = 1l;
+         headers = my_headers t;
+       })
+
+let to_full t nbr =
+  if nbr.n_state <> Full then begin
+    nbr.n_state <- Full;
+    Rf_sim.Engine.record t.engine
+      ~component:(Printf.sprintf "ospfd.%s" (Ipv4_addr.to_string t.cfg.router_id))
+      ~event:"adjacency-full"
+      (Ipv4_addr.to_string nbr.n_router_id);
+    originate_router_lsa t;
+    schedule_spf t
+  end
+
+let kill_neighbor t nbr =
+  (match nbr.n_rxmt_timer with
+  | Some timer -> Rf_sim.Engine.cancel timer
+  | None -> ());
+  Hashtbl.remove t.nbr_tbl nbr.n_router_id;
+  if nbr.n_state = Full then begin
+    originate_router_lsa t;
+    schedule_spf t
+  end
+
+let handle_hello t oif ~src (h : Ospf_pkt.hello) ~from_rid =
+  if
+    h.hello_interval <> t.cfg.hello_interval
+    || h.dead_interval <> t.cfg.dead_interval
+  then
+    (* RFC 2328 §10.5: hello/dead intervals must agree or the packet is
+       dropped — a classic cause of stuck adjacencies that the
+       autoconfig framework avoids by writing both sides' configs. *)
+    Rf_sim.Engine.record t.engine
+      ~component:(Printf.sprintf "ospfd.%s" (Ipv4_addr.to_string t.cfg.router_id))
+      ~event:"hello-mismatch"
+      (Ipv4_addr.to_string from_rid)
+  else begin
+  let now = Rf_sim.Engine.now t.engine in
+  let nbr =
+    match Hashtbl.find_opt t.nbr_tbl from_rid with
+    | Some n ->
+        n.n_addr <- src;
+        n.n_last_hello <- now;
+        n
+    | None ->
+        let n =
+          {
+            n_router_id = from_rid;
+            n_addr = src;
+            n_oiface = oif;
+            n_state = Init;
+            n_last_hello = now;
+            n_req = [];
+            n_rxmt = Hashtbl.create 16;
+            n_rxmt_timer = None;
+          }
+        in
+        Hashtbl.replace t.nbr_tbl from_rid n;
+        (* Answer at once so the peer learns about us without waiting a
+           full hello interval. *)
+        send_hello t oif;
+        n
+  in
+  let sees_us = List.exists (Ipv4_addr.equal t.cfg.router_id) h.neighbors in
+  (match nbr.n_state with
+  | Down | Init ->
+      if sees_us then begin
+        nbr.n_state <- Exstart;
+        send_dd t nbr
+      end
+  | Exstart | Exchange | Loading | Full -> ())
+  end
+
+let handle_dd t nbr (dd : Ospf_pkt.db_desc) =
+  (match nbr.n_state with
+  | Down | Init ->
+      (* Their hello listing us must have been lost; a DD is itself
+         evidence of bidirectionality, so answer with ours. *)
+      nbr.n_state <- Exstart;
+      send_dd t nbr
+  | Full | Exchange | Loading ->
+      (* A DD from a neighbour we believe is synchronized means it
+         restarted (RFC 2328 SeqNumberMismatch): describe our database
+         again so it can reload. *)
+      send_dd t nbr
+  | Exstart -> ());
+  let missing =
+    List.filter_map
+      (fun (h : Ospf_pkt.lsa_header) ->
+        match Hashtbl.find_opt t.lsdb h.h_key with
+        | None -> Some h.h_key
+        | Some mine ->
+            if Ospf_pkt.compare_instance h (Ospf_pkt.header_of_lsa mine) > 0
+            then Some h.h_key
+            else None)
+      dd.headers
+  in
+  match missing with
+  | [] -> if nbr.n_state <> Full then to_full t nbr
+  | keys ->
+      nbr.n_req <- keys;
+      nbr.n_state <- Loading;
+      send_pkt t nbr.n_oiface (Ospf_pkt.Ls_request keys)
+
+let handle_lsr t nbr keys =
+  let lsas =
+    List.filter_map (fun key -> Hashtbl.find_opt t.lsdb key) keys
+  in
+  if lsas <> [] then begin
+    send_pkt t nbr.n_oiface (Ospf_pkt.Ls_update lsas);
+    List.iter
+      (fun lsa ->
+        Hashtbl.replace nbr.n_rxmt (Ospf_pkt.key_of_lsa lsa) ();
+        arm_rxmt t nbr)
+      lsas
+  end
+
+let send_ack t oif headers =
+  if headers <> [] then send_pkt t oif (Ospf_pkt.Ls_ack headers)
+
+let handle_lsu t nbr lsas =
+  let acks = ref [] in
+  List.iter
+    (fun (lsa : Ospf_pkt.lsa) ->
+      let key = Ospf_pkt.key_of_lsa lsa in
+      let header = Ospf_pkt.header_of_lsa lsa in
+      (* Receiving an instance is an implied ack. *)
+      Hashtbl.remove nbr.n_rxmt key;
+      if Ipv4_addr.equal lsa.adv_router t.cfg.router_id then begin
+        (* A copy of our own LSA. If it is newer (pre-restart state),
+           take over its sequence number. *)
+        match Hashtbl.find_opt t.lsdb key with
+        | Some mine
+          when Ospf_pkt.compare_instance header (Ospf_pkt.header_of_lsa mine) > 0
+          ->
+            t.my_seq <- Int32.add lsa.seq 1l;
+            originate_router_lsa t
+        | Some _ | None -> acks := header :: !acks
+      end
+      else begin
+        let action =
+          match Hashtbl.find_opt t.lsdb key with
+          | None -> if lsa.age >= Ospf_pkt.max_age then `Ack else `Install
+          | Some mine ->
+              let c =
+                Ospf_pkt.compare_instance header (Ospf_pkt.header_of_lsa mine)
+              in
+              if c > 0 then if lsa.age >= Ospf_pkt.max_age then `Purge else `Install
+              else if c = 0 then `Ack
+              else `Send_back mine
+        in
+        match action with
+        | `Install ->
+            install_lsa t lsa;
+            acks := header :: !acks;
+            flood t ~except:(Iface.name nbr.n_oiface.ifc) lsa
+        | `Purge ->
+            (* A MaxAge instance flushes the LSA from the database. *)
+            Hashtbl.remove t.lsdb key;
+            schedule_spf t;
+            acks := header :: !acks;
+            flood t ~except:(Iface.name nbr.n_oiface.ifc) lsa
+        | `Ack -> acks := header :: !acks
+        | `Send_back mine -> send_pkt t nbr.n_oiface (Ospf_pkt.Ls_update [ mine ])
+      end;
+      (* Progress database loading. *)
+      nbr.n_req <- List.filter (fun k -> k <> key) nbr.n_req;
+      if nbr.n_state = Loading && nbr.n_req = [] then to_full t nbr)
+    lsas;
+  send_ack t nbr.n_oiface !acks
+
+let handle_lsack _t nbr headers =
+  List.iter
+    (fun (h : Ospf_pkt.lsa_header) -> Hashtbl.remove nbr.n_rxmt h.h_key)
+    headers
+
+let handle_packet t oif ~src (pkt : Ospf_pkt.t) =
+  if not t.started then () (* a stopped daemon is deaf *)
+  else if Ipv4_addr.equal pkt.router_id t.cfg.router_id then ()
+  else if not (Ipv4_addr.equal pkt.area_id t.cfg.area_id) then ()
+  else
+    match pkt.payload with
+    | Ospf_pkt.Hello h -> handle_hello t oif ~src h ~from_rid:pkt.router_id
+    | Ospf_pkt.Db_desc dd -> (
+        match Hashtbl.find_opt t.nbr_tbl pkt.router_id with
+        | Some nbr -> handle_dd t nbr dd
+        | None -> ())
+    | Ospf_pkt.Ls_request keys -> (
+        match Hashtbl.find_opt t.nbr_tbl pkt.router_id with
+        | Some nbr -> handle_lsr t nbr keys
+        | None -> ())
+    | Ospf_pkt.Ls_update lsas -> (
+        match Hashtbl.find_opt t.nbr_tbl pkt.router_id with
+        | Some nbr -> handle_lsu t nbr lsas
+        | None -> ())
+    | Ospf_pkt.Ls_ack headers -> (
+        match Hashtbl.find_opt t.nbr_tbl pkt.router_id with
+        | Some nbr -> handle_lsack t nbr headers
+        | None -> ())
+
+let arm_iface t oif =
+  if (not oif.passive) && oif.hello_timer = None then begin
+    send_hello t oif;
+    oif.hello_timer <-
+      Some
+        (Rf_sim.Engine.periodic t.engine
+           ~jitter:(Rf_sim.Vtime.span_ms 100)
+           (Rf_sim.Vtime.span_s (float_of_int t.cfg.hello_interval))
+           (fun () -> send_hello t oif))
+  end
+
+let add_interface t ?cost ?(passive = false) ifc =
+  if not (Iface.is_addressed ifc) then
+    invalid_arg "Ospfd.add_interface: interface has no address";
+  let cost = Option.value cost ~default:t.cfg.reference_cost in
+  let oif = { ifc; cost; passive; hello_timer = None } in
+  t.ifaces <- t.ifaces @ [ oif ];
+  (* Connected route. *)
+  Rib.update t.rib
+    {
+      Rib.r_prefix = Iface.prefix ifc;
+      r_proto = Rib.Connected;
+      r_distance = Rib.default_distance Rib.Connected;
+      r_metric = 0;
+      r_next_hop = None;
+      r_iface = Iface.name ifc;
+    };
+  Iface.add_receiver ifc (fun frame ->
+      match Packet.parse frame with
+      | Ok { l3 = Packet.Ipv4 (ip, Packet.Ospf pkt); _ } ->
+          if
+            Ipv4_addr.equal ip.dst Ipv4_addr.ospf_all_routers
+            || Ipv4_addr.equal ip.dst (Iface.ip ifc)
+          then handle_packet t oif ~src:ip.src pkt
+      | Ok _ | Error _ -> ());
+  (* Interface state drives immediate reconvergence: a downed link
+     kills its adjacencies and re-originates at once instead of waiting
+     out the dead interval. *)
+  Iface.add_state_listener ifc (fun up ->
+      if t.started then begin
+        if not up then
+          List.iter (kill_neighbor t) (neighbors_on t oif)
+        else send_hello t oif;
+        originate_router_lsa t;
+        schedule_spf t
+      end);
+  (* Quagga accepts new `network` statements at runtime; adding an
+     interface to a running instance brings it up immediately. *)
+  if t.started then begin
+    arm_iface t oif;
+    originate_router_lsa t;
+    schedule_spf t
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    List.iter (fun oif -> arm_iface t oif) t.ifaces;
+    (* Dead-neighbor scan. *)
+    let dead_scan () =
+      let now = Rf_sim.Engine.now t.engine in
+      let dead =
+        Hashtbl.fold
+          (fun _ n acc ->
+            let deadline =
+              Rf_sim.Vtime.add n.n_last_hello
+                (Rf_sim.Vtime.span_s (float_of_int t.cfg.dead_interval))
+            in
+            if Rf_sim.Vtime.(deadline < now) then n :: acc else acc)
+          t.nbr_tbl []
+      in
+      List.iter (kill_neighbor t) dead
+    in
+    t.timers <-
+      Rf_sim.Engine.periodic t.engine (Rf_sim.Vtime.span_s 1.0) dead_scan
+      :: t.timers;
+    originate_router_lsa t
+  end
+
+let stop t =
+  if t.started then begin
+    (* Graceful shutdown (RFC 2328 §14.1): flush our router LSA by
+       flooding a MaxAge instance so neighbours withdraw immediately
+       instead of waiting out the dead interval. *)
+    t.my_seq <- Int32.add t.my_seq 1l;
+    let flush =
+      {
+        Ospf_pkt.age = Ospf_pkt.max_age;
+        options = 0x02;
+        link_state_id = t.cfg.router_id;
+        adv_router = t.cfg.router_id;
+        seq = t.my_seq;
+        body = Ospf_pkt.Router { links = [] };
+      }
+    in
+    Hashtbl.remove t.lsdb
+      { Ospf_pkt.k_type = 1; k_id = t.cfg.router_id; k_adv = t.cfg.router_id };
+    flood t flush;
+    t.started <- false;
+    List.iter
+      (fun oif ->
+        match oif.hello_timer with
+        | Some timer ->
+            Rf_sim.Engine.cancel timer;
+            oif.hello_timer <- None
+        | None -> ())
+      t.ifaces;
+    List.iter Rf_sim.Engine.cancel t.timers;
+    t.timers <- [];
+    Hashtbl.iter
+      (fun _ n ->
+        match n.n_rxmt_timer with
+        | Some timer -> Rf_sim.Engine.cancel timer
+        | None -> ())
+      t.nbr_tbl;
+    Hashtbl.reset t.nbr_tbl;
+    Rib.replace_proto t.rib Rib.Ospf []
+  end
+
+let neighbors t =
+  Hashtbl.fold
+    (fun _ n acc ->
+      {
+        ni_router_id = n.n_router_id;
+        ni_addr = n.n_addr;
+        ni_iface = Iface.name n.n_oiface.ifc;
+        ni_state = n.n_state;
+      }
+      :: acc)
+    t.nbr_tbl []
+  |> List.sort (fun a b -> Ipv4_addr.compare a.ni_router_id b.ni_router_id)
+
+let lsdb t = Hashtbl.fold (fun _ lsa acc -> lsa :: acc) t.lsdb []
+
+let lsdb_size t = Hashtbl.length t.lsdb
+
+let spf_runs t = t.spf_count
+
+let spf_now t =
+  run_spf t;
+  List.length t.last_routes
+
+let is_adjacent_to t rid =
+  match Hashtbl.find_opt t.nbr_tbl rid with
+  | Some n -> n.n_state = Full
+  | None -> false
+
+let full_neighbor_count t =
+  Hashtbl.fold (fun _ n acc -> if n.n_state = Full then acc + 1 else acc) t.nbr_tbl 0
+
+let neighbor_addr_of_router t rid =
+  match Hashtbl.find_opt t.nbr_tbl rid with
+  | Some n when n.n_state = Full -> Some n.n_addr
+  | Some _ | None -> None
+
+let state_name = function
+  | Down -> "Down"
+  | Init -> "Init"
+  | Exstart -> "ExStart"
+  | Exchange -> "Exchange"
+  | Loading -> "Loading"
+  | Full -> "Full"
+
+let pp_neighbor ppf n =
+  Format.fprintf ppf "%a via %s (%s) %s" Ipv4_addr.pp n.ni_router_id n.ni_iface
+    (Ipv4_addr.to_string n.ni_addr)
+    (state_name n.ni_state)

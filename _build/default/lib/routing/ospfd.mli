@@ -1,0 +1,81 @@
+(** OSPFv2 daemon (the ospfd of the Quagga substrate).
+
+    Point-to-point network model, single backbone area: hello-based
+    neighbor discovery and liveness, a simplified database-description
+    / request / update adjacency bring-up, reliable flooding of router
+    LSAs with explicit acks and retransmission, and Dijkstra SPF
+    feeding OSPF routes into the RIB.
+
+    Interfaces are {!Iface.t} values wired by the caller (in RouteFlow,
+    to the RF virtual switch). Passive interfaces advertise their
+    connected subnet as a stub link but exchange no protocol packets —
+    the host-facing ports. *)
+
+open Rf_packet
+
+type config = {
+  router_id : Ipv4_addr.t;
+  area_id : Ipv4_addr.t;
+  hello_interval : int;  (** seconds *)
+  dead_interval : int;
+  rxmt_interval : int;
+  spf_delay : Rf_sim.Vtime.span;  (** holddown between LSDB change and SPF *)
+  reference_cost : int;  (** default interface cost *)
+}
+
+val default_config : router_id:Ipv4_addr.t -> config
+(** Quagga defaults: hello 10 s, dead 40 s, rxmt 5 s, SPF delay 1 s,
+    cost 10, area 0.0.0.0. *)
+
+type neighbor_state = Down | Init | Exstart | Exchange | Loading | Full
+
+type neighbor_info = {
+  ni_router_id : Ipv4_addr.t;
+  ni_addr : Ipv4_addr.t;
+  ni_iface : string;
+  ni_state : neighbor_state;
+}
+
+type t
+
+val create : Rf_sim.Engine.t -> config -> Rib.t -> t
+
+val config : t -> config
+
+val add_interface : t -> ?cost:int -> ?passive:bool -> Iface.t -> unit
+(** Must be called before [start]. Also installs the connected route
+    into the RIB. *)
+
+val start : t -> unit
+(** Sends the first hellos immediately and starts all timers. *)
+
+val stop : t -> unit
+(** Cancels timers and withdraws OSPF routes. *)
+
+val router_id : t -> Ipv4_addr.t
+
+val neighbors : t -> neighbor_info list
+
+val lsdb : t -> Ospf_pkt.lsa list
+
+val lsdb_size : t -> int
+
+val spf_runs : t -> int
+
+val spf_now : t -> int
+(** Runs SPF synchronously (outside the normal holddown scheduling) and
+    returns the number of OSPF routes produced. For benchmarks. *)
+
+val is_adjacent_to : t -> Ipv4_addr.t -> bool
+(** Full adjacency with the given router id. *)
+
+val full_neighbor_count : t -> int
+
+val neighbor_addr_of_router : t -> Ipv4_addr.t -> Ipv4_addr.t option
+(** Interface address of a directly-adjacent router (next-hop
+    resolution). *)
+
+val set_on_route_change : t -> (unit -> unit) -> unit
+(** Fired after each SPF run that changed the OSPF route set. *)
+
+val pp_neighbor : Format.formatter -> neighbor_info -> unit

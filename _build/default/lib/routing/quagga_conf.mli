@@ -1,0 +1,66 @@
+(** Quagga-style configuration files.
+
+    The paper's RPC server "writes routing configuration files (e.g.
+    ospf.conf, zebra.conf, bgp.conf)". This module generates and parses
+    the vtysh dialect those daemons use, so that the autoconfig
+    framework emits real config text and each VM boots its daemons by
+    parsing the files back. *)
+
+open Rf_packet
+
+type iface_conf = {
+  ic_name : string;
+  ic_ip : Ipv4_addr.t;
+  ic_prefix_len : int;
+}
+
+type static_route = { sr_prefix : Ipv4_addr.Prefix.t; sr_next_hop : Ipv4_addr.t }
+
+type zebra_conf = {
+  z_hostname : string;
+  z_password : string;
+  z_ifaces : iface_conf list;
+  z_statics : static_route list;
+}
+
+type ospfd_conf = {
+  o_hostname : string;
+  o_router_id : Ipv4_addr.t;
+  o_networks : (Ipv4_addr.Prefix.t * Ipv4_addr.t) list;  (** prefix, area *)
+  o_passive : string list;  (** passive-interface names *)
+  o_hello_interval : int;
+  o_dead_interval : int;
+}
+
+type ripd_conf = {
+  r_hostname : string;
+  r_networks : Ipv4_addr.Prefix.t list;
+  r_passive : string list;
+  r_update : int;  (** update interval, default 30 *)
+  r_timeout : int;  (** route timeout, default 180 *)
+  r_garbage : int;  (** garbage-collection hold, default 120 *)
+}
+
+type bgpd_conf = {
+  b_hostname : string;
+  b_asn : int;
+  b_router_id : Ipv4_addr.t;
+  b_neighbors : (Ipv4_addr.t * int) list;  (** address, remote-as *)
+  b_networks : Ipv4_addr.Prefix.t list;
+}
+
+val generate_zebra : zebra_conf -> string
+
+val generate_ospfd : ospfd_conf -> string
+
+val generate_ripd : ripd_conf -> string
+
+val generate_bgpd : bgpd_conf -> string
+
+val parse_zebra : string -> (zebra_conf, string) result
+
+val parse_ospfd : string -> (ospfd_conf, string) result
+
+val parse_ripd : string -> (ripd_conf, string) result
+
+val parse_bgpd : string -> (bgpd_conf, string) result

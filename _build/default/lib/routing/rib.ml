@@ -1,0 +1,146 @@
+open Rf_packet
+
+type proto = Connected | Static | Ospf | Rip | Bgp
+
+let default_distance = function
+  | Connected -> 0
+  | Static -> 1
+  | Bgp -> 20
+  | Ospf -> 110
+  | Rip -> 120
+
+let proto_name = function
+  | Connected -> "connected"
+  | Static -> "static"
+  | Ospf -> "ospf"
+  | Rip -> "rip"
+  | Bgp -> "bgp"
+
+type route = {
+  r_prefix : Ipv4_addr.Prefix.t;
+  r_proto : proto;
+  r_distance : int;
+  r_metric : int;
+  r_next_hop : Ipv4_addr.t option;
+  r_iface : string;
+}
+
+type event =
+  | Best_added of route
+  | Best_changed of route
+  | Best_removed of Ipv4_addr.Prefix.t
+
+type slot = { mutable candidates : route list; mutable selected : route option }
+
+type t = {
+  table : slot Prefix_trie.t;
+  mutable listeners : (event -> unit) list;
+  mutable n_selected : int;
+}
+
+let create () = { table = Prefix_trie.create (); listeners = []; n_selected = 0 }
+
+let add_listener t f = t.listeners <- t.listeners @ [ f ]
+
+let notify t e = List.iter (fun f -> f e) t.listeners
+
+let route_better a b =
+  match Int.compare a.r_distance b.r_distance with
+  | 0 -> a.r_metric < b.r_metric
+  | c -> c < 0
+
+let pick_best = function
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun acc r -> if route_better r acc then r else acc) first rest)
+
+let route_equal a b =
+  Ipv4_addr.Prefix.equal a.r_prefix b.r_prefix
+  && a.r_proto = b.r_proto && a.r_distance = b.r_distance
+  && a.r_metric = b.r_metric
+  && Option.equal Ipv4_addr.equal a.r_next_hop b.r_next_hop
+  && String.equal a.r_iface b.r_iface
+
+let reselect t prefix slot =
+  let before = slot.selected in
+  let after = pick_best slot.candidates in
+  slot.selected <- after;
+  match (before, after) with
+  | None, Some r ->
+      t.n_selected <- t.n_selected + 1;
+      notify t (Best_added r)
+  | Some _, None ->
+      t.n_selected <- t.n_selected - 1;
+      if slot.candidates = [] then Prefix_trie.remove t.table prefix;
+      notify t (Best_removed prefix)
+  | Some old_r, Some new_r ->
+      if not (route_equal old_r new_r) then notify t (Best_changed new_r)
+  | None, None -> if slot.candidates = [] then Prefix_trie.remove t.table prefix
+
+let slot_of t prefix =
+  match Prefix_trie.find_exact t.table prefix with
+  | Some s -> s
+  | None ->
+      let s = { candidates = []; selected = None } in
+      Prefix_trie.insert t.table prefix s;
+      s
+
+let update t route =
+  let slot = slot_of t route.r_prefix in
+  slot.candidates <-
+    route :: List.filter (fun r -> r.r_proto <> route.r_proto) slot.candidates;
+  reselect t route.r_prefix slot
+
+let withdraw t proto prefix =
+  match Prefix_trie.find_exact t.table prefix with
+  | None -> ()
+  | Some slot ->
+      slot.candidates <- List.filter (fun r -> r.r_proto <> proto) slot.candidates;
+      reselect t prefix slot
+
+let replace_proto t proto routes =
+  (* Remove stale candidates first, then install the new set. *)
+  let keep = Hashtbl.create (List.length routes) in
+  List.iter
+    (fun r -> if r.r_proto = proto then Hashtbl.replace keep r.r_prefix ())
+    routes;
+  let stale =
+    Prefix_trie.fold
+      (fun prefix slot acc ->
+        if
+          List.exists (fun r -> r.r_proto = proto) slot.candidates
+          && not (Hashtbl.mem keep prefix)
+        then prefix :: acc
+        else acc)
+      t.table []
+  in
+  List.iter (fun p -> withdraw t proto p) stale;
+  List.iter (fun r -> if r.r_proto = proto then update t r) routes
+
+let best t prefix =
+  match Prefix_trie.find_exact t.table prefix with
+  | Some slot -> slot.selected
+  | None -> None
+
+let lookup t addr =
+  (* Slots are removed as soon as their candidate list empties, so an
+     LPM hit always carries a selection. *)
+  match Prefix_trie.lookup t.table addr with
+  | Some (_, slot) -> slot.selected
+  | None -> None
+
+let selected t =
+  Prefix_trie.fold
+    (fun _ slot acc -> match slot.selected with Some r -> r :: acc | None -> acc)
+    t.table []
+  |> List.sort (fun a b -> Ipv4_addr.Prefix.compare a.r_prefix b.r_prefix)
+
+let size t = t.n_selected
+
+let pp_route ppf r =
+  Format.fprintf ppf "%a [%s/%d] metric %d%a dev %s" Ipv4_addr.Prefix.pp
+    r.r_prefix (proto_name r.r_proto) r.r_distance r.r_metric
+    (fun ppf -> function
+      | Some nh -> Format.fprintf ppf " via %a" Ipv4_addr.pp nh
+      | None -> ())
+    r.r_next_hop r.r_iface

@@ -1,0 +1,95 @@
+open Rf_packet
+
+let port = 520
+
+let multicast_group = Ipv4_addr.of_octets 224 0 0 9
+
+let multicast_mac = Mac.of_int64 0x01005E000009L
+
+let infinity_metric = 16
+
+type entry = {
+  e_prefix : Ipv4_addr.Prefix.t;
+  e_next_hop : Ipv4_addr.t;
+  e_metric : int;
+}
+
+type t = Request | Response of entry list
+
+let max_entries = 25
+
+let to_wire t =
+  let w = Wire.Writer.create ~initial:64 () in
+  (match t with
+  | Request ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.u8 w 2 (* version *);
+      Wire.Writer.u16 w 0;
+      (* A request for the whole table: one entry, AFI 0, metric 16. *)
+      Wire.Writer.u16 w 0;
+      Wire.Writer.u16 w 0;
+      Wire.Writer.zeros w 12;
+      Wire.Writer.u32 w (Int32.of_int infinity_metric)
+  | Response entries ->
+      if List.length entries > max_entries then
+        invalid_arg "Rip_pkt: too many entries in one datagram";
+      Wire.Writer.u8 w 2;
+      Wire.Writer.u8 w 2;
+      Wire.Writer.u16 w 0;
+      List.iter
+        (fun e ->
+          Wire.Writer.u16 w 2 (* AF_INET *);
+          Wire.Writer.u16 w 0 (* route tag *);
+          Wire.Writer.u32 w (Ipv4_addr.to_int32 (Ipv4_addr.Prefix.network e.e_prefix));
+          Wire.Writer.u32 w (Ipv4_addr.to_int32 (Ipv4_addr.Prefix.mask e.e_prefix));
+          Wire.Writer.u32 w (Ipv4_addr.to_int32 e.e_next_hop);
+          Wire.Writer.u32 w (Int32.of_int e.e_metric))
+        entries);
+  Wire.Writer.contents w
+
+let mask_to_len m =
+  let v = Ipv4_addr.to_int32 m in
+  let rec count i acc =
+    if i = 32 then acc
+    else
+      count (i + 1)
+        (acc + Int32.to_int (Int32.logand (Int32.shift_right_logical v (31 - i)) 1l))
+  in
+  count 0 0
+
+let of_wire s =
+  try
+    let r = Wire.Reader.of_string s in
+    let command = Wire.Reader.u8 r in
+    let version = Wire.Reader.u8 r in
+    Wire.Reader.skip r 2;
+    if version < 1 || version > 2 then Error "rip: bad version"
+    else begin
+      match command with
+      | 1 -> Ok Request
+      | 2 ->
+          let rec entries acc =
+            if Wire.Reader.remaining r < 20 then Ok (List.rev acc)
+            else begin
+              let afi = Wire.Reader.u16 r in
+              let _tag = Wire.Reader.u16 r in
+              let addr = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+              let mask = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+              let next_hop = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+              let metric = Int32.to_int (Wire.Reader.u32 r) in
+              if afi <> 2 then entries acc (* skip non-IP families *)
+              else if metric < 1 || metric > infinity_metric then
+                Error (Printf.sprintf "rip: bad metric %d" metric)
+              else
+                let prefix = Ipv4_addr.Prefix.make addr (mask_to_len mask) in
+                entries ({ e_prefix = prefix; e_next_hop = next_hop; e_metric = metric } :: acc)
+            end
+          in
+          Result.map (fun es -> Response es) (entries [])
+      | n -> Error (Printf.sprintf "rip: unknown command %d" n)
+    end
+  with Wire.Truncated -> Error "rip: truncated"
+
+let pp ppf = function
+  | Request -> Format.fprintf ppf "rip request"
+  | Response entries -> Format.fprintf ppf "rip response (%d entries)" (List.length entries)

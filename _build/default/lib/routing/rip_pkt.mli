@@ -1,0 +1,34 @@
+(** RIPv2 (RFC 2453) packet format. Carried over UDP port 520 to the
+    224.0.0.9 multicast group. *)
+
+open Rf_packet
+
+val port : int
+(** 520. *)
+
+val multicast_group : Ipv4_addr.t
+(** 224.0.0.9. *)
+
+val multicast_mac : Mac.t
+
+val infinity_metric : int
+(** 16. *)
+
+type entry = {
+  e_prefix : Ipv4_addr.Prefix.t;
+  e_next_hop : Ipv4_addr.t;  (** 0.0.0.0 = via the sender *)
+  e_metric : int;  (** 1..16 *)
+}
+
+type t =
+  | Request  (** ask for the full table *)
+  | Response of entry list
+
+val max_entries : int
+(** 25 entries per datagram; callers split longer tables. *)
+
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

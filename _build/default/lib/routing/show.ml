@@ -1,0 +1,95 @@
+open Rf_packet
+
+let bprintf = Printf.bprintf
+
+let code = function
+  | Rib.Connected -> 'C'
+  | Rib.Static -> 'S'
+  | Rib.Ospf -> 'O'
+  | Rib.Rip -> 'R'
+  | Rib.Bgp -> 'B'
+
+let ip_route rib =
+  let b = Buffer.create 512 in
+  bprintf b
+    "Codes: C - connected, S - static, O - OSPF, R - RIP, B - BGP\n\n";
+  List.iter
+    (fun (r : Rib.route) ->
+      match r.r_next_hop with
+      | Some nh ->
+          bprintf b "%c>* %-18s [%d/%d] via %s%s\n" (code r.r_proto)
+            (Ipv4_addr.Prefix.to_string r.r_prefix)
+            r.r_distance r.r_metric (Ipv4_addr.to_string nh)
+            (if r.r_iface = "" then "" else Printf.sprintf ", %s" r.r_iface)
+      | None ->
+          bprintf b "%c>* %-18s is directly connected, %s\n" (code r.r_proto)
+            (Ipv4_addr.Prefix.to_string r.r_prefix)
+            r.r_iface)
+    (Rib.selected rib);
+  Buffer.contents b
+
+let ospf_state_name = function
+  | Ospfd.Down -> "Down"
+  | Ospfd.Init -> "Init"
+  | Ospfd.Exstart -> "ExStart"
+  | Ospfd.Exchange -> "Exchange"
+  | Ospfd.Loading -> "Loading"
+  | Ospfd.Full -> "Full"
+
+let ip_ospf_neighbor d =
+  let b = Buffer.create 256 in
+  bprintf b "%-16s %-10s %-16s %s\n" "Neighbor ID" "State" "Address" "Interface";
+  List.iter
+    (fun (n : Ospfd.neighbor_info) ->
+      bprintf b "%-16s %-10s %-16s %s\n"
+        (Ipv4_addr.to_string n.ni_router_id)
+        (ospf_state_name n.ni_state)
+        (Ipv4_addr.to_string n.ni_addr)
+        n.ni_iface)
+    (Ospfd.neighbors d);
+  Buffer.contents b
+
+let ip_ospf_database d =
+  let b = Buffer.create 256 in
+  bprintf b "                Router Link States (Area 0.0.0.0)\n\n";
+  bprintf b "%-16s %-16s %-12s %s\n" "Link ID" "ADV Router" "Seq#" "Links";
+  let lsas =
+    List.sort
+      (fun (a : Ospf_pkt.lsa) (c : Ospf_pkt.lsa) ->
+        Ipv4_addr.compare a.adv_router c.adv_router)
+      (Ospfd.lsdb d)
+  in
+  List.iter
+    (fun (lsa : Ospf_pkt.lsa) ->
+      let links =
+        match lsa.body with
+        | Ospf_pkt.Router { links } -> List.length links
+        | Ospf_pkt.Network _ | Ospf_pkt.Opaque _ -> 0
+      in
+      bprintf b "%-16s %-16s 0x%08lx   %d\n"
+        (Ipv4_addr.to_string lsa.link_state_id)
+        (Ipv4_addr.to_string lsa.adv_router)
+        lsa.seq links)
+    lsas;
+  Buffer.contents b
+
+let ip_rip d =
+  let b = Buffer.create 256 in
+  bprintf b "%-20s %-8s %s\n" "Network" "Metric" "Next Hop";
+  List.iter
+    (fun (prefix, metric, next_hop) ->
+      bprintf b "%-20s %-8d %s\n"
+        (Ipv4_addr.Prefix.to_string prefix)
+        metric
+        (match next_hop with
+        | Some nh -> Ipv4_addr.to_string nh
+        | None -> "directly connected"))
+    (Ripd.table d);
+  Buffer.contents b
+
+let ip_bgp_summary d =
+  let b = Buffer.create 128 in
+  bprintf b "BGP router identifier, local AS number %d\n" (Bgpd.asn d);
+  bprintf b "Established peers: %d\n" (Bgpd.established_peers d);
+  bprintf b "BGP routes selected: %d\n" (Bgpd.routes_learned d);
+  Buffer.contents b

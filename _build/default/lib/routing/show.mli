@@ -1,0 +1,17 @@
+(** Quagga vtysh-style rendering of daemon state ("show ip route",
+    "show ip ospf neighbor", ...). Used by the inspection CLI and by
+    humans debugging scenarios. *)
+
+val ip_route : Rib.t -> string
+(** Mirrors `show ip route`: one line per selected route with the
+    Quagga code letter (C connected, S static, O OSPF, R RIP, B BGP). *)
+
+val ip_ospf_neighbor : Ospfd.t -> string
+
+val ip_ospf_database : Ospfd.t -> string
+(** Router-LSA summary: advertising router, sequence, link count. *)
+
+val ip_rip : Ripd.t -> string
+(** The RIP table with metrics and next hops. *)
+
+val ip_bgp_summary : Bgpd.t -> string

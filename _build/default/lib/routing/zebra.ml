@@ -1,0 +1,88 @@
+open Rf_packet
+
+type t = {
+  hostname : string;
+  rib : Rib.t;
+  mutable ifaces : Iface.t list;
+}
+
+let create ~hostname () = { hostname; rib = Rib.create (); ifaces = [] }
+
+let hostname t = t.hostname
+
+let rib t = t.rib
+
+let connected_route ifc =
+  {
+    Rib.r_prefix = Iface.prefix ifc;
+    r_proto = Rib.Connected;
+    r_distance = Rib.default_distance Rib.Connected;
+    r_metric = 0;
+    r_next_hop = None;
+    r_iface = Iface.name ifc;
+  }
+
+let add_interface t ifc =
+  t.ifaces <- t.ifaces @ [ ifc ];
+  if Iface.is_up ifc && Iface.is_addressed ifc then
+    Rib.update t.rib (connected_route ifc);
+  Iface.add_state_listener ifc (fun up ->
+      if not (Iface.is_addressed ifc) then ()
+      else if up then Rib.update t.rib (connected_route ifc)
+      else Rib.withdraw t.rib Rib.Connected (Iface.prefix ifc));
+  (* Re-addressing replaces the connected route. The old prefix is not
+     tracked here: RouteFlow addresses each NIC exactly once. *)
+  Iface.add_address_listener ifc (fun () ->
+      if Iface.is_up ifc && Iface.is_addressed ifc then
+        Rib.update t.rib (connected_route ifc))
+
+let interfaces t = t.ifaces
+
+let interface t name =
+  List.find_opt (fun i -> String.equal (Iface.name i) name) t.ifaces
+
+let add_static t prefix next_hop =
+  Rib.update t.rib
+    {
+      Rib.r_prefix = prefix;
+      r_proto = Rib.Static;
+      r_distance = Rib.default_distance Rib.Static;
+      r_metric = 0;
+      r_next_hop = Some next_hop;
+      r_iface = "";
+    }
+
+let apply_config t (c : Quagga_conf.zebra_conf) =
+  let check_iface (ic : Quagga_conf.iface_conf) =
+    match interface t ic.ic_name with
+    | None -> Error (Printf.sprintf "zebra: no such interface %s" ic.ic_name)
+    | Some ifc ->
+        if
+          Ipv4_addr.equal (Iface.ip ifc) ic.ic_ip
+          && Iface.prefix_len ifc = ic.ic_prefix_len
+        then Ok ()
+        else
+          Error
+            (Printf.sprintf "zebra: interface %s address mismatch (%s/%d vs %s/%d)"
+               ic.ic_name
+               (Ipv4_addr.to_string (Iface.ip ifc))
+               (Iface.prefix_len ifc)
+               (Ipv4_addr.to_string ic.ic_ip)
+               ic.ic_prefix_len)
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | ic :: rest -> (
+        match check_iface ic with Ok () -> check rest | Error e -> Error e)
+  in
+  match check c.z_ifaces with
+  | Error e -> Error e
+  | Ok () ->
+      List.iter
+        (fun (s : Quagga_conf.static_route) ->
+          add_static t s.sr_prefix s.sr_next_hop)
+        c.z_statics;
+      Ok ()
+
+let connected_routes t =
+  List.filter (fun r -> r.Rib.r_proto = Rib.Connected) (Rib.selected t.rib)

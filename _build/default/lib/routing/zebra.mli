@@ -1,0 +1,29 @@
+(** The zebra daemon: owns the RIB, the interfaces, connected and
+    static routes. Routing protocol daemons (ospfd, bgpd) share its
+    RIB; RouteFlow's RF-client listens to the RIB's change stream. *)
+
+open Rf_packet
+
+type t
+
+val create : hostname:string -> unit -> t
+
+val hostname : t -> string
+
+val rib : t -> Rib.t
+
+val add_interface : t -> Iface.t -> unit
+(** Installs the connected route; tracks it across up/down flaps. *)
+
+val interfaces : t -> Iface.t list
+
+val interface : t -> string -> Iface.t option
+
+val add_static : t -> Ipv4_addr.Prefix.t -> Ipv4_addr.t -> unit
+
+val apply_config : t -> Quagga_conf.zebra_conf -> (unit, string) result
+(** Declares interfaces named in the config (they must already exist
+    physically — created by the VM from its NIC list) and installs the
+    static routes. Address mismatches are reported as errors. *)
+
+val connected_routes : t -> Rib.route list

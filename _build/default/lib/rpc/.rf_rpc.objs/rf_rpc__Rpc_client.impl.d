@@ -1,0 +1,1 @@
+lib/rpc/rpc_client.ml: Hashtbl Int32 List Rf_net Rf_sim Rpc_msg

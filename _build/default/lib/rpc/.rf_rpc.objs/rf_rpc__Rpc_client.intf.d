@@ -1,0 +1,1 @@
+lib/rpc/rpc_client.mli: Rf_net Rf_sim Rpc_msg

@@ -1,0 +1,1 @@
+lib/rpc/rpc_msg.ml: Char Format Int32 Ipv4_addr List Printf Result Rf_packet String Wire

@@ -1,0 +1,1 @@
+lib/rpc/rpc_msg.mli: Format Ipv4_addr Rf_packet

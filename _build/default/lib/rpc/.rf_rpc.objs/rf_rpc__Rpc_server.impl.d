@@ -1,0 +1,1 @@
+lib/rpc/rpc_server.ml: Hashtbl List Rf_net Rf_sim Rpc_msg

@@ -1,0 +1,1 @@
+lib/rpc/rpc_server.mli: Rf_net Rf_sim Rpc_msg

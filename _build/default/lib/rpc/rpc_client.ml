@@ -1,0 +1,62 @@
+type t = {
+  engine : Rf_sim.Engine.t;
+  chan : Rf_net.Channel.endpoint;
+  framer : Rpc_msg.Framer.t;
+  retransmit_after : Rf_sim.Vtime.span;
+  pending : (int32, string) Hashtbl.t;  (** unacked wire frames *)
+  mutable next_seq : int32;
+  mutable sent : int;
+  mutable retx : int;
+}
+
+let create engine ?(retransmit_after = Rf_sim.Vtime.span_s 2.0) chan =
+  let t =
+    {
+      engine;
+      chan;
+      framer = Rpc_msg.Framer.create ();
+      retransmit_after;
+      pending = Hashtbl.create 32;
+      next_seq = 0l;
+      sent = 0;
+      retx = 0;
+    }
+  in
+  Rf_net.Channel.set_receiver chan (fun bytes ->
+      match Rpc_msg.Framer.input t.framer bytes with
+      | Ok envs ->
+          List.iter
+            (fun (env : Rpc_msg.envelope) ->
+              match env.body with
+              | Rpc_msg.Ack seq -> Hashtbl.remove t.pending seq
+              | Rpc_msg.Request _ -> () (* server never sends requests *))
+            envs
+      | Error e ->
+          Rf_sim.Engine.record engine ~component:"rpc-client"
+            ~event:"framing-error" e);
+  t
+
+let rec watch t seq =
+  ignore
+    (Rf_sim.Engine.schedule t.engine t.retransmit_after (fun () ->
+         match Hashtbl.find_opt t.pending seq with
+         | Some frame ->
+             t.retx <- t.retx + 1;
+             Rf_net.Channel.send t.chan frame;
+             watch t seq
+         | None -> ()))
+
+let send t msg =
+  t.next_seq <- Int32.add t.next_seq 1l;
+  let seq = t.next_seq in
+  let frame = Rpc_msg.to_wire { Rpc_msg.seq; body = Rpc_msg.Request msg } in
+  Hashtbl.replace t.pending seq frame;
+  t.sent <- t.sent + 1;
+  Rf_net.Channel.send t.chan frame;
+  watch t seq
+
+let unacked t = Hashtbl.length t.pending
+
+let sent t = t.sent
+
+let retransmissions t = t.retx

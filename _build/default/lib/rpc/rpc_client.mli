@@ -1,0 +1,20 @@
+(** The RPC client that sits beside the topology controller: queues
+    configuration messages, numbers them, and retransmits until the RPC
+    server acknowledges. *)
+
+type t
+
+val create :
+  Rf_sim.Engine.t ->
+  ?retransmit_after:Rf_sim.Vtime.span ->
+  Rf_net.Channel.endpoint ->
+  t
+(** Default retransmission timeout 2 s. *)
+
+val send : t -> Rpc_msg.t -> unit
+
+val unacked : t -> int
+
+val sent : t -> int
+
+val retransmissions : t -> int

@@ -1,0 +1,165 @@
+open Rf_packet
+
+type t =
+  | Switch_up of { dpid : int64; n_ports : int }
+  | Switch_down of { dpid : int64 }
+  | Link_up of {
+      a_dpid : int64;
+      a_port : int;
+      a_ip : Ipv4_addr.t;
+      a_prefix_len : int;
+      b_dpid : int64;
+      b_port : int;
+      b_ip : Ipv4_addr.t;
+      b_prefix_len : int;
+    }
+  | Link_down of { a_dpid : int64; a_port : int; b_dpid : int64; b_port : int }
+  | Edge_subnet of {
+      dpid : int64;
+      port : int;
+      gateway : Ipv4_addr.t;
+      prefix_len : int;
+    }
+
+type envelope = { seq : int32; body : body }
+
+and body = Request of t | Ack of int32
+
+let encode_request w = function
+  | Switch_up { dpid; n_ports } ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.u64 w dpid;
+      Wire.Writer.u16 w n_ports
+  | Switch_down { dpid } ->
+      Wire.Writer.u8 w 2;
+      Wire.Writer.u64 w dpid
+  | Link_up l ->
+      Wire.Writer.u8 w 3;
+      Wire.Writer.u64 w l.a_dpid;
+      Wire.Writer.u16 w l.a_port;
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 l.a_ip);
+      Wire.Writer.u8 w l.a_prefix_len;
+      Wire.Writer.u64 w l.b_dpid;
+      Wire.Writer.u16 w l.b_port;
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 l.b_ip);
+      Wire.Writer.u8 w l.b_prefix_len
+  | Link_down l ->
+      Wire.Writer.u8 w 4;
+      Wire.Writer.u64 w l.a_dpid;
+      Wire.Writer.u16 w l.a_port;
+      Wire.Writer.u64 w l.b_dpid;
+      Wire.Writer.u16 w l.b_port
+  | Edge_subnet e ->
+      Wire.Writer.u8 w 5;
+      Wire.Writer.u64 w e.dpid;
+      Wire.Writer.u16 w e.port;
+      Wire.Writer.u32 w (Ipv4_addr.to_int32 e.gateway);
+      Wire.Writer.u8 w e.prefix_len
+
+let to_wire env =
+  let body = Wire.Writer.create ~initial:32 () in
+  Wire.Writer.u32 body env.seq;
+  (match env.body with
+  | Request r ->
+      Wire.Writer.u8 body 0;
+      encode_request body r
+  | Ack seq ->
+      Wire.Writer.u8 body 1;
+      Wire.Writer.u32 body seq);
+  let body = Wire.Writer.contents body in
+  let w = Wire.Writer.create ~initial:(4 + String.length body) () in
+  Wire.Writer.u32 w (Int32.of_int (String.length body));
+  Wire.Writer.bytes w body;
+  Wire.Writer.contents w
+
+let decode_request r =
+  let typ = Wire.Reader.u8 r in
+  match typ with
+  | 1 ->
+      let dpid = Wire.Reader.u64 r in
+      let n_ports = Wire.Reader.u16 r in
+      Ok (Switch_up { dpid; n_ports })
+  | 2 -> Ok (Switch_down { dpid = Wire.Reader.u64 r })
+  | 3 ->
+      let a_dpid = Wire.Reader.u64 r in
+      let a_port = Wire.Reader.u16 r in
+      let a_ip = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+      let a_prefix_len = Wire.Reader.u8 r in
+      let b_dpid = Wire.Reader.u64 r in
+      let b_port = Wire.Reader.u16 r in
+      let b_ip = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+      let b_prefix_len = Wire.Reader.u8 r in
+      Ok
+        (Link_up
+           { a_dpid; a_port; a_ip; a_prefix_len; b_dpid; b_port; b_ip; b_prefix_len })
+  | 4 ->
+      let a_dpid = Wire.Reader.u64 r in
+      let a_port = Wire.Reader.u16 r in
+      let b_dpid = Wire.Reader.u64 r in
+      let b_port = Wire.Reader.u16 r in
+      Ok (Link_down { a_dpid; a_port; b_dpid; b_port })
+  | 5 ->
+      let dpid = Wire.Reader.u64 r in
+      let port = Wire.Reader.u16 r in
+      let gateway = Ipv4_addr.of_int32 (Wire.Reader.u32 r) in
+      let prefix_len = Wire.Reader.u8 r in
+      Ok (Edge_subnet { dpid; port; gateway; prefix_len })
+  | n -> Error (Printf.sprintf "rpc: unknown request type %d" n)
+
+let of_frame frame =
+  try
+    let r = Wire.Reader.of_string frame in
+    let seq = Wire.Reader.u32 r in
+    let kind = Wire.Reader.u8 r in
+    match kind with
+    | 0 -> Result.map (fun req -> { seq; body = Request req }) (decode_request r)
+    | 1 -> Ok { seq; body = Ack (Wire.Reader.u32 r) }
+    | n -> Error (Printf.sprintf "rpc: unknown envelope kind %d" n)
+  with Wire.Truncated -> Error "rpc: truncated"
+
+module Framer = struct
+  type nonrec t = { mutable buffer : string }
+
+  let create () = { buffer = "" }
+
+  let input t chunk =
+    t.buffer <- t.buffer ^ chunk;
+    let rec extract acc =
+      let len = String.length t.buffer in
+      if len < 4 then Ok (List.rev acc)
+      else begin
+        let body_len =
+          (Char.code t.buffer.[0] lsl 24)
+          lor (Char.code t.buffer.[1] lsl 16)
+          lor (Char.code t.buffer.[2] lsl 8)
+          lor Char.code t.buffer.[3]
+        in
+        if body_len < 5 || body_len > 1 lsl 20 then Error "rpc: framing error"
+        else if len < 4 + body_len then Ok (List.rev acc)
+        else begin
+          let frame = String.sub t.buffer 4 body_len in
+          t.buffer <-
+            String.sub t.buffer (4 + body_len) (len - 4 - body_len);
+          match of_frame frame with
+          | Ok env -> extract (env :: acc)
+          | Error e -> Error e
+        end
+      end
+    in
+    extract []
+end
+
+let pp ppf = function
+  | Switch_up { dpid; n_ports } ->
+      Format.fprintf ppf "switch-up dpid=%Ld ports=%d" dpid n_ports
+  | Switch_down { dpid } -> Format.fprintf ppf "switch-down dpid=%Ld" dpid
+  | Link_up l ->
+      Format.fprintf ppf "link-up sw%Ld/%d(%a/%d) <-> sw%Ld/%d(%a/%d)" l.a_dpid
+        l.a_port Ipv4_addr.pp l.a_ip l.a_prefix_len l.b_dpid l.b_port
+        Ipv4_addr.pp l.b_ip l.b_prefix_len
+  | Link_down l ->
+      Format.fprintf ppf "link-down sw%Ld/%d <-> sw%Ld/%d" l.a_dpid l.a_port
+        l.b_dpid l.b_port
+  | Edge_subnet e ->
+      Format.fprintf ppf "edge sw%Ld/%d gw=%a/%d" e.dpid e.port Ipv4_addr.pp
+        e.gateway e.prefix_len

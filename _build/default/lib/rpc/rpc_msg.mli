@@ -1,0 +1,46 @@
+(** Configuration messages between the topology controller's RPC client
+    and the RPC server at the RF-controller (paper §2): switch
+    detection carries the datapath id and port count; link detection
+    carries the interface addresses the topology controller allocated
+    from the administrator's range. [Edge_subnet] carries the
+    host-facing subnets from the administrator's static input. *)
+
+open Rf_packet
+
+type t =
+  | Switch_up of { dpid : int64; n_ports : int }
+  | Switch_down of { dpid : int64 }
+  | Link_up of {
+      a_dpid : int64;
+      a_port : int;
+      a_ip : Ipv4_addr.t;
+      a_prefix_len : int;
+      b_dpid : int64;
+      b_port : int;
+      b_ip : Ipv4_addr.t;
+      b_prefix_len : int;
+    }
+  | Link_down of { a_dpid : int64; a_port : int; b_dpid : int64; b_port : int }
+  | Edge_subnet of {
+      dpid : int64;
+      port : int;
+      gateway : Ipv4_addr.t;
+      prefix_len : int;
+    }
+
+type envelope = { seq : int32; body : body }
+
+and body = Request of t | Ack of int32
+
+val to_wire : envelope -> string
+(** Length-prefixed frame. *)
+
+module Framer : sig
+  type t
+
+  val create : unit -> t
+
+  val input : t -> string -> (envelope list, string) result
+end
+
+val pp : Format.formatter -> t -> unit

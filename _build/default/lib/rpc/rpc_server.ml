@@ -1,0 +1,48 @@
+type t = {
+  chan : Rf_net.Channel.endpoint;
+  framer : Rpc_msg.Framer.t;
+  seen : (int32, unit) Hashtbl.t;
+  mutable handler : Rpc_msg.t -> unit;
+  mutable handled : int;
+  mutable dups : int;
+}
+
+let create engine chan =
+  let t =
+    {
+      chan;
+      framer = Rpc_msg.Framer.create ();
+      seen = Hashtbl.create 64;
+      handler = (fun _ -> ());
+      handled = 0;
+      dups = 0;
+    }
+  in
+  Rf_net.Channel.set_receiver chan (fun bytes ->
+      match Rpc_msg.Framer.input t.framer bytes with
+      | Ok envs ->
+          List.iter
+            (fun (env : Rpc_msg.envelope) ->
+              match env.body with
+              | Rpc_msg.Request req ->
+                  Rf_net.Channel.send t.chan
+                    (Rpc_msg.to_wire
+                       { Rpc_msg.seq = 0l; body = Rpc_msg.Ack env.seq });
+                  if Hashtbl.mem t.seen env.seq then t.dups <- t.dups + 1
+                  else begin
+                    Hashtbl.replace t.seen env.seq ();
+                    t.handled <- t.handled + 1;
+                    t.handler req
+                  end
+              | Rpc_msg.Ack _ -> ())
+            envs
+      | Error e ->
+          Rf_sim.Engine.record engine ~component:"rpc-server"
+            ~event:"framing-error" e);
+  t
+
+let set_handler t f = t.handler <- f
+
+let requests_handled t = t.handled
+
+let duplicates_dropped t = t.dups

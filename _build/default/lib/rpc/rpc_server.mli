@@ -1,0 +1,13 @@
+(** The RPC server beside the RF-controller: acknowledges and
+    dispatches configuration messages, deduplicating retransmissions by
+    sequence number. *)
+
+type t
+
+val create : Rf_sim.Engine.t -> Rf_net.Channel.endpoint -> t
+
+val set_handler : t -> (Rpc_msg.t -> unit) -> unit
+
+val requests_handled : t -> int
+
+val duplicates_dropped : t -> int

@@ -1,0 +1,104 @@
+type timer = { mutable cancelled : bool; thunk : unit -> unit }
+
+type t = {
+  mutable clock : Vtime.t;
+  queue : timer Event_heap.t;
+  rng : Rng.t;
+  trace : Trace.t;
+  mutable stop_requested : bool;
+  mutable executed : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    clock = Vtime.zero;
+    queue = Event_heap.create ();
+    rng = Rng.create seed;
+    trace = Trace.create ();
+    stop_requested = false;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.rng
+
+let trace t = t.trace
+
+let schedule_at t at f =
+  if Vtime.(at < t.clock) then
+    invalid_arg "Engine.schedule_at: scheduling into the past";
+  let timer = { cancelled = false; thunk = f } in
+  Event_heap.push t.queue at timer;
+  timer
+
+let schedule t after f =
+  if Vtime.span_is_negative after then
+    invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (Vtime.add t.clock after) f
+
+let periodic t ?jitter every f =
+  if Vtime.span_is_negative every then
+    invalid_arg "Engine.periodic: negative period";
+  let handle = { cancelled = false; thunk = (fun () -> ()) } in
+  let next_delay () =
+    match jitter with
+    | None -> every
+    | Some j ->
+        let extra_s = Rng.float t.rng (Vtime.span_to_s j) in
+        Vtime.span_add every (Vtime.span_s extra_s)
+  in
+  (* Inner one-shots check [handle.cancelled]; after cancellation the
+     pending event fires as a no-op and the chain ends. *)
+  let rec arm () =
+    ignore
+      (schedule t (next_delay ()) (fun () ->
+           if not handle.cancelled then begin
+             f ();
+             arm ()
+           end))
+  in
+  arm ();
+  handle
+
+let cancel timer = timer.cancelled <- true
+
+let record t ~component ~event detail =
+  Trace.record t.trace t.clock ~component ~event detail
+
+type run_result = Quiescent | Deadline_reached | Stopped
+
+let run ?until ?(max_events = 50_000_000) t =
+  t.stop_requested <- false;
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else
+      match Event_heap.peek_time t.queue with
+      | None -> Quiescent
+      | Some next -> (
+          match until with
+          | Some horizon when Vtime.(horizon < next) ->
+              t.clock <- horizon;
+              Deadline_reached
+          | Some _ | None -> (
+              match Event_heap.pop t.queue with
+              | None -> Quiescent
+              | Some (time, timer) ->
+                  t.clock <- time;
+                  if not timer.cancelled then begin
+                    t.executed <- t.executed + 1;
+                    if t.executed > max_events then
+                      failwith "Engine.run: max_events exceeded";
+                    timer.thunk ()
+                  end;
+                  loop ()))
+  in
+  let result = loop () in
+  (match (result, until) with
+  | Quiescent, Some horizon when Vtime.(t.clock < horizon) -> t.clock <- horizon
+  | (Quiescent | Deadline_reached | Stopped), _ -> ());
+  result
+
+let stop t = t.stop_requested <- true
+
+let events_executed t = t.executed

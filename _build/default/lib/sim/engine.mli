@@ -1,0 +1,54 @@
+(** Discrete-event simulation engine.
+
+    A single engine owns the virtual clock and the event queue. All
+    simulated components capture the engine and schedule closures on
+    it; [run] drains the queue in timestamp order, advancing the clock
+    to each event's instant before executing it. *)
+
+type t
+
+type timer
+(** Handle for a scheduled event, used for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+
+val now : t -> Vtime.t
+
+val rng : t -> Rng.t
+(** The engine's root generator; components normally [Rng.split] it. *)
+
+val trace : t -> Trace.t
+
+val schedule : t -> Vtime.span -> (unit -> unit) -> timer
+(** [schedule t after f] runs [f] once, [after] from now. A negative
+    delay raises [Invalid_argument]. *)
+
+val schedule_at : t -> Vtime.t -> (unit -> unit) -> timer
+(** Absolute variant; scheduling strictly in the past raises. *)
+
+val periodic : t -> ?jitter:Vtime.span -> Vtime.span -> (unit -> unit) -> timer
+(** [periodic t every f] runs [f] every [every], first firing after
+    [every]. With [~jitter:j], each interval is lengthened by a uniform
+    draw from [0, j) (desynchronises protocol timers, as real
+    implementations do). Cancel to stop. *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired one-shot timer is a no-op. *)
+
+val record : t -> component:string -> event:string -> string -> unit
+(** Appends to the engine trace at the current instant. *)
+
+type run_result =
+  | Quiescent  (** event queue drained *)
+  | Deadline_reached  (** stopped at the [until] horizon *)
+  | Stopped  (** a component called [stop] *)
+
+val run : ?until:Vtime.t -> ?max_events:int -> t -> run_result
+(** Drains the queue. [until] bounds virtual time (events after it stay
+    queued; the clock is left at [until]). [max_events] guards against
+    runaway simulations and raises [Failure] when exceeded. *)
+
+val stop : t -> unit
+(** Makes [run] return after the current event completes. *)
+
+val events_executed : t -> int

@@ -1,0 +1,24 @@
+(** Binary min-heap of timestamped events.
+
+    Ties on time are broken by insertion sequence number so that two
+    events scheduled for the same instant fire in scheduling order —
+    this is what makes the whole simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> Vtime.t -> 'a -> unit
+(** [push h time v] inserts [v] with priority [time]. *)
+
+val pop : 'a t -> (Vtime.t * 'a) option
+(** Removes and returns the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Vtime.t option
+(** Time of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,79 @@
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type series = { mutable samples : float list; mutable n : int }
+
+let series () = { samples = []; n = 0 }
+
+let add s v =
+  s.samples <- v :: s.samples;
+  s.n <- s.n + 1
+
+let count s = s.n
+
+let sorted s = List.sort Float.compare s.samples
+
+let percentile_of_sorted sorted_arr q =
+  let n = Array.length sorted_arr in
+  if n = 0 then invalid_arg "Stats.percentile: empty series";
+  let idx = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor idx) in
+  let hi = int_of_float (Float.ceil idx) in
+  if lo = hi then sorted_arr.(lo)
+  else
+    let frac = idx -. float_of_int lo in
+    (sorted_arr.(lo) *. (1. -. frac)) +. (sorted_arr.(hi) *. frac)
+
+let percentile s q =
+  let arr = Array.of_list (sorted s) in
+  percentile_of_sorted arr q
+
+let mean s =
+  if s.n = 0 then 0.
+  else List.fold_left ( +. ) 0. s.samples /. float_of_int s.n
+
+let summarize s =
+  if s.n = 0 then None
+  else begin
+    let arr = Array.of_list (sorted s) in
+    let n = Array.length arr in
+    let mean = mean s in
+    let var =
+      Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. arr
+      /. float_of_int n
+    in
+    Some
+      {
+        count = n;
+        min = arr.(0);
+        max = arr.(n - 1);
+        mean;
+        stddev = sqrt var;
+        p50 = percentile_of_sorted arr 0.5;
+        p90 = percentile_of_sorted arr 0.9;
+        p99 = percentile_of_sorted arr 0.99;
+      }
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d min=%.3f mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f sd=%.3f"
+    s.count s.min s.mean s.p50 s.p90 s.p99 s.max s.stddev
+
+type counter = { mutable v : int }
+
+let counter () = { v = 0 }
+
+let incr c = c.v <- c.v + 1
+
+let incr_by c n = c.v <- c.v + n
+
+let value c = c.v

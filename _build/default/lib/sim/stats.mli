@@ -1,0 +1,42 @@
+(** Simple statistics collectors used by the experiment harness. *)
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type series
+(** A growable collection of float samples. *)
+
+val series : unit -> series
+
+val add : series -> float -> unit
+
+val count : series -> int
+
+val summarize : series -> summary option
+(** [None] when no sample was recorded. *)
+
+val percentile : series -> float -> float
+(** [percentile s q] with [q] in [0,1]; raises [Invalid_argument] when
+    the series is empty. *)
+
+val mean : series -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+
+type counter
+
+val counter : unit -> counter
+
+val incr : counter -> unit
+
+val incr_by : counter -> int -> unit
+
+val value : counter -> int

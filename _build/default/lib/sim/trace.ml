@@ -1,0 +1,31 @@
+type record = {
+  time : Vtime.t;
+  component : string;
+  event : string;
+  detail : string;
+}
+
+type t = { mutable records : record list; mutable size : int }
+
+let create ?capacity:_ () = { records = []; size = 0 }
+
+let record t time ~component ~event detail =
+  t.records <- { time; component; event; detail } :: t.records;
+  t.size <- t.size + 1
+
+let size t = t.size
+
+let to_list t = List.rev t.records
+
+let filter t f = List.filter f (to_list t)
+
+let find_first t f = List.find_opt f (to_list t)
+
+let find_last t f = List.find_opt f t.records
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] %-18s %-16s %s" Vtime.pp r.time r.component r.event
+    r.detail
+
+let dump ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) (to_list t)

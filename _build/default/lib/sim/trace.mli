@@ -1,0 +1,33 @@
+(** Structured trace of simulation events.
+
+    Components record ("component", "event", detail) triples with the
+    virtual timestamp; experiments query the trace afterwards to
+    reconstruct timelines (e.g. when each switch became configured). *)
+
+type record = {
+  time : Vtime.t;
+  component : string;
+  event : string;
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> Vtime.t -> component:string -> event:string -> string -> unit
+
+val size : t -> int
+
+val to_list : t -> record list
+(** All records in chronological (insertion) order. *)
+
+val filter : t -> (record -> bool) -> record list
+
+val find_first : t -> (record -> bool) -> record option
+
+val find_last : t -> (record -> bool) -> record option
+
+val pp_record : Format.formatter -> record -> unit
+
+val dump : Format.formatter -> t -> unit

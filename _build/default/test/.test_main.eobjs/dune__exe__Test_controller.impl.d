@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Format List Of_msg Rf_controller Rf_flowvisor Rf_net Rf_openflow Rf_packet Rf_sim String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring_contains Format Ipv4_addr List Rf_core Rf_net Rf_packet Rf_routeflow Rf_sim

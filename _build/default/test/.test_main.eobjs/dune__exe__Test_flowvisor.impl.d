@@ -1,0 +1,1 @@
+test/test_flowvisor.ml: Alcotest Ipv4_addr List Lldp Mac Of_action Of_match Of_msg Packet Rf_controller Rf_flowvisor Rf_net Rf_openflow Rf_packet Rf_sim Udp

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Astring_contains Int64 List Printf Rf_controller Rf_core Rf_flowvisor Rf_net Rf_routeflow Rf_routing Rf_rpc Rf_sim

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Arp Format Int32 Ipv4_addr List Mac Of_action Of_codec Of_match Of_msg Of_port Packet QCheck QCheck_alcotest Rf_openflow Rf_packet String Wire

@@ -1,0 +1,1 @@
+test/test_ospf.ml: Alcotest Array Astring_contains Int64 Ipv4_addr List Mac Option Printf Rf_net Rf_packet Rf_routing Rf_sim

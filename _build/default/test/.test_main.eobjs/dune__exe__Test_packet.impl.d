@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Arp Bytes Char Ethernet Gen Icmp Int32 Int64 Ipv4 Ipv4_addr List Lldp Mac Ospf_pkt Packet QCheck QCheck_alcotest Rf_packet String Tcp Udp Wire

@@ -1,0 +1,1 @@
+test/test_rip.ml: Alcotest Array Astring_contains Iface Ipv4_addr List Mac Option Packet Printf Quagga_conf Rf_core Rf_net Rf_packet Rf_routeflow Rf_routing Rf_sim Rib Rip_pkt Ripd Show Udp

@@ -1,0 +1,1 @@
+test/test_routeflow.ml: Alcotest Arp Ethernet Hashtbl Icmp Int64 Ipv4 Ipv4_addr List Mac Packet Rf_controller_app Rf_net Rf_packet Rf_routeflow Rf_routing Rf_sim Rf_system Rf_vs Udp Vm

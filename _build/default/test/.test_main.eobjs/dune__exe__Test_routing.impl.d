@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Bgp_msg Bgpd Format Iface Int32 Ipv4_addr List Mac Option Prefix_trie Printf QCheck QCheck_alcotest Quagga_conf Rf_net Rf_packet Rf_routing Rf_sim Rib Zebra

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Format Int32 Int64 Ipv4_addr List QCheck QCheck_alcotest Rf_net Rf_packet Rf_rpc Rf_sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Astring_contains Buffer Format List Printf QCheck QCheck_alcotest Rf_sim

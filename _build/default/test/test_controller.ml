@@ -1,0 +1,257 @@
+(* Controller-side tests: the Of_conn handshake driver and the LLDP
+   discovery module, exercised against real emulated switches. *)
+
+open Rf_openflow
+module Topology = Rf_net.Topology
+module Topo_gen = Rf_net.Topo_gen
+module Network = Rf_net.Network
+module Channel = Rf_net.Channel
+module Datapath = Rf_net.Datapath
+module Of_agent = Rf_net.Of_agent
+module Of_conn = Rf_controller.Of_conn
+module Discovery = Rf_controller.Discovery
+module Engine = Rf_sim.Engine
+module Vtime = Rf_sim.Vtime
+
+let attach_switch engine dpid n_ports =
+  let dp = Datapath.create engine ~dpid ~n_ports () in
+  let sw_end, ctl_end = Channel.create engine () in
+  let _agent = Of_agent.create engine dp sw_end in
+  (dp, ctl_end)
+
+let test_of_conn_handshake () =
+  let engine = Engine.create () in
+  let _dp, ctl_end = attach_switch engine 7L 4 in
+  let conn = Of_conn.create engine ctl_end in
+  let done_ = ref None in
+  Of_conn.set_on_handshake conn (fun f -> done_ := Some f);
+  ignore (Engine.run ~until:(Vtime.of_s 2.0) engine);
+  match !done_ with
+  | Some f ->
+      Alcotest.(check int64) "dpid" 7L f.Of_msg.datapath_id;
+      Alcotest.(check bool) "dpid accessor" true (Of_conn.dpid conn = Some 7L)
+  | None -> Alcotest.fail "handshake did not complete"
+
+let test_of_conn_late_handshake_callback () =
+  let engine = Engine.create () in
+  let _dp, ctl_end = attach_switch engine 9L 2 in
+  let conn = Of_conn.create engine ctl_end in
+  ignore (Engine.run ~until:(Vtime.of_s 2.0) engine);
+  (* Installing the callback after completion still fires it. *)
+  let fired = ref false in
+  Of_conn.set_on_handshake conn (fun _ -> fired := true);
+  Alcotest.(check bool) "late callback fired" true !fired
+
+let test_of_conn_echo_keepalive () =
+  let engine = Engine.create () in
+  let dp, ctl_end = attach_switch engine 3L 1 in
+  ignore dp;
+  let conn = Of_conn.create engine ~echo_interval:(Vtime.span_s 5.0) ctl_end in
+  ignore conn;
+  ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+  (* The agent answered several echo requests: connection stayed open
+     and the trace carries no framing errors. *)
+  Alcotest.(check bool) "still open" true (Of_conn.is_open conn)
+
+(* Build a discovery instance watching a whole emulated network,
+   without FlowVisor (direct attachment). *)
+let discovery_over engine topo =
+  let disc = Discovery.create engine ~probe_interval:(Vtime.span_s 2.0) () in
+  let net =
+    Network.build engine topo
+      ~host_config:(fun _ -> Alcotest.fail "no hosts here")
+      ~attach_controller:(fun ~dpid:_ endpoint ->
+        Discovery.attach disc (Of_conn.create engine endpoint))
+      ()
+  in
+  (disc, net)
+
+let test_discovery_full_topology () =
+  let engine = Engine.create () in
+  let topo = Topo_gen.grid 3 3 in
+  let disc, _net = discovery_over engine topo in
+  ignore (Engine.run ~until:(Vtime.of_s 10.0) engine);
+  Alcotest.(check int) "switches" 9 (List.length (Discovery.switches disc));
+  Alcotest.(check int) "links" 12 (List.length (Discovery.links disc));
+  (* Each discovered link corresponds to a topology edge. *)
+  List.iter
+    (fun (l : Discovery.link) ->
+      match
+        Topology.edge_between topo (Topology.Switch l.Discovery.la_dpid)
+          (Topology.Switch l.Discovery.lb_dpid)
+      with
+      | Some _ -> ()
+      | None ->
+          Alcotest.fail
+            (Format.asprintf "phantom link %a" Discovery.pp_link l))
+    (Discovery.links disc)
+
+let test_discovery_events_fire_once () =
+  let engine = Engine.create () in
+  let topo = Topo_gen.ring 5 in
+  let disc = Discovery.create engine ~probe_interval:(Vtime.span_s 2.0) () in
+  let sw_events = ref 0 and link_events = ref 0 in
+  Discovery.set_on_switch_up disc (fun _ _ -> incr sw_events);
+  Discovery.set_on_link_up disc (fun _ -> incr link_events);
+  let _net =
+    Network.build engine topo
+      ~host_config:(fun _ -> Alcotest.fail "no hosts")
+      ~attach_controller:(fun ~dpid:_ endpoint ->
+        Discovery.attach disc (Of_conn.create engine endpoint))
+      ()
+  in
+  ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+  (* Despite many probe rounds, each link is reported exactly once. *)
+  Alcotest.(check int) "switch events" 5 !sw_events;
+  Alcotest.(check int) "link events" 5 !link_events
+
+let test_discovery_link_ages_out () =
+  let engine = Engine.create () in
+  let topo = Topo_gen.ring 4 in
+  let disc = Discovery.create engine ~probe_interval:(Vtime.span_s 2.0)
+      ~link_timeout:(Vtime.span_s 6.0) () in
+  let downs = ref [] in
+  Discovery.set_on_link_down disc (fun l -> downs := l :: !downs);
+  let net =
+    Network.build engine topo
+      ~host_config:(fun _ -> Alcotest.fail "no hosts")
+      ~attach_controller:(fun ~dpid:_ endpoint ->
+        Discovery.attach disc (Of_conn.create engine endpoint))
+      ()
+  in
+  ignore (Engine.run ~until:(Vtime.of_s 10.0) engine);
+  Alcotest.(check int) "all links" 4 (List.length (Discovery.links disc));
+  Network.set_link_up net (Topology.Switch 1L) (Topology.Switch 2L) false;
+  ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+  Alcotest.(check int) "one fewer" 3 (List.length (Discovery.links disc));
+  match !downs with
+  | [ l ] ->
+      Alcotest.(check int64) "a side" 1L l.Discovery.la_dpid;
+      Alcotest.(check int64) "b side" 2L l.Discovery.lb_dpid
+  | _ -> Alcotest.fail "expected exactly one link-down"
+
+let test_discovery_link_recovers () =
+  let engine = Engine.create () in
+  let topo = Topo_gen.ring 4 in
+  let disc = Discovery.create engine ~probe_interval:(Vtime.span_s 2.0)
+      ~link_timeout:(Vtime.span_s 6.0) () in
+  let ups = ref 0 in
+  Discovery.set_on_link_up disc (fun _ -> incr ups);
+  let net =
+    Network.build engine topo
+      ~host_config:(fun _ -> Alcotest.fail "no hosts")
+      ~attach_controller:(fun ~dpid:_ endpoint ->
+        Discovery.attach disc (Of_conn.create engine endpoint))
+      ()
+  in
+  ignore (Engine.run ~until:(Vtime.of_s 10.0) engine);
+  Network.set_link_up net (Topology.Switch 1L) (Topology.Switch 2L) false;
+  ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+  Network.set_link_up net (Topology.Switch 1L) (Topology.Switch 2L) true;
+  ignore (Engine.run ~until:(Vtime.of_s 45.0) engine);
+  Alcotest.(check int) "links back" 4 (List.length (Discovery.links disc));
+  Alcotest.(check int) "re-reported" 5 !ups
+
+let test_discovery_counters () =
+  let engine = Engine.create () in
+  let topo = Topo_gen.ring 3 in
+  let disc, _net = discovery_over engine topo in
+  ignore (Engine.run ~until:(Vtime.of_s 20.0) engine);
+  Alcotest.(check bool) "probes sent" true (Discovery.probes_sent disc > 10);
+  Alcotest.(check bool) "lldp received" true (Discovery.lldp_received disc > 10);
+  (* Timestamps available for every switch and link. *)
+  List.iter
+    (fun (d, _) ->
+      Alcotest.(check bool) "switch ts" true (Discovery.switch_seen_at disc d <> None))
+    (Discovery.switches disc);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "link ts" true (Discovery.link_seen_at disc l <> None))
+    (Discovery.links disc)
+
+let test_stats_poller_collects () =
+  let engine = Engine.create () in
+  let dp, ctl_end = attach_switch engine 11L 2 in
+  (* Push some traffic so counters are non-zero. *)
+  (match
+     Datapath.handle_flow_mod dp
+       (Of_msg.flow_add Rf_openflow.Of_match.wildcard_all
+          [ Rf_openflow.Of_action.output 2 ])
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "flow mod");
+  Datapath.set_transmit dp ~port:2 (fun _ -> ());
+  let frame =
+    Rf_packet.Packet.udp ~src_mac:(Rf_packet.Mac.make_local 1)
+      ~dst_mac:(Rf_packet.Mac.make_local 2)
+      ~src_ip:(Rf_packet.Ipv4_addr.of_string_exn "1.1.1.1")
+      ~dst_ip:(Rf_packet.Ipv4_addr.of_string_exn "2.2.2.2")
+      (Rf_packet.Udp.make ~src_port:1 ~dst_port:2 (String.make 100 'x'))
+  in
+  for _ = 1 to 10 do
+    Datapath.receive_frame dp ~in_port:1 frame
+  done;
+  let poller =
+    Rf_controller.Stats_poller.create engine ~interval:(Vtime.span_s 5.0) ()
+  in
+  let samples = ref 0 in
+  Rf_controller.Stats_poller.set_on_sample poller (fun _ _ -> incr samples);
+  Rf_controller.Stats_poller.attach poller (Of_conn.create engine ctl_end);
+  ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+  Alcotest.(check bool) "several polls" true
+    (Rf_controller.Stats_poller.polls_sent poller >= 4);
+  Alcotest.(check int) "reply per poll"
+    (Rf_controller.Stats_poller.polls_sent poller)
+    (Rf_controller.Stats_poller.replies_received poller);
+  Alcotest.(check bool) "samples delivered" true (!samples > 0);
+  match Rf_controller.Stats_poller.latest_totals poller 11L with
+  | Some totals ->
+      Alcotest.(check int64) "rx packets" 10L totals.Rf_controller.Stats_poller.rx_packets;
+      Alcotest.(check int64) "tx packets" 10L totals.Rf_controller.Stats_poller.tx_packets;
+      Alcotest.(check bool) "bytes counted" true
+        (totals.Rf_controller.Stats_poller.rx_bytes > 1000L)
+  | None -> Alcotest.fail "no totals"
+
+let test_stats_poller_through_flowvisor () =
+  (* A third, packetless "monitor" slice carrying only stats traffic:
+     FlowVisor's xid translation must route every reply back. *)
+  let engine = Engine.create () in
+  let fv = Rf_flowvisor.Flowvisor.create engine () in
+  let poller =
+    Rf_controller.Stats_poller.create engine ~interval:(Vtime.span_s 5.0) ()
+  in
+  Rf_flowvisor.Flowvisor.add_slice fv
+    (Rf_flowvisor.Flowspace.make ~name:"monitor" [])
+    ~attach:(fun ~dpid:_ endpoint ->
+      Rf_controller.Stats_poller.attach poller (Of_conn.create engine endpoint));
+  let dp = Datapath.create engine ~dpid:21L ~n_ports:2 () in
+  let sw_end, ctl_end = Channel.create engine () in
+  let _agent = Of_agent.create engine dp sw_end in
+  Rf_flowvisor.Flowvisor.switch_attach fv ~dpid:21L ctl_end;
+  ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+  Alcotest.(check bool) "polls through proxy" true
+    (Rf_controller.Stats_poller.polls_sent poller >= 4);
+  Alcotest.(check int) "all replies translated back"
+    (Rf_controller.Stats_poller.polls_sent poller)
+    (Rf_controller.Stats_poller.replies_received poller)
+
+let suite =
+  [
+    Alcotest.test_case "of_conn handshake" `Quick test_of_conn_handshake;
+    Alcotest.test_case "of_conn late handshake callback" `Quick
+      test_of_conn_late_handshake_callback;
+    Alcotest.test_case "of_conn echo keepalive" `Quick test_of_conn_echo_keepalive;
+    Alcotest.test_case "discovery maps a 3x3 grid" `Quick test_discovery_full_topology;
+    Alcotest.test_case "discovery events fire once" `Quick
+      test_discovery_events_fire_once;
+    Alcotest.test_case "discovery ages out dead links" `Quick
+      test_discovery_link_ages_out;
+    Alcotest.test_case "discovery re-learns recovered links" `Quick
+      test_discovery_link_recovers;
+    Alcotest.test_case "discovery counters and timestamps" `Quick
+      test_discovery_counters;
+    Alcotest.test_case "stats poller collects port counters" `Quick
+      test_stats_poller_collects;
+    Alcotest.test_case "stats poller through FlowVisor" `Quick
+      test_stats_poller_through_flowvisor;
+  ]

@@ -1,0 +1,15 @@
+let () = Alcotest.run "routeflow-autoconf" [
+      ("sim", Test_sim.suite);
+      ("packet", Test_packet.suite);
+      ("openflow", Test_openflow.suite);
+      ("net", Test_net.suite);
+      ("controller", Test_controller.suite);
+      ("flowvisor", Test_flowvisor.suite);
+      ("routing", Test_routing.suite);
+      ("ospf", Test_ospf.suite);
+      ("rip", Test_rip.suite);
+      ("routeflow", Test_routeflow.suite);
+      ("rpc", Test_rpc.suite);
+      ("core", Test_core.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,356 @@
+(* OSPF daemon tests: adjacency bring-up, flooding, SPF routes,
+   failure reconvergence. Routers are wired back-to-back through
+   Iface pairs with a small propagation delay. *)
+
+open Rf_packet
+module Engine = Rf_sim.Engine
+module Vtime = Rf_sim.Vtime
+module Iface = Rf_routing.Iface
+module Ospfd = Rf_routing.Ospfd
+module Rib = Rf_routing.Rib
+
+let ip = Ipv4_addr.of_string_exn
+
+let pfx = Ipv4_addr.Prefix.of_string_exn
+
+(* Wire two ifaces as a point-to-point link with [ms] one-way delay. *)
+let join engine ?(ms = 1) a b =
+  Iface.set_transmit a (fun frame ->
+      ignore
+        (Engine.schedule engine (Vtime.span_ms ms) (fun () -> Iface.deliver b frame)));
+  Iface.set_transmit b (fun frame ->
+      ignore
+        (Engine.schedule engine (Vtime.span_ms ms) (fun () -> Iface.deliver a frame)))
+
+type router = { rid : Ipv4_addr.t; rib : Rib.t; ospf : Ospfd.t }
+
+let make_router engine i =
+  let rid = ip (Printf.sprintf "10.255.0.%d" i) in
+  let rib = Rib.create () in
+  let cfg = Ospfd.default_config ~router_id:rid in
+  let ospf = Ospfd.create engine cfg rib in
+  { rid; rib; ospf }
+
+(* A line of n routers: r1 -- r2 -- ... -- rn, transfer nets
+   172.16.k.0/30, each router also has a passive stub 10.0.i.0/24. *)
+let build_line engine n =
+  let routers = Array.init n (fun i -> make_router engine (i + 1)) in
+  Array.iteri
+    (fun i r ->
+      let stub =
+        Iface.create
+          ~name:(Printf.sprintf "stub%d" (i + 1))
+          ~mac:(Mac.make_local (1000 + i))
+          ~ip:(ip (Printf.sprintf "10.0.%d.1" (i + 1)))
+          ~prefix_len:24 ()
+      in
+      Ospfd.add_interface r.ospf ~passive:true stub)
+    routers;
+  for i = 0 to n - 2 do
+    let left = routers.(i) and right = routers.(i + 1) in
+    let ia =
+      Iface.create
+        ~name:(Printf.sprintf "eth%d_r" (i + 1))
+        ~mac:(Mac.make_local (2000 + (2 * i)))
+        ~ip:(ip (Printf.sprintf "172.16.%d.1" i))
+        ~prefix_len:30 ()
+    in
+    let ib =
+      Iface.create
+        ~name:(Printf.sprintf "eth%d_l" (i + 2))
+        ~mac:(Mac.make_local (2001 + (2 * i)))
+        ~ip:(ip (Printf.sprintf "172.16.%d.2" i))
+        ~prefix_len:30 ()
+    in
+    join engine ia ib;
+    Ospfd.add_interface left.ospf ia;
+    Ospfd.add_interface right.ospf ib
+  done;
+  Array.iter (fun r -> Ospfd.start r.ospf) routers;
+  routers
+
+let run_for engine s =
+  ignore (Engine.run ~until:(Vtime.add (Engine.now engine) (Vtime.span_s s)) engine)
+
+let test_two_routers_full () =
+  let engine = Engine.create () in
+  let routers = build_line engine 2 in
+  run_for engine 10.;
+  Alcotest.(check bool)
+    "r1 adjacent to r2" true
+    (Ospfd.is_adjacent_to routers.(0).ospf routers.(1).rid);
+  Alcotest.(check bool)
+    "r2 adjacent to r1" true
+    (Ospfd.is_adjacent_to routers.(1).ospf routers.(0).rid)
+
+let test_two_routers_routes () =
+  let engine = Engine.create () in
+  let routers = build_line engine 2 in
+  run_for engine 10.;
+  (* r1 must learn r2's stub 10.0.2.0/24 via OSPF. *)
+  match Rib.best routers.(0).rib (pfx "10.0.2.0/24") with
+  | None -> Alcotest.fail "no route to 10.0.2.0/24"
+  | Some r ->
+      Alcotest.(check string) "proto" "ospf" (Rib.proto_name r.Rib.r_proto);
+      Alcotest.(check (option string))
+        "next hop" (Some "172.16.0.2")
+        (Option.map Ipv4_addr.to_string r.Rib.r_next_hop)
+
+let test_line_five_convergence () =
+  let engine = Engine.create () in
+  let routers = build_line engine 5 in
+  run_for engine 30.;
+  (* Every router sees every stub; 5 routers x 5 stubs. *)
+  Array.iteri
+    (fun i r ->
+      for j = 1 to 5 do
+        let p = pfx (Printf.sprintf "10.0.%d.0/24" j) in
+        match Rib.best r.rib p with
+        | Some _ -> ()
+        | None ->
+            Alcotest.fail
+              (Printf.sprintf "router %d missing route to 10.0.%d.0/24" (i + 1) j)
+      done)
+    routers;
+  (* End-to-end metric check: r1 -> 10.0.5.0/24 crosses 4 transfer
+     links (cost 10 each) plus the stub cost 10. *)
+  match Rib.best routers.(0).rib (pfx "10.0.5.0/24") with
+  | Some r -> Alcotest.(check int) "metric" 50 r.Rib.r_metric
+  | None -> Alcotest.fail "unreachable"
+
+let test_lsdb_sizes () =
+  let engine = Engine.create () in
+  let routers = build_line engine 4 in
+  run_for engine 30.;
+  Array.iter
+    (fun r -> Alcotest.(check int) "lsdb size" 4 (Ospfd.lsdb_size r.ospf))
+    routers
+
+let test_neighbor_death_reconvergence () =
+  let engine = Engine.create () in
+  let routers = build_line engine 3 in
+  run_for engine 20.;
+  Alcotest.(check bool)
+    "initially reachable" true
+    (Rib.best routers.(0).rib (pfx "10.0.3.0/24") <> None);
+  (* Kill r3 entirely: its hellos stop, r2 ages it out after the dead
+     interval and withdraws the route network-wide. *)
+  Ospfd.stop routers.(2).ospf;
+  run_for engine 60.;
+  Alcotest.(check bool)
+    "withdrawn after death" true
+    (Rib.best routers.(0).rib (pfx "10.0.3.0/24") = None)
+
+let test_connected_preferred_over_ospf () =
+  let engine = Engine.create () in
+  let routers = build_line engine 2 in
+  run_for engine 10.;
+  (* The transfer net exists as connected on both; OSPF also hears of
+     it from the peer's stub advertisement, but connected must win. *)
+  match Rib.best routers.(0).rib (pfx "172.16.0.0/30") with
+  | Some r -> Alcotest.(check string) "proto" "connected" (Rib.proto_name r.Rib.r_proto)
+  | None -> Alcotest.fail "no transfer-net route"
+
+let test_spf_runs_bounded () =
+  let engine = Engine.create () in
+  let routers = build_line engine 5 in
+  run_for engine 120.;
+  (* SPF holddown batches LSDB churn; a stable 5-line must not run SPF
+     hundreds of times. *)
+  Array.iter
+    (fun r ->
+      let runs = Ospfd.spf_runs r.ospf in
+      if runs > 30 then
+        Alcotest.fail (Printf.sprintf "too many SPF runs: %d" runs))
+    routers
+
+(* A router joining long after the others converged must obtain the
+   full LSDB through the DD / LS-request / LS-update exchange. *)
+let test_late_joiner_syncs_database () =
+  let engine = Engine.create () in
+  let routers = build_line engine 3 in
+  run_for engine 30.;
+  (* Build a fourth router and splice it onto r3. *)
+  let r4 = make_router engine 4 in
+  let stub =
+    Iface.create ~name:"stub4" ~mac:(Mac.make_local 1100)
+      ~ip:(ip "10.0.4.1") ~prefix_len:24 ()
+  in
+  Ospfd.add_interface r4.ospf ~passive:true stub;
+  let ia =
+    Iface.create ~name:"eth3_r" ~mac:(Mac.make_local 1101)
+      ~ip:(ip "172.16.50.1") ~prefix_len:30 ()
+  in
+  let ib =
+    Iface.create ~name:"eth4_l" ~mac:(Mac.make_local 1102)
+      ~ip:(ip "172.16.50.2") ~prefix_len:30 ()
+  in
+  join engine ia ib;
+  Ospfd.add_interface routers.(2).ospf ia;
+  Ospfd.add_interface r4.ospf ib;
+  Ospfd.start r4.ospf;
+  run_for engine 30.;
+  (* r4 holds all four router LSAs and routes to every old stub. *)
+  Alcotest.(check int) "full lsdb" 4 (Ospfd.lsdb_size r4.ospf);
+  for j = 1 to 3 do
+    let p = pfx (Printf.sprintf "10.0.%d.0/24" j) in
+    if Rib.best r4.rib p = None then
+      Alcotest.fail (Printf.sprintf "late joiner missing 10.0.%d.0/24" j)
+  done;
+  (* And the old routers learned r4's stub. *)
+  Alcotest.(check bool) "r1 reaches new stub" true
+    (Rib.best routers.(0).rib (pfx "10.0.4.0/24") <> None)
+
+(* Property: on random connected topologies, once converged, each
+   router's OSPF metric to each stub equals (BFS hops x 10) + 10 —
+   uniform link costs make shortest-path checking exact. *)
+let test_random_topology_spf_matches_bfs () =
+  List.iter
+    (fun seed ->
+      let n = 8 in
+      let topo = Rf_net.Topo_gen.random ~seed ~n ~extra_edges:4 () in
+      let engine = Engine.create () in
+      let routers = Array.init n (fun i -> make_router engine (i + 1)) in
+      Array.iteri
+        (fun i r ->
+          let stub =
+            Iface.create
+              ~name:(Printf.sprintf "stub%d" (i + 1))
+              ~mac:(Mac.make_local (5000 + (100 * seed) + i))
+              ~ip:(ip (Printf.sprintf "10.0.%d.1" (i + 1)))
+              ~prefix_len:24 ()
+          in
+          Ospfd.add_interface r.ospf ~passive:true stub)
+        routers;
+      List.iteri
+        (fun k (e : Rf_net.Topology.edge) ->
+          match (e.a, e.b) with
+          | Rf_net.Topology.Switch a, Rf_net.Topology.Switch b ->
+              let ia =
+                Iface.create
+                  ~name:(Printf.sprintf "l%d_a" k)
+                  ~mac:(Mac.make_local (6000 + (200 * seed) + (2 * k)))
+                  ~ip:(ip (Printf.sprintf "172.19.%d.1" k))
+                  ~prefix_len:30 ()
+              in
+              let ib =
+                Iface.create
+                  ~name:(Printf.sprintf "l%d_b" k)
+                  ~mac:(Mac.make_local (6001 + (200 * seed) + (2 * k)))
+                  ~ip:(ip (Printf.sprintf "172.19.%d.2" k))
+                  ~prefix_len:30 ()
+              in
+              join engine ia ib;
+              Ospfd.add_interface routers.(Int64.to_int a - 1).ospf ia;
+              Ospfd.add_interface routers.(Int64.to_int b - 1).ospf ib
+          | _ -> ())
+        (Rf_net.Topology.edges topo);
+      Array.iter (fun r -> Ospfd.start r.ospf) routers;
+      run_for engine 60.;
+      Array.iteri
+        (fun i r ->
+          for j = 1 to n do
+            if j <> i + 1 then begin
+              let p = pfx (Printf.sprintf "10.0.%d.0/24" j) in
+              let hops =
+                match
+                  Rf_net.Topology.hop_distance topo
+                    (Rf_net.Topology.Switch (Int64.of_int (i + 1)))
+                    (Rf_net.Topology.Switch (Int64.of_int j))
+                with
+                | Some h -> h
+                | None -> Alcotest.fail "disconnected topology"
+              in
+              match Rib.best r.rib p with
+              | Some route ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "seed %d: r%d -> 10.0.%d metric" seed (i + 1) j)
+                    ((hops * 10) + 10)
+                    route.Rib.r_metric
+              | None ->
+                  Alcotest.fail
+                    (Printf.sprintf "seed %d: r%d missing route to 10.0.%d.0/24"
+                       seed (i + 1) j)
+            end
+          done)
+        routers)
+    [ 1; 7; 13 ]
+
+let test_graceful_shutdown_fast_withdraw () =
+  let engine = Engine.create () in
+  let routers = build_line engine 3 in
+  run_for engine 20.;
+  Alcotest.(check bool) "reachable" true
+    (Rib.best routers.(0).rib (pfx "10.0.3.0/24") <> None);
+  (* Graceful stop floods a MaxAge flush: withdrawal must happen well
+     inside the 40 s dead interval. *)
+  Ospfd.stop routers.(2).ospf;
+  run_for engine 5.;
+  Alcotest.(check bool) "withdrawn within 5 s" true
+    (Rib.best routers.(0).rib (pfx "10.0.3.0/24") = None);
+  Alcotest.(check int) "flushed from r1's LSDB" 2 (Ospfd.lsdb_size routers.(0).ospf)
+
+let test_hello_mismatch_blocks_adjacency () =
+  let engine = Engine.create () in
+  let r1 = make_router engine 1 in
+  (* r2 runs non-default timers: no adjacency may form. *)
+  let rid2 = ip "10.255.0.2" in
+  let cfg2 =
+    { (Ospfd.default_config ~router_id:rid2) with Ospfd.hello_interval = 5;
+      dead_interval = 20 }
+  in
+  let r2_rib = Rib.create () in
+  let r2 = Ospfd.create engine cfg2 r2_rib in
+  let ia =
+    Iface.create ~name:"m1" ~mac:(Mac.make_local 1301) ~ip:(ip "172.16.99.1")
+      ~prefix_len:30 ()
+  in
+  let ib =
+    Iface.create ~name:"m2" ~mac:(Mac.make_local 1302) ~ip:(ip "172.16.99.2")
+      ~prefix_len:30 ()
+  in
+  join engine ia ib;
+  Ospfd.add_interface r1.ospf ia;
+  Ospfd.add_interface r2 ib;
+  Ospfd.start r1.ospf;
+  Ospfd.start r2;
+  run_for engine 60.;
+  Alcotest.(check int) "no full neighbors on r1" 0
+    (Ospfd.full_neighbor_count r1.ospf);
+  Alcotest.(check int) "no full neighbors on r2" 0 (Ospfd.full_neighbor_count r2)
+
+let test_show_rendering () =
+  let engine = Engine.create () in
+  let routers = build_line engine 2 in
+  run_for engine 15.;
+  let route_text = Rf_routing.Show.ip_route routers.(0).rib in
+  Alcotest.(check bool) "connected line" true
+    (Astring_contains.contains route_text "is directly connected");
+  Alcotest.(check bool) "ospf line" true
+    (Astring_contains.contains route_text "O>* 10.0.2.0/24");
+  let nbr_text = Rf_routing.Show.ip_ospf_neighbor routers.(0).ospf in
+  Alcotest.(check bool) "neighbor full" true
+    (Astring_contains.contains nbr_text "Full");
+  let db_text = Rf_routing.Show.ip_ospf_database routers.(0).ospf in
+  Alcotest.(check bool) "lsdb rows" true
+    (Astring_contains.contains db_text "10.255.0.2")
+
+let suite =
+  [
+    Alcotest.test_case "two routers reach Full" `Quick test_two_routers_full;
+    Alcotest.test_case "two routers exchange stub routes" `Quick test_two_routers_routes;
+    Alcotest.test_case "five-router line converges" `Quick test_line_five_convergence;
+    Alcotest.test_case "LSDB has one LSA per router" `Quick test_lsdb_sizes;
+    Alcotest.test_case "neighbor death reconverges" `Quick test_neighbor_death_reconvergence;
+    Alcotest.test_case "connected preferred over OSPF" `Quick test_connected_preferred_over_ospf;
+    Alcotest.test_case "SPF run count bounded" `Quick test_spf_runs_bounded;
+    Alcotest.test_case "late joiner syncs the database" `Quick
+      test_late_joiner_syncs_database;
+    Alcotest.test_case "SPF matches BFS on random topologies" `Quick
+      test_random_topology_spf_matches_bfs;
+    Alcotest.test_case "vtysh show rendering" `Quick test_show_rendering;
+    Alcotest.test_case "graceful shutdown withdraws fast (MaxAge flush)" `Quick
+      test_graceful_shutdown_fast_withdraw;
+    Alcotest.test_case "hello parameter mismatch blocks adjacency" `Quick
+      test_hello_mismatch_blocks_adjacency;
+  ]

@@ -1,0 +1,521 @@
+(* Codec tests for the packet library: every format round-trips, bad
+   input is rejected, checksums verified. *)
+
+open Rf_packet
+
+let ip = Ipv4_addr.of_string_exn
+
+let pfx = Ipv4_addr.Prefix.of_string_exn
+
+let mac_t = Alcotest.testable Mac.pp Mac.equal
+
+let ip_t = Alcotest.testable Ipv4_addr.pp Ipv4_addr.equal
+
+(* --- Wire ------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 0xAB;
+  Wire.Writer.u16 w 0xCDEF;
+  Wire.Writer.u32 w 0xDEADBEEFl;
+  Wire.Writer.u64 w 0x0123456789ABCDEFL;
+  Wire.Writer.bytes w "hi";
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Wire.Reader.u8 r);
+  Alcotest.(check int) "u16" 0xCDEF (Wire.Reader.u16 r);
+  Alcotest.(check int32) "u32" 0xDEADBEEFl (Wire.Reader.u32 r);
+  Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Wire.Reader.u64 r);
+  Alcotest.(check string) "bytes" "hi" (Wire.Reader.bytes r 2);
+  Alcotest.(check int) "exhausted" 0 (Wire.Reader.remaining r)
+
+let test_wire_truncated () =
+  let r = Wire.Reader.of_string "ab" in
+  Alcotest.check_raises "u32 over 2 bytes" Wire.Truncated (fun () ->
+      ignore (Wire.Reader.u32 r))
+
+let test_wire_patch () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u16 w 0;
+  Wire.Writer.u16 w 42;
+  Wire.Writer.patch_u16 w 0 0xBEEF;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  Alcotest.(check int) "patched" 0xBEEF (Wire.Reader.u16 r);
+  Alcotest.(check int) "untouched" 42 (Wire.Reader.u16 r)
+
+let test_checksum_rfc1071 () =
+  (* Classic example from RFC 1071 §3. *)
+  let data = "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "checksum" 0x220d (Wire.checksum data);
+  (* A packet with its own checksum folded in sums to zero. *)
+  let w = Wire.Writer.create () in
+  Wire.Writer.bytes w "\x00\x01\xf2\x03";
+  Wire.Writer.u16 w (Wire.checksum "\x00\x01\xf2\x03");
+  Alcotest.(check int) "self-verifies" 0 (Wire.checksum (Wire.Writer.contents w))
+
+(* --- Mac --------------------------------------------------------------- *)
+
+let test_mac_string_roundtrip () =
+  let m = Mac.of_int64 0x0012_3456_789AL in
+  Alcotest.(check string) "to_string" "00:12:34:56:78:9a" (Mac.to_string m);
+  match Mac.of_string "00:12:34:56:78:9a" with
+  | Some m' -> Alcotest.check mac_t "roundtrip" m m'
+  | None -> Alcotest.fail "parse failed"
+
+let test_mac_bad_strings () =
+  List.iter
+    (fun s ->
+      if Mac.of_string s <> None then Alcotest.fail ("accepted bad mac " ^ s))
+    [ ""; "00:11:22:33:44"; "00:11:22:33:44:GG"; "0:1:2:3:4:5:6" ]
+
+let test_mac_flags () =
+  Alcotest.(check bool) "broadcast" true (Mac.is_broadcast Mac.broadcast);
+  Alcotest.(check bool) "bcast is mcast" true (Mac.is_multicast Mac.broadcast);
+  Alcotest.(check bool) "lldp mcast" true (Mac.is_multicast Mac.lldp_multicast);
+  Alcotest.(check bool) "local unicast" false (Mac.is_multicast (Mac.make_local 7))
+
+let test_mac_bytes_roundtrip () =
+  let m = Mac.make_local 123456 in
+  Alcotest.check mac_t "bytes roundtrip" m (Mac.of_bytes (Mac.to_bytes m))
+
+(* --- Ipv4_addr ----------------------------------------------------------- *)
+
+let test_ipv4_string_roundtrip () =
+  List.iter
+    (fun s ->
+      match Ipv4_addr.of_string s with
+      | Some a -> Alcotest.(check string) s s (Ipv4_addr.to_string a)
+      | None -> Alcotest.fail ("rejected " ^ s))
+    [ "0.0.0.0"; "255.255.255.255"; "10.0.0.1"; "192.168.100.200" ]
+
+let test_ipv4_bad_strings () =
+  List.iter
+    (fun s ->
+      if Ipv4_addr.of_string s <> None then Alcotest.fail ("accepted " ^ s))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "a.b.c.d"; "1.2.3.-4" ]
+
+let test_ipv4_unsigned_compare () =
+  (* 200.0.0.0 > 100.0.0.0 even though the int32 is negative. *)
+  Alcotest.(check bool) "unsigned order" true
+    (Ipv4_addr.compare (ip "200.0.0.0") (ip "100.0.0.0") > 0)
+
+let test_prefix_ops () =
+  let p = pfx "10.1.2.0/24" in
+  Alcotest.(check bool) "mem inside" true (Ipv4_addr.Prefix.mem (ip "10.1.2.200") p);
+  Alcotest.(check bool) "mem outside" false (Ipv4_addr.Prefix.mem (ip "10.1.3.1") p);
+  Alcotest.check ip_t "host" (ip "10.1.2.7") (Ipv4_addr.Prefix.host p 7);
+  Alcotest.check ip_t "mask" (ip "255.255.255.0") (Ipv4_addr.Prefix.mask p);
+  Alcotest.(check bool) "subset" true
+    (Ipv4_addr.Prefix.subset (pfx "10.1.2.128/25") p);
+  Alcotest.(check bool) "not subset" false
+    (Ipv4_addr.Prefix.subset p (pfx "10.1.2.128/25"));
+  Alcotest.(check bool) "global covers" true
+    (Ipv4_addr.Prefix.mem (ip "8.8.8.8") Ipv4_addr.Prefix.global)
+
+let test_prefix_masks_host_bits () =
+  let p = Ipv4_addr.Prefix.make (ip "10.1.2.3") 24 in
+  Alcotest.check ip_t "host bits cleared" (ip "10.1.2.0")
+    (Ipv4_addr.Prefix.network p)
+
+let prop_prefix_mem_own_network =
+  QCheck.Test.make ~name:"prefix contains its own network address" ~count:300
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 32))
+    (fun (raw, len) ->
+      let addr = Ipv4_addr.of_int32 (Int32.of_int (raw * 131)) in
+      let p = Ipv4_addr.Prefix.make addr len in
+      Ipv4_addr.Prefix.mem (Ipv4_addr.Prefix.network p) p)
+
+(* --- Ethernet / ARP -------------------------------------------------------- *)
+
+let test_ethernet_roundtrip () =
+  let frame =
+    { Ethernet.dst = Mac.broadcast; src = Mac.make_local 9; ethertype = 0x0800;
+      payload = "payload!" }
+  in
+  match Ethernet.of_wire (Ethernet.to_wire frame) with
+  | Ok f ->
+      Alcotest.check mac_t "dst" frame.Ethernet.dst f.Ethernet.dst;
+      Alcotest.check mac_t "src" frame.Ethernet.src f.Ethernet.src;
+      Alcotest.(check int) "type" 0x0800 f.Ethernet.ethertype;
+      Alcotest.(check string) "payload" "payload!" f.Ethernet.payload
+  | Error e -> Alcotest.fail e
+
+let test_ethernet_short () =
+  match Ethernet.of_wire "too short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted short frame"
+
+let test_arp_roundtrip () =
+  let a =
+    Arp.reply ~sender_mac:(Mac.make_local 1) ~sender_ip:(ip "10.0.0.1")
+      ~target_mac:(Mac.make_local 2) ~target_ip:(ip "10.0.0.2")
+  in
+  match Arp.of_wire (Arp.to_wire a) with
+  | Ok a' ->
+      Alcotest.(check bool) "reply" true (a'.Arp.op = Arp.Reply);
+      Alcotest.check ip_t "sender" (ip "10.0.0.1") a'.Arp.sender_ip;
+      Alcotest.check mac_t "target mac" (Mac.make_local 2) a'.Arp.target_mac
+  | Error e -> Alcotest.fail e
+
+(* --- IPv4 / UDP / TCP / ICMP ----------------------------------------------- *)
+
+let test_ipv4_roundtrip_and_checksum () =
+  let p =
+    Ipv4.make ~ttl:17 ~protocol:Ipv4.proto_udp ~src:(ip "1.2.3.4")
+      ~dst:(ip "5.6.7.8") "datagram"
+  in
+  let wire = Ipv4.to_wire p in
+  (match Ipv4.of_wire wire with
+  | Ok p' ->
+      Alcotest.(check int) "ttl" 17 p'.Ipv4.ttl;
+      Alcotest.check ip_t "src" (ip "1.2.3.4") p'.Ipv4.src;
+      Alcotest.(check string) "payload" "datagram" p'.Ipv4.payload
+  | Error e -> Alcotest.fail e);
+  (* Corrupt one header byte: checksum must catch it. *)
+  let bad = Bytes.of_string wire in
+  Bytes.set bad 8 '\xFF' (* ttl *);
+  match Ipv4.of_wire (Bytes.to_string bad) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted corrupted header"
+
+let test_ipv4_ttl () =
+  let p = Ipv4.make ~ttl:2 ~protocol:17 ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") "" in
+  (match Ipv4.decrement_ttl p with
+  | Some p' -> Alcotest.(check int) "decremented" 1 p'.Ipv4.ttl
+  | None -> Alcotest.fail "dropped too early");
+  let p1 = { p with Ipv4.ttl = 1 } in
+  Alcotest.(check bool) "expired" true (Ipv4.decrement_ttl p1 = None)
+
+let test_udp_roundtrip () =
+  let u = Udp.make ~src_port:5004 ~dst_port:1234 "video" in
+  match Udp.of_wire (Udp.to_wire u) with
+  | Ok u' ->
+      Alcotest.(check int) "src" 5004 u'.Udp.src_port;
+      Alcotest.(check int) "dst" 1234 u'.Udp.dst_port;
+      Alcotest.(check string) "payload" "video" u'.Udp.payload
+  | Error e -> Alcotest.fail e
+
+let test_tcp_roundtrip () =
+  let t =
+    Tcp.make ~seq:1000l ~ack_seq:2000l
+      ~flags:{ Tcp.no_flags with syn = true; ack = true }
+      ~src_port:6633 ~dst_port:45000 "of-handshake"
+  in
+  match Tcp.of_wire (Tcp.to_wire t) with
+  | Ok t' ->
+      Alcotest.(check int32) "seq" 1000l t'.Tcp.seq;
+      Alcotest.(check bool) "syn" true t'.Tcp.flags.Tcp.syn;
+      Alcotest.(check bool) "fin" false t'.Tcp.flags.Tcp.fin;
+      Alcotest.(check string) "payload" "of-handshake" t'.Tcp.payload
+  | Error e -> Alcotest.fail e
+
+let test_icmp_roundtrip () =
+  let i = Icmp.Echo_request { ident = 7; seq = 3; payload = "ping" } in
+  (match Icmp.of_wire (Icmp.to_wire i) with
+  | Ok (Icmp.Echo_request { ident; seq; payload }) ->
+      Alcotest.(check int) "ident" 7 ident;
+      Alcotest.(check int) "seq" 3 seq;
+      Alcotest.(check string) "payload" "ping" payload
+  | Ok _ -> Alcotest.fail "wrong type"
+  | Error e -> Alcotest.fail e);
+  (* Corruption detection. *)
+  let bad = Bytes.of_string (Icmp.to_wire i) in
+  Bytes.set bad 5 'X';
+  match Icmp.of_wire (Bytes.to_string bad) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted corrupted icmp"
+
+(* --- LLDP -------------------------------------------------------------------- *)
+
+let test_lldp_discovery_roundtrip () =
+  let probe = Lldp.discovery_probe ~dpid:0xDEADL ~port:42 in
+  match Lldp.of_wire (Lldp.to_wire probe) with
+  | Ok l -> (
+      match Lldp.parse_discovery l with
+      | Some (dpid, port) ->
+          Alcotest.(check int64) "dpid" 0xDEADL dpid;
+          Alcotest.(check int) "port" 42 port
+      | None -> Alcotest.fail "not a discovery probe")
+  | Error e -> Alcotest.fail e
+
+let test_lldp_generic_tlvs () =
+  let l =
+    { Lldp.tlvs = [ Lldp.System_name "switch-7"; Lldp.Ttl 120;
+                    Lldp.Custom { typ = 9; value = "xyz" } ] }
+  in
+  match Lldp.of_wire (Lldp.to_wire l) with
+  | Ok l' ->
+      Alcotest.(check int) "tlv count" 3 (List.length l'.Lldp.tlvs);
+      Alcotest.(check bool) "not discovery" true (Lldp.parse_discovery l' = None)
+  | Error e -> Alcotest.fail e
+
+(* --- OSPF ---------------------------------------------------------------------- *)
+
+let router_lsa =
+  {
+    Ospf_pkt.age = 1;
+    options = 2;
+    link_state_id = ip "10.255.0.1";
+    adv_router = ip "10.255.0.1";
+    seq = Ospf_pkt.initial_seq;
+    body =
+      Ospf_pkt.Router
+        {
+          links =
+            [
+              { Ospf_pkt.link_id = ip "10.255.0.2"; link_data = ip "172.16.0.1";
+                link_type = Ospf_pkt.Point_to_point; metric = 10 };
+              { Ospf_pkt.link_id = ip "172.16.0.0"; link_data = ip "255.255.255.252";
+                link_type = Ospf_pkt.Stub; metric = 10 };
+            ];
+        };
+  }
+
+let test_ospf_hello_roundtrip () =
+  let pkt =
+    {
+      Ospf_pkt.router_id = ip "10.255.0.1";
+      area_id = Ipv4_addr.any;
+      payload =
+        Ospf_pkt.Hello
+          {
+            netmask = ip "255.255.255.252";
+            hello_interval = 10;
+            dead_interval = 40;
+            priority = 1;
+            dr = Ipv4_addr.any;
+            bdr = Ipv4_addr.any;
+            neighbors = [ ip "10.255.0.2"; ip "10.255.0.3" ];
+          };
+    }
+  in
+  match Ospf_pkt.of_wire (Ospf_pkt.to_wire pkt) with
+  | Ok { payload = Ospf_pkt.Hello h; router_id; _ } ->
+      Alcotest.check ip_t "router id" (ip "10.255.0.1") router_id;
+      Alcotest.(check int) "hello interval" 10 h.Ospf_pkt.hello_interval;
+      Alcotest.(check int) "neighbors" 2 (List.length h.Ospf_pkt.neighbors)
+  | Ok _ -> Alcotest.fail "wrong payload"
+  | Error e -> Alcotest.fail e
+
+let test_ospf_lsu_roundtrip () =
+  let pkt =
+    {
+      Ospf_pkt.router_id = ip "10.255.0.1";
+      area_id = Ipv4_addr.any;
+      payload = Ospf_pkt.Ls_update [ router_lsa ];
+    }
+  in
+  match Ospf_pkt.of_wire (Ospf_pkt.to_wire pkt) with
+  | Ok { payload = Ospf_pkt.Ls_update [ lsa ]; _ } -> (
+      Alcotest.(check int32) "seq" Ospf_pkt.initial_seq lsa.Ospf_pkt.seq;
+      match lsa.Ospf_pkt.body with
+      | Ospf_pkt.Router { links } ->
+          Alcotest.(check int) "links" 2 (List.length links);
+          let stub = List.nth links 1 in
+          Alcotest.(check bool) "stub type" true
+            (stub.Ospf_pkt.link_type = Ospf_pkt.Stub)
+      | _ -> Alcotest.fail "wrong body")
+  | Ok _ -> Alcotest.fail "wrong payload"
+  | Error e -> Alcotest.fail e
+
+let test_ospf_dd_and_ack_roundtrip () =
+  let header = Ospf_pkt.header_of_lsa router_lsa in
+  let dd =
+    {
+      Ospf_pkt.router_id = ip "10.255.0.2";
+      area_id = Ipv4_addr.any;
+      payload =
+        Ospf_pkt.Db_desc
+          { mtu = 1500; dd_init = true; dd_more = false; dd_master = true;
+            dd_seq = 7l; headers = [ header ] };
+    }
+  in
+  (match Ospf_pkt.of_wire (Ospf_pkt.to_wire dd) with
+  | Ok { payload = Ospf_pkt.Db_desc d; _ } ->
+      Alcotest.(check bool) "init" true d.Ospf_pkt.dd_init;
+      Alcotest.(check bool) "master" true d.Ospf_pkt.dd_master;
+      Alcotest.(check int) "headers" 1 (List.length d.Ospf_pkt.headers)
+  | Ok _ -> Alcotest.fail "wrong payload"
+  | Error e -> Alcotest.fail e);
+  let ack =
+    { Ospf_pkt.router_id = ip "10.255.0.2"; area_id = Ipv4_addr.any;
+      payload = Ospf_pkt.Ls_ack [ header ] }
+  in
+  match Ospf_pkt.of_wire (Ospf_pkt.to_wire ack) with
+  | Ok { payload = Ospf_pkt.Ls_ack [ h ]; _ } ->
+      Alcotest.(check int32) "acked seq" Ospf_pkt.initial_seq h.Ospf_pkt.h_seq
+  | Ok _ -> Alcotest.fail "wrong payload"
+  | Error e -> Alcotest.fail e
+
+let test_ospf_checksum_rejects_corruption () =
+  let wire = Ospf_pkt.to_wire
+      { Ospf_pkt.router_id = ip "1.1.1.1"; area_id = Ipv4_addr.any;
+        payload = Ospf_pkt.Ls_request [ { Ospf_pkt.k_type = 1; k_id = ip "2.2.2.2"; k_adv = ip "2.2.2.2" } ] }
+  in
+  let bad = Bytes.of_string wire in
+  Bytes.set bad (Bytes.length bad - 1) '\xFF';
+  match Ospf_pkt.of_wire (Bytes.to_string bad) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted corrupted OSPF packet"
+
+let test_lsa_fletcher_self_verifies () =
+  (* The Fletcher checksum of the encoded LSA (excluding the age word,
+     checksum field included) must be zero-valid: recomputing over the
+     region with the stored checksum yields the stored checksum. *)
+  let wire = Ospf_pkt.lsa_to_wire router_lsa in
+  let region = String.sub wire 2 (String.length wire - 2) in
+  let stored = (Char.code wire.[16] lsl 8) lor Char.code wire.[17] in
+  Alcotest.(check int) "recompute matches" stored (Ospf_pkt.fletcher16 region 14)
+
+let test_compare_instance () =
+  let h1 = Ospf_pkt.header_of_lsa router_lsa in
+  let newer = { router_lsa with Ospf_pkt.seq = Int32.add router_lsa.Ospf_pkt.seq 1l } in
+  let h2 = Ospf_pkt.header_of_lsa newer in
+  Alcotest.(check bool) "newer wins" true (Ospf_pkt.compare_instance h2 h1 > 0);
+  Alcotest.(check int) "same instance" 0 (Ospf_pkt.compare_instance h1 h1)
+
+(* --- Whole-frame parsing ------------------------------------------------------- *)
+
+let test_packet_parse_udp () =
+  let frame =
+    Packet.udp ~src_mac:(Mac.make_local 1) ~dst_mac:(Mac.make_local 2)
+      ~src_ip:(ip "10.0.1.2") ~dst_ip:(ip "10.0.2.2")
+      (Udp.make ~src_port:1000 ~dst_port:2000 "x")
+  in
+  match Packet.parse frame with
+  | Ok { l3 = Packet.Ipv4 (iph, Packet.Udp u); _ } ->
+      Alcotest.check ip_t "dst ip" (ip "10.0.2.2") iph.Ipv4.dst;
+      Alcotest.(check int) "dst port" 2000 u.Udp.dst_port
+  | Ok _ -> Alcotest.fail "wrong structure"
+  | Error e -> Alcotest.fail e
+
+let test_packet_parse_unknown_ethertype () =
+  let frame =
+    Ethernet.to_wire
+      { Ethernet.dst = Mac.broadcast; src = Mac.make_local 3; ethertype = 0x9999;
+        payload = "???" }
+  in
+  match Packet.parse frame with
+  | Ok { l3 = Packet.Raw_l3 { ethertype; _ }; _ } ->
+      Alcotest.(check int) "ethertype kept" 0x9999 ethertype
+  | Ok _ -> Alcotest.fail "should be raw"
+  | Error e -> Alcotest.fail e
+
+let prop_udp_roundtrip =
+  QCheck.Test.make ~name:"udp frames round-trip through parse" ~count:200
+    QCheck.(triple (int_bound 65535) (int_bound 65535) (string_of_size (QCheck.Gen.int_bound 400)))
+    (fun (sp, dp, payload) ->
+      let frame =
+        Packet.udp ~src_mac:(Mac.make_local 1) ~dst_mac:(Mac.make_local 2)
+          ~src_ip:(ip "1.1.1.1") ~dst_ip:(ip "2.2.2.2")
+          (Udp.make ~src_port:sp ~dst_port:dp payload)
+      in
+      match Packet.parse frame with
+      | Ok { l3 = Packet.Ipv4 (_, Packet.Udp u); _ } ->
+          u.Udp.src_port = sp && u.Udp.dst_port = dp && u.Udp.payload = payload
+      | Ok _ | Error _ -> false)
+
+let prop_lldp_discovery_roundtrip =
+  QCheck.Test.make ~name:"lldp discovery probes round-trip" ~count:200
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFF00))
+    (fun (d, p) ->
+      let probe = Lldp.discovery_probe ~dpid:(Int64.of_int d) ~port:p in
+      match Lldp.of_wire (Lldp.to_wire probe) with
+      | Ok l -> Lldp.parse_discovery l = Some (Int64.of_int d, p)
+      | Error _ -> false)
+
+let prop_router_lsa_roundtrip =
+  QCheck.Test.make ~name:"router LSAs round-trip through LSU packets" ~count:150
+    QCheck.(
+      pair (int_bound 0xFFFF)
+        (list_of_size (Gen.int_bound 12)
+           (triple (int_bound 0xFFFFFF) (int_bound 0xFFFFFF) (int_bound 0xFFFF))))
+    (fun (seq_off, raw_links) ->
+      let links =
+        List.map
+          (fun (link_raw, data_raw, metric) ->
+            {
+              Ospf_pkt.link_id = Ipv4_addr.of_int32 (Int32.of_int link_raw);
+              link_data = Ipv4_addr.of_int32 (Int32.of_int data_raw);
+              link_type =
+                (if link_raw land 1 = 0 then Ospf_pkt.Point_to_point
+                 else Ospf_pkt.Stub);
+              metric;
+            })
+          raw_links
+      in
+      let lsa =
+        {
+          Ospf_pkt.age = 1;
+          options = 2;
+          link_state_id = ip "10.255.0.1";
+          adv_router = ip "10.255.0.1";
+          seq = Int32.add Ospf_pkt.initial_seq (Int32.of_int seq_off);
+          body = Ospf_pkt.Router { links };
+        }
+      in
+      let pkt =
+        { Ospf_pkt.router_id = ip "10.255.0.1"; area_id = Ipv4_addr.any;
+          payload = Ospf_pkt.Ls_update [ lsa ] }
+      in
+      match Ospf_pkt.of_wire (Ospf_pkt.to_wire pkt) with
+      | Ok { payload = Ospf_pkt.Ls_update [ lsa' ]; _ } ->
+          lsa'.Ospf_pkt.seq = lsa.Ospf_pkt.seq
+          && (match lsa'.Ospf_pkt.body with
+             | Ospf_pkt.Router { links = links' } -> links' = links
+             | _ -> false)
+      | Ok _ | Error _ -> false)
+
+let prop_icmp_roundtrip =
+  QCheck.Test.make ~name:"icmp echoes round-trip" ~count:200
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (string_of_size (QCheck.Gen.int_bound 64)))
+    (fun (ident, seq, payload) ->
+      match Icmp.of_wire (Icmp.to_wire (Icmp.Echo_request { ident; seq; payload })) with
+      | Ok (Icmp.Echo_request e) ->
+          e.ident = ident && e.seq = seq && e.payload = payload
+      | Ok _ | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "wire writer/reader roundtrip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire truncation raises" `Quick test_wire_truncated;
+    Alcotest.test_case "wire patch_u16" `Quick test_wire_patch;
+    Alcotest.test_case "internet checksum (RFC 1071)" `Quick test_checksum_rfc1071;
+    Alcotest.test_case "mac string roundtrip" `Quick test_mac_string_roundtrip;
+    Alcotest.test_case "mac rejects bad strings" `Quick test_mac_bad_strings;
+    Alcotest.test_case "mac broadcast/multicast flags" `Quick test_mac_flags;
+    Alcotest.test_case "mac bytes roundtrip" `Quick test_mac_bytes_roundtrip;
+    Alcotest.test_case "ipv4 string roundtrip" `Quick test_ipv4_string_roundtrip;
+    Alcotest.test_case "ipv4 rejects bad strings" `Quick test_ipv4_bad_strings;
+    Alcotest.test_case "ipv4 compares unsigned" `Quick test_ipv4_unsigned_compare;
+    Alcotest.test_case "prefix operations" `Quick test_prefix_ops;
+    Alcotest.test_case "prefix masks host bits" `Quick test_prefix_masks_host_bits;
+    QCheck_alcotest.to_alcotest prop_prefix_mem_own_network;
+    Alcotest.test_case "ethernet roundtrip" `Quick test_ethernet_roundtrip;
+    Alcotest.test_case "ethernet rejects short frames" `Quick test_ethernet_short;
+    Alcotest.test_case "arp roundtrip" `Quick test_arp_roundtrip;
+    Alcotest.test_case "ipv4 roundtrip + checksum" `Quick
+      test_ipv4_roundtrip_and_checksum;
+    Alcotest.test_case "ipv4 ttl decrement" `Quick test_ipv4_ttl;
+    Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+    Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+    Alcotest.test_case "icmp roundtrip + corruption" `Quick test_icmp_roundtrip;
+    Alcotest.test_case "lldp discovery probe roundtrip" `Quick
+      test_lldp_discovery_roundtrip;
+    Alcotest.test_case "lldp generic TLVs" `Quick test_lldp_generic_tlvs;
+    Alcotest.test_case "ospf hello roundtrip" `Quick test_ospf_hello_roundtrip;
+    Alcotest.test_case "ospf ls-update roundtrip" `Quick test_ospf_lsu_roundtrip;
+    Alcotest.test_case "ospf dd + ack roundtrip" `Quick
+      test_ospf_dd_and_ack_roundtrip;
+    Alcotest.test_case "ospf checksum rejects corruption" `Quick
+      test_ospf_checksum_rejects_corruption;
+    Alcotest.test_case "lsa fletcher self-verifies" `Quick
+      test_lsa_fletcher_self_verifies;
+    Alcotest.test_case "lsa instance comparison" `Quick test_compare_instance;
+    Alcotest.test_case "whole-frame udp parse" `Quick test_packet_parse_udp;
+    Alcotest.test_case "unknown ethertype degrades to raw" `Quick
+      test_packet_parse_unknown_ethertype;
+    QCheck_alcotest.to_alcotest prop_udp_roundtrip;
+    QCheck_alcotest.to_alcotest prop_lldp_discovery_roundtrip;
+    QCheck_alcotest.to_alcotest prop_router_lsa_roundtrip;
+    QCheck_alcotest.to_alcotest prop_icmp_roundtrip;
+  ]

@@ -1,0 +1,413 @@
+(* Routing substrate tests: prefix trie, RIB selection, Quagga config
+   round-trips, BGP codec and daemon behaviour, zebra glue. *)
+
+open Rf_packet
+open Rf_routing
+module Engine = Rf_sim.Engine
+module Vtime = Rf_sim.Vtime
+
+let ip = Ipv4_addr.of_string_exn
+
+let pfx = Ipv4_addr.Prefix.of_string_exn
+
+(* --- prefix trie --------------------------------------------------------- *)
+
+let test_trie_exact_and_lpm () =
+  let t = Prefix_trie.create () in
+  Prefix_trie.insert t (pfx "10.0.0.0/8") "eight";
+  Prefix_trie.insert t (pfx "10.1.0.0/16") "sixteen";
+  Prefix_trie.insert t (pfx "10.1.2.0/24") "twentyfour";
+  Alcotest.(check (option string)) "exact /16" (Some "sixteen")
+    (Prefix_trie.find_exact t (pfx "10.1.0.0/16"));
+  (match Prefix_trie.lookup t (ip "10.1.2.3") with
+  | Some (p, v) ->
+      Alcotest.(check string) "longest" "twentyfour" v;
+      Alcotest.(check int) "len" 24 (Ipv4_addr.Prefix.length p)
+  | None -> Alcotest.fail "no match");
+  (match Prefix_trie.lookup t (ip "10.1.9.9") with
+  | Some (_, v) -> Alcotest.(check string) "middle" "sixteen" v
+  | None -> Alcotest.fail "no match");
+  (match Prefix_trie.lookup t (ip "10.200.0.1") with
+  | Some (_, v) -> Alcotest.(check string) "shortest" "eight" v
+  | None -> Alcotest.fail "no match");
+  Alcotest.(check bool) "outside" true (Prefix_trie.lookup t (ip "11.0.0.1") = None)
+
+let test_trie_remove_and_default () =
+  let t = Prefix_trie.create () in
+  Prefix_trie.insert t Ipv4_addr.Prefix.global "default";
+  Prefix_trie.insert t (pfx "10.0.0.0/8") "ten";
+  Prefix_trie.remove t (pfx "10.0.0.0/8");
+  (match Prefix_trie.lookup t (ip "10.0.0.1") with
+  | Some (_, v) -> Alcotest.(check string) "falls to default" "default" v
+  | None -> Alcotest.fail "default missing");
+  Alcotest.(check int) "size" 1 (Prefix_trie.size t)
+
+let test_trie_entries_sorted () =
+  let t = Prefix_trie.create () in
+  List.iter
+    (fun p -> Prefix_trie.insert t (pfx p) p)
+    [ "10.1.0.0/16"; "10.0.0.0/8"; "192.168.1.0/24"; "10.1.2.0/24" ];
+  let entries = List.map snd (Prefix_trie.entries t) in
+  Alcotest.(check (list string)) "sorted"
+    [ "10.0.0.0/8"; "10.1.0.0/16"; "10.1.2.0/24"; "192.168.1.0/24" ]
+    entries
+
+(* Reference-model property: trie LPM equals a naive scan. *)
+let prop_trie_matches_reference =
+  QCheck.Test.make ~name:"trie LPM equals naive linear scan" ~count:100
+    QCheck.(pair (list (pair (int_bound 0xFFFF) (int_range 8 28))) (int_bound 0xFFFFFF))
+    (fun (entries, probe_raw) ->
+      let t = Prefix_trie.create () in
+      let prefixes =
+        List.map
+          (fun (raw, len) ->
+            let p = Ipv4_addr.Prefix.make (Ipv4_addr.of_int32 (Int32.of_int (raw * 65537))) len in
+            Prefix_trie.insert t p (Ipv4_addr.Prefix.to_string p);
+            p)
+          entries
+      in
+      let probe = Ipv4_addr.of_int32 (Int32.of_int (probe_raw * 257)) in
+      let naive =
+        List.fold_left
+          (fun best p ->
+            if Ipv4_addr.Prefix.mem probe p then
+              match best with
+              | Some b when Ipv4_addr.Prefix.length b >= Ipv4_addr.Prefix.length p -> best
+              | _ -> Some p
+            else best)
+          None prefixes
+      in
+      match (Prefix_trie.lookup t probe, naive) with
+      | None, None -> true
+      | Some (p, _), Some q ->
+          Ipv4_addr.Prefix.length p = Ipv4_addr.Prefix.length q
+      | _ -> false)
+
+(* --- RIB ------------------------------------------------------------------- *)
+
+let route ?(proto = Rib.Ospf) ?(metric = 10) ?next_hop prefix =
+  {
+    Rib.r_prefix = pfx prefix;
+    r_proto = proto;
+    r_distance = Rib.default_distance proto;
+    r_metric = metric;
+    r_next_hop = Option.map ip next_hop;
+    r_iface = "eth1";
+  }
+
+let test_rib_distance_preference () =
+  let rib = Rib.create () in
+  Rib.update rib (route ~proto:Rib.Ospf ~next_hop:"1.1.1.1" "10.0.0.0/24");
+  Rib.update rib (route ~proto:Rib.Static ~next_hop:"2.2.2.2" "10.0.0.0/24");
+  (match Rib.best rib (pfx "10.0.0.0/24") with
+  | Some r -> Alcotest.(check string) "static wins" "static" (Rib.proto_name r.Rib.r_proto)
+  | None -> Alcotest.fail "no route");
+  Rib.withdraw rib Rib.Static (pfx "10.0.0.0/24");
+  match Rib.best rib (pfx "10.0.0.0/24") with
+  | Some r -> Alcotest.(check string) "ospf takes over" "ospf" (Rib.proto_name r.Rib.r_proto)
+  | None -> Alcotest.fail "ospf candidate lost"
+
+let test_rib_events () =
+  let rib = Rib.create () in
+  let events = ref [] in
+  Rib.add_listener rib (fun e -> events := e :: !events);
+  Rib.update rib (route ~next_hop:"1.1.1.1" "10.0.0.0/24");
+  Rib.update rib (route ~metric:5 ~next_hop:"2.2.2.2" "10.0.0.0/24");
+  Rib.withdraw rib Rib.Ospf (pfx "10.0.0.0/24");
+  match List.rev !events with
+  | [ Rib.Best_added _; Rib.Best_changed r; Rib.Best_removed _ ] ->
+      Alcotest.(check int) "changed to better metric" 5 r.Rib.r_metric
+  | evs -> Alcotest.fail (Printf.sprintf "wrong events (%d)" (List.length evs))
+
+let test_rib_replace_proto () =
+  let rib = Rib.create () in
+  Rib.update rib (route ~next_hop:"1.1.1.1" "10.0.0.0/24");
+  Rib.update rib (route ~next_hop:"1.1.1.1" "10.0.1.0/24");
+  Rib.update rib (route ~proto:Rib.Connected "192.168.0.0/24");
+  Rib.replace_proto rib Rib.Ospf
+    [ route ~next_hop:"3.3.3.3" "10.0.2.0/24" ];
+  Alcotest.(check int) "selected" 2 (Rib.size rib);
+  Alcotest.(check bool) "old gone" true (Rib.best rib (pfx "10.0.0.0/24") = None);
+  Alcotest.(check bool) "new there" true (Rib.best rib (pfx "10.0.2.0/24") <> None);
+  Alcotest.(check bool) "other proto untouched" true
+    (Rib.best rib (pfx "192.168.0.0/24") <> None)
+
+let test_rib_lpm () =
+  let rib = Rib.create () in
+  Rib.update rib (route ~next_hop:"1.1.1.1" "10.0.0.0/8");
+  Rib.update rib (route ~next_hop:"2.2.2.2" "10.1.0.0/16");
+  match Rib.lookup rib (ip "10.1.5.5") with
+  | Some r ->
+      Alcotest.(check (option string)) "longest prefix" (Some "2.2.2.2")
+        (Option.map Ipv4_addr.to_string r.Rib.r_next_hop)
+  | None -> Alcotest.fail "no route"
+
+(* --- Quagga config --------------------------------------------------------- *)
+
+let test_zebra_conf_roundtrip () =
+  let conf =
+    {
+      Quagga_conf.z_hostname = "vm-7";
+      z_password = "rfauto";
+      z_ifaces =
+        [
+          { Quagga_conf.ic_name = "eth1"; ic_ip = ip "172.16.0.1"; ic_prefix_len = 30 };
+          { Quagga_conf.ic_name = "eth2"; ic_ip = ip "10.0.1.1"; ic_prefix_len = 24 };
+        ];
+      z_statics = [ { Quagga_conf.sr_prefix = pfx "0.0.0.0/0"; sr_next_hop = ip "172.16.0.2" } ];
+    }
+  in
+  match Quagga_conf.parse_zebra (Quagga_conf.generate_zebra conf) with
+  | Ok conf' ->
+      Alcotest.(check string) "hostname" "vm-7" conf'.Quagga_conf.z_hostname;
+      Alcotest.(check int) "ifaces" 2 (List.length conf'.Quagga_conf.z_ifaces);
+      Alcotest.(check int) "statics" 1 (List.length conf'.Quagga_conf.z_statics);
+      let i2 = List.nth conf'.Quagga_conf.z_ifaces 1 in
+      Alcotest.(check int) "prefix len" 24 i2.Quagga_conf.ic_prefix_len
+  | Error e -> Alcotest.fail e
+
+let test_ospfd_conf_roundtrip () =
+  let conf =
+    {
+      Quagga_conf.o_hostname = "vm-7";
+      o_router_id = ip "10.255.0.7";
+      o_networks = [ (pfx "172.16.0.0/30", Ipv4_addr.any); (pfx "10.0.1.0/24", Ipv4_addr.any) ];
+      o_passive = [ "eth2" ];
+      o_hello_interval = 5;
+      o_dead_interval = 20;
+    }
+  in
+  match Quagga_conf.parse_ospfd (Quagga_conf.generate_ospfd conf) with
+  | Ok conf' ->
+      Alcotest.(check bool) "router id" true
+        (Ipv4_addr.equal conf'.Quagga_conf.o_router_id (ip "10.255.0.7"));
+      Alcotest.(check int) "networks" 2 (List.length conf'.Quagga_conf.o_networks);
+      Alcotest.(check (list string)) "passive" [ "eth2" ] conf'.Quagga_conf.o_passive;
+      Alcotest.(check int) "hello" 5 conf'.Quagga_conf.o_hello_interval;
+      Alcotest.(check int) "dead" 20 conf'.Quagga_conf.o_dead_interval
+  | Error e -> Alcotest.fail e
+
+let test_bgpd_conf_roundtrip () =
+  let conf =
+    {
+      Quagga_conf.b_hostname = "vm-9";
+      b_asn = 65009;
+      b_router_id = ip "10.255.0.9";
+      b_neighbors = [ (ip "172.16.0.2", 65010) ];
+      b_networks = [ pfx "10.0.9.0/24" ];
+    }
+  in
+  match Quagga_conf.parse_bgpd (Quagga_conf.generate_bgpd conf) with
+  | Ok conf' ->
+      Alcotest.(check int) "asn" 65009 conf'.Quagga_conf.b_asn;
+      Alcotest.(check int) "neighbors" 1 (List.length conf'.Quagga_conf.b_neighbors);
+      Alcotest.(check int) "networks" 1 (List.length conf'.Quagga_conf.b_networks)
+  | Error e -> Alcotest.fail e
+
+let test_conf_rejects_garbage () =
+  (match Quagga_conf.parse_zebra "interface eth1\n ip address banana\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad address");
+  (match Quagga_conf.parse_ospfd "router ospf\n network not-a-prefix area 0.0.0.0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad network");
+  match Quagga_conf.parse_zebra "no such directive at all\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown line"
+
+(* --- BGP ----------------------------------------------------------------------- *)
+
+let test_bgp_msg_roundtrips () =
+  let cases =
+    [
+      Bgp_msg.Open { o_asn = 65001; o_hold_time = 90; o_router_id = ip "1.1.1.1" };
+      Bgp_msg.Keepalive;
+      Bgp_msg.Notification { code = 6; subcode = 0 };
+      Bgp_msg.Update
+        {
+          u_withdrawn = [ pfx "10.9.0.0/16" ];
+          u_as_path = [ 65001; 65002 ];
+          u_next_hop = Some (ip "172.16.0.1");
+          u_nlri = [ pfx "10.1.0.0/16"; pfx "10.2.4.0/24" ];
+        };
+    ]
+  in
+  List.iter
+    (fun m ->
+      match Bgp_msg.of_wire (Bgp_msg.to_wire m) with
+      | Ok m' ->
+          if m <> m' then
+            Alcotest.fail (Format.asprintf "mismatch: %a vs %a" Bgp_msg.pp m Bgp_msg.pp m')
+      | Error e -> Alcotest.fail e)
+    cases
+
+(* Two BGP speakers over simulated channels. *)
+let bgp_pair engine asn1 asn2 =
+  let rib1 = Rib.create () and rib2 = Rib.create () in
+  let d1 = Bgpd.create engine ~asn:asn1 ~router_id:(ip "1.1.1.1") rib1 in
+  let d2 = Bgpd.create engine ~asn:asn2 ~router_id:(ip "2.2.2.2") rib2 in
+  let e1, e2 = Rf_net.Channel.create engine () in
+  let p1 =
+    Bgpd.add_peer d1 ~remote_asn:asn2 ~next_hop_hint:(ip "172.16.0.1")
+      ~send:(Rf_net.Channel.send e1)
+  in
+  let p2 =
+    Bgpd.add_peer d2 ~remote_asn:asn1 ~next_hop_hint:(ip "172.16.0.2")
+      ~send:(Rf_net.Channel.send e2)
+  in
+  Rf_net.Channel.set_receiver e1 (fun bytes -> Bgpd.input p1 bytes);
+  Rf_net.Channel.set_receiver e2 (fun bytes -> Bgpd.input p2 bytes);
+  Bgpd.start_peer p1;
+  Bgpd.start_peer p2;
+  ((d1, rib1, p1), (d2, rib2, p2))
+
+let test_bgp_session_establishes () =
+  let engine = Engine.create () in
+  let (d1, _, p1), (d2, _, p2) = bgp_pair engine 65001 65002 in
+  ignore (Engine.run ~until:(Vtime.of_s 5.0) engine);
+  Alcotest.(check bool) "p1 established" true (Bgpd.peer_state p1 = Bgpd.Established);
+  Alcotest.(check bool) "p2 established" true (Bgpd.peer_state p2 = Bgpd.Established);
+  Alcotest.(check int) "d1 count" 1 (Bgpd.established_peers d1);
+  Alcotest.(check int) "d2 count" 1 (Bgpd.established_peers d2)
+
+let test_bgp_routes_propagate () =
+  let engine = Engine.create () in
+  let (d1, _, _), (_, rib2, _) = bgp_pair engine 65001 65002 in
+  Bgpd.announce d1 (pfx "10.1.0.0/16");
+  ignore (Engine.run ~until:(Vtime.of_s 10.0) engine);
+  match Rib.best rib2 (pfx "10.1.0.0/16") with
+  | Some r ->
+      Alcotest.(check string) "proto" "bgp" (Rib.proto_name r.Rib.r_proto);
+      Alcotest.(check (option string)) "next hop" (Some "172.16.0.1")
+        (Option.map Ipv4_addr.to_string r.Rib.r_next_hop);
+      Alcotest.(check int) "as-path length as metric" 1 r.Rib.r_metric
+  | None -> Alcotest.fail "route not learned"
+
+let test_bgp_announce_before_session () =
+  let engine = Engine.create () in
+  (* Announce first, then the session comes up: the full table must be
+     advertised on establishment. *)
+  let rib1 = Rib.create () and rib2 = Rib.create () in
+  let d1 = Bgpd.create engine ~asn:65001 ~router_id:(ip "1.1.1.1") rib1 in
+  let d2 = Bgpd.create engine ~asn:65002 ~router_id:(ip "2.2.2.2") rib2 in
+  Bgpd.announce d1 (pfx "10.7.0.0/16");
+  let e1, e2 = Rf_net.Channel.create engine () in
+  let p1 = Bgpd.add_peer d1 ~remote_asn:65002 ~next_hop_hint:(ip "172.16.0.1")
+      ~send:(Rf_net.Channel.send e1) in
+  let p2 = Bgpd.add_peer d2 ~remote_asn:65001 ~next_hop_hint:(ip "172.16.0.2")
+      ~send:(Rf_net.Channel.send e2) in
+  Rf_net.Channel.set_receiver e1 (fun b -> Bgpd.input p1 b);
+  Rf_net.Channel.set_receiver e2 (fun b -> Bgpd.input p2 b);
+  Bgpd.start_peer p1;
+  Bgpd.start_peer p2;
+  ignore (Engine.run ~until:(Vtime.of_s 5.0) engine);
+  Alcotest.(check bool) "learned pre-announced net" true
+    (Rib.best rib2 (pfx "10.7.0.0/16") <> None)
+
+let test_bgp_withdraw () =
+  let engine = Engine.create () in
+  let (d1, _, _), (_, rib2, _) = bgp_pair engine 65001 65002 in
+  Bgpd.announce d1 (pfx "10.1.0.0/16");
+  ignore (Engine.run ~until:(Vtime.of_s 5.0) engine);
+  Alcotest.(check bool) "present" true (Rib.best rib2 (pfx "10.1.0.0/16") <> None);
+  Bgpd.withdraw_network d1 (pfx "10.1.0.0/16");
+  ignore (Engine.run ~until:(Vtime.of_s 10.0) engine);
+  Alcotest.(check bool) "withdrawn" true (Rib.best rib2 (pfx "10.1.0.0/16") = None)
+
+let test_bgp_loop_rejected () =
+  let engine = Engine.create () in
+  let (_, rib1, p1), _ = bgp_pair engine 65001 65002 in
+  ignore (Engine.run ~until:(Vtime.of_s 5.0) engine);
+  (* Forge an update whose AS path already contains 65001. *)
+  Bgpd.input p1
+    (Bgp_msg.to_wire
+       (Bgp_msg.Update
+          {
+            u_withdrawn = [];
+            u_as_path = [ 65002; 65001 ];
+            u_next_hop = Some (ip "172.16.0.2");
+            u_nlri = [ pfx "10.66.0.0/16" ];
+          }));
+  ignore (Engine.run ~until:(Vtime.of_s 6.0) engine);
+  Alcotest.(check bool) "looped route rejected" true
+    (Rib.best rib1 (pfx "10.66.0.0/16") = None)
+
+(* --- zebra ------------------------------------------------------------------ *)
+
+let test_zebra_connected_and_flap () =
+  let z = Zebra.create ~hostname:"r1" () in
+  let ifc = Iface.create ~name:"eth1" ~mac:(Mac.make_local 1) ~ip:(ip "10.0.0.1")
+      ~prefix_len:24 () in
+  Zebra.add_interface z ifc;
+  Alcotest.(check int) "connected installed" 1 (List.length (Zebra.connected_routes z));
+  Iface.set_up ifc false;
+  Alcotest.(check int) "withdrawn on down" 0 (List.length (Zebra.connected_routes z));
+  Iface.set_up ifc true;
+  Alcotest.(check int) "reinstalled on up" 1 (List.length (Zebra.connected_routes z))
+
+let test_zebra_unnumbered_then_addressed () =
+  let z = Zebra.create ~hostname:"r1" () in
+  let ifc = Iface.create ~name:"eth1" ~mac:(Mac.make_local 1) () in
+  Zebra.add_interface z ifc;
+  Alcotest.(check int) "no route while unnumbered" 0
+    (List.length (Zebra.connected_routes z));
+  Iface.set_address ifc ~ip:(ip "10.0.0.1") ~prefix_len:24;
+  Alcotest.(check int) "route appears on addressing" 1
+    (List.length (Zebra.connected_routes z))
+
+let test_zebra_apply_config () =
+  let z = Zebra.create ~hostname:"r1" () in
+  let ifc = Iface.create ~name:"eth1" ~mac:(Mac.make_local 1) ~ip:(ip "172.16.0.1")
+      ~prefix_len:30 () in
+  Zebra.add_interface z ifc;
+  let conf =
+    {
+      Quagga_conf.z_hostname = "r1";
+      z_password = "x";
+      z_ifaces = [ { Quagga_conf.ic_name = "eth1"; ic_ip = ip "172.16.0.1"; ic_prefix_len = 30 } ];
+      z_statics = [ { Quagga_conf.sr_prefix = pfx "10.0.0.0/8"; sr_next_hop = ip "172.16.0.2" } ];
+    }
+  in
+  (match Zebra.apply_config z conf with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "static installed" true
+    (Rib.best (Zebra.rib z) (pfx "10.0.0.0/8") <> None);
+  (* Mismatched address is rejected. *)
+  let bad =
+    { conf with Quagga_conf.z_ifaces =
+        [ { Quagga_conf.ic_name = "eth1"; ic_ip = ip "9.9.9.9"; ic_prefix_len = 8 } ] }
+  in
+  match Zebra.apply_config z bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted mismatched address"
+
+let suite =
+  [
+    Alcotest.test_case "trie exact and LPM" `Quick test_trie_exact_and_lpm;
+    Alcotest.test_case "trie remove, default route" `Quick test_trie_remove_and_default;
+    Alcotest.test_case "trie entries sorted" `Quick test_trie_entries_sorted;
+    QCheck_alcotest.to_alcotest prop_trie_matches_reference;
+    Alcotest.test_case "rib admin distance preference" `Quick
+      test_rib_distance_preference;
+    Alcotest.test_case "rib change events" `Quick test_rib_events;
+    Alcotest.test_case "rib replace_proto" `Quick test_rib_replace_proto;
+    Alcotest.test_case "rib longest-prefix lookup" `Quick test_rib_lpm;
+    Alcotest.test_case "zebra.conf roundtrip" `Quick test_zebra_conf_roundtrip;
+    Alcotest.test_case "ospfd.conf roundtrip" `Quick test_ospfd_conf_roundtrip;
+    Alcotest.test_case "bgpd.conf roundtrip" `Quick test_bgpd_conf_roundtrip;
+    Alcotest.test_case "config parser rejects garbage" `Quick test_conf_rejects_garbage;
+    Alcotest.test_case "bgp message roundtrips" `Quick test_bgp_msg_roundtrips;
+    Alcotest.test_case "bgp session establishes" `Quick test_bgp_session_establishes;
+    Alcotest.test_case "bgp routes propagate with next-hop" `Quick
+      test_bgp_routes_propagate;
+    Alcotest.test_case "bgp full table on late establishment" `Quick
+      test_bgp_announce_before_session;
+    Alcotest.test_case "bgp withdraw" `Quick test_bgp_withdraw;
+    Alcotest.test_case "bgp AS-path loop rejected" `Quick test_bgp_loop_rejected;
+    Alcotest.test_case "zebra connected routes follow link state" `Quick
+      test_zebra_connected_and_flap;
+    Alcotest.test_case "zebra unnumbered then addressed" `Quick
+      test_zebra_unnumbered_then_addressed;
+    Alcotest.test_case "zebra apply_config" `Quick test_zebra_apply_config;
+  ]

@@ -1,0 +1,142 @@
+(* RPC layer tests: message codec, stream framing, acknowledgement,
+   retransmission and duplicate suppression. *)
+
+open Rf_packet
+module Rpc_msg = Rf_rpc.Rpc_msg
+module Rpc_client = Rf_rpc.Rpc_client
+module Rpc_server = Rf_rpc.Rpc_server
+module Channel = Rf_net.Channel
+module Engine = Rf_sim.Engine
+module Vtime = Rf_sim.Vtime
+
+let ip = Ipv4_addr.of_string_exn
+
+let sample_msgs =
+  [
+    Rpc_msg.Switch_up { dpid = 42L; n_ports = 12 };
+    Rpc_msg.Switch_down { dpid = 42L };
+    Rpc_msg.Link_up
+      { a_dpid = 1L; a_port = 2; a_ip = ip "172.16.0.1"; a_prefix_len = 30;
+        b_dpid = 3L; b_port = 4; b_ip = ip "172.16.0.2"; b_prefix_len = 30 };
+    Rpc_msg.Link_down { a_dpid = 1L; a_port = 2; b_dpid = 3L; b_port = 4 };
+    Rpc_msg.Edge_subnet { dpid = 5L; port = 3; gateway = ip "10.0.1.1"; prefix_len = 24 };
+  ]
+
+let test_codec_roundtrip () =
+  List.iteri
+    (fun i msg ->
+      let env = { Rpc_msg.seq = Int32.of_int i; body = Rpc_msg.Request msg } in
+      let framer = Rpc_msg.Framer.create () in
+      match Rpc_msg.Framer.input framer (Rpc_msg.to_wire env) with
+      | Ok [ env' ] ->
+          Alcotest.(check int32) "seq" (Int32.of_int i) env'.Rpc_msg.seq;
+          (match env'.Rpc_msg.body with
+          | Rpc_msg.Request msg' ->
+              if msg <> msg' then
+                Alcotest.fail
+                  (Format.asprintf "mismatch: %a vs %a" Rpc_msg.pp msg Rpc_msg.pp
+                     msg')
+          | Rpc_msg.Ack _ -> Alcotest.fail "wrong body")
+      | Ok _ -> Alcotest.fail "wrong count"
+      | Error e -> Alcotest.fail e)
+    sample_msgs
+
+let test_framer_byte_by_byte () =
+  let stream =
+    String.concat ""
+      (List.mapi
+         (fun i m ->
+           Rpc_msg.to_wire { Rpc_msg.seq = Int32.of_int i; body = Rpc_msg.Request m })
+         sample_msgs)
+  in
+  let framer = Rpc_msg.Framer.create () in
+  let count = ref 0 in
+  String.iter
+    (fun c ->
+      match Rpc_msg.Framer.input framer (String.make 1 c) with
+      | Ok envs -> count := !count + List.length envs
+      | Error e -> Alcotest.fail e)
+    stream;
+  Alcotest.(check int) "all reassembled" (List.length sample_msgs) !count
+
+let test_client_server_ack () =
+  let engine = Engine.create () in
+  let c_end, s_end = Channel.create engine () in
+  let client = Rpc_client.create engine c_end in
+  let server = Rpc_server.create engine s_end in
+  let received = ref [] in
+  Rpc_server.set_handler server (fun m -> received := m :: !received);
+  List.iter (Rpc_client.send client) sample_msgs;
+  ignore (Engine.run ~until:(Vtime.of_s 5.0) engine);
+  Alcotest.(check int) "all handled" (List.length sample_msgs)
+    (List.length !received);
+  Alcotest.(check int) "server count" (List.length sample_msgs)
+    (Rpc_server.requests_handled server);
+  Alcotest.(check int) "all acked" 0 (Rpc_client.unacked client);
+  Alcotest.(check int) "no retransmissions on clean channel" 0
+    (Rpc_client.retransmissions client);
+  (* Order preserved. *)
+  Alcotest.(check bool) "order" true (List.rev !received = sample_msgs)
+
+let test_retransmit_and_dedup () =
+  let engine = Engine.create () in
+  (* A channel slower than the retransmission timer: the client fires
+     duplicates; the server must dedup and still handle each message
+     once. *)
+  let c_end, s_end = Channel.create engine ~latency:(Vtime.span_s 3.0) () in
+  let client = Rpc_client.create engine ~retransmit_after:(Vtime.span_s 2.0) c_end in
+  let server = Rpc_server.create engine s_end in
+  let received = ref 0 in
+  Rpc_server.set_handler server (fun _ -> incr received);
+  Rpc_client.send client (Rpc_msg.Switch_up { dpid = 1L; n_ports = 2 });
+  ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+  Alcotest.(check int) "handled once" 1 !received;
+  Alcotest.(check bool) "retransmitted" true (Rpc_client.retransmissions client > 0);
+  Alcotest.(check bool) "dups dropped" true (Rpc_server.duplicates_dropped server > 0);
+  Alcotest.(check int) "eventually acked" 0 (Rpc_client.unacked client)
+
+let test_framer_rejects_corrupt_length () =
+  let framer = Rpc_msg.Framer.create () in
+  match Rpc_msg.Framer.input framer "\x00\x00\x00\x01x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted absurd length"
+
+let prop_link_up_roundtrip =
+  QCheck.Test.make ~name:"link-up messages round-trip for arbitrary fields"
+    ~count:200
+    QCheck.(
+      quad (int_bound 0xFFFF) (int_bound 0xFF00) (int_bound 0xFFFFFF) (int_range 1 32))
+    (fun (dpid_raw, port, ip_raw, len) ->
+      let msg =
+        Rpc_msg.Link_up
+          {
+            a_dpid = Int64.of_int dpid_raw;
+            a_port = port;
+            a_ip = Ipv4_addr.of_int32 (Int32.of_int ip_raw);
+            a_prefix_len = len;
+            b_dpid = Int64.of_int (dpid_raw + 1);
+            b_port = (port mod 100) + 1;
+            b_ip = Ipv4_addr.of_int32 (Int32.of_int (ip_raw + 1));
+            b_prefix_len = len;
+          }
+      in
+      let framer = Rpc_msg.Framer.create () in
+      match
+        Rpc_msg.Framer.input framer
+          (Rpc_msg.to_wire { Rpc_msg.seq = 9l; body = Rpc_msg.Request msg })
+      with
+      | Ok [ { Rpc_msg.body = Rpc_msg.Request msg'; _ } ] -> msg = msg'
+      | Ok _ | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "configuration message roundtrips" `Quick
+      test_codec_roundtrip;
+    Alcotest.test_case "framer reassembles byte-by-byte" `Quick
+      test_framer_byte_by_byte;
+    Alcotest.test_case "client/server ack flow" `Quick test_client_server_ack;
+    Alcotest.test_case "retransmission and dedup" `Quick test_retransmit_and_dedup;
+    Alcotest.test_case "framer rejects corrupt length" `Quick
+      test_framer_rejects_corrupt_length;
+    QCheck_alcotest.to_alcotest prop_link_up_roundtrip;
+  ]

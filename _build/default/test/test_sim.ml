@@ -1,0 +1,295 @@
+(* Unit and property tests for the simulation engine substrate. *)
+
+module Vtime = Rf_sim.Vtime
+module Event_heap = Rf_sim.Event_heap
+module Engine = Rf_sim.Engine
+module Rng = Rf_sim.Rng
+module Stats = Rf_sim.Stats
+module Trace = Rf_sim.Trace
+
+(* --- Vtime --------------------------------------------------------- *)
+
+let test_vtime_arithmetic () =
+  let t = Vtime.add Vtime.zero (Vtime.span_s 1.5) in
+  Alcotest.(check (float 1e-9)) "to_s" 1.5 (Vtime.to_s t);
+  let t2 = Vtime.add t (Vtime.span_ms 250) in
+  Alcotest.(check (float 1e-9)) "add ms" 1.75 (Vtime.to_s t2);
+  Alcotest.(check (float 1e-9))
+    "diff" 0.25
+    (Vtime.span_to_s (Vtime.diff t2 t));
+  Alcotest.(check bool) "lt" true Vtime.(t < t2);
+  Alcotest.(check bool) "le refl" true Vtime.(t <= t)
+
+let test_vtime_span_ops () =
+  Alcotest.(check (float 1e-9))
+    "span_min" 120.
+    (Vtime.span_to_s (Vtime.span_min 2.));
+  Alcotest.(check (float 1e-9))
+    "span_add" 3.
+    (Vtime.span_to_s (Vtime.span_add (Vtime.span_s 1.) (Vtime.span_s 2.)));
+  Alcotest.(check (float 1e-6))
+    "span_scale" 0.5
+    (Vtime.span_to_s (Vtime.span_scale 0.25 (Vtime.span_s 2.)));
+  Alcotest.(check bool) "negative" true
+    (Vtime.span_is_negative (Vtime.span_s (-1.)));
+  Alcotest.(check string) "pp" "01:05.250"
+    (Format.asprintf "%a" Vtime.pp (Vtime.of_s 65.25))
+
+(* --- Event_heap ----------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  let times = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  List.iteri (fun i s -> Event_heap.push h (Vtime.of_s s) i) times;
+  let order = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (t, _) ->
+        order := Vtime.to_s t :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-9)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  let t = Vtime.of_s 1.0 in
+  for i = 0 to 9 do
+    Event_heap.push h t i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "FIFO within equal times"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_heap_grows () =
+  let h = Event_heap.create () in
+  for i = 0 to 999 do
+    Event_heap.push h (Vtime.of_s (float_of_int (999 - i))) i
+  done;
+  Alcotest.(check int) "size" 1000 (Event_heap.size h);
+  (match Event_heap.peek_time h with
+  | Some t -> Alcotest.(check (float 1e-9)) "peek min" 0.0 (Vtime.to_s t)
+  | None -> Alcotest.fail "empty");
+  Event_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Event_heap.is_empty h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"event_heap pops in nondecreasing time order"
+    ~count:200
+    QCheck.(list (float_range 0. 1e6))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iteri (fun i s -> Event_heap.push h (Vtime.of_s s) i) times;
+      let rec drain last acc =
+        match Event_heap.pop h with
+        | None -> acc
+        | Some (t, _) ->
+            let ok = Vtime.compare last t <= 0 in
+            drain t (acc && ok)
+      in
+      drain Vtime.zero true)
+
+(* --- Engine ---------------------------------------------------------- *)
+
+let test_engine_schedule_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e (Vtime.span_s 2.0) (fun () -> log := 2 :: !log));
+  ignore (Engine.schedule e (Vtime.span_s 1.0) (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e (Vtime.span_s 3.0) (fun () -> log := 3 :: !log));
+  Alcotest.(check bool) "quiescent" true (Engine.run e = Engine.Quiescent);
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Vtime.to_s (Engine.now e))
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule e (Vtime.span_s 1.0) (fun () -> fired := true) in
+  Engine.cancel timer;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let timer = Engine.periodic e (Vtime.span_s 1.0) (fun () -> incr count) in
+  ignore (Engine.run ~until:(Vtime.of_s 5.5) e);
+  Engine.cancel timer;
+  ignore (Engine.run ~until:(Vtime.of_s 10.0) e);
+  Alcotest.(check int) "five ticks then stop" 5 !count
+
+let test_engine_deadline () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e (Vtime.span_s 10.0) (fun () -> ()));
+  let r = Engine.run ~until:(Vtime.of_s 5.0) e in
+  Alcotest.(check bool) "deadline" true (r = Engine.Deadline_reached);
+  Alcotest.(check (float 1e-9)) "clock = horizon" 5.0 (Vtime.to_s (Engine.now e));
+  let r2 = Engine.run ~until:(Vtime.of_s 20.0) e in
+  Alcotest.(check bool) "then quiescent" true (r2 = Engine.Quiescent)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e (Vtime.span_s 1.0) (fun () -> Engine.stop e));
+  ignore (Engine.schedule e (Vtime.span_s 2.0) (fun () -> Alcotest.fail "ran past stop"));
+  Alcotest.(check bool) "stopped" true (Engine.run e = Engine.Stopped)
+
+let test_engine_max_events_guard () =
+  let e = Engine.create () in
+  (* A self-perpetuating zero-delay event chain must hit the guard
+     rather than spin forever. *)
+  let rec bomb () = ignore (Engine.schedule e (Vtime.span_us 1) bomb) in
+  bomb ();
+  (match Engine.run ~max_events:1000 e with
+  | exception Failure msg ->
+      Alcotest.(check bool) "guard message" true
+        (Astring_contains.contains msg "max_events")
+  | _ -> Alcotest.fail "runaway simulation not caught")
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e (Vtime.span_s 1.0) (fun () -> ()));
+  ignore (Engine.run e);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Engine.schedule e (Vtime.span_s (-1.0)) (fun () -> ())));
+  Alcotest.check_raises "past absolute"
+    (Invalid_argument "Engine.schedule_at: scheduling into the past") (fun () ->
+      ignore (Engine.schedule_at e Vtime.zero (fun () -> ())))
+
+let test_engine_deterministic () =
+  let run () =
+    let e = Engine.create ~seed:7 () in
+    let log = Buffer.create 64 in
+    ignore
+      (Engine.periodic e ~jitter:(Vtime.span_ms 500) (Vtime.span_s 1.0)
+         (fun () ->
+           Buffer.add_string log
+             (Printf.sprintf "%d;" (Vtime.to_us (Engine.now e)))));
+    ignore (Engine.run ~until:(Vtime.of_s 10.0) e);
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed, same timeline" (run ()) (run ())
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail (Printf.sprintf "out of range: %d" v)
+  done
+
+let test_rng_determinism () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let xs = List.init 10 (fun _ -> Rng.int parent 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int child 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float stays in range" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng bound in
+      v >= 0. && v < bound)
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_summary () =
+  let s = Stats.series () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  match Stats.summarize s with
+  | None -> Alcotest.fail "no summary"
+  | Some sum ->
+      Alcotest.(check int) "count" 5 sum.Stats.count;
+      Alcotest.(check (float 1e-9)) "mean" 3.0 sum.Stats.mean;
+      Alcotest.(check (float 1e-9)) "p50" 3.0 sum.Stats.p50;
+      Alcotest.(check (float 1e-9)) "min" 1.0 sum.Stats.min;
+      Alcotest.(check (float 1e-9)) "max" 5.0 sum.Stats.max
+
+let test_stats_empty () =
+  let s = Stats.series () in
+  Alcotest.(check bool) "no summary of empty" true (Stats.summarize s = None)
+
+let test_stats_counter () =
+  let c = Stats.counter () in
+  Stats.incr c;
+  Stats.incr_by c 10;
+  Alcotest.(check int) "counter" 11 (Stats.value c)
+
+(* --- Trace ---------------------------------------------------------------- *)
+
+let test_trace_query () =
+  let e = Engine.create () in
+  ignore
+    (Engine.schedule e (Vtime.span_s 1.0) (fun () ->
+         Engine.record e ~component:"a" ~event:"x" "one"));
+  ignore
+    (Engine.schedule e (Vtime.span_s 2.0) (fun () ->
+         Engine.record e ~component:"b" ~event:"x" "two"));
+  ignore (Engine.run e);
+  let tr = Engine.trace e in
+  Alcotest.(check int) "size" 2 (Trace.size tr);
+  (match Trace.find_first tr (fun r -> r.Trace.event = "x") with
+  | Some r -> Alcotest.(check string) "first" "one" r.Trace.detail
+  | None -> Alcotest.fail "missing");
+  match Trace.find_last tr (fun r -> r.Trace.event = "x") with
+  | Some r -> Alcotest.(check string) "last" "two" r.Trace.detail
+  | None -> Alcotest.fail "missing"
+
+let suite =
+  [
+    Alcotest.test_case "vtime arithmetic" `Quick test_vtime_arithmetic;
+    Alcotest.test_case "vtime span operations" `Quick test_vtime_span_ops;
+    Alcotest.test_case "heap pops in order" `Quick test_heap_ordering;
+    Alcotest.test_case "heap is FIFO for ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap grows and clears" `Quick test_heap_grows;
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    Alcotest.test_case "engine executes in time order" `Quick test_engine_schedule_order;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine periodic + cancel" `Quick test_engine_periodic;
+    Alcotest.test_case "engine deadline semantics" `Quick test_engine_deadline;
+    Alcotest.test_case "engine stop" `Quick test_engine_stop;
+    Alcotest.test_case "engine rejects scheduling into the past" `Quick
+      test_engine_rejects_past;
+    Alcotest.test_case "engine max_events guard" `Quick test_engine_max_events_guard;
+    Alcotest.test_case "engine runs are deterministic" `Quick
+      test_engine_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle is a permutation" `Quick
+      test_rng_shuffle_permutation;
+    QCheck_alcotest.to_alcotest prop_rng_float_range;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats counter" `Quick test_stats_counter;
+    Alcotest.test_case "trace records and queries" `Quick test_trace_query;
+  ]
