@@ -12,7 +12,7 @@
       substrate operations (SPF, LPM, OF codec, flow-table lookup,
       LLDP codec, LSA Fletcher checksum, RIB churn).
 
-   Usage: main.exe [all|fig3|demo|gui|scaling|ablation|families|micro]
+   Usage: main.exe [all|fig3|demo|failure|gui|scaling|ablation|families|micro]
    Default "all" runs everything, with scaling capped at 250 switches
    (the full 1000-switch sweep takes tens of minutes; request it with
    `main.exe scaling`). *)
@@ -244,8 +244,12 @@ let run_demo () =
   section "E2 — demonstration: pan-European video streaming";
   Experiment.print_demo std (Experiment.demo ())
 
+let run_failure () =
+  section "E3 — failure recovery under live traffic";
+  Experiment.print_failure_recovery std (Experiment.failure_recovery ())
+
 let run_gui () =
-  section "E3 — GUI red/green progression (every 60 sim-seconds)";
+  section "E4 — GUI red/green progression (every 60 sim-seconds)";
   List.iter
     (fun f -> Format.fprintf std "%s@." f)
     (Experiment.gui_frames ~every_s:60.0 ())
@@ -278,6 +282,7 @@ let () =
   match what with
   | "fig3" -> run_fig3 ()
   | "demo" -> run_demo ()
+  | "failure" -> run_failure ()
   | "gui" -> run_gui ()
   | "scaling" -> run_scaling ~sizes:[ 50; 100; 250; 500; 1000 ] ()
   | "ablation" -> run_ablation ()
@@ -287,6 +292,7 @@ let () =
   | "all" ->
       run_fig3 ();
       run_demo ();
+      run_failure ();
       run_gui ();
       run_scaling ();
       run_ablation ();
@@ -295,6 +301,6 @@ let () =
       run_micro ()
   | other ->
       Format.eprintf
-        "unknown section %S (use all|fig3|demo|gui|scaling|ablation|families|census|micro)@."
+        "unknown section %S (use all|fig3|demo|failure|gui|scaling|ablation|families|census|micro)@."
         other;
       exit 2

@@ -74,6 +74,32 @@ let demo_cmd =
       const run $ boot_arg $ horizon_arg $ server_arg $ client_arg $ protocol_arg
       $ pcap_arg)
 
+(* --- failure -------------------------------------------------------- *)
+
+let failure_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed (replays).")
+  in
+  let switches_arg =
+    Arg.(value & opt int 6 & info [ "switches" ] ~doc:"Ring size (>= 4).")
+  in
+  let fail_at_arg =
+    Arg.(value & opt float 60.0 & info [ "fail-at" ] ~doc:"Link cut time (sim s).")
+  in
+  let fail_horizon_arg =
+    Arg.(value & opt float 150.0 & info [ "horizon" ] ~doc:"Sim seconds.")
+  in
+  let run seed switches fail_at_s horizon_s =
+    Experiment.print_failure_recovery std
+      (Experiment.failure_recovery ~seed ~switches ~fail_at_s ~horizon_s ())
+  in
+  Cmd.v
+    (Cmd.info "failure"
+       ~doc:
+         "Cut a ring link under live traffic and report packet loss and \
+          reconvergence time (deterministic: same seed, same trace)")
+    Term.(const run $ seed_arg $ switches_arg $ fail_at_arg $ fail_horizon_arg)
+
 (* --- gui ----------------------------------------------------------- *)
 
 let gui_cmd =
@@ -285,6 +311,6 @@ let main =
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; trace_cmd; run_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; trace_cmd; run_cmd ]
 
 let () = exit (Cmd.eval main)

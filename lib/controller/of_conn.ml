@@ -11,13 +11,48 @@ type t = {
   mutable on_message : Of_msg.t -> unit;
   mutable on_close : unit -> unit;
   mutable echo_timer : Rf_sim.Engine.timer option;
+  mutable faults : (Rf_sim.Rng.t * Rf_sim.Faults.chan_profile) option;
+  mutable msgs_dropped : int;
+  mutable msgs_duplicated : int;
+  mutable msgs_delayed : int;
 }
 
 let fresh_xid t =
   t.next_xid <- Int32.add t.next_xid 1l;
   t.next_xid
 
-let send_msg t m = Rf_net.Channel.send t.chan (Of_codec.to_wire m)
+let raw_send t m = Rf_net.Channel.send t.chan (Of_codec.to_wire m)
+
+(* Faults apply per message (never mid-frame, which would corrupt the
+   peer's framer). The handshake openers are exempt from drop and
+   duplication — there is no application-level retry for them, and the
+   lossy profile models an overloaded channel, not a broken TCP — but
+   they can still be delayed. *)
+let handshake_critical (m : Of_msg.t) =
+  match m.payload with
+  | Of_msg.Hello | Of_msg.Features_request -> true
+  | _ -> false
+
+let send_msg t m =
+  match t.faults with
+  | None -> raw_send t m
+  | Some (rng, profile) -> (
+      match Rf_sim.Faults.fate rng profile with
+      | Rf_sim.Faults.Drop when not (handshake_critical m) ->
+          t.msgs_dropped <- t.msgs_dropped + 1;
+          Rf_sim.Engine.record t.engine ~component:"of-conn" ~event:"fault-drop"
+            (Of_msg.type_name m.payload)
+      | Rf_sim.Faults.Duplicate when not (handshake_critical m) ->
+          t.msgs_duplicated <- t.msgs_duplicated + 1;
+          Rf_sim.Engine.record t.engine ~component:"of-conn" ~event:"fault-duplicate"
+            (Of_msg.type_name m.payload);
+          raw_send t m;
+          raw_send t m
+      | Rf_sim.Faults.Delay span ->
+          t.msgs_delayed <- t.msgs_delayed + 1;
+          ignore (Rf_sim.Engine.schedule t.engine span (fun () -> raw_send t m))
+      | Rf_sim.Faults.Deliver | Rf_sim.Faults.Drop | Rf_sim.Faults.Duplicate ->
+          raw_send t m)
 
 let send t payload =
   let xid = fresh_xid t in
@@ -56,6 +91,10 @@ let create engine ?(echo_interval = Rf_sim.Vtime.span_s 15.0) chan =
       on_message = (fun _ -> ());
       on_close = (fun () -> ());
       echo_timer = None;
+      faults = None;
+      msgs_dropped = 0;
+      msgs_duplicated = 0;
+      msgs_delayed = 0;
     }
   in
   Rf_net.Channel.set_on_close chan (fun () ->
@@ -86,6 +125,14 @@ let set_on_handshake t f =
   match t.features with Some feats when t.handshake_done -> f feats | Some _ | None -> ()
 
 let set_on_message t f = t.on_message <- f
+
+let set_fault_profile t rng profile = t.faults <- Some (rng, profile)
+
+let messages_dropped t = t.msgs_dropped
+
+let messages_duplicated t = t.msgs_duplicated
+
+let messages_delayed t = t.msgs_delayed
 
 let set_on_close t f = t.on_close <- f
 

@@ -27,6 +27,21 @@ val set_on_message : t -> (Of_msg.t -> unit) -> unit
 (** Receives every message except Hello, Echo and Features_reply
     (handled internally). *)
 
+val set_fault_profile : t -> Rf_sim.Rng.t -> Rf_sim.Faults.chan_profile -> unit
+(** Makes this connection's outgoing messages subject to the lossy
+    profile: each message is dropped, duplicated or delayed per a draw
+    from the given generator (split it off the engine's seeded root so
+    the run stays replayable). Faults apply at message granularity —
+    framing is never corrupted — and the handshake openers (Hello,
+    Features_request) are exempt from drop/duplication since nothing
+    retries them. *)
+
+val messages_dropped : t -> int
+
+val messages_duplicated : t -> int
+
+val messages_delayed : t -> int
+
 val set_on_close : t -> (unit -> unit) -> unit
 
 val send : t -> Of_msg.payload -> int32

@@ -224,7 +224,138 @@ let print_demo ppf (d : demo_result) =
           d.d_gui_timeline));
   Format.fprintf ppf "%s" d.d_gui_final_frame
 
-(* --- E3: GUI frames ------------------------------------------------ *)
+(* --- E3: failure recovery ------------------------------------------ *)
+
+type recovery_result = {
+  fr_seed : int;
+  fr_switches : int;
+  fr_fail_at_s : float;
+  fr_all_green_s : float option;
+  fr_converged_s : float option;
+  fr_reconverged_s : float option;
+  fr_outage_s : float option;
+  fr_window_sent : int;
+  fr_window_received : int;
+  fr_window_lost : int;
+  fr_routes_avoid_failed_link : bool;
+  fr_trace_fingerprint : string;
+}
+
+let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
+    ?(window_s = 30.0) ?(horizon_s = 150.0) () =
+  if switches < 4 then invalid_arg "failure_recovery: need a ring of >= 4";
+  let topo = Topo_gen.ring switches in
+  Topology.add_host topo "server";
+  Topology.add_host topo "client";
+  ignore (Topology.connect topo (Topology.Host "server") (Topology.Switch 1L));
+  let far = Int64.of_int ((switches / 2) + 1) in
+  ignore (Topology.connect topo (Topology.Host "client") (Topology.Switch far));
+  (* Fail a link on the shortest server->client arc, mid-stream. *)
+  let fail_a, fail_b = (2L, 3L) in
+  let options =
+    {
+      Scenario.default_options with
+      seed;
+      rf_params = params ~vm_boot_s:2.0 ~parallel_boot:4 ();
+      faults = Rf_sim.Faults.(plan [ link_down ~at_s:fail_at_s fail_a fail_b ]);
+    }
+  in
+  let s = Scenario.build ~options topo in
+  let server = Scenario.host s "server" in
+  let client = Scenario.host s "client" in
+  ignore
+    (Host.start_udp_stream server ~dst:(Scenario.host_ip s "client")
+       ~dst_port:5004 ~period:(Vtime.span_ms 100) ~payload_size:500 ());
+  (* Datagram accounting over the window starting at the failure. *)
+  let sent_at_fail = ref 0 and recv_at_fail = ref 0 in
+  let sent_at_end = ref 0 and recv_at_end = ref 0 in
+  let engine = Scenario.engine s in
+  ignore
+    (Rf_sim.Engine.schedule_at engine (Vtime.of_s fail_at_s) (fun () ->
+         sent_at_fail := Host.udp_sent server;
+         recv_at_fail := Host.udp_received client));
+  ignore
+    (Rf_sim.Engine.schedule_at engine
+       (Vtime.of_s (fail_at_s +. window_s))
+       (fun () ->
+         sent_at_end := Host.udp_sent server;
+         recv_at_end := Host.udp_received client));
+  Scenario.run_for s (Vtime.span_s horizon_s);
+  (* Post-failure routes must not use the interfaces facing the dead
+     link. *)
+  let avoid =
+    match
+      Topology.edge_between topo (Topology.Switch fail_a)
+        (Topology.Switch fail_b)
+    with
+    | None -> false
+    | Some e ->
+        let dead (dpid, port) =
+          let iface = Printf.sprintf "eth%d" port in
+          match Rf_system.vm (Scenario.rf_system s) dpid with
+          | None -> false
+          | Some vm ->
+              List.exists
+                (fun (r : Rf_routing.Rib.route) -> String.equal r.r_iface iface)
+                (Rf_routing.Rib.selected (Rf_routeflow.Vm.rib vm))
+        in
+        let a_side, b_side =
+          match e.a with
+          | Topology.Switch d when Int64.equal d fail_a ->
+              ((fail_a, e.a_port), (fail_b, e.b_port))
+          | Topology.Switch _ | Topology.Host _ ->
+              ((fail_a, e.b_port), (fail_b, e.a_port))
+        in
+        (not (dead a_side)) && not (dead b_side)
+  in
+  let fingerprint =
+    Digest.to_hex
+      (Digest.string
+         (Format.asprintf "%a" Rf_sim.Trace.dump (Rf_sim.Engine.trace engine)))
+  in
+  let window_sent = !sent_at_end - !sent_at_fail in
+  let window_recv = !recv_at_end - !recv_at_fail in
+  let reconverged = Scenario.reconverged_at s in
+  {
+    fr_seed = seed;
+    fr_switches = switches;
+    fr_fail_at_s = fail_at_s;
+    fr_all_green_s = to_s_opt (Scenario.all_configured_at s);
+    fr_converged_s = to_s_opt (Scenario.routing_converged_at s);
+    fr_reconverged_s = to_s_opt reconverged;
+    fr_outage_s =
+      Option.map (fun t -> Vtime.to_s t -. fail_at_s) reconverged;
+    fr_window_sent = window_sent;
+    fr_window_received = window_recv;
+    fr_window_lost = window_sent - window_recv;
+    fr_routes_avoid_failed_link = avoid;
+    fr_trace_fingerprint = fingerprint;
+  }
+
+let print_failure_recovery ppf (r : recovery_result) =
+  Format.fprintf ppf
+    "Failure recovery — %d-switch ring, link sw2-sw3 cut at t=%.0fs@."
+    r.fr_switches r.fr_fail_at_s;
+  let opt = function
+    | Some v -> Printf.sprintf "%.1f s" v
+    | None -> "not reached"
+  in
+  Format.fprintf ppf "  all switches configured    %s@." (opt r.fr_all_green_s);
+  Format.fprintf ppf "  routing converged          %s@." (opt r.fr_converged_s);
+  Format.fprintf ppf "  routes settled after cut   %s@."
+    (opt r.fr_reconverged_s);
+  Format.fprintf ppf "  reconvergence time         %s@." (opt r.fr_outage_s);
+  Format.fprintf ppf
+    "  datagrams in post-cut window  %d sent, %d delivered, %d lost@."
+    r.fr_window_sent r.fr_window_received r.fr_window_lost;
+  Format.fprintf ppf "  routes avoid failed link   %b@."
+    r.fr_routes_avoid_failed_link;
+  Format.fprintf ppf "  seed %d, trace fingerprint %s@." r.fr_seed
+    r.fr_trace_fingerprint;
+  Format.fprintf ppf
+    "  (rerun with the same seed to reproduce this fingerprint exactly)@."
+
+(* --- E4: GUI frames ------------------------------------------------ *)
 
 let gui_frames ?(vm_boot_s = 8.0) ?(every_s = 30.0) () =
   let topo = Topo_gen.pan_european () in

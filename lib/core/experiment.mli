@@ -58,7 +58,45 @@ val demo :
 
 val print_demo : Format.formatter -> demo_result -> unit
 
-(** {1 E3 — GUI: red/green frames over the demo run} *)
+(** {1 E3 — Failure recovery: link cut under live traffic}
+
+    A ring carries a UDP stream end to end; a deterministic fault plan
+    cuts one link on the stream's path mid-run. Reported: datagrams
+    lost in the post-cut window, the time for the routing control
+    platform to settle on routes that avoid the dead link, and an MD5
+    fingerprint of the full event trace — rerunning with the same seed
+    reproduces the fingerprint byte for byte. *)
+
+type recovery_result = {
+  fr_seed : int;
+  fr_switches : int;
+  fr_fail_at_s : float;
+  fr_all_green_s : float option;
+  fr_converged_s : float option;
+  fr_reconverged_s : float option;  (** routes settled post-cut *)
+  fr_outage_s : float option;  (** reconverged − fail time *)
+  fr_window_sent : int;  (** datagrams sent in the post-cut window *)
+  fr_window_received : int;
+  fr_window_lost : int;
+  fr_routes_avoid_failed_link : bool;
+  fr_trace_fingerprint : string;  (** MD5 of the trace dump *)
+}
+
+val failure_recovery :
+  ?seed:int ->
+  ?switches:int ->
+  ?fail_at_s:float ->
+  ?window_s:float ->
+  ?horizon_s:float ->
+  unit ->
+  recovery_result
+(** Default: 6-switch ring (server behind sw1, client behind sw4, 2 s
+    quad-parallel boots so setup is quick), link sw2–sw3 cut at 60 s,
+    loss counted over the following 30 s, 150 s horizon. *)
+
+val print_failure_recovery : Format.formatter -> recovery_result -> unit
+
+(** {1 E4 — GUI: red/green frames over the demo run} *)
 
 val gui_frames : ?vm_boot_s:float -> ?every_s:float -> unit -> string list
 

@@ -16,6 +16,7 @@ type options = {
   control_latency : Rf_sim.Vtime.span;
   rpc_latency : Rf_sim.Vtime.span;
   ip_range : Ipv4_addr.Prefix.t;
+  faults : Rf_sim.Faults.plan;
 }
 
 let default_options =
@@ -26,6 +27,7 @@ let default_options =
     control_latency = Rf_sim.Vtime.span_ms 1;
     rpc_latency = Rf_sim.Vtime.span_ms 1;
     ip_range = Ipv4_addr.Prefix.of_string_exn "172.16.0.0/16";
+    faults = Rf_sim.Faults.empty;
   }
 
 type host_plan = { hp_subnet : Ipv4_addr.Prefix.t; hp_ip : Ipv4_addr.t }
@@ -47,6 +49,9 @@ type t = {
   n_subnets : int;
   mutable vm_ready_listeners : (int64 -> unit) list;
   mutable converged_at : Rf_sim.Vtime.t option;
+  fault_handle : Rf_sim.Faults.handle;
+  mutable route_digest : string;
+  mutable last_route_change_at : Rf_sim.Vtime.t option;
 }
 
 let host_plans_of topo =
@@ -120,12 +125,19 @@ let build ?(options = default_options) topo =
   in
 
   (* FlowVisor with the two slices of the paper. *)
+  let faults_rng = Rf_sim.Rng.split (Rf_sim.Engine.rng engine) in
   let fv = Flowvisor.create engine ~controller_latency:options.control_latency () in
   Flowvisor.add_slice fv
     (Flowspace.lldp_slice ~name:"topology")
     ~attach:(fun ~dpid endpoint ->
       ignore dpid;
-      Discovery.attach disc (Rf_controller.Of_conn.create engine endpoint));
+      let conn = Rf_controller.Of_conn.create engine endpoint in
+      (match options.faults.Rf_sim.Faults.control_faults with
+      | Some profile ->
+          Rf_controller.Of_conn.set_fault_profile conn
+            (Rf_sim.Rng.split faults_rng) profile
+      | None -> ());
+      Discovery.attach disc conn);
   Flowvisor.add_slice fv
     (Flowspace.data_slice ~name:"routeflow")
     ~attach:(fun ~dpid endpoint -> Rf_controller_app.attach rf_app ~dpid endpoint);
@@ -152,6 +164,22 @@ let build ?(options = default_options) topo =
   let n_subnets =
     List.length (Topology.switch_switch_edges topo) + List.length admin_edges
   in
+  (* Fault injection: map the layer-agnostic plan onto this scenario's
+     components. *)
+  let injector =
+    {
+      Rf_sim.Faults.inj_link =
+        (fun ~up { Rf_sim.Faults.l_a; l_b } ->
+          Network.set_link_up net (Topology.Switch l_a) (Topology.Switch l_b) up);
+      inj_switch =
+        (fun ~up dpid ->
+          if up then Network.reconnect_switch net dpid
+          else Network.disconnect_switch net dpid);
+      inj_vm_boot_failure =
+        (fun ~dpid ~failures -> Rf_system.arm_boot_failures rf_sys ~dpid ~failures);
+    }
+  in
+  let fault_handle = Rf_sim.Faults.schedule engine injector options.faults in
   let t =
     {
       engine;
@@ -170,6 +198,9 @@ let build ?(options = default_options) topo =
       n_subnets;
       vm_ready_listeners = [];
       converged_at = None;
+      fault_handle;
+      route_digest = "";
+      last_route_change_at = None;
     }
   in
   Rf_system.set_on_vm_ready rf_sys (fun dpid ->
@@ -184,10 +215,40 @@ let build ?(options = default_options) topo =
            Rf_routing.Rib.size (Rf_routeflow.Vm.rib vm) >= n_subnets)
          (Rf_system.vms rf_sys)
   in
+  (* Only pay for route-table digests when a fault plan is active — the
+     digest walks every VM's RIB once per simulated second, too costly
+     for the 1000-switch scaling runs. *)
+  let digest_routes () =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (dpid, vm) ->
+        Buffer.add_string buf (Printf.sprintf "vm-%Ld:" dpid);
+        List.iter
+          (fun (r : Rf_routing.Rib.route) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s/%s/%s;"
+                 (Ipv4_addr.Prefix.to_string r.r_prefix)
+                 (match r.r_next_hop with
+                 | Some nh -> Ipv4_addr.to_string nh
+                 | None -> "direct")
+                 r.r_iface))
+          (Rf_routing.Rib.selected (Rf_routeflow.Vm.rib vm));
+        Buffer.add_char buf '\n')
+      (Rf_system.vms rf_sys)
+    |> fun () -> Buffer.contents buf
+  in
+  let track_routes = not (Rf_sim.Faults.is_empty options.faults) in
   ignore
     (Rf_sim.Engine.periodic engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
          if t.converged_at = None && converged () then
-           t.converged_at <- Some (Rf_sim.Engine.now engine)));
+           t.converged_at <- Some (Rf_sim.Engine.now engine);
+         if track_routes then begin
+           let d = digest_routes () in
+           if d <> t.route_digest then begin
+             t.route_digest <- d;
+             t.last_route_change_at <- Some (Rf_sim.Engine.now engine)
+           end
+         end));
   t
 
 let engine t = t.engine
@@ -233,3 +294,13 @@ let all_configured_at t = Gui.all_green_at t.gui
 let routing_converged_at t = t.converged_at
 
 let total_subnets t = t.n_subnets
+
+let fault_events_fired t = Rf_sim.Faults.fired_count t.fault_handle
+
+let last_fault_at t = Rf_sim.Faults.last_fired_at t.fault_handle
+
+let reconverged_at t =
+  match (Rf_sim.Faults.last_fired_at t.fault_handle, t.last_route_change_at) with
+  | Some fault_at, Some change_at when Rf_sim.Vtime.(fault_at <= change_at) ->
+      Some change_at
+  | (Some _ | None), (Some _ | None) -> None

@@ -17,11 +17,14 @@ type options = {
   control_latency : Rf_sim.Vtime.span;  (** switch↔FlowVisor↔controller *)
   rpc_latency : Rf_sim.Vtime.span;  (** RPC client↔server *)
   ip_range : Ipv4_addr.Prefix.t;  (** the administrator's range *)
+  faults : Rf_sim.Faults.plan;
+      (** deterministic fault plan injected into the built system *)
 }
 
 val default_options : options
 (** seed 42, paper-era RouteFlow params (8 s serialized boots), 5 s
-    probes, 1 ms control and RPC latency, range 172.16.0.0/16. *)
+    probes, 1 ms control and RPC latency, range 172.16.0.0/16, no
+    faults. *)
 
 type t
 
@@ -71,3 +74,25 @@ val routing_converged_at : t -> Rf_sim.Vtime.t option
     once per simulated second). *)
 
 val total_subnets : t -> int
+
+(** {1 Fault injection}
+
+    Built from [options.faults]: timed events fire on the engine's
+    clock (link flaps via {!Rf_net.Network.set_link_up}, switch crashes
+    via disconnect/reconnect, VM clone failures via
+    {!Rf_routeflow.Rf_system.arm_boot_failures}), and an optional lossy
+    profile applies to the topology slice's OpenFlow connections. All
+    randomness descends from [options.seed], so a run is replayable
+    from its seed alone. *)
+
+val fault_events_fired : t -> int
+
+val last_fault_at : t -> Rf_sim.Vtime.t option
+(** When the most recent planned fault fired. *)
+
+val reconverged_at : t -> Rf_sim.Vtime.t option
+(** Time of the last observed route-table change at or after the last
+    injected fault — the moment the routing control platform settled
+    into its post-fault state. [None] until a fault has fired and some
+    VM's selected routes have changed since (route tables are digested
+    once per simulated second, only when a fault plan is present). *)

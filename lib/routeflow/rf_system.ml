@@ -41,6 +41,9 @@ type t = {
   mutable booting : int;
   mutable created : int;
   mutable on_vm_ready : int64 -> unit;
+  boot_faults : (int64, int ref) Hashtbl.t;
+      (** armed clone failures remaining, per dpid *)
+  mutable boot_failures : int;
 }
 
 let create engine app vs params =
@@ -56,6 +59,8 @@ let create engine app vs params =
     booting = 0;
     created = 0;
     on_vm_ready = (fun _ -> ());
+    boot_faults = Hashtbl.create 4;
+    boot_failures = 0;
   }
 
 let router_id_of dpid =
@@ -183,6 +188,17 @@ let schedule_apply t ss =
 
 (* --- VM boot queue -------------------------------------------------- *)
 
+(* An armed clone failure consumes the whole boot time and then
+   re-queues the switch: the retry policy of a server that notices the
+   LXC clone died and tries again. *)
+let boot_fails t ss =
+  match Hashtbl.find_opt t.boot_faults ss.ss_dpid with
+  | Some n when !n > 0 ->
+      decr n;
+      t.boot_failures <- t.boot_failures + 1;
+      true
+  | Some _ | None -> false
+
 let rec start_boots t =
   match t.boot_queue with
   | [] -> ()
@@ -195,7 +211,15 @@ let rec start_boots t =
         ignore
           (Rf_sim.Engine.schedule t.engine t.params.vm_boot_time (fun () ->
                t.booting <- t.booting - 1;
-               finish_boot t ss;
+               if boot_fails t ss then begin
+                 Rf_sim.Engine.record t.engine ~component:"rf-server"
+                   ~event:"vm-boot-failed"
+                   (Printf.sprintf "vm-%Ld" ss.ss_dpid);
+                 (* Retry unless the switch went away while booting. *)
+                 if Hashtbl.mem t.switches ss.ss_dpid then
+                   t.boot_queue <- t.boot_queue @ [ ss ]
+               end
+               else finish_boot t ss;
                start_boots t));
         start_boots t
       end
@@ -311,6 +335,12 @@ let is_configured t dpid = vm t dpid <> None
 let configured_count t = List.length (vms t)
 
 let set_on_vm_ready t f = t.on_vm_ready <- f
+
+let arm_boot_failures t ~dpid ~failures =
+  if failures < 0 then invalid_arg "Rf_system.arm_boot_failures: negative count";
+  Hashtbl.replace t.boot_faults dpid (ref failures)
+
+let boot_failures_injected t = t.boot_failures
 
 let vms_created t = t.created
 

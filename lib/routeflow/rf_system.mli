@@ -79,6 +79,17 @@ val configured_count : t -> int
 
 val set_on_vm_ready : t -> (int64 -> unit) -> unit
 
+(** {1 Fault injection} *)
+
+val arm_boot_failures : t -> dpid:int64 -> failures:int -> unit
+(** The next [failures] VM clone attempts for [dpid] fail at the end of
+    their boot time; each failure re-enqueues the switch at the back of
+    the boot queue (the server retries until a clone succeeds), so a
+    switch with a finite failure count still becomes configured. *)
+
+val boot_failures_injected : t -> int
+(** Total clone failures that have fired. *)
+
 val vms_created : t -> int
 
 val boot_queue_length : t -> int

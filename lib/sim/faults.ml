@@ -1,0 +1,111 @@
+type link_ref = { l_a : int64; l_b : int64 }
+
+type event =
+  | Link_down of link_ref
+  | Link_up of link_ref
+  | Switch_crash of int64
+  | Switch_recover of int64
+  | Vm_boot_failure of { dpid : int64; failures : int }
+
+type timed = { at : Vtime.t; ev : event }
+
+let link ~at_s a b ev_of =
+  let l = if Int64.compare a b <= 0 then { l_a = a; l_b = b } else { l_a = b; l_b = a } in
+  { at = Vtime.of_s at_s; ev = ev_of l }
+
+let link_down ~at_s a b = link ~at_s a b (fun l -> Link_down l)
+
+let link_up ~at_s a b = link ~at_s a b (fun l -> Link_up l)
+
+let switch_crash ~at_s dpid = { at = Vtime.of_s at_s; ev = Switch_crash dpid }
+
+let switch_recover ~at_s dpid = { at = Vtime.of_s at_s; ev = Switch_recover dpid }
+
+let vm_boot_failure ~at_s ~dpid ~failures =
+  if failures < 0 then invalid_arg "Faults.vm_boot_failure: negative count";
+  { at = Vtime.of_s at_s; ev = Vm_boot_failure { dpid; failures } }
+
+let pp_event ppf = function
+  | Link_down { l_a; l_b } -> Format.fprintf ppf "link-down sw%Ld-sw%Ld" l_a l_b
+  | Link_up { l_a; l_b } -> Format.fprintf ppf "link-up sw%Ld-sw%Ld" l_a l_b
+  | Switch_crash d -> Format.fprintf ppf "switch-crash sw%Ld" d
+  | Switch_recover d -> Format.fprintf ppf "switch-recover sw%Ld" d
+  | Vm_boot_failure { dpid; failures } ->
+      Format.fprintf ppf "vm-boot-failure sw%Ld x%d" dpid failures
+
+type chan_profile = {
+  cf_drop : float;
+  cf_duplicate : float;
+  cf_delay : float;
+  cf_max_delay : Vtime.span;
+}
+
+let reliable =
+  { cf_drop = 0.; cf_duplicate = 0.; cf_delay = 0.; cf_max_delay = Vtime.span_zero }
+
+let lossy ?(drop = 0.02) ?(duplicate = 0.01) ?(delay = 0.05)
+    ?(max_delay = Vtime.span_ms 100) () =
+  if drop < 0. || duplicate < 0. || delay < 0. || drop +. duplicate +. delay > 1.
+  then invalid_arg "Faults.lossy: probabilities must be >= 0 and sum to <= 1";
+  { cf_drop = drop; cf_duplicate = duplicate; cf_delay = delay; cf_max_delay = max_delay }
+
+type fate = Deliver | Drop | Duplicate | Delay of Vtime.span
+
+let fate rng p =
+  let u = Rng.float rng 1.0 in
+  if u < p.cf_drop then Drop
+  else if u < p.cf_drop +. p.cf_duplicate then Duplicate
+  else if u < p.cf_drop +. p.cf_duplicate +. p.cf_delay then
+    Delay (Vtime.span_s (Rng.float rng (Vtime.span_to_s p.cf_max_delay)))
+  else Deliver
+
+type plan = { events : timed list; control_faults : chan_profile option }
+
+let empty = { events = []; control_faults = None }
+
+let plan ?control_faults events = { events; control_faults }
+
+let is_empty p = p.events = [] && p.control_faults = None
+
+type injector = {
+  inj_link : up:bool -> link_ref -> unit;
+  inj_switch : up:bool -> int64 -> unit;
+  inj_vm_boot_failure : dpid:int64 -> failures:int -> unit;
+}
+
+type handle = {
+  mutable fired : int;
+  mutable pending : int;
+  mutable last_at : Vtime.t option;
+}
+
+let dispatch inj = function
+  | Link_down l -> inj.inj_link ~up:false l
+  | Link_up l -> inj.inj_link ~up:true l
+  | Switch_crash d -> inj.inj_switch ~up:false d
+  | Switch_recover d -> inj.inj_switch ~up:true d
+  | Vm_boot_failure { dpid; failures } -> inj.inj_vm_boot_failure ~dpid ~failures
+
+let schedule engine inj p =
+  let h = { fired = 0; pending = List.length p.events; last_at = None } in
+  List.iter
+    (fun { at; ev } ->
+      let fire () =
+        h.fired <- h.fired + 1;
+        h.pending <- h.pending - 1;
+        h.last_at <- Some (Engine.now engine);
+        Engine.record engine ~component:"faults" ~event:"inject"
+          (Format.asprintf "%a" pp_event ev);
+        dispatch inj ev
+      in
+      let now = Engine.now engine in
+      if Vtime.(at < now) then fire ()
+      else ignore (Engine.schedule_at engine at fire))
+    p.events;
+  h
+
+let fired_count h = h.fired
+
+let pending_count h = h.pending
+
+let last_fired_at h = h.last_at

@@ -1,0 +1,121 @@
+(** Deterministic fault injection for the simulator.
+
+    A {!plan} is a declarative description of everything that goes
+    wrong during a run: timed topology faults (link flaps, switch
+    crashes, VM clone failures) plus an optional probabilistic fault
+    profile for control channels. Probabilistic faults draw from an
+    {!Rng.t} split off the engine's seeded root generator, so a run is
+    replayable bit-for-bit from its seed — the foundation of the
+    failure-recovery experiments and the determinism regression tests.
+
+    This module is layer-agnostic: it only knows datapath ids and
+    virtual time. The scenario layer supplies an {!injector} that maps
+    each fault onto the emulated network, and components with a control
+    channel (e.g. the controller-side OpenFlow connection) consult
+    {!fate} per message to apply a {!chan_profile}. *)
+
+(** {1 Timed topology faults} *)
+
+type link_ref = { l_a : int64; l_b : int64 }
+(** A switch–switch link named by its endpoints' datapath ids. *)
+
+type event =
+  | Link_down of link_ref
+  | Link_up of link_ref  (** recovery of a previously failed link *)
+  | Switch_crash of int64
+      (** the switch loses its control connection; the datapath keeps
+          forwarding headless *)
+  | Switch_recover of int64
+  | Vm_boot_failure of { dpid : int64; failures : int }
+      (** arms the RouteFlow server so the next [failures] VM clone
+          attempts for [dpid] fail; the server's retry policy re-queues
+          the switch after each failed boot until a clone succeeds *)
+
+type timed = { at : Vtime.t; ev : event }
+
+(** Convenience constructors, taking the instant in simulated seconds. *)
+
+val link_down : at_s:float -> int64 -> int64 -> timed
+
+val link_up : at_s:float -> int64 -> int64 -> timed
+
+val switch_crash : at_s:float -> int64 -> timed
+
+val switch_recover : at_s:float -> int64 -> timed
+
+val vm_boot_failure : at_s:float -> dpid:int64 -> failures:int -> timed
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Probabilistic control-channel faults} *)
+
+type chan_profile = {
+  cf_drop : float;  (** P(message silently dropped) *)
+  cf_duplicate : float;  (** P(message delivered twice) *)
+  cf_delay : float;  (** P(message delayed) *)
+  cf_max_delay : Vtime.span;
+      (** a delayed message waits a uniform draw from [0, cf_max_delay) *)
+}
+(** Per-message fault probabilities. [cf_drop + cf_duplicate + cf_delay]
+    must not exceed 1. *)
+
+val reliable : chan_profile
+(** All probabilities zero. *)
+
+val lossy :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?delay:float ->
+  ?max_delay:Vtime.span ->
+  unit ->
+  chan_profile
+(** Defaults: 2% drop, 1% duplicate, 5% delay, 100 ms max delay —
+    a plausibly overloaded control channel. *)
+
+type fate = Deliver | Drop | Duplicate | Delay of Vtime.span
+
+val fate : Rng.t -> chan_profile -> fate
+(** Draws the fate of one message. Always consumes exactly one draw
+    from the generator (two when the fate is [Delay]), keeping replay
+    deterministic regardless of the outcome. *)
+
+(** {1 Plans} *)
+
+type plan = {
+  events : timed list;
+  control_faults : chan_profile option;
+      (** applied to control channels that opt in (the scenario wires it
+          into the connections it owns) *)
+}
+
+val empty : plan
+
+val plan : ?control_faults:chan_profile -> timed list -> plan
+
+val is_empty : plan -> bool
+
+(** {1 Execution} *)
+
+type injector = {
+  inj_link : up:bool -> link_ref -> unit;
+  inj_switch : up:bool -> int64 -> unit;
+  inj_vm_boot_failure : dpid:int64 -> failures:int -> unit;
+}
+(** How each fault is realised; supplied by the layer that owns the
+    emulated network. *)
+
+type handle
+
+val schedule : Engine.t -> injector -> plan -> handle
+(** Schedules every timed event on the engine (events in the past fire
+    immediately). Each firing is recorded in the engine trace under
+    component ["faults"] and dispatched through the injector. *)
+
+val fired_count : handle -> int
+
+val pending_count : handle -> int
+
+val last_fired_at : handle -> Vtime.t option
+(** When the most recent fault fired; [None] until the first fires.
+    Reconvergence is measured from the value this holds after the final
+    fault. *)

@@ -12,4 +12,6 @@ let () = Alcotest.run "routeflow-autoconf" [
       ("rpc", Test_rpc.suite);
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);
+      ("props", Test_props.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -1,0 +1,407 @@
+(* Property-based tests: the OpenFlow wire codec round-trips every
+   message it can emit, the framer is insensitive to TCP segmentation,
+   address parsing round-trips, and the prefix trie agrees with a
+   naive longest-prefix-match scan. *)
+
+open Rf_openflow
+open Rf_packet
+module G = QCheck.Gen
+
+let prop ?(count = 300) name gen print f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count (QCheck.make ~print gen) f)
+
+(* --- generators ----------------------------------------------------- *)
+
+let gen_u8 = G.int_range 0 0xff
+
+let gen_u16 = G.int_range 0 0xffff
+
+let gen_mac = G.map Mac.of_bytes (G.string_size ~gen:G.char (G.return 6))
+
+let gen_ip = G.map Ipv4_addr.of_int32 G.int32
+
+(* Length 0 encodes as a full wildcard on the wire, so matches carry
+   1..32. *)
+let gen_prefix =
+  G.map2
+    (fun a len -> Ipv4_addr.Prefix.make (Ipv4_addr.of_int32 a) len)
+    G.int32 (G.int_range 1 32)
+
+(* 0xffffffff is the "no buffer" sentinel. *)
+let gen_buffer_opt =
+  G.opt (G.map (fun b -> if Int32.equal b (-1l) then 0l else b) G.ui32)
+
+(* 0xffff is Of_port.none, the "no port filter" sentinel. *)
+let gen_out_port_opt = G.opt (G.int_range 0 (Of_port.none - 1))
+
+let gen_small_string = G.string_size ~gen:G.char (G.int_range 0 64)
+
+(* NUL terminates fixed-width name fields on the wire. *)
+let gen_name len = G.string_size ~gen:G.printable (G.int_range 0 len)
+
+let gen_match =
+  let open G in
+  let* m_in_port = opt gen_u16 in
+  let* m_dl_src = opt gen_mac in
+  let* m_dl_dst = opt gen_mac in
+  let* m_dl_vlan = opt gen_u16 in
+  let* m_dl_pcp = opt gen_u8 in
+  let* m_dl_type = opt gen_u16 in
+  let* m_nw_tos = opt gen_u8 in
+  let* m_nw_proto = opt gen_u8 in
+  let* m_nw_src = opt gen_prefix in
+  let* m_nw_dst = opt gen_prefix in
+  let* m_tp_src = opt gen_u16 in
+  let* m_tp_dst = opt gen_u16 in
+  return
+    {
+      Of_match.m_in_port;
+      m_dl_src;
+      m_dl_dst;
+      m_dl_vlan;
+      m_dl_pcp;
+      m_dl_type;
+      m_nw_tos;
+      m_nw_proto;
+      m_nw_src;
+      m_nw_dst;
+      m_tp_src;
+      m_tp_dst;
+    }
+
+let gen_action =
+  G.oneof
+    [
+      G.map2 (fun port max_len -> Of_action.Output { port; max_len }) gen_u16 gen_u16;
+      G.map (fun m -> Of_action.Set_dl_src m) gen_mac;
+      G.map (fun m -> Of_action.Set_dl_dst m) gen_mac;
+      G.map (fun ip -> Of_action.Set_nw_src ip) gen_ip;
+      G.map (fun ip -> Of_action.Set_nw_dst ip) gen_ip;
+      G.map (fun t -> Of_action.Set_nw_tos t) gen_u8;
+      G.map (fun p -> Of_action.Set_tp_src p) gen_u16;
+      G.map (fun p -> Of_action.Set_tp_dst p) gen_u16;
+      G.return Of_action.Strip_vlan;
+    ]
+
+let gen_actions = G.list_size (G.int_range 0 4) gen_action
+
+let gen_phys_port =
+  let open G in
+  let* port_no = gen_u16 in
+  let* hw_addr = gen_mac in
+  let* name = gen_name 15 in
+  let* up = bool in
+  return { Of_msg.port_no; hw_addr; name; up }
+
+let gen_flow_mod =
+  let open G in
+  let* fm_match = gen_match in
+  let* fm_cookie = ui64 in
+  let* fm_command =
+    oneofl Of_msg.[ Add; Modify; Modify_strict; Delete; Delete_strict ]
+  in
+  let* fm_idle_timeout = gen_u16 in
+  let* fm_hard_timeout = gen_u16 in
+  let* fm_priority = gen_u16 in
+  let* fm_buffer_id = gen_buffer_opt in
+  let* fm_out_port = gen_out_port_opt in
+  let* fm_notify_removed = bool in
+  let* fm_actions = gen_actions in
+  return
+    {
+      Of_msg.fm_match;
+      fm_cookie;
+      fm_command;
+      fm_idle_timeout;
+      fm_hard_timeout;
+      fm_priority;
+      fm_buffer_id;
+      fm_out_port;
+      fm_notify_removed;
+      fm_actions;
+    }
+
+let gen_flow_stats =
+  let open G in
+  let* fs_match = gen_match in
+  let* fs_priority = gen_u16 in
+  let* fs_cookie = ui64 in
+  let* fs_duration_s = int_range 0 1_000_000 in
+  let* fs_packet_count = ui64 in
+  let* fs_byte_count = ui64 in
+  let* fs_actions = gen_actions in
+  return
+    {
+      Of_msg.fs_match;
+      fs_priority;
+      fs_cookie;
+      fs_duration_s;
+      fs_packet_count;
+      fs_byte_count;
+      fs_actions;
+    }
+
+let gen_port_stats =
+  let open G in
+  let* ps_port_no = gen_u16 in
+  let* ps_rx_packets = ui64 in
+  let* ps_tx_packets = ui64 in
+  let* ps_rx_bytes = ui64 in
+  let* ps_tx_bytes = ui64 in
+  let* ps_rx_dropped = ui64 in
+  let* ps_tx_dropped = ui64 in
+  return
+    {
+      Of_msg.ps_port_no;
+      ps_rx_packets;
+      ps_tx_packets;
+      ps_rx_bytes;
+      ps_tx_bytes;
+      ps_rx_dropped;
+      ps_tx_dropped;
+    }
+
+let gen_payload =
+  let open G in
+  oneof
+    [
+      return Of_msg.Hello;
+      return Of_msg.Features_request;
+      return Of_msg.Get_config_request;
+      return Of_msg.Barrier_request;
+      return Of_msg.Barrier_reply;
+      (let* err_type = gen_u16 in
+       let* err_code = gen_u16 in
+       let* err_data = gen_small_string in
+       return (Of_msg.Error { err_type; err_code; err_data }));
+      map (fun d -> Of_msg.Echo_request d) gen_small_string;
+      map (fun d -> Of_msg.Echo_reply d) gen_small_string;
+      (let* vendor = ui32 in
+       let* data = gen_small_string in
+       return (Of_msg.Vendor { vendor; data }));
+      (let* datapath_id = ui64 in
+       let* n_buffers = ui32 in
+       let* n_tables = gen_u8 in
+       let* capabilities = ui32 in
+       let* supported_actions = ui32 in
+       let* ports = list_size (int_range 0 4) gen_phys_port in
+       return
+         (Of_msg.Features_reply
+            {
+              datapath_id;
+              n_buffers;
+              n_tables;
+              capabilities;
+              supported_actions;
+              ports;
+            }));
+      (let* flags = gen_u16 in
+       let* miss_send_len = gen_u16 in
+       return (Of_msg.Get_config_reply { flags; miss_send_len }));
+      (let* flags = gen_u16 in
+       let* miss_send_len = gen_u16 in
+       return (Of_msg.Set_config { flags; miss_send_len }));
+      (let* pi_buffer_id = gen_buffer_opt in
+       let* pi_total_len = gen_u16 in
+       let* pi_in_port = gen_u16 in
+       let* pi_reason = oneofl Of_msg.[ No_match; Action_to_controller ] in
+       let* pi_data = gen_small_string in
+       return
+         (Of_msg.Packet_in
+            { pi_buffer_id; pi_total_len; pi_in_port; pi_reason; pi_data }));
+      (let* fr_match = gen_match in
+       let* fr_cookie = ui64 in
+       let* fr_priority = gen_u16 in
+       let* fr_reason =
+         oneofl Of_msg.[ Removed_idle; Removed_hard; Removed_delete ]
+       in
+       let* fr_duration_s = int_range 0 1_000_000 in
+       let* fr_packet_count = ui64 in
+       let* fr_byte_count = ui64 in
+       return
+         (Of_msg.Flow_removed
+            {
+              fr_match;
+              fr_cookie;
+              fr_priority;
+              fr_reason;
+              fr_duration_s;
+              fr_packet_count;
+              fr_byte_count;
+            }));
+      (let* reason = oneofl Of_msg.[ Port_add; Port_delete; Port_modify ] in
+       let* desc = gen_phys_port in
+       return (Of_msg.Port_status { reason; desc }));
+      (let* po_buffer_id = gen_buffer_opt in
+       let* po_in_port = gen_u16 in
+       let* po_actions = gen_actions in
+       let* po_data = gen_small_string in
+       return (Of_msg.Packet_out { po_buffer_id; po_in_port; po_actions; po_data }));
+      map (fun fm -> Of_msg.Flow_mod fm) gen_flow_mod;
+      (let* pm_port_no = gen_u16 in
+       let* pm_hw_addr = gen_mac in
+       let* pm_down = bool in
+       return (Of_msg.Port_mod { pm_port_no; pm_hw_addr; pm_down }));
+      oneof
+        [
+          return (Of_msg.Stats_request Of_msg.Desc_req);
+          (let* qf_match = gen_match in
+           let* qf_out_port = gen_out_port_opt in
+           return (Of_msg.Stats_request (Of_msg.Flow_req { qf_match; qf_out_port })));
+          map (fun p -> Of_msg.Stats_request (Of_msg.Port_req p)) gen_u16;
+        ];
+      oneof
+        [
+          (let* manufacturer = gen_name 100 in
+           let* hardware = gen_name 100 in
+           let* software = gen_name 100 in
+           let* serial = gen_name 31 in
+           let* datapath_desc = gen_name 100 in
+           return
+             (Of_msg.Stats_reply
+                (Of_msg.Desc_reply
+                   { manufacturer; hardware; software; serial; datapath_desc })));
+          map
+            (fun entries -> Of_msg.Stats_reply (Of_msg.Flow_reply entries))
+            (list_size (int_range 0 3) gen_flow_stats);
+          map
+            (fun entries -> Of_msg.Stats_reply (Of_msg.Port_reply entries))
+            (list_size (int_range 0 3) gen_port_stats);
+        ];
+    ]
+
+let gen_msg =
+  let open G in
+  let* xid = int32 in
+  let* payload = gen_payload in
+  return { Of_msg.xid; payload }
+
+let print_msg = Format.asprintf "%a" Of_msg.pp
+
+(* --- codec properties ------------------------------------------------ *)
+
+let codec_roundtrip =
+  prop "of_codec decode∘encode = id" gen_msg print_msg (fun m ->
+      match Of_codec.of_wire (Of_codec.to_wire m) with
+      | Ok m' -> m' = m
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+(* The framer must reassemble the same messages no matter how the byte
+   stream is segmented. *)
+let gen_framer_case =
+  let open G in
+  let* msgs = list_size (int_range 1 5) gen_msg in
+  let* cuts = list_size (int_range 0 8) (int_range 1 32) in
+  return (msgs, cuts)
+
+let framer_chunking =
+  prop "framer is segmentation-insensitive" gen_framer_case
+    (fun (msgs, cuts) ->
+      Printf.sprintf "%d msgs, cuts %s"
+        (List.length msgs)
+        (String.concat "," (List.map string_of_int cuts)))
+    (fun (msgs, cuts) ->
+      let stream = String.concat "" (List.map Of_codec.to_wire msgs) in
+      let framer = Of_codec.Framer.create () in
+      let decoded = ref [] in
+      let feed chunk =
+        match Of_codec.Framer.input framer chunk with
+        | Ok ms -> decoded := !decoded @ ms
+        | Error e -> QCheck.Test.fail_reportf "framing error: %s" e
+      in
+      let rec go pos cuts =
+        if pos < String.length stream then
+          match cuts with
+          | c :: rest ->
+              let len = min c (String.length stream - pos) in
+              feed (String.sub stream pos len);
+              go (pos + len) rest
+          | [] -> feed (String.sub stream pos (String.length stream - pos))
+      in
+      go 0 cuts;
+      !decoded = msgs && Of_codec.Framer.pending_bytes framer = 0)
+
+(* --- address round-trips --------------------------------------------- *)
+
+let ipv4_roundtrip =
+  prop "Ipv4_addr parse∘print = id" gen_ip Ipv4_addr.to_string (fun ip ->
+      match Ipv4_addr.of_string (Ipv4_addr.to_string ip) with
+      | Some ip' -> Ipv4_addr.equal ip ip'
+      | None -> false)
+
+let gen_any_prefix =
+  G.map2
+    (fun a len -> Ipv4_addr.Prefix.make (Ipv4_addr.of_int32 a) len)
+    G.int32 (G.int_range 0 32)
+
+let prefix_print p = Format.asprintf "%a" Ipv4_addr.Prefix.pp p
+
+let prefix_roundtrip =
+  prop "Prefix parse∘print = id" gen_any_prefix prefix_print (fun p ->
+      match Ipv4_addr.Prefix.of_string (prefix_print p) with
+      | Some p' -> Ipv4_addr.Prefix.equal p p'
+      | None -> false)
+
+(* --- prefix trie vs naive LPM ---------------------------------------- *)
+
+let lpm_naive entries ip =
+  List.fold_left
+    (fun best (p, v) ->
+      if Ipv4_addr.Prefix.mem ip p then
+        match best with
+        | Some (bp, _)
+          when Ipv4_addr.Prefix.length bp >= Ipv4_addr.Prefix.length p ->
+            best
+        | Some _ | None -> Some (p, v)
+      else best)
+    None entries
+
+let gen_trie_case =
+  let open G in
+  let* raw = list_size (int_range 0 30) (pair gen_any_prefix nat) in
+  (* The trie keeps one value per prefix (insert replaces); keep the
+     first occurrence so the naive table agrees. *)
+  let entries =
+    List.fold_left
+      (fun acc (p, v) ->
+        if List.exists (fun (q, _) -> Ipv4_addr.Prefix.equal p q) acc then acc
+        else (p, v) :: acc)
+      [] raw
+    |> List.rev
+  in
+  let* random_ips = list_size (int_range 1 10) gen_ip in
+  let probes =
+    List.map (fun (p, _) -> Ipv4_addr.Prefix.network p) entries @ random_ips
+  in
+  return (entries, probes)
+
+let trie_vs_naive =
+  prop "Prefix_trie LPM = naive scan" gen_trie_case
+    (fun (entries, probes) ->
+      Printf.sprintf "{%s} probing %s"
+        (String.concat "; "
+           (List.map
+              (fun (p, v) -> Printf.sprintf "%s->%d" (prefix_print p) v)
+              entries))
+        (String.concat ", " (List.map Ipv4_addr.to_string probes)))
+    (fun (entries, probes) ->
+      let trie = Rf_routing.Prefix_trie.create () in
+      List.iter (fun (p, v) -> Rf_routing.Prefix_trie.insert trie p v) entries;
+      List.for_all
+        (fun ip ->
+          match (Rf_routing.Prefix_trie.lookup trie ip, lpm_naive entries ip) with
+          | None, None -> true
+          | Some (p, v), Some (p', v') ->
+              Ipv4_addr.Prefix.equal p p' && v = v'
+          | Some _, None | None, Some _ -> false)
+        probes)
+
+let suite =
+  [
+    codec_roundtrip;
+    framer_chunking;
+    ipv4_roundtrip;
+    prefix_roundtrip;
+    trie_vs_naive;
+  ]
