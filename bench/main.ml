@@ -12,7 +12,7 @@
       substrate operations (SPF, LPM, OF codec, flow-table lookup,
       LLDP codec, LSA Fletcher checksum, RIB churn).
 
-   Usage: main.exe [all|fig3|demo|failure|gui|scaling|ablation|families|micro]
+   Usage: main.exe [all|fig3|demo|failure|restart|gui|scaling|ablation|families|micro]
    Default "all" runs everything, with scaling capped at 250 switches
    (the full 1000-switch sweep takes tens of minutes; request it with
    `main.exe scaling`). *)
@@ -248,8 +248,12 @@ let run_failure () =
   section "E3 — failure recovery under live traffic";
   Experiment.print_failure_recovery std (Experiment.failure_recovery ())
 
+let run_restart () =
+  section "E4 — controller crash/restart and anti-entropy reconciliation";
+  Experiment.print_restart std (Experiment.restart ())
+
 let run_gui () =
-  section "E4 — GUI red/green progression (every 60 sim-seconds)";
+  section "E5 — GUI red/green progression (every 60 sim-seconds)";
   List.iter
     (fun f -> Format.fprintf std "%s@." f)
     (Experiment.gui_frames ~every_s:60.0 ())
@@ -283,6 +287,7 @@ let () =
   | "fig3" -> run_fig3 ()
   | "demo" -> run_demo ()
   | "failure" -> run_failure ()
+  | "restart" -> run_restart ()
   | "gui" -> run_gui ()
   | "scaling" -> run_scaling ~sizes:[ 50; 100; 250; 500; 1000 ] ()
   | "ablation" -> run_ablation ()
@@ -293,6 +298,7 @@ let () =
       run_fig3 ();
       run_demo ();
       run_failure ();
+      run_restart ();
       run_gui ();
       run_scaling ();
       run_ablation ();
@@ -301,6 +307,6 @@ let () =
       run_micro ()
   | other ->
       Format.eprintf
-        "unknown section %S (use all|fig3|demo|failure|gui|scaling|ablation|families|census|micro)@."
+        "unknown section %S (use all|fig3|demo|failure|restart|gui|scaling|ablation|families|census|micro)@."
         other;
       exit 2

@@ -100,6 +100,49 @@ let failure_cmd =
           reconvergence time (deterministic: same seed, same trace)")
     Term.(const run $ seed_arg $ switches_arg $ fail_at_arg $ fail_horizon_arg)
 
+(* --- restart -------------------------------------------------------- *)
+
+let restart_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed (replays).")
+  in
+  let switches_arg =
+    Arg.(value & opt int 8 & info [ "switches" ] ~doc:"Ring size (>= 4).")
+  in
+  let crash_at_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "crash-at" ] ~doc:"RF-controller crash time (sim s).")
+  in
+  let cut_at_arg =
+    Arg.(
+      value & opt float 8.0
+      & info [ "cut-at" ]
+          ~doc:"Cut link sw2-sw3 at this time, while the controller is down.")
+  in
+  let recover_at_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "recover-at" ] ~doc:"RF-controller restart time (sim s).")
+  in
+  let restart_horizon_arg =
+    Arg.(value & opt float 120.0 & info [ "horizon" ] ~doc:"Sim seconds.")
+  in
+  let run seed switches crash_at_s cut_at_s recover_at_s horizon_s =
+    Experiment.print_restart std
+      (Experiment.restart ~seed ~switches ~crash_at_s ~cut_at_s ~recover_at_s
+         ~horizon_s ())
+  in
+  Cmd.v
+    (Cmd.info "restart"
+       ~doc:
+         "Crash the RF-controller, cut a link while it is down, and compare \
+          recovery with and without the session-aware RPC reconciliation \
+          (deterministic: same seed, same trace)")
+    Term.(
+      const run $ seed_arg $ switches_arg $ crash_at_arg $ cut_at_arg
+      $ recover_at_arg $ restart_horizon_arg)
+
 (* --- gui ----------------------------------------------------------- *)
 
 let gui_cmd =
@@ -311,6 +354,6 @@ let main =
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; failure_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; trace_cmd; run_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; trace_cmd; run_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -10,79 +10,113 @@ type link_alloc = { la_a : Ipv4_addr.t; la_b : Ipv4_addr.t; la_len : int }
 
 type t = {
   engine : Rf_sim.Engine.t;
+  disc : Discovery.t;
   rpc : Rf_rpc.Rpc_client.t;
   config : admin_config;
   alloc : Ip_alloc.t;
   link_allocs : (Discovery.link, link_alloc) Hashtbl.t;
   mutable switches : int;
   mutable links : int;
+  mutable snapshots : int;
   mutable on_switch_reported : int64 -> unit;
 }
+
+let physical_ports ports =
+  List.length
+    (List.filter
+       (fun (p : Rf_openflow.Of_msg.phys_port) ->
+         Rf_openflow.Of_port.is_physical p.port_no)
+       ports)
+
+let alloc_for t link =
+  match Hashtbl.find_opt t.link_allocs link with
+  | Some a -> a (* a re-appearing link keeps its addresses *)
+  | None ->
+      let a, b, len = Ip_alloc.alloc_p2p t.alloc in
+      let a = { la_a = a; la_b = b; la_len = len } in
+      Hashtbl.replace t.link_allocs link a;
+      a
+
+let link_up_msg t link =
+  let alloc = alloc_for t link in
+  Rf_rpc.Rpc_msg.Link_up
+    {
+      a_dpid = link.Discovery.la_dpid;
+      a_port = link.Discovery.la_port;
+      a_ip = alloc.la_a;
+      a_prefix_len = alloc.la_len;
+      b_dpid = link.Discovery.lb_dpid;
+      b_port = link.Discovery.lb_port;
+      b_ip = alloc.la_b;
+      b_prefix_len = alloc.la_len;
+    }
+
+let edge_msgs t dpid =
+  List.filter_map
+    (fun (edpid, port, subnet) ->
+      if Int64.equal edpid dpid then
+        Some
+          (Rf_rpc.Rpc_msg.Edge_subnet
+             {
+               dpid;
+               port;
+               gateway = Ipv4_addr.Prefix.host subnet 1;
+               prefix_len = Ipv4_addr.Prefix.length subnet;
+             })
+      else None)
+    t.config.ac_edges
+
+(* The topology controller's authoritative view as one message list in
+   application order (switches, then edges, then links), used as the
+   anti-entropy snapshot after an RF-controller restart. Addresses come
+   from the same allocation table the live events use, so a snapshot
+   never renumbers anything. *)
+let snapshot t =
+  t.snapshots <- t.snapshots + 1;
+  let switches = Discovery.switches t.disc in
+  let switch_msgs =
+    List.map
+      (fun (dpid, ports) ->
+        Rf_rpc.Rpc_msg.Switch_up { dpid; n_ports = physical_ports ports })
+      switches
+  in
+  let edges = List.concat_map (fun (dpid, _) -> edge_msgs t dpid) switches in
+  let links = List.map (link_up_msg t) (Discovery.links t.disc) in
+  Rf_sim.Engine.record t.engine ~component:"autoconf" ~event:"snapshot"
+    (Printf.sprintf "%d switches, %d edges, %d links"
+       (List.length switch_msgs) (List.length edges) (List.length links));
+  switch_msgs @ edges @ links
 
 let create engine disc rpc config =
   let t =
     {
       engine;
+      disc;
       rpc;
       config;
       alloc = Ip_alloc.create config.ac_range;
       link_allocs = Hashtbl.create 64;
       switches = 0;
       links = 0;
+      snapshots = 0;
       on_switch_reported = (fun _ -> ());
     }
   in
+  Rf_rpc.Rpc_client.set_snapshot_provider rpc (fun () -> snapshot t);
   Discovery.set_on_switch_up disc (fun dpid ports ->
       t.switches <- t.switches + 1;
-      let physical =
-        List.length
-          (List.filter
-             (fun (p : Rf_openflow.Of_msg.phys_port) ->
-               Rf_openflow.Of_port.is_physical p.port_no)
-             ports)
-      in
+      let physical = physical_ports ports in
       Rf_sim.Engine.record engine ~component:"autoconf" ~event:"switch-detected"
         (Printf.sprintf "sw%Ld ports=%d" dpid physical);
       Rf_rpc.Rpc_client.send rpc
         (Rf_rpc.Rpc_msg.Switch_up { dpid; n_ports = physical });
-      List.iter
-        (fun (edpid, port, subnet) ->
-          if Int64.equal edpid dpid then
-            Rf_rpc.Rpc_client.send rpc
-              (Rf_rpc.Rpc_msg.Edge_subnet
-                 {
-                   dpid;
-                   port;
-                   gateway = Ipv4_addr.Prefix.host subnet 1;
-                   prefix_len = Ipv4_addr.Prefix.length subnet;
-                 }))
-        config.ac_edges;
+      List.iter (Rf_rpc.Rpc_client.send rpc) (edge_msgs t dpid);
       t.on_switch_reported dpid);
   Discovery.set_on_link_up disc (fun link ->
       t.links <- t.links + 1;
-      let alloc =
-        match Hashtbl.find_opt t.link_allocs link with
-        | Some a -> a (* a re-appearing link keeps its addresses *)
-        | None ->
-            let a, b, len = Ip_alloc.alloc_p2p t.alloc in
-            let a = { la_a = a; la_b = b; la_len = len } in
-            Hashtbl.replace t.link_allocs link a;
-            a
-      in
       Rf_sim.Engine.record engine ~component:"autoconf" ~event:"link-detected"
         (Format.asprintf "%a" Discovery.pp_link link);
-      Rf_rpc.Rpc_client.send rpc
-        (Rf_rpc.Rpc_msg.Link_up
-           {
-             a_dpid = link.Discovery.la_dpid;
-             a_port = link.Discovery.la_port;
-             a_ip = alloc.la_a;
-             a_prefix_len = alloc.la_len;
-             b_dpid = link.Discovery.lb_dpid;
-             b_port = link.Discovery.lb_port;
-             b_ip = alloc.la_b;
-             b_prefix_len = alloc.la_len;
-           }));
+      Rf_rpc.Rpc_client.send rpc (link_up_msg t link));
   Discovery.set_on_switch_down disc (fun dpid ->
       Rf_rpc.Rpc_client.send rpc (Rf_rpc.Rpc_msg.Switch_down { dpid }));
   Discovery.set_on_link_down disc (fun link ->
@@ -101,5 +135,7 @@ let allocator t = t.alloc
 let switches_reported t = t.switches
 
 let links_reported t = t.links
+
+let snapshots_built t = t.snapshots
 
 let set_on_switch_reported t f = t.on_switch_reported <- f

@@ -25,7 +25,18 @@ val create :
   Rf_rpc.Rpc_client.t ->
   admin_config ->
   t
-(** Installs itself as the discovery module's event consumer. *)
+(** Installs itself as the discovery module's event consumer, and as
+    the RPC client's snapshot provider: on a session resync the full
+    authoritative view (current switches, their edge subnets, current
+    links with their existing address allocations) is rebuilt from the
+    discovery state and sent as one [Sync_snapshot]. *)
+
+val snapshot : t -> Rf_rpc.Rpc_msg.t list
+(** The authoritative view, in application order (switches, then
+    edges, then links). Link addresses come from the live allocation
+    table, so a snapshot never renumbers a known link. *)
+
+val snapshots_built : t -> int
 
 val allocator : t -> Ip_alloc.t
 

@@ -355,7 +355,228 @@ let print_failure_recovery ppf (r : recovery_result) =
   Format.fprintf ppf
     "  (rerun with the same seed to reproduce this fingerprint exactly)@."
 
-(* --- E4: GUI frames ------------------------------------------------ *)
+(* --- E4: controller crash/restart ---------------------------------- *)
+
+type restart_run = {
+  rr_label : string;
+  rr_configured : int;
+  rr_all_green_s : float option;
+  rr_converged_s : float option;
+  rr_reconverged_s : float option;
+  rr_state_digest : string;
+  rr_sent : int;
+  rr_retx : int;
+  rr_gave_up : int;
+  rr_pings : int;
+  rr_snapshots : int;
+  rr_resyncs : int;
+  rr_handled : int;
+  rr_dups : int;
+  rr_undelivered : int;
+  rr_incarnation : int;
+  rr_trace_fingerprint : string;
+}
+
+type restart_result = {
+  rs_seed : int;
+  rs_switches : int;
+  rs_crash_at_s : float;
+  rs_cut_at_s : float;
+  rs_recover_at_s : float;
+  rs_baseline : restart_run;  (** no fault *)
+  rs_supervised : restart_run;  (** crash/restart, resync on *)
+  rs_legacy : restart_run;  (** crash/restart, resync off *)
+  rs_supervised_matches : bool;  (** supervised state == baseline state *)
+  rs_legacy_matches : bool;
+  rs_sync_overhead_msgs : int;
+      (** extra tracked frames the supervised run cost over the
+          baseline (retransmissions + snapshot) *)
+  rs_recovery_s : float option;
+      (** routes settled this long after the controller came back *)
+}
+
+(* One digest over everything the RF-controller side materialised:
+   every VM's config files and its selected routes. Two runs that end
+   in the same digest configured the network identically, whatever
+   happened to the control plane in between. *)
+let rf_state_digest s =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (dpid, vm) ->
+      Buffer.add_string buf (Printf.sprintf "vm-%Ld\n" dpid);
+      List.iter
+        (fun file ->
+          match Rf_routeflow.Vm.config_file vm file with
+          | Some text ->
+              Buffer.add_string buf (Printf.sprintf "--%s--\n%s" file text)
+          | None -> ())
+        [ "zebra.conf"; "ospfd.conf"; "ripd.conf" ];
+      let routes =
+        List.map
+          (fun (r : Rf_routing.Rib.route) ->
+            Printf.sprintf "%s/%s/%s"
+              (Rf_packet.Ipv4_addr.Prefix.to_string r.r_prefix)
+              (match r.r_next_hop with
+              | Some nh -> Rf_packet.Ipv4_addr.to_string nh
+              | None -> "direct")
+              r.r_iface)
+          (Rf_routing.Rib.selected (Rf_routeflow.Vm.rib vm))
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun r ->
+          Buffer.add_string buf r;
+          Buffer.add_char buf '\n')
+        routes)
+    (Rf_system.vms (Scenario.rf_system s));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
+    ?(cut_at_s = 8.0) ?(recover_at_s = 20.0) ?(horizon_s = 120.0) () =
+  if switches < 4 then invalid_arg "restart: need a ring of >= 4";
+  if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
+    invalid_arg "restart: need crash < cut < recover";
+  (* Aggressive supervision so the whole exchange fits a short run:
+     frames sent into the dead controller park after ~3.5 s instead of
+     minutes. *)
+  let rpc_params =
+    {
+      Rf_rpc.Rpc_client.rto = Vtime.span_s 0.5;
+      rto_max = Vtime.span_s 4.0;
+      max_retries = 3;
+      heartbeat_every = Vtime.span_s 1.0;
+      dead_after = 3;
+      resync = true;
+    }
+  in
+  (* All three runs see the same physical event — the sw2-sw3 link dies
+     at [cut_at_s] — so they should all end in the same network state.
+     What differs is whether the RF-controller was up to hear about it:
+     the baseline controller never crashes; the other two are down from
+     [crash_at_s] to [recover_at_s], so the Link_down config event has
+     nowhere to go and parks after the retry budget. Reconciliation
+     recovers it from the post-restart snapshot (the dead link is absent,
+     so the stale virtual link is pruned); the legacy session never
+     hears of it at all. *)
+  let run label ~faulty ~resync =
+    let cut = Rf_sim.Faults.link_down ~at_s:cut_at_s 2L 3L in
+    let faults =
+      if faulty then
+        Rf_sim.Faults.(
+          plan
+            [
+              controller_crash ~at_s:crash_at_s;
+              cut;
+              controller_recover ~at_s:recover_at_s;
+            ])
+      else Rf_sim.Faults.plan [ cut ]
+    in
+    let options =
+      {
+        Scenario.default_options with
+        seed;
+        rf_params = params ~vm_boot_s:2.0 ~parallel_boot:4 ();
+        rpc_params = { rpc_params with Rf_rpc.Rpc_client.resync };
+        faults;
+      }
+    in
+    let s = Scenario.build ~options (Topo_gen.ring switches) in
+    Scenario.run_for s (Vtime.span_s horizon_s);
+    let client = Scenario.rpc_client s in
+    let server = Scenario.rpc_server s in
+    {
+      rr_label = label;
+      rr_configured = Rf_system.configured_count (Scenario.rf_system s);
+      rr_all_green_s = to_s_opt (Scenario.all_configured_at s);
+      rr_converged_s = to_s_opt (Scenario.routing_converged_at s);
+      rr_reconverged_s = to_s_opt (Scenario.reconverged_at s);
+      rr_state_digest = rf_state_digest s;
+      rr_sent = Rf_rpc.Rpc_client.sent client;
+      rr_retx = Rf_rpc.Rpc_client.retransmissions client;
+      rr_gave_up = Rf_rpc.Rpc_client.gave_up client;
+      rr_pings = Rf_rpc.Rpc_client.pings_sent client;
+      rr_snapshots = Rf_rpc.Rpc_client.snapshots_sent client;
+      rr_resyncs = Rf_rpc.Rpc_client.resyncs client;
+      rr_handled = Rf_rpc.Rpc_server.requests_handled server;
+      rr_dups = Rf_rpc.Rpc_server.duplicates_dropped server;
+      (* Config events the handler never saw and never will: frames
+         still parked/unacknowledged at the horizon plus frames stuck in
+         the server's reorder buffer behind a gap that will never close.
+         Zero under reconciliation (the resync drops parked frames and
+         covers them with the snapshot). *)
+      rr_undelivered =
+        Rf_rpc.Rpc_client.unacked client + Rf_rpc.Rpc_server.dedup_size server;
+      rr_incarnation = Int32.to_int (Rf_rpc.Rpc_server.incarnation server);
+      rr_trace_fingerprint =
+        Digest.to_hex
+          (Digest.string
+             (Format.asprintf "%a" Rf_sim.Trace.dump
+                (Rf_sim.Engine.trace (Scenario.engine s))));
+    }
+  in
+  let baseline = run "no-fault" ~faulty:false ~resync:true in
+  let supervised = run "crash+reconciliation" ~faulty:true ~resync:true in
+  let legacy = run "crash, legacy rpc" ~faulty:true ~resync:false in
+  {
+    rs_seed = seed;
+    rs_switches = switches;
+    rs_crash_at_s = crash_at_s;
+    rs_cut_at_s = cut_at_s;
+    rs_recover_at_s = recover_at_s;
+    rs_baseline = baseline;
+    rs_supervised = supervised;
+    rs_legacy = legacy;
+    rs_supervised_matches =
+      String.equal supervised.rr_state_digest baseline.rr_state_digest;
+    rs_legacy_matches =
+      String.equal legacy.rr_state_digest baseline.rr_state_digest;
+    rs_sync_overhead_msgs =
+      supervised.rr_sent - baseline.rr_sent + supervised.rr_retx;
+    rs_recovery_s =
+      Option.map (fun t -> t -. recover_at_s) supervised.rr_reconverged_s;
+  }
+
+let print_restart ppf (r : restart_result) =
+  Format.fprintf ppf
+    "Controller restart — %d-switch ring; RF-controller down t=%.0fs..%.0fs, \
+     link sw2-sw3 cut at t=%.0fs while it is down@."
+    r.rs_switches r.rs_crash_at_s r.rs_recover_at_s r.rs_cut_at_s;
+  let opt = function
+    | Some v -> Printf.sprintf "%.1f s" v
+    | None -> "never"
+  in
+  Format.fprintf ppf "%-24s %12s %12s %12s@." "" "no-fault"
+    "reconciled" "legacy rpc";
+  let row name f =
+    Format.fprintf ppf "%-24s %12s %12s %12s@." name (f r.rs_baseline)
+      (f r.rs_supervised) (f r.rs_legacy)
+  in
+  row "switches configured" (fun x -> string_of_int x.rr_configured);
+  row "routing converged" (fun x ->
+      match x.rr_converged_s with Some v -> Printf.sprintf "%.1f s" v | None -> "never");
+  row "config events lost" (fun x -> string_of_int x.rr_undelivered);
+  row "rpc frames sent" (fun x -> string_of_int x.rr_sent);
+  row "retransmissions" (fun x -> string_of_int x.rr_retx);
+  row "heartbeat pings" (fun x -> string_of_int x.rr_pings);
+  row "state snapshots" (fun x -> string_of_int x.rr_snapshots);
+  row "server incarnation" (fun x -> string_of_int x.rr_incarnation);
+  row "state digest" (fun x -> String.sub x.rr_state_digest 0 12);
+  Format.fprintf ppf "  reconciled state == no-fault state   %b@."
+    r.rs_supervised_matches;
+  Format.fprintf ppf "  legacy state == no-fault state       %b@."
+    r.rs_legacy_matches;
+  Format.fprintf ppf "  reconvergence after restart          %s@."
+    (opt r.rs_recovery_s);
+  Format.fprintf ppf "  sync overhead (extra frames)         %d@."
+    r.rs_sync_overhead_msgs;
+  Format.fprintf ppf "  seed %d, trace fingerprints %s / %s / %s@." r.rs_seed
+    (String.sub r.rs_baseline.rr_trace_fingerprint 0 12)
+    (String.sub r.rs_supervised.rr_trace_fingerprint 0 12)
+    (String.sub r.rs_legacy.rr_trace_fingerprint 0 12);
+  Format.fprintf ppf
+    "  (rerun with the same seed to reproduce the fingerprints exactly)@."
+
+(* --- E5: GUI frames ------------------------------------------------ *)
 
 let gui_frames ?(vm_boot_s = 8.0) ?(every_s = 30.0) () =
   let topo = Topo_gen.pan_european () in

@@ -96,7 +96,72 @@ val failure_recovery :
 
 val print_failure_recovery : Format.formatter -> recovery_result -> unit
 
-(** {1 E4 — GUI: red/green frames over the demo run} *)
+(** {1 E4 — Controller restart: crash, topology change, reconcile on return}
+
+    The RF-controller crashes, a physical link dies while it is down
+    (so the Link_down config event has no live session to land in), and
+    the controller restarts later. Three runs with the same seed see
+    the same link cut: a baseline whose controller never crashes, a
+    crash with the supervised RPC session (epochs + anti-entropy
+    snapshot), and a crash with the legacy session (no epochs, no
+    resync). Reported per run: configuration/convergence outcomes,
+    config events that were silently lost, traffic overhead of the
+    supervision, and an MD5 digest of the final VM/Quagga/route state —
+    the supervised run's digest must equal the baseline's, the legacy
+    run's must not (it keeps routing over the dead link). *)
+
+type restart_run = {
+  rr_label : string;
+  rr_configured : int;
+  rr_all_green_s : float option;
+  rr_converged_s : float option;
+  rr_reconverged_s : float option;
+  rr_state_digest : string;  (** MD5 over VM configs + selected routes *)
+  rr_sent : int;
+  rr_retx : int;
+  rr_gave_up : int;
+  rr_pings : int;
+  rr_snapshots : int;
+  rr_resyncs : int;
+  rr_handled : int;
+  rr_dups : int;
+  rr_undelivered : int;
+      (** config events acknowledged-or-abandoned but never handled *)
+  rr_incarnation : int;
+  rr_trace_fingerprint : string;
+}
+
+type restart_result = {
+  rs_seed : int;
+  rs_switches : int;
+  rs_crash_at_s : float;
+  rs_cut_at_s : float;  (** link sw2-sw3 dies while the controller is down *)
+  rs_recover_at_s : float;
+  rs_baseline : restart_run;
+  rs_supervised : restart_run;
+  rs_legacy : restart_run;
+  rs_supervised_matches : bool;
+  rs_legacy_matches : bool;
+  rs_sync_overhead_msgs : int;
+  rs_recovery_s : float option;
+}
+
+val restart :
+  ?seed:int ->
+  ?switches:int ->
+  ?crash_at_s:float ->
+  ?cut_at_s:float ->
+  ?recover_at_s:float ->
+  ?horizon_s:float ->
+  unit ->
+  restart_result
+(** Default: 8-switch ring, 2 s quad-parallel boots, crash at 4 s,
+    link cut at 8 s, restart at 20 s, 120 s horizon. Requires
+    [crash_at_s < cut_at_s < recover_at_s]. *)
+
+val print_restart : Format.formatter -> restart_result -> unit
+
+(** {1 E5 — GUI: red/green frames over the demo run} *)
 
 val gui_frames : ?vm_boot_s:float -> ?every_s:float -> unit -> string list
 

@@ -12,6 +12,7 @@ module Rf_vs = Rf_routeflow.Rf_vs
 type options = {
   seed : int;
   rf_params : Rf_system.params;
+  rpc_params : Rf_rpc.Rpc_client.params;
   probe_interval : Rf_sim.Vtime.span;
   control_latency : Rf_sim.Vtime.span;
   rpc_latency : Rf_sim.Vtime.span;
@@ -23,6 +24,7 @@ let default_options =
   {
     seed = 42;
     rf_params = Rf_system.default_params;
+    rpc_params = Rf_rpc.Rpc_client.default_params;
     probe_interval = Rf_sim.Vtime.span_s 5.0;
     control_latency = Rf_sim.Vtime.span_ms 1;
     rpc_latency = Rf_sim.Vtime.span_ms 1;
@@ -94,28 +96,66 @@ let build ?(options = default_options) topo =
   let rf_sys = Rf_system.create engine rf_app vs options.rf_params in
 
   (* RPC plumbing. *)
+  let faults_rng = Rf_sim.Rng.split (Rf_sim.Engine.rng engine) in
   let client_end, server_end =
     Channel.create engine ~latency:options.rpc_latency ~name:"rpc" ()
   in
-  let rpc_client = Rf_rpc.Rpc_client.create engine client_end in
+  let rpc_client =
+    Rf_rpc.Rpc_client.create engine ~params:options.rpc_params client_end
+  in
   let rpc_server = Rf_rpc.Rpc_server.create engine server_end in
-  Rf_rpc.Rpc_server.set_handler rpc_server (fun msg ->
-      match msg with
-      | Rf_rpc.Rpc_msg.Switch_up { dpid; n_ports } ->
-          Rf_system.switch_up rf_sys ~dpid ~n_ports
-      | Rf_rpc.Rpc_msg.Switch_down { dpid } -> Rf_system.switch_down rf_sys ~dpid
-      | Rf_rpc.Rpc_msg.Link_up l ->
-          Rf_system.link_config rf_sys
-            ~a:(l.a_dpid, l.a_port, l.a_ip, l.a_prefix_len)
-            ~b:(l.b_dpid, l.b_port, l.b_ip, l.b_prefix_len);
-          Rf_system.link_up_again rf_sys ~a:(l.a_dpid, l.a_port)
-            ~b:(l.b_dpid, l.b_port)
-      | Rf_rpc.Rpc_msg.Link_down l ->
-          Rf_system.link_down rf_sys ~a:(l.a_dpid, l.a_port)
-            ~b:(l.b_dpid, l.b_port)
-      | Rf_rpc.Rpc_msg.Edge_subnet e ->
-          Rf_system.edge_config rf_sys ~dpid:e.dpid ~port:e.port
-            ~gateway:e.gateway ~prefix_len:e.prefix_len);
+  (match options.faults.Rf_sim.Faults.rpc_faults with
+  | Some profile ->
+      Rf_rpc.Rpc_client.set_fault_profile rpc_client
+        (Rf_sim.Rng.split faults_rng) profile;
+      Rf_rpc.Rpc_server.set_fault_profile rpc_server
+        (Rf_sim.Rng.split faults_rng) profile
+  | None -> ());
+  let apply_msg msg =
+    match msg with
+    | Rf_rpc.Rpc_msg.Switch_up { dpid; n_ports } ->
+        Rf_system.switch_up rf_sys ~dpid ~n_ports
+    | Rf_rpc.Rpc_msg.Switch_down { dpid } -> Rf_system.switch_down rf_sys ~dpid
+    | Rf_rpc.Rpc_msg.Link_up l ->
+        Rf_system.link_config rf_sys
+          ~a:(l.a_dpid, l.a_port, l.a_ip, l.a_prefix_len)
+          ~b:(l.b_dpid, l.b_port, l.b_ip, l.b_prefix_len);
+        Rf_system.link_up_again rf_sys ~a:(l.a_dpid, l.a_port)
+          ~b:(l.b_dpid, l.b_port)
+    | Rf_rpc.Rpc_msg.Link_down l ->
+        Rf_system.link_down rf_sys ~a:(l.a_dpid, l.a_port)
+          ~b:(l.b_dpid, l.b_port)
+    | Rf_rpc.Rpc_msg.Edge_subnet e ->
+        Rf_system.edge_config rf_sys ~dpid:e.dpid ~port:e.port
+          ~gateway:e.gateway ~prefix_len:e.prefix_len
+  in
+  Rf_rpc.Rpc_server.set_handler rpc_server apply_msg;
+  (* Anti-entropy: the topology controller's snapshot is the desired
+     state. Tear down switches and virtual links it no longer contains,
+     then push every message through the ordinary (idempotent) handler
+     so missing state is created and existing state is untouched. *)
+  Rf_rpc.Rpc_server.set_snapshot_handler rpc_server (fun msgs ->
+      let want_switch dpid =
+        List.exists
+          (function
+            | Rf_rpc.Rpc_msg.Switch_up { dpid = d; _ } -> Int64.equal d dpid
+            | _ -> false)
+          msgs
+      in
+      List.iter
+        (fun dpid ->
+          if not (want_switch dpid) then Rf_system.switch_down rf_sys ~dpid)
+        (Rf_system.switches_known rf_sys);
+      let keep =
+        List.filter_map
+          (function
+            | Rf_rpc.Rpc_msg.Link_up l ->
+                Some ((l.a_dpid, l.a_port), (l.b_dpid, l.b_port))
+            | _ -> None)
+          msgs
+      in
+      Rf_system.prune_vlinks rf_sys ~keep;
+      List.iter apply_msg msgs);
 
   (* Topology controller side. *)
   let disc = Discovery.create engine ~probe_interval:options.probe_interval () in
@@ -125,7 +165,6 @@ let build ?(options = default_options) topo =
   in
 
   (* FlowVisor with the two slices of the paper. *)
-  let faults_rng = Rf_sim.Rng.split (Rf_sim.Engine.rng engine) in
   let fv = Flowvisor.create engine ~controller_latency:options.control_latency () in
   Flowvisor.add_slice fv
     (Flowspace.lldp_slice ~name:"topology")
@@ -177,6 +216,10 @@ let build ?(options = default_options) topo =
           else Network.disconnect_switch net dpid);
       inj_vm_boot_failure =
         (fun ~dpid ~failures -> Rf_system.arm_boot_failures rf_sys ~dpid ~failures);
+      inj_controller =
+        (fun ~up ->
+          if up then Rf_rpc.Rpc_server.restart rpc_server
+          else Rf_rpc.Rpc_server.crash rpc_server);
     }
   in
   let fault_handle = Rf_sim.Faults.schedule engine injector options.faults in

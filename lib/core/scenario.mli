@@ -13,6 +13,9 @@ open Rf_packet
 type options = {
   seed : int;
   rf_params : Rf_routeflow.Rf_system.params;
+  rpc_params : Rf_rpc.Rpc_client.params;
+      (** supervision knobs of the RPC session (backoff, heartbeats,
+          resync-on-restart) *)
   probe_interval : Rf_sim.Vtime.span;  (** LLDP probe period *)
   control_latency : Rf_sim.Vtime.span;  (** switch↔FlowVisor↔controller *)
   rpc_latency : Rf_sim.Vtime.span;  (** RPC client↔server *)
@@ -80,10 +83,12 @@ val total_subnets : t -> int
     Built from [options.faults]: timed events fire on the engine's
     clock (link flaps via {!Rf_net.Network.set_link_up}, switch crashes
     via disconnect/reconnect, VM clone failures via
-    {!Rf_routeflow.Rf_system.arm_boot_failures}), and an optional lossy
-    profile applies to the topology slice's OpenFlow connections. All
-    randomness descends from [options.seed], so a run is replayable
-    from its seed alone. *)
+    {!Rf_routeflow.Rf_system.arm_boot_failures}, RF-controller
+    crash/restart via the RPC server's crash/restart), an optional
+    lossy profile applies to the topology slice's OpenFlow connections,
+    and another to both directions of the RPC session. All randomness
+    descends from [options.seed], so a run is replayable from its seed
+    alone. *)
 
 val fault_events_fired : t -> int
 

@@ -318,6 +318,30 @@ let edge_config t ~dpid ~port ~gateway ~prefix_len =
         { nd_ip = gateway; nd_len = prefix_len; nd_role = Edge };
       schedule_apply t ss
 
+(* --- reconciliation against a topology snapshot -------------------- *)
+
+let switches_known t =
+  Hashtbl.fold (fun dpid _ acc -> dpid :: acc) t.switches []
+  |> List.sort Int64.compare
+
+let prune_vlinks t ~keep =
+  let keeps link =
+    let ((a, b) : (int64 * int) * (int64 * int)) = link in
+    List.exists (fun (ka, kb) -> (ka = a && kb = b) || (ka = b && kb = a)) keep
+  in
+  let stale = List.filter (fun l -> not (keeps l)) t.vlinks in
+  List.iter
+    (fun (a, b) ->
+      (* Same teardown as [link_down]: the NICs must go down too so the
+         routing daemons withdraw the link's subnet. *)
+      Rf_vs.disconnect_ports t.vs ~a ~b;
+      set_nic_state t a false;
+      set_nic_state t b false;
+      Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"vlink-pruned"
+        (Printf.sprintf "sw%Ld/%d <-> sw%Ld/%d" (fst a) (snd a) (fst b) (snd b)))
+    stale;
+  if stale <> [] then t.vlinks <- List.filter keeps t.vlinks
+
 let vm t dpid =
   match Hashtbl.find_opt t.switches dpid with
   | Some ss -> ss.ss_vm

@@ -66,6 +66,20 @@ val edge_config :
 (** A host-facing port: the VM NIC gets the subnet's gateway address
     and the interface is OSPF-passive. *)
 
+(** {1 Reconciliation}
+
+    Used by the snapshot handler after a controller restart: the
+    topology controller's [Sync_snapshot] is the authoritative desired
+    state, and these let the RF-controller compute and apply only the
+    delta. *)
+
+val switches_known : t -> int64 list
+(** Datapaths with live state (booting or configured), sorted. *)
+
+val prune_vlinks : t -> keep:((int64 * int) * (int64 * int)) list -> unit
+(** Disconnects and forgets virtual links absent from [keep] (either
+    endpoint order matches). *)
+
 (** {1 State} *)
 
 val vm : t -> int64 -> Vm.t option

@@ -350,7 +350,17 @@ let create engine ~dpid ~n_ports () =
 
 (* --- configuration -------------------------------------------------- *)
 
+(* Re-applying the exact text already in force is a no-op, so the
+   reconciliation pass after a controller restart can blindly push the
+   full desired state without restarting daemons or re-adding routes. *)
+let already_applied t file text =
+  match Hashtbl.find_opt t.configs file with
+  | Some current -> String.equal current text
+  | None -> false
+
 let apply_zebra_config t text =
+  if already_applied t "zebra.conf" text then Ok ()
+  else
   match Quagga_conf.parse_zebra text with
   | Error e -> Error e
   | Ok conf ->
@@ -383,6 +393,8 @@ let ospf_covers (conf : Quagga_conf.ospfd_conf) ifc =
     conf.o_networks
 
 let apply_ospfd_config t text =
+  if already_applied t "ospfd.conf" text then Ok ()
+  else
   match Quagga_conf.parse_ospfd text with
   | Error e -> Error e
   | Ok conf ->
@@ -423,6 +435,8 @@ let rip_covers (conf : Quagga_conf.ripd_conf) ifc =
     conf.r_networks
 
 let apply_ripd_config t text =
+  if already_applied t "ripd.conf" text then Ok ()
+  else
   match Quagga_conf.parse_ripd text with
   | Error e -> Error e
   | Ok conf ->

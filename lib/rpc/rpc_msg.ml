@@ -21,9 +21,30 @@ type t =
       prefix_len : int;
     }
 
-type envelope = { seq : int32; body : body }
+type ack = { a_epoch : int32; a_cum : int32; a_seq : int32 }
 
-and body = Request of t | Ack of int32
+type envelope = { epoch : int32; seq : int32; body : body }
+
+and body =
+  | Request of t
+  | Ack of ack
+  | Ping
+  | Pong
+  | Sync_request
+  | Sync_snapshot of t list
+
+(* Serial (RFC 1982-style) sequence arithmetic: correct ordering across
+   int32 wraparound as long as compared values are within 2^31 of each
+   other. Sequence 0 is reserved for untracked envelopes (acks,
+   heartbeats), so the successor function skips it. *)
+
+let seq_after a b = Int32.compare (Int32.sub a b) 0l > 0
+
+let seq_succ s =
+  let s = Int32.add s 1l in
+  if Int32.equal s 0l then 1l else s
+
+let max_snapshot_msgs = 0xffff
 
 let encode_request w = function
   | Switch_up { dpid; n_ports } ->
@@ -58,14 +79,26 @@ let encode_request w = function
 
 let to_wire env =
   let body = Wire.Writer.create ~initial:32 () in
+  Wire.Writer.u32 body env.epoch;
   Wire.Writer.u32 body env.seq;
   (match env.body with
   | Request r ->
       Wire.Writer.u8 body 0;
       encode_request body r
-  | Ack seq ->
+  | Ack { a_epoch; a_cum; a_seq } ->
       Wire.Writer.u8 body 1;
-      Wire.Writer.u32 body seq);
+      Wire.Writer.u32 body a_epoch;
+      Wire.Writer.u32 body a_cum;
+      Wire.Writer.u32 body a_seq
+  | Ping -> Wire.Writer.u8 body 2
+  | Pong -> Wire.Writer.u8 body 3
+  | Sync_request -> Wire.Writer.u8 body 4
+  | Sync_snapshot msgs ->
+      if List.length msgs > max_snapshot_msgs then
+        invalid_arg "Rpc_msg.to_wire: snapshot too large";
+      Wire.Writer.u8 body 5;
+      Wire.Writer.u16 body (List.length msgs);
+      List.iter (encode_request body) msgs);
   let body = Wire.Writer.contents body in
   let w = Wire.Writer.create ~initial:(4 + String.length body) () in
   Wire.Writer.u32 w (Int32.of_int (String.length body));
@@ -109,11 +142,30 @@ let decode_request r =
 let of_frame frame =
   try
     let r = Wire.Reader.of_string frame in
+    let epoch = Wire.Reader.u32 r in
     let seq = Wire.Reader.u32 r in
     let kind = Wire.Reader.u8 r in
+    let env body = { epoch; seq; body } in
     match kind with
-    | 0 -> Result.map (fun req -> { seq; body = Request req }) (decode_request r)
-    | 1 -> Ok { seq; body = Ack (Wire.Reader.u32 r) }
+    | 0 -> Result.map (fun req -> env (Request req)) (decode_request r)
+    | 1 ->
+        let a_epoch = Wire.Reader.u32 r in
+        let a_cum = Wire.Reader.u32 r in
+        let a_seq = Wire.Reader.u32 r in
+        Ok (env (Ack { a_epoch; a_cum; a_seq }))
+    | 2 -> Ok (env Ping)
+    | 3 -> Ok (env Pong)
+    | 4 -> Ok (env Sync_request)
+    | 5 ->
+        let count = Wire.Reader.u16 r in
+        let rec go acc n =
+          if n = 0 then Ok (env (Sync_snapshot (List.rev acc)))
+          else
+            match decode_request r with
+            | Ok m -> go (m :: acc) (n - 1)
+            | Error e -> Error e
+        in
+        go [] count
     | n -> Error (Printf.sprintf "rpc: unknown envelope kind %d" n)
   with Wire.Truncated -> Error "rpc: truncated"
 
@@ -121,6 +173,9 @@ module Framer = struct
   type nonrec t = { mutable buffer : string }
 
   let create () = { buffer = "" }
+
+  (* Smallest body: epoch + seq + kind byte. *)
+  let min_body_len = 9
 
   let input t chunk =
     t.buffer <- t.buffer ^ chunk;
@@ -134,7 +189,8 @@ module Framer = struct
           lor (Char.code t.buffer.[2] lsl 8)
           lor Char.code t.buffer.[3]
         in
-        if body_len < 5 || body_len > 1 lsl 20 then Error "rpc: framing error"
+        if body_len < min_body_len || body_len > 1 lsl 20 then
+          Error "rpc: framing error"
         else if len < 4 + body_len then Ok (List.rev acc)
         else begin
           let frame = String.sub t.buffer 4 body_len in
@@ -163,3 +219,12 @@ let pp ppf = function
   | Edge_subnet e ->
       Format.fprintf ppf "edge sw%Ld/%d gw=%a/%d" e.dpid e.port Ipv4_addr.pp
         e.gateway e.prefix_len
+
+let pp_body ppf = function
+  | Request m -> Format.fprintf ppf "request(%a)" pp m
+  | Ack { a_epoch; a_cum; a_seq } ->
+      Format.fprintf ppf "ack e=%ld cum=%ld seq=%ld" a_epoch a_cum a_seq
+  | Ping -> Format.fprintf ppf "ping"
+  | Pong -> Format.fprintf ppf "pong"
+  | Sync_request -> Format.fprintf ppf "sync-request"
+  | Sync_snapshot msgs -> Format.fprintf ppf "sync-snapshot(%d)" (List.length msgs)

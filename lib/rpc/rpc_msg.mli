@@ -3,7 +3,17 @@
     detection carries the datapath id and port count; link detection
     carries the interface addresses the topology controller allocated
     from the administrator's range. [Edge_subnet] carries the
-    host-facing subnets from the administrator's static input. *)
+    host-facing subnets from the administrator's static input.
+
+    Every envelope carries a session epoch and a sequence number. The
+    client's epoch identifies one run of the topology controller:
+    bumping it on restart keeps fresh sequence numbers from colliding
+    with the server's dedup state for the previous session. Envelopes
+    sent by the server carry its incarnation number in the epoch field,
+    so every ack and heartbeat reply doubles as a restart beacon.
+    Supervision messages: [Ping]/[Pong] heartbeats, [Ack] with a
+    cumulative watermark, and the anti-entropy pair
+    [Sync_request]/[Sync_snapshot]. *)
 
 open Rf_packet
 
@@ -28,12 +38,43 @@ type t =
       prefix_len : int;
     }
 
-type envelope = { seq : int32; body : body }
+type ack = {
+  a_epoch : int32;  (** the client epoch being acknowledged *)
+  a_cum : int32;  (** every seq serially <= this has been delivered *)
+  a_seq : int32;  (** the specific seq that triggered this ack *)
+}
 
-and body = Request of t | Ack of int32
+type envelope = { epoch : int32; seq : int32; body : body }
+
+and body =
+  | Request of t
+  | Ack of ack
+  | Ping
+  | Pong
+  | Sync_request  (** server asks the client for a full state snapshot *)
+  | Sync_snapshot of t list
+      (** the topology controller's authoritative view, in application
+          order (switches, then edges, then links) *)
+
+(** {1 Serial sequence arithmetic}
+
+    Sequence numbers and epochs wrap around int32; comparisons use
+    serial arithmetic so ordering survives the wrap. Sequence 0 is
+    reserved for untracked envelopes (acks, heartbeats, sync
+    requests). *)
+
+val seq_after : int32 -> int32 -> bool
+(** [seq_after a b] is true when [a] is serially after [b]. *)
+
+val seq_succ : int32 -> int32
+(** Successor, skipping the reserved value 0. *)
+
+val max_snapshot_msgs : int
+(** Upper bound on messages per [Sync_snapshot] frame (u16 count). *)
 
 val to_wire : envelope -> string
-(** Length-prefixed frame. *)
+(** Length-prefixed frame. Raises [Invalid_argument] if a snapshot
+    exceeds {!max_snapshot_msgs}. *)
 
 module Framer : sig
   type t
@@ -44,3 +85,5 @@ module Framer : sig
 end
 
 val pp : Format.formatter -> t -> unit
+
+val pp_body : Format.formatter -> body -> unit

@@ -1,48 +1,205 @@
+module Engine = Rf_sim.Engine
+module Rng = Rf_sim.Rng
+module Faults = Rf_sim.Faults
+
+(* How far ahead of the watermark an out-of-order frame may arrive and
+   still be buffered for in-order delivery. Beyond this the frame is
+   dropped unacknowledged and the client's retransmission recovers it
+   once the gap closes. *)
+let window = 512
+
 type t = {
+  engine : Engine.t;
   chan : Rf_net.Channel.endpoint;
-  framer : Rpc_msg.Framer.t;
-  seen : (int32, unit) Hashtbl.t;
+  mutable framer : Rpc_msg.Framer.t;
+  mutable incarnation : int32;
+  mutable epoch : int32;  (** client session being tracked; 0 = none *)
+  mutable watermark : int32;
+      (** every seq of [epoch] serially <= this has been delivered *)
+  ooo : (int32, Rpc_msg.body) Hashtbl.t;
+      (** acknowledged frames ahead of the watermark, buffered until the
+          gap closes so delivery stays in order *)
   mutable handler : Rpc_msg.t -> unit;
+  mutable snapshot_handler : Rpc_msg.t list -> unit;
+  mutable faults : (Rng.t * Faults.chan_profile) option;
+  mutable crashed : bool;
   mutable handled : int;
   mutable dups : int;
+  mutable stale : int;
+  mutable snapshots : int;
+  mutable acks : int;
 }
+
+let record t event detail =
+  Engine.record t.engine ~component:"rpc-server" ~event detail
+
+let transmit t frame =
+  if not t.crashed then
+    match t.faults with
+    | None -> Rf_net.Channel.send t.chan frame
+    | Some (rng, profile) -> (
+        match Faults.fate rng profile with
+        | Faults.Deliver -> Rf_net.Channel.send t.chan frame
+        | Faults.Drop -> record t "fault-drop" ""
+        | Faults.Duplicate ->
+            Rf_net.Channel.send t.chan frame;
+            Rf_net.Channel.send t.chan frame
+        | Faults.Delay span ->
+            ignore
+              (Engine.schedule t.engine span (fun () ->
+                   Rf_net.Channel.send t.chan frame)))
+
+(* Server envelopes carry the incarnation in the epoch field: every
+   reply doubles as a restart beacon for the client. *)
+let reply t body =
+  transmit t (Rpc_msg.to_wire { Rpc_msg.epoch = t.incarnation; seq = 0l; body })
+
+let ack t seq =
+  t.acks <- t.acks + 1;
+  reply t (Rpc_msg.Ack { a_epoch = t.epoch; a_cum = t.watermark; a_seq = seq })
+
+let deliver t body =
+  t.handled <- t.handled + 1;
+  match body with
+  | Rpc_msg.Request req -> t.handler req
+  | Rpc_msg.Sync_snapshot msgs ->
+      t.snapshots <- t.snapshots + 1;
+      record t "sync-snapshot" (Printf.sprintf "%d messages" (List.length msgs));
+      t.snapshot_handler msgs
+  | Rpc_msg.Ack _ | Rpc_msg.Ping | Rpc_msg.Pong | Rpc_msg.Sync_request -> ()
+
+(* Deliver everything buffered contiguously past the new watermark. *)
+let rec drain t =
+  let next = Rpc_msg.seq_succ t.watermark in
+  match Hashtbl.find_opt t.ooo next with
+  | Some body ->
+      Hashtbl.remove t.ooo next;
+      t.watermark <- next;
+      deliver t body;
+      drain t
+  | None -> ()
+
+let adopt_epoch t epoch =
+  if not (Int32.equal t.epoch epoch) then begin
+    record t "epoch"
+      (Printf.sprintf "%ld -> %ld (dedup state evicted)" t.epoch epoch);
+    t.epoch <- epoch;
+    t.watermark <- 0l;
+    Hashtbl.reset t.ooo
+  end
+
+let handle_tracked t (env : Rpc_msg.envelope) =
+  if Int32.equal t.epoch 0l then adopt_epoch t env.epoch;
+  if not (Int32.equal env.epoch t.epoch) then
+    if Rpc_msg.seq_after env.epoch t.epoch then adopt_epoch t env.epoch
+    else begin
+      (* a late frame from a session the client has already abandoned:
+         acking it would corrupt the live session's bookkeeping *)
+      t.stale <- t.stale + 1;
+      record t "stale-epoch" (Printf.sprintf "epoch=%ld seq=%ld" env.epoch env.seq)
+    end;
+  if Int32.equal env.epoch t.epoch then
+    if not (Rpc_msg.seq_after env.seq t.watermark) then begin
+      (* already delivered; re-ack so the client stops retransmitting *)
+      t.dups <- t.dups + 1;
+      ack t env.seq
+    end
+    else if Int32.equal env.seq (Rpc_msg.seq_succ t.watermark) then begin
+      t.watermark <- env.seq;
+      deliver t env.body;
+      drain t;
+      ack t env.seq
+    end
+    else if Hashtbl.mem t.ooo env.seq then begin
+      t.dups <- t.dups + 1;
+      ack t env.seq
+    end
+    else if Hashtbl.length t.ooo < window then begin
+      (* ahead of the watermark: ack now, deliver once the gap closes *)
+      Hashtbl.replace t.ooo env.seq env.body;
+      ack t env.seq
+    end
+    (* window overflow: drop silently; retransmission will recover *)
+
+let handle_envelope t (env : Rpc_msg.envelope) =
+  match env.body with
+  | Rpc_msg.Request _ | Rpc_msg.Sync_snapshot _ -> handle_tracked t env
+  | Rpc_msg.Ping -> reply t Rpc_msg.Pong
+  | Rpc_msg.Pong | Rpc_msg.Ack _ | Rpc_msg.Sync_request ->
+      (* the client never originates these *)
+      ()
 
 let create engine chan =
   let t =
     {
+      engine;
       chan;
       framer = Rpc_msg.Framer.create ();
-      seen = Hashtbl.create 64;
+      incarnation = 1l;
+      epoch = 0l;
+      watermark = 0l;
+      ooo = Hashtbl.create 64;
       handler = (fun _ -> ());
+      snapshot_handler = (fun _ -> ());
+      faults = None;
+      crashed = false;
       handled = 0;
       dups = 0;
+      stale = 0;
+      snapshots = 0;
+      acks = 0;
     }
   in
   Rf_net.Channel.set_receiver chan (fun bytes ->
-      match Rpc_msg.Framer.input t.framer bytes with
-      | Ok envs ->
-          List.iter
-            (fun (env : Rpc_msg.envelope) ->
-              match env.body with
-              | Rpc_msg.Request req ->
-                  Rf_net.Channel.send t.chan
-                    (Rpc_msg.to_wire
-                       { Rpc_msg.seq = 0l; body = Rpc_msg.Ack env.seq });
-                  if Hashtbl.mem t.seen env.seq then t.dups <- t.dups + 1
-                  else begin
-                    Hashtbl.replace t.seen env.seq ();
-                    t.handled <- t.handled + 1;
-                    t.handler req
-                  end
-              | Rpc_msg.Ack _ -> ())
-            envs
-      | Error e ->
-          Rf_sim.Engine.record engine ~component:"rpc-server"
-            ~event:"framing-error" e);
+      if not t.crashed then
+        match Rpc_msg.Framer.input t.framer bytes with
+        | Ok envs -> List.iter (handle_envelope t) envs
+        | Error e -> record t "framing-error" e);
   t
 
 let set_handler t f = t.handler <- f
 
+let set_snapshot_handler t f = t.snapshot_handler <- f
+
+let set_fault_profile t rng profile = t.faults <- Some (rng, profile)
+
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    (* volatile session state dies with the process *)
+    t.epoch <- 0l;
+    t.watermark <- 0l;
+    Hashtbl.reset t.ooo;
+    t.framer <- Rpc_msg.Framer.create ();
+    record t "crash" ""
+  end
+
+let restart t =
+  if t.crashed then begin
+    t.crashed <- false;
+    t.incarnation <- Rpc_msg.seq_succ t.incarnation;
+    record t "restart" (Printf.sprintf "incarnation=%ld" t.incarnation);
+    (* anti-entropy: ask the client for its authoritative state rather
+       than waiting for the next beacon-carrying reply *)
+    reply t Rpc_msg.Sync_request
+  end
+
 let requests_handled t = t.handled
 
 let duplicates_dropped t = t.dups
+
+let stale_dropped t = t.stale
+
+let snapshots_received t = t.snapshots
+
+let acks_sent t = t.acks
+
+let incarnation t = t.incarnation
+
+let dedup_size t = Hashtbl.length t.ooo
+
+let watermark t = t.watermark
+
+let set_watermark t seq =
+  t.watermark <- seq;
+  if Int32.equal t.epoch 0l then t.epoch <- 1l

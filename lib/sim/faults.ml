@@ -6,6 +6,8 @@ type event =
   | Switch_crash of int64
   | Switch_recover of int64
   | Vm_boot_failure of { dpid : int64; failures : int }
+  | Controller_crash
+  | Controller_recover
 
 type timed = { at : Vtime.t; ev : event }
 
@@ -25,6 +27,10 @@ let vm_boot_failure ~at_s ~dpid ~failures =
   if failures < 0 then invalid_arg "Faults.vm_boot_failure: negative count";
   { at = Vtime.of_s at_s; ev = Vm_boot_failure { dpid; failures } }
 
+let controller_crash ~at_s = { at = Vtime.of_s at_s; ev = Controller_crash }
+
+let controller_recover ~at_s = { at = Vtime.of_s at_s; ev = Controller_recover }
+
 let pp_event ppf = function
   | Link_down { l_a; l_b } -> Format.fprintf ppf "link-down sw%Ld-sw%Ld" l_a l_b
   | Link_up { l_a; l_b } -> Format.fprintf ppf "link-up sw%Ld-sw%Ld" l_a l_b
@@ -32,6 +38,8 @@ let pp_event ppf = function
   | Switch_recover d -> Format.fprintf ppf "switch-recover sw%Ld" d
   | Vm_boot_failure { dpid; failures } ->
       Format.fprintf ppf "vm-boot-failure sw%Ld x%d" dpid failures
+  | Controller_crash -> Format.fprintf ppf "controller-crash"
+  | Controller_recover -> Format.fprintf ppf "controller-recover"
 
 type chan_profile = {
   cf_drop : float;
@@ -59,18 +67,24 @@ let fate rng p =
     Delay (Vtime.span_s (Rng.float rng (Vtime.span_to_s p.cf_max_delay)))
   else Deliver
 
-type plan = { events : timed list; control_faults : chan_profile option }
+type plan = {
+  events : timed list;
+  control_faults : chan_profile option;
+  rpc_faults : chan_profile option;
+}
 
-let empty = { events = []; control_faults = None }
+let empty = { events = []; control_faults = None; rpc_faults = None }
 
-let plan ?control_faults events = { events; control_faults }
+let plan ?control_faults ?rpc_faults events =
+  { events; control_faults; rpc_faults }
 
-let is_empty p = p.events = [] && p.control_faults = None
+let is_empty p = p.events = [] && p.control_faults = None && p.rpc_faults = None
 
 type injector = {
   inj_link : up:bool -> link_ref -> unit;
   inj_switch : up:bool -> int64 -> unit;
   inj_vm_boot_failure : dpid:int64 -> failures:int -> unit;
+  inj_controller : up:bool -> unit;
 }
 
 type handle = {
@@ -85,6 +99,8 @@ let dispatch inj = function
   | Switch_crash d -> inj.inj_switch ~up:false d
   | Switch_recover d -> inj.inj_switch ~up:true d
   | Vm_boot_failure { dpid; failures } -> inj.inj_vm_boot_failure ~dpid ~failures
+  | Controller_crash -> inj.inj_controller ~up:false
+  | Controller_recover -> inj.inj_controller ~up:true
 
 let schedule engine inj p =
   let h = { fired = 0; pending = List.length p.events; last_at = None } in

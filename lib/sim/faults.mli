@@ -30,6 +30,12 @@ type event =
       (** arms the RouteFlow server so the next [failures] VM clone
           attempts for [dpid] fail; the server's retry policy re-queues
           the switch after each failed boot until a clone succeeds *)
+  | Controller_crash
+      (** the RF-controller process dies: its RPC server stops reading
+          the session and loses all volatile session state *)
+  | Controller_recover
+      (** the RF-controller restarts with a new incarnation number and
+          asks the topology controller for a state snapshot *)
 
 type timed = { at : Vtime.t; ev : event }
 
@@ -44,6 +50,10 @@ val switch_crash : at_s:float -> int64 -> timed
 val switch_recover : at_s:float -> int64 -> timed
 
 val vm_boot_failure : at_s:float -> dpid:int64 -> failures:int -> timed
+
+val controller_crash : at_s:float -> timed
+
+val controller_recover : at_s:float -> timed
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -86,11 +96,15 @@ type plan = {
   control_faults : chan_profile option;
       (** applied to control channels that opt in (the scenario wires it
           into the connections it owns) *)
+  rpc_faults : chan_profile option;
+      (** applied to the topology-controller ↔ RF-controller RPC
+          session, on both directions *)
 }
 
 val empty : plan
 
-val plan : ?control_faults:chan_profile -> timed list -> plan
+val plan :
+  ?control_faults:chan_profile -> ?rpc_faults:chan_profile -> timed list -> plan
 
 val is_empty : plan -> bool
 
@@ -100,6 +114,7 @@ type injector = {
   inj_link : up:bool -> link_ref -> unit;
   inj_switch : up:bool -> int64 -> unit;
   inj_vm_boot_failure : dpid:int64 -> failures:int -> unit;
+  inj_controller : up:bool -> unit;
 }
 (** How each fault is realised; supplied by the layer that owns the
     emulated network. *)

@@ -31,8 +31,13 @@ let fast_params =
     routing_protocol = Rf_system.Proto_ospf;
   }
 
-let options ?(seed = 42) faults =
-  { Scenario.default_options with seed; rf_params = fast_params; faults }
+let options ?(seed = 42) ?rpc_params faults =
+  let base =
+    { Scenario.default_options with seed; rf_params = fast_params; faults }
+  in
+  match rpc_params with
+  | None -> base
+  | Some rpc_params -> { base with rpc_params }
 
 (* Iface facing the other end of a switch-switch edge, as the VM names
    it. *)
@@ -149,6 +154,111 @@ let test_vm_boot_failure_retries () =
   | Some _ -> ());
   Alcotest.(check bool) "sw2 configured despite failures" true
     (Rf_system.is_configured (Scenario.rf_system s) 2L)
+
+(* --- controller crash, restart and anti-entropy ----------------------- *)
+
+(* Supervision tuned so the whole park/revive cycle fits a short run. *)
+let restart_rpc_params resync =
+  {
+    Rf_rpc.Rpc_client.rto = Vtime.span_s 0.5;
+    rto_max = Vtime.span_s 4.0;
+    max_retries = 3;
+    heartbeat_every = Vtime.span_s 1.0;
+    dead_after = 3;
+    resync;
+  }
+
+(* The RF-controller is down for t=4s..20s and the sw2-sw3 link dies at
+   t=8s, so the Link_down config event has no live session to land in. *)
+let controller_outage_faults =
+  Faults.(
+    plan
+      [
+        controller_crash ~at_s:4.0;
+        link_down ~at_s:8.0 2L 3L;
+        controller_recover ~at_s:20.0;
+      ])
+
+let run_outage ~resync =
+  let topo = ring_with_hosts 6 4 in
+  let opts =
+    options ~rpc_params:(restart_rpc_params resync) controller_outage_faults
+  in
+  let s = Scenario.build ~options:opts topo in
+  Scenario.run_for s (Vtime.span_s 60.0);
+  (topo, s)
+
+let test_controller_crash_reconciles () =
+  let topo, s = run_outage ~resync:true in
+  Alcotest.(check int) "all faults fired" 3 (Scenario.fault_events_fired s);
+  let client = Scenario.rpc_client s in
+  let server = Scenario.rpc_server s in
+  Alcotest.(check int32) "server restarted once" 2l
+    (Rf_rpc.Rpc_server.incarnation server);
+  Alcotest.(check int) "one snapshot received" 1
+    (Rf_rpc.Rpc_server.snapshots_received server);
+  Alcotest.(check int) "nothing left unacknowledged" 0
+    (Rf_rpc.Rpc_client.unacked client);
+  Alcotest.(check int) "no frames stuck in the reorder buffer" 0
+    (Rf_rpc.Rpc_server.dedup_size server);
+  (* The snapshot told the reborn controller about the dead link: both
+     ends stopped routing into it. *)
+  let iface_2, iface_3 = facing_iface topo 2L 3L in
+  Alcotest.(check bool) "vm-2 avoids dead link" false (vm_uses_iface s 2L iface_2);
+  Alcotest.(check bool) "vm-3 avoids dead link" false (vm_uses_iface s 3L iface_3);
+  (* Every VM still reaches every surviving subnet (the dead link's /30
+     is legitimately gone). *)
+  let want = Scenario.total_subnets s - 1 in
+  List.iter
+    (fun (dpid, vm) ->
+      let n = Rf_routing.Rib.size (Vm.rib vm) in
+      if n < want then
+        Alcotest.fail
+          (Printf.sprintf "vm-%Ld has %d/%d routes after reconciliation" dpid n
+             want))
+    (Rf_system.vms (Scenario.rf_system s))
+
+let test_controller_crash_legacy_loses () =
+  let topo, s = run_outage ~resync:false in
+  let client = Scenario.rpc_client s in
+  (* The legacy session never resyncs: the parked Link_down is lost and
+     the reborn controller keeps routing over a link that no longer
+     exists. *)
+  Alcotest.(check bool) "link-down frame abandoned" true
+    (Rf_rpc.Rpc_client.unacked client > 0);
+  Alcotest.(check int) "no snapshot without resync" 0
+    (Rf_rpc.Rpc_server.snapshots_received (Scenario.rpc_server s));
+  let iface_2, _ = facing_iface topo 2L 3L in
+  Alcotest.(check bool) "vm-2 still routes into the dead link" true
+    (vm_uses_iface s 2L iface_2)
+
+let trace_of_outage_run seed =
+  let topo = ring_with_hosts 6 4 in
+  let faults =
+    Faults.(
+      plan
+        ~rpc_faults:(lossy ~drop:0.1 ~duplicate:0.05 ~delay:0.05 ())
+        [
+          controller_crash ~at_s:4.0;
+          link_down ~at_s:8.0 2L 3L;
+          controller_recover ~at_s:20.0;
+        ])
+  in
+  let s =
+    Scenario.build
+      ~options:(options ~seed ~rpc_params:(restart_rpc_params true) faults)
+      topo
+  in
+  Scenario.run_for s (Vtime.span_s 60.0);
+  Format.asprintf "%a" Rf_sim.Trace.dump (Engine.trace (Scenario.engine s))
+
+let test_controller_crash_replays () =
+  let a = trace_of_outage_run 9 in
+  let b = trace_of_outage_run 9 in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length a > 1000);
+  Alcotest.(check bool) "byte-identical replay" true (String.equal a b);
+  let c = trace_of_outage_run 10 in
+  Alcotest.(check bool) "different seeds diverge" false (String.equal a c)
 
 (* --- lossy control channel at the Of_conn level ----------------------- *)
 
@@ -295,6 +405,12 @@ let suite =
       test_switch_crash_recover;
     Alcotest.test_case "vm clone failures are retried" `Quick
       test_vm_boot_failure_retries;
+    Alcotest.test_case "controller crash: snapshot reconciles lost events" `Slow
+      test_controller_crash_reconciles;
+    Alcotest.test_case "controller crash: legacy rpc loses the link-down" `Slow
+      test_controller_crash_legacy_loses;
+    Alcotest.test_case "controller crash replays byte-identically" `Slow
+      test_controller_crash_replays;
     Alcotest.test_case "of_conn drop profile" `Quick test_chan_drop_all;
     Alcotest.test_case "of_conn duplicate profile" `Quick test_chan_duplicate_all;
     Alcotest.test_case "of_conn delay profile" `Quick test_chan_delay_all;

@@ -7,9 +7,17 @@ open Rf_openflow
 open Rf_packet
 module G = QCheck.Gen
 
+(* The nightly CI job sets QCHECK_LONG to multiply every iteration
+   count; interactive runs keep the fast defaults. *)
+let long_factor =
+  match Sys.getenv_opt "QCHECK_LONG" with
+  | None | Some "" | Some "0" -> 1
+  | Some _ -> 10
+
 let prop ?(count = 300) name gen print f =
   QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~name ~count (QCheck.make ~print gen) f)
+    (QCheck.Test.make ~name ~count:(count * long_factor)
+       (QCheck.make ~print gen) f)
 
 (* --- generators ----------------------------------------------------- *)
 
@@ -397,10 +405,178 @@ let trie_vs_naive =
           | Some _, None | None, Some _ -> false)
         probes)
 
+(* --- RPC envelope codec ---------------------------------------------- *)
+
+module Rpc_msg = Rf_rpc.Rpc_msg
+
+let gen_rpc_request =
+  let open G in
+  let gen_port = int_range 1 0xffff in
+  let gen_len = int_range 0 32 in
+  oneof
+    [
+      (let* dpid = ui64 in
+       let* n_ports = int_range 0 0xffff in
+       return (Rpc_msg.Switch_up { dpid; n_ports }));
+      map (fun dpid -> Rpc_msg.Switch_down { dpid }) ui64;
+      (let* a_dpid = ui64 in
+       let* a_port = gen_port in
+       let* a_ip = gen_ip in
+       let* a_prefix_len = gen_len in
+       let* b_dpid = ui64 in
+       let* b_port = gen_port in
+       let* b_ip = gen_ip in
+       let* b_prefix_len = gen_len in
+       return
+         (Rpc_msg.Link_up
+            {
+              a_dpid;
+              a_port;
+              a_ip;
+              a_prefix_len;
+              b_dpid;
+              b_port;
+              b_ip;
+              b_prefix_len;
+            }));
+      (let* a_dpid = ui64 in
+       let* a_port = gen_port in
+       let* b_dpid = ui64 in
+       let* b_port = gen_port in
+       return (Rpc_msg.Link_down { a_dpid; a_port; b_dpid; b_port }));
+      (let* dpid = ui64 in
+       let* port = gen_port in
+       let* gateway = gen_ip in
+       let* prefix_len = gen_len in
+       return (Rpc_msg.Edge_subnet { dpid; port; gateway; prefix_len }));
+    ]
+
+let gen_rpc_envelope =
+  let open G in
+  let* epoch = int32 in
+  let* seq = int32 in
+  let* body =
+    oneof
+      [
+        map (fun r -> Rpc_msg.Request r) gen_rpc_request;
+        (let* a_epoch = int32 in
+         let* a_cum = int32 in
+         let* a_seq = int32 in
+         return (Rpc_msg.Ack { a_epoch; a_cum; a_seq }));
+        return Rpc_msg.Ping;
+        return Rpc_msg.Pong;
+        return Rpc_msg.Sync_request;
+        map
+          (fun msgs -> Rpc_msg.Sync_snapshot msgs)
+          (list_size (int_range 0 20) gen_rpc_request);
+      ]
+  in
+  return { Rpc_msg.epoch; seq; body }
+
+let print_rpc_envelope (e : Rpc_msg.envelope) =
+  Format.asprintf "epoch=%ld seq=%ld %a" e.epoch e.seq Rpc_msg.pp_body e.body
+
+let rpc_codec_roundtrip =
+  prop "rpc envelope decode∘encode = id" gen_rpc_envelope print_rpc_envelope
+    (fun env ->
+      let framer = Rpc_msg.Framer.create () in
+      match Rpc_msg.Framer.input framer (Rpc_msg.to_wire env) with
+      | Ok [ env' ] -> env' = env
+      | Ok l -> QCheck.Test.fail_reportf "expected 1 envelope, got %d" (List.length l)
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+(* --- RPC delivery: exactly once, in order, within an epoch ----------- *)
+
+(* An adversarial channel (seeded drops, duplicates, delays — delays
+   reorder) between a live client/server pair. However the schedule
+   falls, every request the client accepted must reach the server's
+   handler exactly once and in submission order, because acks are
+   cumulative, retransmission covers drops, the (epoch, seq) dedup
+   swallows duplicates, and the reorder window holds early frames until
+   the gap closes. *)
+type delivery_case = {
+  dc_seed : int;
+  dc_n : int;
+  dc_drop : float;
+  dc_dup : float;
+  dc_delay : float;
+}
+
+let gen_delivery_case =
+  let open G in
+  let* dc_seed = int_range 0 99_999 in
+  let* dc_n = int_range 1 30 in
+  let* dc_drop = float_bound_inclusive 0.4 in
+  let* dc_dup = float_bound_inclusive 0.25 in
+  let* dc_delay = float_bound_inclusive 0.25 in
+  return { dc_seed; dc_n; dc_drop; dc_dup; dc_delay }
+
+let print_delivery_case c =
+  Printf.sprintf "seed=%d n=%d drop=%.2f dup=%.2f delay=%.2f" c.dc_seed c.dc_n
+    c.dc_drop c.dc_dup c.dc_delay
+
+let rpc_exactly_once =
+  prop ~count:40 "rpc delivers exactly once, in order, per epoch"
+    gen_delivery_case print_delivery_case (fun c ->
+      let engine = Rf_sim.Engine.create ~seed:c.dc_seed () in
+      let client_end, server_end =
+        Rf_net.Channel.create engine
+          ~latency:(Rf_sim.Vtime.span_ms 5)
+          ~name:"rpc" ()
+      in
+      let params =
+        {
+          Rf_rpc.Rpc_client.rto = Rf_sim.Vtime.span_s 0.5;
+          rto_max = Rf_sim.Vtime.span_s 4.0;
+          max_retries = 4;
+          heartbeat_every = Rf_sim.Vtime.span_s 2.0;
+          dead_after = 3;
+          resync = true;
+        }
+      in
+      let client = Rf_rpc.Rpc_client.create engine ~params client_end in
+      let server = Rf_rpc.Rpc_server.create engine server_end in
+      let profile =
+        {
+          Rf_sim.Faults.cf_drop = c.dc_drop;
+          cf_duplicate = c.dc_dup;
+          cf_delay = c.dc_delay;
+          cf_max_delay = Rf_sim.Vtime.span_s 3.0;
+        }
+      in
+      let rng = Rf_sim.Engine.rng engine in
+      Rf_rpc.Rpc_client.set_fault_profile client (Rf_sim.Rng.split rng) profile;
+      Rf_rpc.Rpc_server.set_fault_profile server (Rf_sim.Rng.split rng) profile;
+      let delivered = ref [] in
+      Rf_rpc.Rpc_server.set_handler server (fun msg ->
+          match msg with
+          | Rpc_msg.Switch_up { dpid; _ } -> delivered := dpid :: !delivered
+          | _ -> ());
+      for i = 1 to c.dc_n do
+        ignore
+          (Rf_sim.Engine.schedule_at engine
+             (Rf_sim.Vtime.of_s (0.3 *. float_of_int i))
+             (fun () ->
+               Rf_rpc.Rpc_client.send client
+                 (Rpc_msg.Switch_up { dpid = Int64.of_int i; n_ports = 4 })))
+      done;
+      ignore (Rf_sim.Engine.run ~until:(Rf_sim.Vtime.of_s 3600.0) engine);
+      let got = List.rev !delivered in
+      let want = List.init c.dc_n (fun i -> Int64.of_int (i + 1)) in
+      if got <> want then
+        QCheck.Test.fail_reportf "delivered [%s], wanted [%s] (retx=%d dups=%d)"
+          (String.concat ";" (List.map Int64.to_string got))
+          (String.concat ";" (List.map Int64.to_string want))
+          (Rf_rpc.Rpc_client.retransmissions client)
+          (Rf_rpc.Rpc_server.duplicates_dropped server)
+      else Rf_rpc.Rpc_client.unacked client = 0)
+
 let suite =
   [
     codec_roundtrip;
     framer_chunking;
+    rpc_codec_roundtrip;
+    rpc_exactly_once;
     ipv4_roundtrip;
     prefix_roundtrip;
     trie_vs_naive;
