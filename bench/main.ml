@@ -156,8 +156,18 @@ let sample_lsa =
         };
   }
 
+(* Telemetry substrate: spans, counters and histogram observes sit on
+   every hot path now, so their cost must stay in the noise. *)
+let obs_fixture () =
+  let m = Rf_obs.Metrics.create () in
+  let tracer = Rf_obs.Tracer.create () in
+  let c = Rf_obs.Metrics.counter m "bench_counter_total" in
+  let h = Rf_obs.Metrics.histogram m "bench_seconds" in
+  (m, tracer, c, h)
+
 let micro_tests () =
   let open Bechamel in
+  let _obs_m, obs_tracer, obs_c, obs_h = obs_fixture () in
   let spf_daemon = spf_fixture () in
   let trie = trie_fixture () in
   let table = flow_table_fixture () in
@@ -205,6 +215,14 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Rf_routing.Rib.update rib churn_route;
            Rf_routing.Rib.withdraw rib Rf_routing.Rib.Ospf churn_route.Rf_routing.Rib.r_prefix));
+    Test.make ~name:"obs_counter_incr"
+      (Staged.stage (fun () -> Rf_obs.Metrics.incr obs_c));
+    Test.make ~name:"obs_histogram_observe"
+      (Staged.stage (fun () -> Rf_obs.Metrics.observe obs_h 0.042));
+    Test.make ~name:"obs_span_start_end"
+      (Staged.stage (fun () ->
+           let sp = Rf_obs.Tracer.span_start obs_tracer "bench.span" in
+           Rf_obs.Tracer.span_end obs_tracer sp));
   ]
 
 let run_micro () =
@@ -273,6 +291,10 @@ let run_ablation () =
   Experiment.print_ablation std "routing protocol (OSPF vs RIPv2)"
     (Experiment.ablation_protocol ())
 
+let run_obs () =
+  section "X5 — telemetry: per-phase decomposition of E1 (extension)";
+  Experiment.print_phases std (Experiment.phase_breakdown ())
+
 let run_census () =
   section "X4 — control-plane message census (extension)";
   Experiment.print_census std (Experiment.census ())
@@ -293,6 +315,7 @@ let () =
   | "ablation" -> run_ablation ()
   | "families" -> run_families ()
   | "census" -> run_census ()
+  | "obs" -> run_obs ()
   | "micro" -> run_micro ()
   | "all" ->
       run_fig3 ();
@@ -304,9 +327,10 @@ let () =
       run_ablation ();
       run_families ();
       run_census ();
+      run_obs ();
       run_micro ()
   | other ->
       Format.eprintf
-        "unknown section %S (use all|fig3|demo|failure|restart|gui|scaling|ablation|families|census|micro)@."
+        "unknown section %S (use all|fig3|demo|failure|restart|gui|scaling|ablation|families|census|obs|micro)@."
         other;
       exit 2

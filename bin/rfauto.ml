@@ -19,14 +19,20 @@ let parallel_arg =
   let doc = "Concurrent VM creations (1 = paper-era serialized RouteFlow)." in
   Arg.(value & opt int 1 & info [ "parallel-boot" ] ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Write the run's span/event telemetry as JSON lines to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~doc ~docv:"FILE")
+
 let fig3_cmd =
-  let run sizes vm_boot_s parallel_boot =
+  let run sizes vm_boot_s parallel_boot telemetry =
     Experiment.print_fig3 std
-      (Experiment.fig3 ~sizes ~vm_boot_s ~parallel_boot ())
+      (Experiment.fig3 ~sizes ~vm_boot_s ~parallel_boot ?telemetry ())
   in
   Cmd.v
     (Cmd.info "fig3" ~doc:"Reproduce Figure 3: automatic vs manual configuration time")
-    Term.(const run $ sizes_arg $ boot_arg $ parallel_arg)
+    Term.(const run $ sizes_arg $ boot_arg $ parallel_arg $ telemetry_arg)
 
 (* --- demo --------------------------------------------------------- *)
 
@@ -60,10 +66,11 @@ let pcap_arg =
   Arg.(value & opt (some string) None & info [ "pcap" ] ~doc ~docv:"FILE")
 
 let demo_cmd =
-  let run vm_boot_s horizon_s server_city client_city protocol pcap_path =
+  let run vm_boot_s horizon_s server_city client_city protocol pcap_path
+      telemetry =
     Experiment.print_demo std
       (Experiment.demo ~vm_boot_s ~horizon_s ~server_city ~client_city ~protocol
-         ?pcap_path ())
+         ?pcap_path ?telemetry ())
   in
   Cmd.v
     (Cmd.info "demo"
@@ -72,7 +79,7 @@ let demo_cmd =
           topology while RouteFlow configures itself")
     Term.(
       const run $ boot_arg $ horizon_arg $ server_arg $ client_arg $ protocol_arg
-      $ pcap_arg)
+      $ pcap_arg $ telemetry_arg)
 
 (* --- failure -------------------------------------------------------- *)
 
@@ -89,16 +96,19 @@ let failure_cmd =
   let fail_horizon_arg =
     Arg.(value & opt float 150.0 & info [ "horizon" ] ~doc:"Sim seconds.")
   in
-  let run seed switches fail_at_s horizon_s =
+  let run seed switches fail_at_s horizon_s telemetry =
     Experiment.print_failure_recovery std
-      (Experiment.failure_recovery ~seed ~switches ~fail_at_s ~horizon_s ())
+      (Experiment.failure_recovery ~seed ~switches ~fail_at_s ~horizon_s
+         ?telemetry ())
   in
   Cmd.v
     (Cmd.info "failure"
        ~doc:
          "Cut a ring link under live traffic and report packet loss and \
           reconvergence time (deterministic: same seed, same trace)")
-    Term.(const run $ seed_arg $ switches_arg $ fail_at_arg $ fail_horizon_arg)
+    Term.(
+      const run $ seed_arg $ switches_arg $ fail_at_arg $ fail_horizon_arg
+      $ telemetry_arg)
 
 (* --- restart -------------------------------------------------------- *)
 
@@ -128,10 +138,10 @@ let restart_cmd =
   let restart_horizon_arg =
     Arg.(value & opt float 120.0 & info [ "horizon" ] ~doc:"Sim seconds.")
   in
-  let run seed switches crash_at_s cut_at_s recover_at_s horizon_s =
+  let run seed switches crash_at_s cut_at_s recover_at_s horizon_s telemetry =
     Experiment.print_restart std
       (Experiment.restart ~seed ~switches ~crash_at_s ~cut_at_s ~recover_at_s
-         ~horizon_s ())
+         ~horizon_s ?telemetry ())
   in
   Cmd.v
     (Cmd.info "restart"
@@ -141,7 +151,7 @@ let restart_cmd =
           (deterministic: same seed, same trace)")
     Term.(
       const run $ seed_arg $ switches_arg $ crash_at_arg $ cut_at_arg
-      $ recover_at_arg $ restart_horizon_arg)
+      $ recover_at_arg $ restart_horizon_arg $ telemetry_arg)
 
 (* --- gui ----------------------------------------------------------- *)
 
@@ -265,6 +275,83 @@ let inspect_cmd =
        ~doc:"Run a ring scenario, then dump one VM's vtysh state and its switch's flow table")
     Term.(const run $ n_arg $ dpid_arg)
 
+(* --- obs --------------------------------------------------------------- *)
+
+let obs_cmd =
+  let switches_arg =
+    Arg.(value & opt int 28 & info [ "switches" ] ~doc:"Ring size.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write span/event JSONL to $(docv).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-phase summary table to $(docv) (stable across              same-seed runs; used by CI as a telemetry fingerprint).")
+  in
+  let prometheus_arg =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Also print the metrics registry in Prometheus text format.")
+  in
+  let spans_arg =
+    Arg.(
+      value & flag
+      & info [ "spans" ] ~doc:"Also print per-span-name aggregates.")
+  in
+  let run switches vm_boot_s parallel_boot out summary_out prometheus spans =
+    let options =
+      {
+        Rf_core.Scenario.default_options with
+        rf_params =
+          {
+            Rf_core.Scenario.default_options.Rf_core.Scenario.rf_params with
+            Rf_routeflow.Rf_system.vm_boot_time = Rf_sim.Vtime.span_s vm_boot_s;
+            parallel_boot;
+          };
+      }
+    in
+    let s = Rf_core.Scenario.build ~options (Rf_net.Topo_gen.ring switches) in
+    let horizon =
+      (vm_boot_s *. float_of_int switches /. float_of_int parallel_boot) +. 120.
+    in
+    Rf_core.Scenario.run_for s (Rf_sim.Vtime.span_s horizon);
+    let b = Experiment.breakdown_of s in
+    Experiment.print_phases std b;
+    (match out with
+    | Some path ->
+        Rf_core.Scenario.write_telemetry s path
+          ~meta:[ ("experiment", "e1-phases") ];
+        Format.fprintf std "telemetry written to %s@." path
+    | None -> ());
+    (match summary_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Format.asprintf "%a" Experiment.print_phases b);
+        close_out oc
+    | None -> ());
+    if spans then begin
+      Format.fprintf std "@.%a" Rf_obs.Export.pp_span_stats
+        (Rf_core.Scenario.span_stats s)
+    end;
+    if prometheus then
+      Format.fprintf std "@.%s" (Rf_core.Scenario.prometheus s)
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Run a ring configuration and decompose the end-to-end time into           discovery, RPC, VM-provisioning, Quagga and convergence phases           from the span tree; optionally dump JSONL telemetry and           Prometheus-style metrics")
+    Term.(
+      const run $ switches_arg $ boot_arg $ parallel_arg $ out_arg
+      $ summary_arg $ prometheus_arg $ spans_arg)
+
 (* --- trace ------------------------------------------------------------- *)
 
 let trace_cmd =
@@ -354,6 +441,6 @@ let main =
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; trace_cmd; run_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd ]
 
 let () = exit (Cmd.eval main)

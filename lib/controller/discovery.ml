@@ -31,6 +31,9 @@ type t = {
   mutable on_link_down : link -> unit;
   mutable probes : int;
   mutable lldp_rx : int;
+  m_probes : Rf_obs.Metrics.counter;
+  m_lldp_rx : Rf_obs.Metrics.counter;
+  m_links : Rf_obs.Metrics.counter;
 }
 
 let create engine ?(probe_interval = Rf_sim.Vtime.span_s 5.0)
@@ -48,6 +51,18 @@ let create engine ?(probe_interval = Rf_sim.Vtime.span_s 5.0)
       on_link_down = (fun _ -> ());
       probes = 0;
       lldp_rx = 0;
+      m_probes =
+        Rf_obs.Metrics.counter
+          (Rf_sim.Engine.metrics engine)
+          ~help:"LLDP probe packet-outs sent" "discovery_probes_total";
+      m_lldp_rx =
+        Rf_obs.Metrics.counter
+          (Rf_sim.Engine.metrics engine)
+          ~help:"LLDP packet-ins classified" "discovery_lldp_rx_total";
+      m_links =
+        Rf_obs.Metrics.counter
+          (Rf_sim.Engine.metrics engine)
+          ~help:"Distinct links discovered" "discovery_links_total";
     }
   in
   (* Age out links whose probes stopped arriving. *)
@@ -74,6 +89,7 @@ let send_probes t dpid (st : switch_state) =
     (fun (p : Of_msg.phys_port) ->
       if Of_port.is_physical p.port_no && p.up then begin
         t.probes <- t.probes + 1;
+        Rf_obs.Metrics.incr t.m_probes;
         let frame =
           Packet.lldp ~src:p.hw_addr (Lldp.discovery_probe ~dpid ~port:p.port_no)
         in
@@ -88,6 +104,7 @@ let handle_lldp t ~rx_dpid ~rx_port frame =
   | Error _ -> ()
   | Ok { l3 = Packet.Lldp lldp; _ } -> (
       t.lldp_rx <- t.lldp_rx + 1;
+      Rf_obs.Metrics.incr t.m_lldp_rx;
       match Lldp.parse_discovery lldp with
       | None -> ()
       | Some (src_dpid, src_port) ->
@@ -97,6 +114,7 @@ let handle_lldp t ~rx_dpid ~rx_port frame =
           | Some st -> st.last_seen <- now
           | None ->
               Hashtbl.replace t.links link { last_seen = now; first_reported = now };
+              Rf_obs.Metrics.incr t.m_links;
               t.on_link_up link))
   | Ok { l3 = Packet.Arp _ | Packet.Ipv4 _ | Packet.Raw_l3 _; _ } -> ()
 

@@ -15,13 +15,17 @@ type t = {
   mutable msgs_dropped : int;
   mutable msgs_duplicated : int;
   mutable msgs_delayed : int;
+  m_sent : Rf_obs.Metrics.counter;
+  m_faulted : Rf_obs.Metrics.counter;
 }
 
 let fresh_xid t =
   t.next_xid <- Int32.add t.next_xid 1l;
   t.next_xid
 
-let raw_send t m = Rf_net.Channel.send t.chan (Of_codec.to_wire m)
+let raw_send t m =
+  Rf_obs.Metrics.incr t.m_sent;
+  Rf_net.Channel.send t.chan (Of_codec.to_wire m)
 
 (* Faults apply per message (never mid-frame, which would corrupt the
    peer's framer). The handshake openers are exempt from drop and
@@ -40,16 +44,19 @@ let send_msg t m =
       match Rf_sim.Faults.fate rng profile with
       | Rf_sim.Faults.Drop when not (handshake_critical m) ->
           t.msgs_dropped <- t.msgs_dropped + 1;
+          Rf_obs.Metrics.incr t.m_faulted;
           Rf_sim.Engine.record t.engine ~component:"of-conn" ~event:"fault-drop"
             (Of_msg.type_name m.payload)
       | Rf_sim.Faults.Duplicate when not (handshake_critical m) ->
           t.msgs_duplicated <- t.msgs_duplicated + 1;
+          Rf_obs.Metrics.incr t.m_faulted;
           Rf_sim.Engine.record t.engine ~component:"of-conn" ~event:"fault-duplicate"
             (Of_msg.type_name m.payload);
           raw_send t m;
           raw_send t m
       | Rf_sim.Faults.Delay span ->
           t.msgs_delayed <- t.msgs_delayed + 1;
+          Rf_obs.Metrics.incr t.m_faulted;
           ignore (Rf_sim.Engine.schedule t.engine span (fun () -> raw_send t m))
       | Rf_sim.Faults.Deliver | Rf_sim.Faults.Drop | Rf_sim.Faults.Duplicate ->
           raw_send t m)
@@ -95,6 +102,16 @@ let create engine ?(echo_interval = Rf_sim.Vtime.span_s 15.0) chan =
       msgs_dropped = 0;
       msgs_duplicated = 0;
       msgs_delayed = 0;
+      m_sent =
+        Rf_obs.Metrics.counter
+          (Rf_sim.Engine.metrics engine)
+          ~help:"OpenFlow messages sent over control channels"
+          "of_messages_sent_total";
+      m_faulted =
+        Rf_obs.Metrics.counter
+          (Rf_sim.Engine.metrics engine)
+          ~help:"OpenFlow messages dropped/duplicated/delayed by faults"
+          "of_messages_faulted_total";
     }
   in
   Rf_net.Channel.set_on_close chan (fun () ->

@@ -27,7 +27,27 @@ type t = {
   mutable on_sample : int64 -> Of_msg.port_stats list -> unit;
   mutable polls : int;
   mutable replies : int;
+  m_polls : Rf_obs.Metrics.counter;
+  m_replies : Rf_obs.Metrics.counter;
 }
+
+(* Each reply refreshes the per-switch traffic gauges in the engine
+   registry, so exporters see the poller's view without holding a
+   reference to it. *)
+let publish_totals t dpid (totals : totals) =
+  let m = Rf_sim.Engine.metrics t.engine in
+  let labels = [ ("dpid", Int64.to_string dpid) ] in
+  let set name help v =
+    Rf_obs.Metrics.set
+      (Rf_obs.Metrics.gauge m ~help ~labels name)
+      (Int64.to_float v)
+  in
+  set "port_rx_packets" "Port-stats rx packets summed per switch"
+    totals.rx_packets;
+  set "port_tx_packets" "Port-stats tx packets summed per switch"
+    totals.tx_packets;
+  set "port_rx_bytes" "Port-stats rx bytes summed per switch" totals.rx_bytes;
+  set "port_tx_bytes" "Port-stats tx bytes summed per switch" totals.tx_bytes
 
 let create engine ?(interval = Rf_sim.Vtime.span_s 10.0) () =
   {
@@ -37,6 +57,14 @@ let create engine ?(interval = Rf_sim.Vtime.span_s 10.0) () =
     on_sample = (fun _ _ -> ());
     polls = 0;
     replies = 0;
+    m_polls =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"OFPST_PORT polls sent" "stats_polls_total";
+    m_replies =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"OFPST_PORT replies received" "stats_replies_total";
   }
 
 let attach t conn =
@@ -46,7 +74,9 @@ let attach t conn =
           match m.Of_msg.payload with
           | Of_msg.Stats_reply (Of_msg.Port_reply stats) ->
               t.replies <- t.replies + 1;
+              Rf_obs.Metrics.incr t.m_replies;
               Hashtbl.replace t.samples dpid stats;
+              publish_totals t dpid (sum_ports stats);
               t.on_sample dpid stats
           | _ -> ());
       ignore
@@ -56,6 +86,7 @@ let attach t conn =
            (fun () ->
              if Of_conn.is_open conn then begin
                t.polls <- t.polls + 1;
+               Rf_obs.Metrics.incr t.m_polls;
                ignore
                  (Of_conn.send conn
                     (Of_msg.Stats_request (Of_msg.Port_req Of_port.none)))

@@ -103,9 +103,48 @@ let create engine disc rpc config =
     }
   in
   Rf_rpc.Rpc_client.set_snapshot_provider rpc (fun () -> snapshot t);
+  let tracer = Rf_sim.Engine.tracer engine in
+  let metrics = Rf_sim.Engine.metrics engine in
+  let switches_seen =
+    Rf_obs.Metrics.counter metrics ~help:"Switches reported over RPC"
+      "autoconf_switches_total"
+  in
+  let links_seen =
+    Rf_obs.Metrics.counter metrics ~help:"Links reported over RPC"
+      "autoconf_links_total"
+  in
+  let discovery_latency =
+    Rf_obs.Metrics.histogram metrics
+      ~help:"Switch attach to topology-controller detection"
+      "autoconf_discovery_seconds"
+  in
   Discovery.set_on_switch_up disc (fun dpid ports ->
       t.switches <- t.switches + 1;
+      Rf_obs.Metrics.incr switches_seen;
       let physical = physical_ports ports in
+      (* Detection closes this switch's discovery phase and opens its
+         RPC phase (closed by the client when the Switch_up frame is
+         acknowledged). *)
+      (match
+         Rf_obs.Tracer.take tracer ~key:(Printf.sprintf "disc:%Ld" dpid)
+       with
+      | Some disc_span ->
+          (match Rf_obs.Tracer.find_span tracer disc_span with
+          | Some sp ->
+              Rf_obs.Metrics.observe discovery_latency
+                (float_of_int
+                   (Rf_obs.Tracer.now_us tracer - sp.Rf_obs.Tracer.start_us)
+                /. 1e6)
+          | None -> ());
+          Rf_obs.Tracer.span_end tracer disc_span
+      | None -> ());
+      let parent =
+        Rf_obs.Tracer.correlated tracer ~key:(Printf.sprintf "cfg:%Ld" dpid)
+      in
+      let rpc_span = Rf_obs.Tracer.span_start tracer ?parent "phase.rpc" in
+      Rf_obs.Tracer.correlate tracer
+        ~key:(Printf.sprintf "rpc:%Ld" dpid)
+        rpc_span;
       Rf_sim.Engine.record engine ~component:"autoconf" ~event:"switch-detected"
         (Printf.sprintf "sw%Ld ports=%d" dpid physical);
       Rf_rpc.Rpc_client.send rpc
@@ -114,6 +153,7 @@ let create engine disc rpc config =
       t.on_switch_reported dpid);
   Discovery.set_on_link_up disc (fun link ->
       t.links <- t.links + 1;
+      Rf_obs.Metrics.incr links_seen;
       Rf_sim.Engine.record engine ~component:"autoconf" ~event:"link-detected"
         (Format.asprintf "%a" Discovery.pp_link link);
       Rf_rpc.Rpc_client.send rpc (link_up_msg t link));

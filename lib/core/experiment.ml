@@ -24,7 +24,8 @@ let params ?(protocol = Rf_system.Proto_ospf) ~vm_boot_s ~parallel_boot () =
   }
 
 let fig3 ?(sizes = [ 4; 8; 12; 16; 20; 24; 28 ]) ?(vm_boot_s = 8.0)
-    ?(parallel_boot = 1) () =
+    ?(parallel_boot = 1) ?telemetry () =
+  let last_size = List.nth sizes (List.length sizes - 1) in
   List.map
     (fun n ->
       let options =
@@ -34,6 +35,10 @@ let fig3 ?(sizes = [ 4; 8; 12; 16; 20; 24; 28 ]) ?(vm_boot_s = 8.0)
       (* Generous horizon: boots dominate. *)
       let horizon = (vm_boot_s *. float_of_int n /. float_of_int parallel_boot) +. 120. in
       Scenario.run_for s (Vtime.span_s horizon);
+      (match telemetry with
+      | Some path when n = last_size ->
+          Scenario.write_telemetry s path ~meta:[ ("experiment", "fig3") ]
+      | Some _ | None -> ());
       let auto =
         match Scenario.all_configured_at s with
         | Some t -> Vtime.to_s t
@@ -66,6 +71,139 @@ let print_fig3 ppf rows =
         (manual_s /. r.f3_auto_s))
     rows
 
+(* --- E1b: per-phase decomposition of the configuration time ------- *)
+
+type phase_row = {
+  ph_dpid : int64;
+  ph_discovery_s : float;
+  ph_rpc_s : float;
+  ph_vm_s : float;
+  ph_quagga_s : float;
+  ph_config_s : float;
+}
+
+type phase_breakdown = {
+  pb_switches : int;
+  pb_rows : phase_row list;
+  pb_critical : phase_row;
+  pb_all_green_s : float option;
+  pb_convergence_tail_s : float option;
+  pb_converged_s : float option;
+  pb_trace_events : int;
+  pb_trace_dropped : int;
+}
+
+let span_dur (sp : Rf_obs.Tracer.span) =
+  match sp.Rf_obs.Tracer.end_us with
+  | Some e -> float_of_int (e - sp.Rf_obs.Tracer.start_us) /. 1e6
+  | None -> 0.
+
+let breakdown_of s =
+  let open Rf_obs.Tracer in
+  let tracer = Rf_sim.Engine.tracer (Scenario.engine s) in
+  let spans = spans tracer in
+  let cfgs =
+    List.filter (fun sp -> String.equal sp.name "sw.configure") spans
+  in
+  if cfgs = [] then invalid_arg "breakdown_of: no sw.configure spans yet";
+  let row_of cfg =
+    let dpid =
+      match List.assoc_opt "dpid" cfg.attrs with
+      | Some d -> Int64.of_string d
+      | None -> -1L
+    in
+    let child name =
+      match
+        List.find_opt
+          (fun sp -> sp.parent = Some cfg.id && String.equal sp.name name)
+          spans
+      with
+      | Some sp -> span_dur sp
+      | None -> 0.
+    in
+    {
+      ph_dpid = dpid;
+      ph_discovery_s = child "phase.discovery";
+      ph_rpc_s = child "phase.rpc";
+      ph_vm_s = child "phase.vm";
+      ph_quagga_s = child "phase.quagga";
+      ph_config_s = span_dur cfg;
+    }
+  in
+  let rows =
+    List.map row_of cfgs
+    |> List.sort (fun a b -> Int64.compare a.ph_dpid b.ph_dpid)
+  in
+  (* Critical path: the configure span that finished last bounds the
+     all-green time. *)
+  let critical =
+    List.fold_left
+      (fun acc r -> if r.ph_config_s > acc.ph_config_s then r else acc)
+      (List.hd rows) rows
+  in
+  let convergence =
+    List.find_opt (fun sp -> String.equal sp.name "phase.convergence") spans
+  in
+  {
+    pb_switches = List.length rows;
+    pb_rows = rows;
+    pb_critical = critical;
+    pb_all_green_s = to_s_opt (Scenario.all_configured_at s);
+    pb_convergence_tail_s = Option.map span_dur convergence;
+    pb_converged_s = to_s_opt (Scenario.routing_converged_at s);
+    pb_trace_events = event_count tracer;
+    pb_trace_dropped = Scenario.trace_dropped s;
+  }
+
+let phase_breakdown ?(switches = 28) ?(vm_boot_s = 8.0) ?(parallel_boot = 1)
+    ?telemetry () =
+  let options =
+    { Scenario.default_options with rf_params = params ~vm_boot_s ~parallel_boot () }
+  in
+  let s = Scenario.build ~options (Topo_gen.ring switches) in
+  let horizon =
+    (vm_boot_s *. float_of_int switches /. float_of_int parallel_boot) +. 120.
+  in
+  Scenario.run_for s (Vtime.span_s horizon);
+  (match telemetry with
+  | Some path ->
+      Scenario.write_telemetry s path ~meta:[ ("experiment", "e1-phases") ]
+  | None -> ());
+  breakdown_of s
+
+let print_phases ppf (b : phase_breakdown) =
+  Format.fprintf ppf
+    "E1 phase decomposition — %d-switch ring, critical path sw%Ld@."
+    b.pb_switches b.pb_critical.ph_dpid;
+  let c = b.pb_critical in
+  let share v =
+    if c.ph_config_s > 0. then 100. *. v /. c.ph_config_s else 0.
+  in
+  let row name v =
+    Format.fprintf ppf "  %-22s %10.2f s %7.1f%%@." name v (share v)
+  in
+  row "discovery" c.ph_discovery_s;
+  row "rpc delivery" c.ph_rpc_s;
+  row "vm provisioning" c.ph_vm_s;
+  row "quagga config" c.ph_quagga_s;
+  let phase_sum =
+    c.ph_discovery_s +. c.ph_rpc_s +. c.ph_vm_s +. c.ph_quagga_s
+  in
+  Format.fprintf ppf "  %-22s %10.2f s (phases sum to %.2f s)@."
+    "configure total" c.ph_config_s phase_sum;
+  (match b.pb_convergence_tail_s with
+  | Some v -> Format.fprintf ppf "  %-22s %10.2f s@." "convergence tail" v
+  | None -> ());
+  (match (b.pb_all_green_s, b.pb_converged_s) with
+  | Some g, Some e ->
+      Format.fprintf ppf "  %-22s %10.2f s (all green %.2f s)@." "end-to-end" e
+        g
+  | Some g, None ->
+      Format.fprintf ppf "  %-22s %10.2f s (not converged)@." "all green" g
+  | None, _ -> Format.fprintf ppf "  configuration incomplete@.");
+  Format.fprintf ppf "  trace: %d events, %d dropped@." b.pb_trace_events
+    b.pb_trace_dropped
+
 (* --- E2: the demonstration ---------------------------------------- *)
 
 type demo_result = {
@@ -95,7 +233,8 @@ let city_dpid name =
   find 1
 
 let demo ?(vm_boot_s = 8.0) ?(horizon_s = 360.0) ?(server_city = "Glasgow")
-    ?(client_city = "Athens") ?(protocol = Rf_system.Proto_ospf) ?pcap_path () =
+    ?(client_city = "Athens") ?(protocol = Rf_system.Proto_ospf) ?pcap_path
+    ?telemetry () =
   let topo = Topo_gen.pan_european () in
   Topology.add_host topo "server";
   Topology.add_host topo "client";
@@ -154,6 +293,10 @@ let demo ?(vm_boot_s = 8.0) ?(horizon_s = 360.0) ?(server_city = "Glasgow")
          sent_at_mark := Host.udp_sent server;
          recv_at_mark := Host.udp_received client));
   Scenario.run_for s (Vtime.span_s horizon_s);
+  (match telemetry with
+  | Some path ->
+      Scenario.write_telemetry s path ~meta:[ ("experiment", "demo") ]
+  | None -> ());
   Host.stop_stream stream;
   (match capture with
   | Some (cap, path) -> Rf_net.Pcap.write_file cap path
@@ -242,7 +385,7 @@ type recovery_result = {
 }
 
 let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
-    ?(window_s = 30.0) ?(horizon_s = 150.0) () =
+    ?(window_s = 30.0) ?(horizon_s = 150.0) ?telemetry () =
   if switches < 4 then invalid_arg "failure_recovery: need a ring of >= 4";
   let topo = Topo_gen.ring switches in
   Topology.add_host topo "server";
@@ -281,6 +424,10 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
          sent_at_end := Host.udp_sent server;
          recv_at_end := Host.udp_received client));
   Scenario.run_for s (Vtime.span_s horizon_s);
+  (match telemetry with
+  | Some path ->
+      Scenario.write_telemetry s path ~meta:[ ("experiment", "failure") ]
+  | None -> ());
   (* Post-failure routes must not use the interfaces facing the dead
      link. *)
   let avoid =
@@ -432,7 +579,8 @@ let rf_state_digest s =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
-    ?(cut_at_s = 8.0) ?(recover_at_s = 20.0) ?(horizon_s = 120.0) () =
+    ?(cut_at_s = 8.0) ?(recover_at_s = 20.0) ?(horizon_s = 120.0) ?telemetry ()
+    =
   if switches < 4 then invalid_arg "restart: need a ring of >= 4";
   if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
     invalid_arg "restart: need crash < cut < recover";
@@ -458,7 +606,7 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
      recovers it from the post-restart snapshot (the dead link is absent,
      so the stale virtual link is pruned); the legacy session never
      hears of it at all. *)
-  let run label ~faulty ~resync =
+  let run ?telemetry label ~faulty ~resync =
     let cut = Rf_sim.Faults.link_down ~at_s:cut_at_s 2L 3L in
     let faults =
       if faulty then
@@ -482,6 +630,10 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
     in
     let s = Scenario.build ~options (Topo_gen.ring switches) in
     Scenario.run_for s (Vtime.span_s horizon_s);
+    (match telemetry with
+    | Some path ->
+        Scenario.write_telemetry s path ~meta:[ ("experiment", "restart") ]
+    | None -> ());
     let client = Scenario.rpc_client s in
     let server = Scenario.rpc_server s in
     {
@@ -515,7 +667,9 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
     }
   in
   let baseline = run "no-fault" ~faulty:false ~resync:true in
-  let supervised = run "crash+reconciliation" ~faulty:true ~resync:true in
+  let supervised =
+    run ?telemetry "crash+reconciliation" ~faulty:true ~resync:true
+  in
   let legacy = run "crash, legacy rpc" ~faulty:true ~resync:false in
   {
     rs_seed = seed;

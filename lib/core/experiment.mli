@@ -17,11 +17,58 @@ val fig3 :
   ?sizes:int list ->
   ?vm_boot_s:float ->
   ?parallel_boot:int ->
+  ?telemetry:string ->
   unit ->
   fig3_row list
-(** Default sizes 4, 8, ..., 28 (ring topologies, as in the paper). *)
+(** Default sizes 4, 8, ..., 28 (ring topologies, as in the paper).
+    [telemetry] writes the span/event JSONL of the largest size's run
+    to the given path. *)
 
 val print_fig3 : Format.formatter -> fig3_row list -> unit
+
+(** {1 E1b — per-phase decomposition of the configuration time}
+
+    From the span tree of one ring run: how the critical-path switch's
+    end-to-end configuration time divides into discovery, RPC delivery,
+    VM provisioning and Quagga configuration, plus the routing
+    convergence tail after the last switch turns green. *)
+
+type phase_row = {
+  ph_dpid : int64;
+  ph_discovery_s : float;  (** switch attach → topology ctrl detection *)
+  ph_rpc_s : float;  (** detection → Switch_up frame acknowledged *)
+  ph_vm_s : float;  (** RF-controller delivery → VM booted (queueing) *)
+  ph_quagga_s : float;  (** VM up → Quagga configs applied *)
+  ph_config_s : float;  (** whole sw.configure span *)
+}
+
+type phase_breakdown = {
+  pb_switches : int;
+  pb_rows : phase_row list;  (** every switch, dpid order *)
+  pb_critical : phase_row;  (** the switch whose configuration ended last *)
+  pb_all_green_s : float option;
+  pb_convergence_tail_s : float option;
+  pb_converged_s : float option;
+  pb_trace_events : int;
+  pb_trace_dropped : int;  (** ring-buffer drops, see {!Rf_sim.Trace.dropped} *)
+}
+
+val breakdown_of : Scenario.t -> phase_breakdown
+(** Reads the span tree of an already-run scenario. Raises
+    [Invalid_argument] if no switch ever started configuring. *)
+
+val phase_breakdown :
+  ?switches:int ->
+  ?vm_boot_s:float ->
+  ?parallel_boot:int ->
+  ?telemetry:string ->
+  unit ->
+  phase_breakdown
+(** Runs one ring scenario (default: the paper's 28 switches, 8 s
+    serialized boots) and decomposes it. [telemetry] additionally
+    writes the run's span/event JSONL to the given path. *)
+
+val print_phases : Format.formatter -> phase_breakdown -> unit
 
 (** {1 E2 — Demonstration: pan-European video streaming} *)
 
@@ -49,6 +96,7 @@ val demo :
   ?client_city:string ->
   ?protocol:Rf_routeflow.Rf_system.protocol ->
   ?pcap_path:string ->
+  ?telemetry:string ->
   unit ->
   demo_result
 (** Default: 8 s boots, 360 s horizon, video streamed from a server in
@@ -88,6 +136,7 @@ val failure_recovery :
   ?fail_at_s:float ->
   ?window_s:float ->
   ?horizon_s:float ->
+  ?telemetry:string ->
   unit ->
   recovery_result
 (** Default: 6-switch ring (server behind sw1, client behind sw4, 2 s
@@ -153,11 +202,14 @@ val restart :
   ?cut_at_s:float ->
   ?recover_at_s:float ->
   ?horizon_s:float ->
+  ?telemetry:string ->
   unit ->
   restart_result
 (** Default: 8-switch ring, 2 s quad-parallel boots, crash at 4 s,
     link cut at 8 s, restart at 20 s, 120 s horizon. Requires
-    [crash_at_s < cut_at_s < recover_at_s]. *)
+    [crash_at_s < cut_at_s < recover_at_s]. [telemetry] writes the
+    supervised (crash + reconciliation) run's span/event JSONL to the
+    given path. *)
 
 val print_restart : Format.formatter -> restart_result -> unit
 

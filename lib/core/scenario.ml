@@ -54,6 +54,7 @@ type t = {
   fault_handle : Rf_sim.Faults.handle;
   mutable route_digest : string;
   mutable last_route_change_at : Rf_sim.Vtime.t option;
+  opts : options;
 }
 
 let host_plans_of topo =
@@ -244,6 +245,7 @@ let build ?(options = default_options) topo =
       fault_handle;
       route_digest = "";
       last_route_change_at = None;
+      opts = options;
     }
   in
   Rf_system.set_on_vm_ready rf_sys (fun dpid ->
@@ -283,8 +285,21 @@ let build ?(options = default_options) topo =
   let track_routes = not (Rf_sim.Faults.is_empty options.faults) in
   ignore
     (Rf_sim.Engine.periodic engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
-         if t.converged_at = None && converged () then
+         if t.converged_at = None && converged () then begin
            t.converged_at <- Some (Rf_sim.Engine.now engine);
+           (* Retroactive convergence span: the routing tail between the
+              last switch turning green and full RIB coverage. *)
+           let tracer = Rf_sim.Engine.tracer engine in
+           let start_us =
+             match Gui.all_green_at gui with
+             | Some at -> Rf_sim.Vtime.to_us at
+             | None -> Rf_obs.Tracer.now_us tracer
+           in
+           let sp =
+             Rf_obs.Tracer.span_start tracer ~start_us "phase.convergence"
+           in
+           Rf_obs.Tracer.span_end tracer sp
+         end;
          if track_routes then begin
            let d = digest_routes () in
            if d <> t.route_digest then begin
@@ -341,6 +356,31 @@ let total_subnets t = t.n_subnets
 let fault_events_fired t = Rf_sim.Faults.fired_count t.fault_handle
 
 let last_fault_at t = Rf_sim.Faults.last_fired_at t.fault_handle
+
+(* --- Telemetry ----------------------------------------------------- *)
+
+let telemetry_meta t =
+  [
+    ("seed", string_of_int t.opts.seed);
+    ("switches", string_of_int t.n_switches);
+    ("subnets", string_of_int t.n_subnets);
+  ]
+
+let telemetry_jsonl ?(meta = []) t =
+  Rf_obs.Export.jsonl
+    ~meta:(telemetry_meta t @ meta)
+    (Rf_sim.Engine.tracer t.engine)
+
+let write_telemetry ?meta t path =
+  let oc = open_out path in
+  output_string oc (telemetry_jsonl ?meta t);
+  close_out oc
+
+let prometheus t = Rf_obs.Metrics.to_prometheus (Rf_sim.Engine.metrics t.engine)
+
+let span_stats t = Rf_obs.Export.span_stats (Rf_sim.Engine.tracer t.engine)
+
+let trace_dropped t = Rf_sim.Trace.dropped (Rf_sim.Engine.trace t.engine)
 
 let reconverged_at t =
   match (Rf_sim.Faults.last_fired_at t.fault_handle, t.last_route_change_at) with

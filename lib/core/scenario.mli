@@ -95,6 +95,30 @@ val fault_events_fired : t -> int
 val last_fault_at : t -> Rf_sim.Vtime.t option
 (** When the most recent planned fault fired. *)
 
+(** {1 Telemetry}
+
+    Every scenario shares its engine's tracer and metrics registry; the
+    span tree decomposes each switch's configuration time into
+    discovery, RPC, VM-provisioning and Quagga phases, with one
+    retroactive [phase.convergence] span covering the routing tail. *)
+
+val telemetry_jsonl : ?meta:(string * string) list -> t -> string
+(** The full span/event stream as JSON lines, preceded by a meta line
+    (seed, switch and subnet counts, plus [meta]). Deterministic: two
+    same-seed runs produce byte-identical output. *)
+
+val write_telemetry : ?meta:(string * string) list -> t -> string -> unit
+(** [write_telemetry t path] dumps {!telemetry_jsonl} to [path]. *)
+
+val prometheus : t -> string
+(** Prometheus-style text exposition of the metrics registry. *)
+
+val span_stats : t -> Rf_obs.Export.span_stat list
+(** Per-span-name aggregates (count, open, total/mean/max seconds). *)
+
+val trace_dropped : t -> int
+(** Event-log records discarded because the trace ring was full. *)
+
 val reconverged_at : t -> Rf_sim.Vtime.t option
 (** Time of the last observed route-table change at or after the last
     injected fault — the moment the routing control platform settled

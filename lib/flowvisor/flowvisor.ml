@@ -5,9 +5,9 @@ module Of_conn = Rf_controller.Of_conn
 type slice_state = {
   def : Flowspace.t;
   attach : dpid:int64 -> Rf_net.Channel.endpoint -> unit;
-  mutable to_slice : int;
-  mutable from_slice : int;
-  mutable denied : int;
+  to_slice : Rf_obs.Metrics.counter;
+  from_slice : Rf_obs.Metrics.counter;
+  denied : Rf_obs.Metrics.counter;
 }
 
 type slice_conn = {
@@ -34,14 +34,32 @@ let create engine ?(controller_latency = Rf_sim.Vtime.span_ms 1) () =
   { engine; controller_latency; slice_list = []; switches = Hashtbl.create 64 }
 
 let add_slice t def ~attach =
-  t.slice_list <-
-    t.slice_list @ [ { def; attach; to_slice = 0; from_slice = 0; denied = 0 } ]
+  let m = Rf_sim.Engine.metrics t.engine in
+  let labels = [ ("slice", def.Flowspace.fs_name) ] in
+  let slice =
+    {
+      def;
+      attach;
+      to_slice =
+        Rf_obs.Metrics.counter m ~labels
+          ~help:"Messages relayed from switches into a slice controller"
+          "fv_to_slice_total";
+      from_slice =
+        Rf_obs.Metrics.counter m ~labels
+          ~help:"Messages received from a slice controller"
+          "fv_from_slice_total";
+      denied =
+        Rf_obs.Metrics.counter m ~labels
+          ~help:"Slice messages denied by flowspace policy" "fv_denied_total";
+    }
+  in
+  t.slice_list <- t.slice_list @ [ slice ]
 
 let slice_named t name =
   List.find_opt (fun s -> String.equal s.def.Flowspace.fs_name name) t.slice_list
 
 let send_to_slice slice conn (m : Of_msg.t) =
-  slice.to_slice <- slice.to_slice + 1;
+  Rf_obs.Metrics.incr slice.to_slice;
   Rf_net.Channel.send conn.fv_end (Of_codec.to_wire m)
 
 let fresh_xid sw =
@@ -81,7 +99,7 @@ let eperm_packet_out xid =
        })
 
 let handle_from_slice _t sw slice conn (m : Of_msg.t) =
-  slice.from_slice <- slice.from_slice + 1;
+  Rf_obs.Metrics.incr slice.from_slice;
   let reply msg = send_to_slice slice conn msg in
   match m.payload with
   | Of_msg.Hello -> ()
@@ -101,7 +119,7 @@ let handle_from_slice _t sw slice conn (m : Of_msg.t) =
       if Flowspace.permits_match slice.def fm.fm_match then
         forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
       else begin
-        slice.denied <- slice.denied + 1;
+        Rf_obs.Metrics.incr slice.denied;
         reply (eperm_flow_mod m.xid)
       end
   | Of_msg.Packet_out po ->
@@ -115,14 +133,14 @@ let handle_from_slice _t sw slice conn (m : Of_msg.t) =
       if allowed then
         forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
       else begin
-        slice.denied <- slice.denied + 1;
+        Rf_obs.Metrics.incr slice.denied;
         reply (eperm_packet_out m.xid)
       end
   | Of_msg.Stats_request _ | Of_msg.Barrier_request ->
       forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
   | Of_msg.Port_mod _ ->
       (* Port state is shared by every slice; FlowVisor denies it. *)
-      slice.denied <- slice.denied + 1;
+      Rf_obs.Metrics.incr slice.denied;
       reply
         (Of_msg.msg ~xid:m.xid
            (Of_msg.Error
@@ -197,7 +215,23 @@ let handle_from_switch t sw (m : Of_msg.t) =
   | Of_msg.Barrier_request ->
       ()
 
-let switch_attach t ~dpid:_ endpoint =
+(* Correlation keys for the per-switch configuration span tree; the
+   downstream phases (autoconfig, RPC, RF-server) close them. *)
+let span_key prefix dpid = Printf.sprintf "%s:%Ld" prefix dpid
+
+let switch_attach t ~dpid endpoint =
+  let tracer = Rf_sim.Engine.tracer t.engine in
+  (* The root of this switch's configuration span tree: opened the
+     instant the switch reaches the slicer, closed when its VM's
+     Quagga config has been applied. *)
+  let root =
+    Rf_obs.Tracer.span_start tracer
+      ~attrs:[ ("dpid", Int64.to_string dpid) ]
+      "sw.configure"
+  in
+  Rf_obs.Tracer.correlate tracer ~key:(span_key "cfg" dpid) root;
+  let disc = Rf_obs.Tracer.span_start tracer ~parent:root "phase.discovery" in
+  Rf_obs.Tracer.correlate tracer ~key:(span_key "disc" dpid) disc;
   let conn = Of_conn.create t.engine endpoint in
   Of_conn.set_on_handshake conn (fun features ->
       let dpid = features.Of_msg.datapath_id in
@@ -218,7 +252,21 @@ let switch_attach t ~dpid:_ endpoint =
           Hashtbl.iter
             (fun _ sconn -> Rf_net.Channel.close sconn.fv_end)
             sw.slice_conns;
-          Hashtbl.remove t.switches dpid);
+          Hashtbl.remove t.switches dpid;
+          (* A mid-configuration disconnect aborts whatever phase
+             spans are still open for this switch; a reconnect opens
+             a fresh tree. *)
+          List.iter
+            (fun prefix ->
+              match
+                Rf_obs.Tracer.take tracer ~key:(span_key prefix dpid)
+              with
+              | Some id ->
+                  Rf_obs.Tracer.span_end tracer
+                    ~attrs:[ ("status", "aborted") ]
+                    id
+              | None -> ())
+            [ "quagga"; "vm"; "rpc"; "disc"; "cfg" ]);
       (* One impersonated switch connection per slice. *)
       List.iter
         (fun slice ->
@@ -248,7 +296,10 @@ let switches_connected t =
   Hashtbl.fold (fun d _ acc -> d :: acc) t.switches []
   |> List.sort Int64.compare
 
-let stat t name f = match slice_named t name with Some s -> f s | None -> 0
+let stat t name f =
+  match slice_named t name with
+  | Some s -> Rf_obs.Metrics.counter_value (f s)
+  | None -> 0
 
 let messages_to_slice t name = stat t name (fun s -> s.to_slice)
 

@@ -44,7 +44,14 @@ type t = {
   boot_faults : (int64, int ref) Hashtbl.t;
       (** armed clone failures remaining, per dpid *)
   mutable boot_failures : int;
+  m_boots : Rf_obs.Metrics.counter;
+  m_boot_failures : Rf_obs.Metrics.counter;
+  m_provision : Rf_obs.Metrics.histogram;
 }
+
+let tracer t = Rf_sim.Engine.tracer t.engine
+
+let span_key prefix dpid = Printf.sprintf "%s:%Ld" prefix dpid
 
 let create engine app vs params =
   if params.parallel_boot < 1 then invalid_arg "Rf_system: parallel_boot >= 1";
@@ -61,6 +68,19 @@ let create engine app vs params =
     on_vm_ready = (fun _ -> ());
     boot_faults = Hashtbl.create 4;
     boot_failures = 0;
+    m_boots =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"VM clone+boot attempts started" "vm_boots_total";
+    m_boot_failures =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"VM clone failures injected" "vm_boot_failures_total";
+    m_provision =
+      Rf_obs.Metrics.histogram
+        (Rf_sim.Engine.metrics engine)
+        ~help:"Switch_up delivery to VM ready (queue wait + boots)"
+        "vm_provision_seconds";
   }
 
 let router_id_of dpid =
@@ -174,6 +194,16 @@ let apply_configs t ss =
               ~event:"config-error" e);
         Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"configured"
           (Printf.sprintf "vm-%Ld" ss.ss_dpid);
+        (match
+           Rf_obs.Tracer.take (tracer t) ~key:(span_key "quagga" ss.ss_dpid)
+         with
+        | Some span -> Rf_obs.Tracer.span_end (tracer t) span
+        | None -> ());
+        (match
+           Rf_obs.Tracer.take (tracer t) ~key:(span_key "cfg" ss.ss_dpid)
+         with
+        | Some root -> Rf_obs.Tracer.span_end (tracer t) root
+        | None -> ());
         reconcile_vlinks t
       end
 
@@ -206,14 +236,21 @@ let rec start_boots t =
       if t.booting < t.params.parallel_boot then begin
         t.boot_queue <- rest;
         t.booting <- t.booting + 1;
-        Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"vm-boot-start"
+        Rf_obs.Metrics.incr t.m_boots;
+        Rf_sim.Engine.record t.engine
+          ?span:(Rf_obs.Tracer.correlated (tracer t)
+                   ~key:(span_key "vm" ss.ss_dpid))
+          ~component:"rf-server" ~event:"vm-boot-start"
           (Printf.sprintf "vm-%Ld" ss.ss_dpid);
         ignore
           (Rf_sim.Engine.schedule t.engine t.params.vm_boot_time (fun () ->
                t.booting <- t.booting - 1;
                if boot_fails t ss then begin
-                 Rf_sim.Engine.record t.engine ~component:"rf-server"
-                   ~event:"vm-boot-failed"
+                 Rf_obs.Metrics.incr t.m_boot_failures;
+                 Rf_sim.Engine.record t.engine
+                   ?span:(Rf_obs.Tracer.correlated (tracer t)
+                            ~key:(span_key "vm" ss.ss_dpid))
+                   ~component:"rf-server" ~event:"vm-boot-failed"
                    (Printf.sprintf "vm-%Ld" ss.ss_dpid);
                  (* Retry unless the switch went away while booting. *)
                  if Hashtbl.mem t.switches ss.ss_dpid then
@@ -231,6 +268,25 @@ and finish_boot t ss =
   Rf_vs.register_vm t.vs vm;
   Vm.set_on_flows_changed vm (fun () ->
       Rf_controller_app.sync_flows t.app ~dpid:ss.ss_dpid (Vm.flow_routes vm));
+  (match Rf_obs.Tracer.take (tracer t) ~key:(span_key "vm" ss.ss_dpid) with
+  | Some vm_span ->
+      (match Rf_obs.Tracer.find_span (tracer t) vm_span with
+      | Some sp ->
+          Rf_obs.Metrics.observe t.m_provision
+            (float_of_int
+               (Rf_obs.Tracer.now_us (tracer t) - sp.Rf_obs.Tracer.start_us)
+            /. 1e6)
+      | None -> ());
+      Rf_obs.Tracer.span_end (tracer t) vm_span
+  | None -> ());
+  (* The Quagga phase runs from VM ready to the first non-empty config
+     application (zebra + routing daemon), which also completes the
+     switch's configuration span. *)
+  let parent =
+    Rf_obs.Tracer.correlated (tracer t) ~key:(span_key "cfg" ss.ss_dpid)
+  in
+  let quagga = Rf_obs.Tracer.span_start (tracer t) ?parent "phase.quagga" in
+  Rf_obs.Tracer.correlate (tracer t) ~key:(span_key "quagga" ss.ss_dpid) quagga;
   Rf_sim.Engine.record t.engine ~component:"rf-server" ~event:"vm-ready"
     (Printf.sprintf "vm-%Ld" ss.ss_dpid);
   t.on_vm_ready ss.ss_dpid;
@@ -249,6 +305,14 @@ let switch_up t ~dpid ~n_ports =
       }
     in
     Hashtbl.replace t.switches dpid ss;
+    (* The VM phase covers the whole provisioning wait: time in the
+       serialized boot queue plus the boots themselves (including
+       failed clones). *)
+    let parent =
+      Rf_obs.Tracer.correlated (tracer t) ~key:(span_key "cfg" dpid)
+    in
+    let vm_span = Rf_obs.Tracer.span_start (tracer t) ?parent "phase.vm" in
+    Rf_obs.Tracer.correlate (tracer t) ~key:(span_key "vm" dpid) vm_span;
     t.boot_queue <- t.boot_queue @ [ ss ];
     start_boots t
   end

@@ -30,6 +30,8 @@ type t = {
   mutable on_flows_changed : unit -> unit;
   mutable flows_dirty : bool;
   mutable slow_forwarded : int;
+  m_slow_path : Rf_obs.Metrics.counter;
+  m_flow_exports : Rf_obs.Metrics.counter;
 }
 
 let arp_retry = Rf_sim.Vtime.span_s 1.0
@@ -155,6 +157,7 @@ let refresh_flows t =
            let flows = compute_flows t in
            if flows <> t.last_flows then begin
              t.last_flows <- flows;
+             Rf_obs.Metrics.incr t.m_flow_exports;
              t.on_flows_changed ()
            end))
   end
@@ -187,6 +190,7 @@ let learn t port ip mac =
         List.iter
           (fun pp ->
             t.slow_forwarded <- t.slow_forwarded + 1;
+            Rf_obs.Metrics.incr t.m_slow_path;
             Iface.send ifc
               (Packet.ipv4 ~src_mac:(Iface.mac ifc) ~dst_mac:mac pp.pp_ipv4))
           (List.rev !queue)
@@ -231,6 +235,7 @@ let forward_ipv4 t (ip : Ipv4.t) =
               match Hashtbl.find_opt t.arp (port, next_hop) with
               | Some mac ->
                   t.slow_forwarded <- t.slow_forwarded + 1;
+                  Rf_obs.Metrics.incr t.m_slow_path;
                   Iface.send ifc
                     (Packet.ipv4 ~src_mac:(Iface.mac ifc) ~dst_mac:mac ip)
               | None -> enqueue_pending t port next_hop ip)))
@@ -307,6 +312,15 @@ let create engine ~dpid ~n_ports () =
       on_flows_changed = (fun () -> ());
       flows_dirty = false;
       slow_forwarded = 0;
+      m_slow_path =
+        Rf_obs.Metrics.counter
+          (Rf_sim.Engine.metrics engine)
+          ~help:"Packets forwarded by the VM slow path" "vm_slow_path_total";
+      m_flow_exports =
+        Rf_obs.Metrics.counter
+          (Rf_sim.Engine.metrics engine)
+          ~help:"Flow-table exports pushed to the datapath"
+          "vm_flow_exports_total";
     }
   in
   Array.iteri

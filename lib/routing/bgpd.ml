@@ -92,6 +92,11 @@ let drop_session peer =
 
 let establish peer =
   peer.state <- Established;
+  Rf_obs.Metrics.incr
+    (Rf_obs.Metrics.counter
+       (Rf_sim.Engine.metrics peer.daemon.engine)
+       ~help:"BGP sessions reaching Established"
+       "bgp_sessions_established_total");
   send_msg peer Bgp_msg.Keepalive;
   let interval =
     Rf_sim.Vtime.span_s (float_of_int (max 1 (peer.daemon.hold_time / 3)))

@@ -62,6 +62,10 @@ type t = {
   mutable timers : Rf_sim.Engine.timer list;
   mutable last_routes : Rib.route list;
   mutable on_route_change : unit -> unit;
+  m_spf : Rf_obs.Metrics.counter;
+  m_hellos : Rf_obs.Metrics.counter;
+  m_floods : Rf_obs.Metrics.counter;
+  m_adjacencies : Rf_obs.Metrics.counter;
 }
 
 let ospf_multicast_mac = Mac.of_int64 0x01005E000005L
@@ -81,6 +85,22 @@ let create engine cfg rib =
     timers = [];
     last_routes = [];
     on_route_change = (fun () -> ());
+    m_spf =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"SPF runs across all OSPF daemons" "ospf_spf_runs_total";
+    m_hellos =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"OSPF hellos sent" "ospf_hellos_total";
+    m_floods =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"LSA flood operations" "ospf_floods_total";
+    m_adjacencies =
+      Rf_obs.Metrics.counter
+        (Rf_sim.Engine.metrics engine)
+        ~help:"Adjacencies reaching Full" "ospf_adjacencies_full_total";
   }
 
 let config t = t.cfg
@@ -108,7 +128,8 @@ let neighbors_on t oif =
     t.nbr_tbl []
 
 let send_hello t oif =
-  if (not oif.passive) && Iface.is_up oif.ifc then
+  if (not oif.passive) && Iface.is_up oif.ifc then begin
+    Rf_obs.Metrics.incr t.m_hellos;
     send_pkt t oif
       (Ospf_pkt.Hello
          {
@@ -120,6 +141,7 @@ let send_hello t oif =
            bdr = Ipv4_addr.any;
            neighbors = List.map (fun n -> n.n_router_id) (neighbors_on t oif);
          })
+  end
 
 (* --- LSA origination and flooding -------------------------------- *)
 
@@ -147,6 +169,7 @@ let arm_rxmt t nbr =
   end
 
 let flood t ?except lsa =
+  Rf_obs.Metrics.incr t.m_floods;
   let key = Ospf_pkt.key_of_lsa lsa in
   List.iter
     (fun oif ->
@@ -183,6 +206,7 @@ let rec schedule_spf t =
   end
 
 and run_spf t =
+  Rf_obs.Metrics.incr t.m_spf;
   t.spf_scheduled <- false;
   t.spf_count <- t.spf_count + 1;
   (* Vertices = router LSAs; a p2p edge A->B counts only when B's LSA
@@ -438,6 +462,7 @@ let send_dd t nbr =
 let to_full t nbr =
   if nbr.n_state <> Full then begin
     nbr.n_state <- Full;
+    Rf_obs.Metrics.incr t.m_adjacencies;
     Rf_sim.Engine.record t.engine
       ~component:(Printf.sprintf "ospfd.%s" (Ipv4_addr.to_string t.cfg.router_id))
       ~event:"adjacency-full"

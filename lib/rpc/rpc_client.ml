@@ -25,6 +25,7 @@ let default_params =
 type pending = {
   p_seq : int32;
   p_body : Rpc_msg.body;  (** [Request _] or [Sync_snapshot _] *)
+  p_span : int;  (** telemetry span open from first send to ack *)
   mutable p_attempts : int;  (** retransmissions so far *)
   mutable p_timer : Engine.timer option;
   mutable p_parked : bool;  (** gave up; waiting for peer revival *)
@@ -55,10 +56,60 @@ type t = {
   mutable snapshots : int;
   mutable resyncs : int;
   mutable dropped_while_down : int;
+  m_sent : Rf_obs.Metrics.counter;
+  m_retx : Rf_obs.Metrics.counter;
+  m_gave_up : Rf_obs.Metrics.counter;
+  m_resyncs : Rf_obs.Metrics.counter;
+  m_delivery : Rf_obs.Metrics.histogram;
 }
 
 let record t event detail =
   Engine.record t.engine ~component:"rpc-client" ~event detail
+
+let body_kind = function
+  | Rpc_msg.Request (Rpc_msg.Switch_up _) -> "switch-up"
+  | Rpc_msg.Request (Rpc_msg.Switch_down _) -> "switch-down"
+  | Rpc_msg.Request (Rpc_msg.Link_up _) -> "link-up"
+  | Rpc_msg.Request (Rpc_msg.Link_down _) -> "link-down"
+  | Rpc_msg.Request (Rpc_msg.Edge_subnet _) -> "edge-subnet"
+  | Rpc_msg.Sync_snapshot _ -> "sync-snapshot"
+  | Rpc_msg.Ack _ -> "ack"
+  | Rpc_msg.Ping -> "ping"
+  | Rpc_msg.Pong -> "pong"
+  | Rpc_msg.Sync_request -> "sync-request"
+
+(* A Switch_up frame delivers *the* configuration message of the
+   switch's RPC phase, so its span nests under that phase span (opened
+   by autoconfig under "rpc:<dpid>"); everything else hangs free. *)
+let frame_parent t body =
+  match body with
+  | Rpc_msg.Request (Rpc_msg.Switch_up { dpid; _ }) ->
+      Rf_obs.Tracer.correlated (Engine.tracer t.engine)
+        ~key:(Printf.sprintf "rpc:%Ld" dpid)
+  | _ -> None
+
+(* Ack received: close the frame span; for a Switch_up also close the
+   switch's whole RPC phase (the ack proves the RF-controller has the
+   configuration message). *)
+let frame_acked t p =
+  let tracer = Engine.tracer t.engine in
+  (match Rf_obs.Tracer.find_span tracer p.p_span with
+  | Some sp when sp.Rf_obs.Tracer.end_us = None ->
+      Rf_obs.Metrics.observe t.m_delivery
+        (float_of_int (Rf_obs.Tracer.now_us tracer - sp.Rf_obs.Tracer.start_us)
+        /. 1e6)
+  | Some _ | None -> ());
+  Rf_obs.Tracer.span_end tracer
+    ~attrs:[ ("attempts", string_of_int p.p_attempts) ]
+    p.p_span;
+  match p.p_body with
+  | Rpc_msg.Request (Rpc_msg.Switch_up { dpid; _ }) -> (
+      match
+        Rf_obs.Tracer.take tracer ~key:(Printf.sprintf "rpc:%Ld" dpid)
+      with
+      | Some phase -> Rf_obs.Tracer.span_end tracer phase
+      | None -> ())
+  | _ -> ()
 
 (* Per-frame fault application, as Of_conn does for the OpenFlow
    control channel: every transmission consults the profile so a seeded
@@ -121,6 +172,7 @@ let rec arm t p =
              if p.p_attempts >= t.params.max_retries then begin
                p.p_parked <- true;
                t.gave_up <- t.gave_up + 1;
+               Rf_obs.Metrics.incr t.m_gave_up;
                if t.peer_alive then begin
                  t.peer_alive <- false;
                  record t "peer-dead"
@@ -131,6 +183,7 @@ let rec arm t p =
              else begin
                p.p_attempts <- p.p_attempts + 1;
                t.retx <- t.retx + 1;
+               Rf_obs.Metrics.incr t.m_retx;
                transmit t (encode_pending t p);
                arm t p
              end))
@@ -140,11 +193,25 @@ let alloc_seq t =
   t.next_seq
 
 let send_tracked t body =
+  let seq = alloc_seq t in
+  let span =
+    Rf_obs.Tracer.span_start (Engine.tracer t.engine) ?parent:(frame_parent t body)
+      ~attrs:[ ("kind", body_kind body); ("seq", Int32.to_string seq) ]
+      "rpc.frame"
+  in
   let p =
-    { p_seq = alloc_seq t; p_body = body; p_attempts = 0; p_timer = None; p_parked = false }
+    {
+      p_seq = seq;
+      p_body = body;
+      p_span = span;
+      p_attempts = 0;
+      p_timer = None;
+      p_parked = false;
+    }
   in
   Hashtbl.replace t.pending p.p_seq p;
   t.sent <- t.sent + 1;
+  Rf_obs.Metrics.incr t.m_sent;
   transmit t (encode_pending t p);
   arm t p
 
@@ -170,6 +237,7 @@ let send_snapshot t msgs =
    resending whatever was still in flight. *)
 let resync t =
   t.resyncs <- t.resyncs + 1;
+  Rf_obs.Metrics.incr t.m_resyncs;
   t.epoch <- Rpc_msg.seq_succ t.epoch;
   t.next_seq <- 0l;
   let old = pending_in_order t in
@@ -207,6 +275,7 @@ let revive t =
             p.p_parked <- false;
             p.p_attempts <- 0;
             t.retx <- t.retx + 1;
+            Rf_obs.Metrics.incr t.m_retx;
             transmit t (encode_pending t p);
             arm t p
           end)
@@ -217,7 +286,8 @@ let clear_acked t (a : Rpc_msg.ack) =
   if Int32.equal a.a_epoch t.epoch then begin
     let clear p =
       cancel_timer p;
-      Hashtbl.remove t.pending p.p_seq
+      Hashtbl.remove t.pending p.p_seq;
+      frame_acked t p
     in
     (match Hashtbl.find_opt t.pending a.a_seq with
     | Some p -> clear p
@@ -293,6 +363,28 @@ let create engine ?(params = default_params) chan =
       snapshots = 0;
       resyncs = 0;
       dropped_while_down = 0;
+      m_sent =
+        Rf_obs.Metrics.counter
+          (Engine.metrics engine)
+          ~help:"Tracked RPC frames sent" "rpc_client_sent_total";
+      m_retx =
+        Rf_obs.Metrics.counter
+          (Engine.metrics engine)
+          ~help:"RPC frame retransmissions" "rpc_client_retx_total";
+      m_gave_up =
+        Rf_obs.Metrics.counter
+          (Engine.metrics engine)
+          ~help:"RPC frames parked after exhausting retries"
+          "rpc_client_gave_up_total";
+      m_resyncs =
+        Rf_obs.Metrics.counter
+          (Engine.metrics engine)
+          ~help:"Epoch-bumping session resyncs" "rpc_client_resyncs_total";
+      m_delivery =
+        Rf_obs.Metrics.histogram
+          (Engine.metrics engine)
+          ~help:"First send to acknowledgement per tracked frame"
+          "rpc_delivery_seconds";
     }
   in
   Rf_net.Channel.set_receiver chan (fun bytes ->

@@ -28,6 +28,9 @@ type t = {
   mutable stale : int;
   mutable snapshots : int;
   mutable acks : int;
+  m_handled : Rf_obs.Metrics.counter;
+  m_dups : Rf_obs.Metrics.counter;
+  m_snapshots : Rf_obs.Metrics.counter;
 }
 
 let record t event detail =
@@ -60,10 +63,12 @@ let ack t seq =
 
 let deliver t body =
   t.handled <- t.handled + 1;
+  Rf_obs.Metrics.incr t.m_handled;
   match body with
   | Rpc_msg.Request req -> t.handler req
   | Rpc_msg.Sync_snapshot msgs ->
       t.snapshots <- t.snapshots + 1;
+      Rf_obs.Metrics.incr t.m_snapshots;
       record t "sync-snapshot" (Printf.sprintf "%d messages" (List.length msgs));
       t.snapshot_handler msgs
   | Rpc_msg.Ack _ | Rpc_msg.Ping | Rpc_msg.Pong | Rpc_msg.Sync_request -> ()
@@ -102,6 +107,7 @@ let handle_tracked t (env : Rpc_msg.envelope) =
     if not (Rpc_msg.seq_after env.seq t.watermark) then begin
       (* already delivered; re-ack so the client stops retransmitting *)
       t.dups <- t.dups + 1;
+      Rf_obs.Metrics.incr t.m_dups;
       ack t env.seq
     end
     else if Int32.equal env.seq (Rpc_msg.seq_succ t.watermark) then begin
@@ -112,6 +118,7 @@ let handle_tracked t (env : Rpc_msg.envelope) =
     end
     else if Hashtbl.mem t.ooo env.seq then begin
       t.dups <- t.dups + 1;
+      Rf_obs.Metrics.incr t.m_dups;
       ack t env.seq
     end
     else if Hashtbl.length t.ooo < window then begin
@@ -146,6 +153,20 @@ let create engine chan =
       handled = 0;
       dups = 0;
       stale = 0;
+      m_handled =
+        Rf_obs.Metrics.counter
+          (Engine.metrics engine)
+          ~help:"Configuration messages delivered to the RF-controller"
+          "rpc_server_handled_total";
+      m_dups =
+        Rf_obs.Metrics.counter
+          (Engine.metrics engine)
+          ~help:"Duplicate RPC frames dropped by dedup"
+          "rpc_server_dups_total";
+      m_snapshots =
+        Rf_obs.Metrics.counter
+          (Engine.metrics engine)
+          ~help:"Anti-entropy snapshots applied" "rpc_server_snapshots_total";
       snapshots = 0;
       acks = 0;
     }

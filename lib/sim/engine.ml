@@ -5,25 +5,40 @@ type t = {
   queue : timer Event_heap.t;
   rng : Rng.t;
   trace : Trace.t;
+  tracer : Rf_obs.Tracer.t;
+  metrics : Rf_obs.Metrics.t;
   mutable stop_requested : bool;
   mutable executed : int;
 }
 
 let create ?(seed = 42) () =
-  {
-    clock = Vtime.zero;
-    queue = Event_heap.create ();
-    rng = Rng.create seed;
-    trace = Trace.create ();
-    stop_requested = false;
-    executed = 0;
-  }
+  let tracer = Rf_obs.Tracer.create () in
+  let t =
+    {
+      clock = Vtime.zero;
+      queue = Event_heap.create ();
+      rng = Rng.create seed;
+      trace = Trace.create ~tracer ();
+      tracer;
+      metrics = Rf_obs.Metrics.create ();
+      stop_requested = false;
+      executed = 0;
+    }
+  in
+  (* The tracer stamps spans/events with the virtual clock, so all
+     telemetry is deterministic for a given seed. *)
+  Rf_obs.Tracer.set_clock tracer (fun () -> Vtime.to_us t.clock);
+  t
 
 let now t = t.clock
 
 let rng t = t.rng
 
 let trace t = t.trace
+
+let tracer t = t.tracer
+
+let metrics t = t.metrics
 
 let schedule_at t at f =
   if Vtime.(at < t.clock) then
@@ -63,8 +78,8 @@ let periodic t ?jitter every f =
 
 let cancel timer = timer.cancelled <- true
 
-let record t ~component ~event detail =
-  Trace.record t.trace t.clock ~component ~event detail
+let record t ?span ~component ~event detail =
+  Trace.record t.trace ?span t.clock ~component ~event detail
 
 type run_result = Quiescent | Deadline_reached | Stopped
 

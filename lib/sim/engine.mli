@@ -19,6 +19,15 @@ val rng : t -> Rng.t
 
 val trace : t -> Trace.t
 
+val tracer : t -> Rf_obs.Tracer.t
+(** The engine's telemetry bus; its clock is the virtual clock, so
+    span/event timestamps are deterministic microseconds. [trace] and
+    [tracer] share one underlying event stream. *)
+
+val metrics : t -> Rf_obs.Metrics.t
+(** The engine-wide metrics registry. Components get-or-create their
+    instruments here at attach time and bump them on the hot path. *)
+
 val schedule : t -> Vtime.span -> (unit -> unit) -> timer
 (** [schedule t after f] runs [f] once, [after] from now. A negative
     delay raises [Invalid_argument]. *)
@@ -35,8 +44,9 @@ val periodic : t -> ?jitter:Vtime.span -> Vtime.span -> (unit -> unit) -> timer
 val cancel : timer -> unit
 (** Cancelling an already-fired one-shot timer is a no-op. *)
 
-val record : t -> component:string -> event:string -> string -> unit
-(** Appends to the engine trace at the current instant. *)
+val record : t -> ?span:int -> component:string -> event:string -> string -> unit
+(** Appends to the engine trace at the current instant; [?span] links
+    the record to a telemetry span. *)
 
 type run_result =
   | Quiescent  (** event queue drained *)

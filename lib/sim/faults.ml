@@ -102,15 +102,31 @@ let dispatch inj = function
   | Controller_crash -> inj.inj_controller ~up:false
   | Controller_recover -> inj.inj_controller ~up:true
 
+(* Injections targeting one switch link into that switch's
+   configuration span (registered under "cfg:<dpid>" by the slicer),
+   so a span tree shows which faults landed inside which phase. *)
+let span_of_event engine = function
+  | Switch_crash d | Switch_recover d | Vm_boot_failure { dpid = d; _ } ->
+      Rf_obs.Tracer.correlated (Engine.tracer engine)
+        ~key:(Printf.sprintf "cfg:%Ld" d)
+  | Link_down _ | Link_up _ | Controller_crash | Controller_recover -> None
+
 let schedule engine inj p =
   let h = { fired = 0; pending = List.length p.events; last_at = None } in
+  let injections =
+    Rf_obs.Metrics.counter (Engine.metrics engine)
+      ~help:"Fault-plan events fired" "fault_injections_total"
+  in
   List.iter
     (fun { at; ev } ->
       let fire () =
         h.fired <- h.fired + 1;
         h.pending <- h.pending - 1;
         h.last_at <- Some (Engine.now engine);
-        Engine.record engine ~component:"faults" ~event:"inject"
+        Rf_obs.Metrics.incr injections;
+        Engine.record engine
+          ?span:(span_of_event engine ev)
+          ~component:"faults" ~event:"inject"
           (Format.asprintf "%a" pp_event ev);
         dispatch inj ev
       in

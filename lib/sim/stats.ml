@@ -21,9 +21,14 @@ let count s = s.n
 
 let sorted s = List.sort Float.compare s.samples
 
+(* Linear interpolation on the (n-1)-spaced rank grid: p0 is the
+   minimum, p100 the maximum, and interior quantiles interpolate
+   between neighbours instead of clamping to an order statistic (p99
+   of [1..5] is 4.96, not 5). *)
 let percentile_of_sorted sorted_arr q =
   let n = Array.length sorted_arr in
   if n = 0 then invalid_arg "Stats.percentile: empty series";
+  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q outside [0,1]";
   let idx = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor idx) in
   let hi = int_of_float (Float.ceil idx) in

@@ -24,8 +24,11 @@ val summarize : series -> summary option
 (** [None] when no sample was recorded. *)
 
 val percentile : series -> float -> float
-(** [percentile s q] with [q] in [0,1]; raises [Invalid_argument] when
-    the series is empty. *)
+(** [percentile s q] with [q] in [0,1], linearly interpolated on the
+    (n-1)-spaced rank grid (p0 = min, p100 = max, interior quantiles
+    interpolate between neighbouring order statistics). Raises
+    [Invalid_argument] when the series is empty or [q] is outside
+    [0,1]. *)
 
 val mean : series -> float
 

@@ -214,7 +214,9 @@ let test_stats_poller_collects () =
 
 let test_stats_poller_through_flowvisor () =
   (* A third, packetless "monitor" slice carrying only stats traffic:
-     FlowVisor's xid translation must route every reply back. *)
+     FlowVisor's xid translation must route every reply back — and to
+     the right switch, so per-switch counters stay attributed even
+     when two datapaths answer interleaved polls. *)
   let engine = Engine.create () in
   let fv = Rf_flowvisor.Flowvisor.create engine () in
   let poller =
@@ -224,16 +226,48 @@ let test_stats_poller_through_flowvisor () =
     (Rf_flowvisor.Flowspace.make ~name:"monitor" [])
     ~attach:(fun ~dpid:_ endpoint ->
       Rf_controller.Stats_poller.attach poller (Of_conn.create engine endpoint));
-  let dp = Datapath.create engine ~dpid:21L ~n_ports:2 () in
-  let sw_end, ctl_end = Channel.create engine () in
-  let _agent = Of_agent.create engine dp sw_end in
-  Rf_flowvisor.Flowvisor.switch_attach fv ~dpid:21L ctl_end;
+  let mk_switch dpid traffic =
+    let dp = Datapath.create engine ~dpid ~n_ports:2 () in
+    let sw_end, ctl_end = Channel.create engine () in
+    let _agent = Of_agent.create engine dp sw_end in
+    Rf_flowvisor.Flowvisor.switch_attach fv ~dpid ctl_end;
+    (match
+       Datapath.handle_flow_mod dp
+         (Of_msg.flow_add Rf_openflow.Of_match.wildcard_all
+            [ Rf_openflow.Of_action.output 2 ])
+     with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "flow mod");
+    Datapath.set_transmit dp ~port:2 (fun _ -> ());
+    let frame =
+      Rf_packet.Packet.udp ~src_mac:(Rf_packet.Mac.make_local 1)
+        ~dst_mac:(Rf_packet.Mac.make_local 2)
+        ~src_ip:(Rf_packet.Ipv4_addr.of_string_exn "1.1.1.1")
+        ~dst_ip:(Rf_packet.Ipv4_addr.of_string_exn "2.2.2.2")
+        (Rf_packet.Udp.make ~src_port:1 ~dst_port:2 (String.make 100 'x'))
+    in
+    for _ = 1 to traffic do
+      Datapath.receive_frame dp ~in_port:1 frame
+    done
+  in
+  mk_switch 21L 7;
+  mk_switch 22L 3;
   ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
   Alcotest.(check bool) "polls through proxy" true
-    (Rf_controller.Stats_poller.polls_sent poller >= 4);
+    (Rf_controller.Stats_poller.polls_sent poller >= 8);
   Alcotest.(check int) "all replies translated back"
     (Rf_controller.Stats_poller.polls_sent poller)
-    (Rf_controller.Stats_poller.replies_received poller)
+    (Rf_controller.Stats_poller.replies_received poller);
+  (* xid translation preserved attribution: each switch's gauge in the
+     registry carries its own traffic, not the other's. *)
+  let m = Engine.metrics engine in
+  let rx dpid =
+    Rf_obs.Metrics.gauge_value
+      (Rf_obs.Metrics.gauge m ~labels:[ ("dpid", Int64.to_string dpid) ]
+         "port_rx_packets")
+  in
+  Alcotest.(check (float 1e-9)) "sw21 rx attributed" 7.0 (rx 21L);
+  Alcotest.(check (float 1e-9)) "sw22 rx attributed" 3.0 (rx 22L)
 
 let suite =
   [

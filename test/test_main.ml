@@ -14,4 +14,5 @@ let () = Alcotest.run "routeflow-autoconf" [
       ("integration", Test_integration.suite);
       ("props", Test_props.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -244,6 +244,29 @@ let test_stats_counter () =
   Stats.incr_by c 10;
   Alcotest.(check int) "counter" 11 (Stats.value c)
 
+let test_percentile_boundaries () =
+  let s = Stats.series () in
+  List.iter (Stats.add s) [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check (float 1e-9)) "q=0 is min" 1.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "q=1 is max" 5.0 (Stats.percentile s 1.0);
+  (* p99 of [1..5] interpolates between the last two samples: the rank
+     is 0.99 * 4 = 3.96, i.e. 4 + 0.96 * (5 - 4). *)
+  Alcotest.(check (float 1e-9)) "p99 interpolates" 4.96 (Stats.percentile s 0.99);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile s 0.25)
+
+let test_percentile_invalid () =
+  let s = Stats.series () in
+  Alcotest.check_raises "empty series"
+    (Invalid_argument "Stats.percentile: empty series") (fun () ->
+      ignore (Stats.percentile s 0.5));
+  Stats.add s 1.0;
+  Alcotest.check_raises "q above 1"
+    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
+      ignore (Stats.percentile s 1.5));
+  Alcotest.check_raises "q below 0"
+    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
+      ignore (Stats.percentile s (-0.1)))
+
 (* --- Trace ---------------------------------------------------------------- *)
 
 let test_trace_query () =
@@ -263,6 +286,20 @@ let test_trace_query () =
   match Trace.find_last tr (fun r -> r.Trace.event = "x") with
   | Some r -> Alcotest.(check string) "last" "two" r.Trace.detail
   | None -> Alcotest.fail "missing"
+
+let test_trace_capacity () =
+  let tr = Trace.create ~capacity:2 () in
+  List.iter
+    (fun (t, d) -> Trace.record tr (Vtime.of_s t) ~component:"c" ~event:"e" d)
+    [ (1.0, "one"); (2.0, "two"); (3.0, "three"); (4.0, "four") ];
+  Alcotest.(check int) "size capped" 2 (Trace.size tr);
+  Alcotest.(check int) "drops counted" 2 (Trace.dropped tr);
+  Alcotest.(check (list string))
+    "oldest records kept" [ "one"; "two" ]
+    (List.map (fun r -> r.Trace.detail) (Trace.to_list tr));
+  let unbounded = Trace.create () in
+  Trace.record unbounded (Vtime.of_s 1.0) ~component:"c" ~event:"e" "x";
+  Alcotest.(check int) "no drops without capacity" 0 (Trace.dropped unbounded)
 
 let suite =
   [
@@ -291,5 +328,11 @@ let suite =
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "stats counter" `Quick test_stats_counter;
+    Alcotest.test_case "percentile boundaries interpolate" `Quick
+      test_percentile_boundaries;
+    Alcotest.test_case "percentile rejects bad input" `Quick
+      test_percentile_invalid;
     Alcotest.test_case "trace records and queries" `Quick test_trace_query;
+    Alcotest.test_case "trace capacity counts drops" `Quick
+      test_trace_capacity;
   ]
