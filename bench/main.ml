@@ -295,6 +295,13 @@ let run_obs () =
   section "X5 — telemetry: per-phase decomposition of E1 (extension)";
   Experiment.print_phases std (Experiment.phase_breakdown ())
 
+let run_traffic () =
+  section "E6 — traffic disruption during failure and restart";
+  Experiment.print_traffic std (Experiment.traffic_disruption ());
+  section "E6b — traffic scaling on a fat-tree (aggregate fabric)";
+  Experiment.print_traffic_scaling ~show_rate:true std
+    (Experiment.traffic_scaling ())
+
 let run_census () =
   section "X4 — control-plane message census (extension)";
   Experiment.print_census std (Experiment.census ())
@@ -316,6 +323,7 @@ let () =
   | "families" -> run_families ()
   | "census" -> run_census ()
   | "obs" -> run_obs ()
+  | "traffic" -> run_traffic ()
   | "micro" -> run_micro ()
   | "all" ->
       run_fig3 ();
@@ -328,6 +336,7 @@ let () =
       run_families ();
       run_census ();
       run_obs ();
+      run_traffic ();
       run_micro ()
   | other ->
       Format.eprintf

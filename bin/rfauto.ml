@@ -435,12 +435,96 @@ let families_cmd =
     (Cmd.info "families" ~doc:"Configuration time across topology families")
     Term.(const run $ n_arg)
 
+(* --- traffic (E6) ------------------------------------------------------ *)
+
+let traffic_cmd =
+  let switches_arg =
+    Arg.(value & opt int 8 & info [ "switches" ] ~doc:"Ring size (>= 8).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  let fail_arg =
+    Arg.(
+      value & opt float 40.0
+      & info [ "fail-at" ] ~doc:"Virtual second of the sw2-sw3 cut.")
+  in
+  let manual_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "manual-delay" ]
+          ~doc:"Seconds the manual operator takes to respond to the cut.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 90.0 & info [ "horizon" ] ~doc:"Sim seconds per run.")
+  in
+  let scale_arg =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Also run the fat-tree scaling workload (aggregate fabric,              >= 10^5 flows) and report events/sec.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "k" ] ~doc:"Fat-tree arity for --scale (even, >= 2).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the automatic run's span/event JSONL to $(docv).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the disruption summary to $(docv) (byte-identical across              same-seed runs; used by CI as the E6 fingerprint).")
+  in
+  let run switches seed fail_at manual_delay horizon scale k out summary_out =
+    let r =
+      Experiment.traffic_disruption ~seed ~switches ~fail_at_s:fail_at
+        ~manual_response_s:manual_delay ~horizon_s:horizon ?telemetry:out ()
+    in
+    Experiment.print_traffic std r;
+    (match out with
+    | Some path -> Format.fprintf std "telemetry written to %s@." path
+    | None -> ());
+    let summary = Format.asprintf "%a" Experiment.print_traffic r in
+    let summary =
+      if scale then begin
+        let sc = Experiment.traffic_scaling ~seed ~k () in
+        Experiment.print_traffic_scaling ~show_rate:true std sc;
+        summary
+        ^ Format.asprintf "%a" (Experiment.print_traffic_scaling ~show_rate:false) sc
+      end
+      else summary
+    in
+    match summary_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc summary;
+        close_out oc
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "E6: measure data-plane traffic disruption (loss, latency,           disruption windows) while the E3 link-failure and E4           controller-restart scenarios play out, automatic configuration vs           a manual-operation baseline; optionally a fat-tree scaling run")
+    Term.(
+      const run $ switches_arg $ seed_arg $ fail_arg $ manual_arg
+      $ horizon_arg $ scale_arg $ k_arg $ out_arg $ summary_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rfauto" ~version:"1.0.0"
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -977,3 +977,366 @@ let print_families ppf rows =
         (opt r.fam_all_green_s)
         (opt r.fam_converged_s))
     rows
+
+(* --- E6: data-plane traffic ----------------------------------------- *)
+
+module Traffic_spec = Rf_traffic.Spec
+module Traffic_measure = Rf_traffic.Measure
+module Traffic_gen = Rf_traffic.Generator
+
+type traffic_run = {
+  tw_label : string;
+  tw_flows : int;
+  tw_offered : int;  (** weighted data-plane packets *)
+  tw_delivered : int;
+  tw_lost : int;
+  tw_disrupted_flows : int;
+  tw_window : (float * float) option;
+  tw_disruption_s : float;
+  tw_reconverged_s : float option;
+  tw_queue_dropped : int;
+  tw_classes : Traffic_measure.class_summary list;
+}
+
+type traffic_result = {
+  tr_seed : int;
+  tr_switches : int;
+  tr_fail_at_s : float;
+  tr_manual_response_s : float;
+  tr_crash_at_s : float;
+  tr_cut_at_s : float;
+  tr_recover_at_s : float;
+  tr_auto : traffic_run;
+  tr_manual : traffic_run;
+  tr_reconciled : traffic_run;
+  tr_legacy : traffic_run;
+  tr_auto_shorter : bool;
+}
+
+(* The standard E6 workload: three classes over a ring of hosts, named
+   so some flows must cross the sw2-sw3 link that the fault plans cut
+   (h02->h03 has no one-hop alternative) and some act as controls on
+   the far side of the ring. *)
+let traffic_spec ~switches ~horizon_s =
+  let h i = Printf.sprintf "h%02d" (((i - 1) mod switches) + 1) in
+  let start_s = 20.0 in
+  let stop_s = horizon_s -. 10.0 in
+  let on_dur = stop_s -. start_s in
+  let web_pairs =
+    List.init 4 (fun i -> (h (i + 1), h (i + 1 + (switches / 2))))
+    |> List.filter (fun (a, b) -> not (String.equal a b))
+  in
+  Traffic_spec.make ~sample_cap:4 ~loss_timeout_s:2.0
+    [
+      Traffic_spec.cls ~name:"video" ~payload:200 ~port:5006 ~start_s
+        ~pairs:[ (h 2, h 3); (h 1, h 4); (h 7, h 5) ]
+        (Traffic_spec.Cbr { rate_pps = 20.0; duration_s = on_dur });
+      Traffic_spec.cls ~name:"bursty" ~payload:120 ~port:5007 ~start_s
+        ~pairs:[ (h 3, h 2) ]
+        (Traffic_spec.On_off
+           { rate_pps = 40.0; on_s = 1.0; off_s = 2.0; duration_s = on_dur });
+      Traffic_spec.cls ~name:"web" ~payload:64 ~port:5008 ~start_s
+        ~pairs:web_pairs
+        (Traffic_spec.Poisson
+           {
+             arrivals_per_s = 4.0;
+             size_packets =
+               Traffic_spec.Pareto { alpha = 1.3; xmin = 10; cap = 500 };
+             packet_rate_pps = 200.0;
+             until_s = stop_s;
+           });
+    ]
+
+let traffic_link_capacity =
+  { Rf_net.Link.bandwidth_bps = 10_000_000; queue_frames = 64 }
+
+(* One measured scenario run: ring + one host per switch, the given
+   fault plan, and the standard workload through the live data plane. *)
+let traffic_ring_run ?telemetry ~label ~seed ~switches ~horizon_s ~faults
+    ~resync () =
+  let spec = traffic_spec ~switches ~horizon_s in
+  let topo = Topo_gen.ring switches in
+  for i = 1 to switches do
+    let name = Printf.sprintf "h%02d" i in
+    Topology.add_host topo name;
+    ignore
+      (Topology.connect topo (Topology.Host name)
+         (Topology.Switch (Int64.of_int i)))
+  done;
+  let rpc_params =
+    {
+      Rf_rpc.Rpc_client.rto = Vtime.span_s 0.5;
+      rto_max = Vtime.span_s 4.0;
+      max_retries = 3;
+      heartbeat_every = Vtime.span_s 1.0;
+      dead_after = 3;
+      resync;
+    }
+  in
+  let options =
+    {
+      Scenario.default_options with
+      seed;
+      rf_params = params ~vm_boot_s:2.0 ~parallel_boot:4 ();
+      rpc_params;
+      faults;
+      link_capacity = Some traffic_link_capacity;
+    }
+  in
+  let s = Scenario.build ~options topo in
+  let engine = Scenario.engine s in
+  let measure =
+    Traffic_measure.create engine
+      ~loss_timeout_s:spec.Traffic_spec.loss_timeout_s ()
+  in
+  let fabric =
+    Traffic_gen.live_fabric measure
+      ~hosts:(Rf_net.Network.hosts (Scenario.network s))
+  in
+  let rng = Rf_sim.Rng.create (seed + 1009) in
+  ignore (Traffic_gen.start engine ~rng ~measure ~fabric spec);
+  Scenario.run_for s (Vtime.span_s horizon_s);
+  Traffic_measure.finalize measure;
+  (match telemetry with
+  | Some path ->
+      Scenario.write_telemetry s path
+        ~meta:[ ("experiment", "traffic"); ("run", label) ]
+  | None -> ());
+  {
+    tw_label = label;
+    tw_flows = Traffic_measure.flow_count measure;
+    tw_offered = Traffic_measure.total_offered measure;
+    tw_delivered = Traffic_measure.total_delivered measure;
+    tw_lost = Traffic_measure.total_lost measure;
+    tw_disrupted_flows = Traffic_measure.disrupted_flows measure;
+    tw_window = Traffic_measure.disruption_window measure;
+    tw_disruption_s = Traffic_measure.disruption_seconds measure;
+    tw_reconverged_s = to_s_opt (Scenario.reconverged_at s);
+    tw_queue_dropped =
+      Rf_net.Network.queue_dropped_frames (Scenario.network s);
+    tw_classes = Traffic_measure.summaries measure;
+  }
+
+let traffic_disruption ?(seed = 42) ?(switches = 8) ?(fail_at_s = 40.0)
+    ?(manual_response_s = 25.0) ?(crash_at_s = 25.0) ?(cut_at_s = 30.0)
+    ?(recover_at_s = 45.0) ?(horizon_s = 90.0) ?telemetry () =
+  if switches < 8 then invalid_arg "traffic_disruption: need a ring of >= 8";
+  if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
+    invalid_arg "traffic_disruption: need crash < cut < recover";
+  let cut_fault at = Rf_sim.Faults.link_down ~at_s:at 2L 3L in
+  (* E3 scenario, automatic: the controller is up, hears the port-down,
+     and the virtual topology reconverges on its own. *)
+  let auto =
+    traffic_ring_run ?telemetry ~label:"automatic" ~seed ~switches ~horizon_s
+      ~faults:(Rf_sim.Faults.plan [ cut_fault fail_at_s ])
+      ~resync:true ()
+  in
+  (* Manual baseline: the same cut, but the routing control platform is
+     down across it — the operator notices and brings it back only
+     [manual_response_s] later, as with hand-driven configuration. *)
+  let manual =
+    traffic_ring_run ~label:"manual" ~seed ~switches ~horizon_s
+      ~faults:
+        (Rf_sim.Faults.(
+           plan
+             [
+               controller_crash ~at_s:(fail_at_s -. 2.0);
+               cut_fault fail_at_s;
+               controller_recover ~at_s:(fail_at_s +. manual_response_s);
+             ]))
+      ~resync:true ()
+  in
+  (* E4 scenario: crash + cut + restart, reconciled vs legacy RPC. *)
+  let restart_faults =
+    Rf_sim.Faults.(
+      plan
+        [
+          controller_crash ~at_s:crash_at_s;
+          cut_fault cut_at_s;
+          controller_recover ~at_s:recover_at_s;
+        ])
+  in
+  let reconciled =
+    traffic_ring_run ~label:"reconciled" ~seed ~switches ~horizon_s
+      ~faults:restart_faults ~resync:true ()
+  in
+  let legacy =
+    traffic_ring_run ~label:"legacy" ~seed ~switches ~horizon_s
+      ~faults:restart_faults ~resync:false ()
+  in
+  {
+    tr_seed = seed;
+    tr_switches = switches;
+    tr_fail_at_s = fail_at_s;
+    tr_manual_response_s = manual_response_s;
+    tr_crash_at_s = crash_at_s;
+    tr_cut_at_s = cut_at_s;
+    tr_recover_at_s = recover_at_s;
+    tr_auto = auto;
+    tr_manual = manual;
+    tr_reconciled = reconciled;
+    tr_legacy = legacy;
+    tr_auto_shorter = auto.tw_disruption_s < manual.tw_disruption_s;
+  }
+
+let print_traffic_run ppf (r : traffic_run) =
+  let window =
+    match r.tw_window with
+    | Some (a, b) -> Printf.sprintf "%.1f-%.1f s" a b
+    | None -> "none"
+  in
+  Format.fprintf ppf
+    "  %-12s disruption %6.1f s (window %s), %d/%d flows disrupted@."
+    r.tw_label r.tw_disruption_s window r.tw_disrupted_flows r.tw_flows;
+  Format.fprintf ppf
+    "  %-12s packets: %d offered, %d delivered, %d lost; %d queue drops; \
+     routes settled %s@."
+    "" r.tw_offered r.tw_delivered r.tw_lost r.tw_queue_dropped
+    (match r.tw_reconverged_s with
+    | Some v -> Printf.sprintf "%.1f s" v
+    | None -> "never")
+
+let print_traffic_classes ppf (r : traffic_run) =
+  Format.fprintf ppf "  per-class (%s run):@." r.tw_label;
+  Format.fprintf ppf "    %-8s %6s %9s %10s %6s %6s %9s %9s@." "class" "flows"
+    "offered" "delivered" "lost" "late" "p50 (ms)" "p99 (ms)";
+  List.iter
+    (fun (c : Traffic_measure.class_summary) ->
+      let ms p =
+        match c.Traffic_measure.cs_latency with
+        | Some (s : Rf_sim.Stats.summary) ->
+            Printf.sprintf "%.2f" (1000.0 *. p s)
+        | None -> "-"
+      in
+      Format.fprintf ppf "    %-8s %6d %9d %10d %6d %6d %9s %9s@."
+        c.Traffic_measure.cs_class c.Traffic_measure.cs_flows
+        c.Traffic_measure.cs_offered c.Traffic_measure.cs_delivered
+        c.Traffic_measure.cs_lost c.Traffic_measure.cs_late
+        (ms (fun s -> s.Rf_sim.Stats.p50))
+        (ms (fun s -> s.Rf_sim.Stats.p99)))
+    r.tw_classes
+
+let print_traffic ppf (r : traffic_result) =
+  Format.fprintf ppf
+    "Traffic disruption — %d-switch ring, one host per switch, 10 Mbit/s \
+     links, 64-frame queues@."
+    r.tr_switches;
+  Format.fprintf ppf
+    "E3 scenario: link sw2-sw3 cut at t=%.0fs (manual operator responds \
+     %.0f s after the cut)@."
+    r.tr_fail_at_s r.tr_manual_response_s;
+  print_traffic_run ppf r.tr_auto;
+  print_traffic_run ppf r.tr_manual;
+  Format.fprintf ppf "  automatic disruption strictly shorter than manual: %b@."
+    r.tr_auto_shorter;
+  Format.fprintf ppf
+    "E4 scenario: controller down t=%.0fs..%.0fs, cut at t=%.0fs while it \
+     is down@."
+    r.tr_crash_at_s r.tr_recover_at_s r.tr_cut_at_s;
+  print_traffic_run ppf r.tr_reconciled;
+  print_traffic_run ppf r.tr_legacy;
+  print_traffic_classes ppf r.tr_auto;
+  Format.fprintf ppf "  seed %d@." r.tr_seed
+
+(* --- E6b: traffic scaling (fat-tree, aggregated flows) -------------- *)
+
+type traffic_scale_result = {
+  ts_k : int;
+  ts_switches : int;
+  ts_hosts : int;
+  ts_links : int;
+  ts_pairs : int;
+  ts_flows : int;
+  ts_samples : int;
+  ts_offered : int;
+  ts_delivered : int;
+  ts_lost : int;
+  ts_horizon_s : float;
+  ts_events : int;
+  ts_elapsed_s : float;
+      (** wall-clock cost (CPU seconds); excluded from deterministic
+          summaries *)
+}
+
+let traffic_scaling ?(seed = 42) ?(k = 20) ?(pairs_per_host = 2)
+    ?(arrivals_per_s = 2500.0) ?(horizon_s = 60.0) () =
+  let topo = Topo_gen.fat_tree k in
+  let hosts = Topo_gen.fat_tree_host_count k in
+  let engine = Rf_sim.Engine.create ~seed () in
+  let measure = Traffic_measure.create engine ~loss_timeout_s:2.0 () in
+  (* A deterministic random pair list stands in for "everyone talks to
+     a few peers". *)
+  let pair_rng = Rf_sim.Rng.create (seed + 7919) in
+  let pairs =
+    List.init (hosts * pairs_per_host) (fun i ->
+        let src = i mod hosts in
+        let dst =
+          let d = ref (Rf_sim.Rng.int pair_rng hosts) in
+          while !d = src do
+            d := Rf_sim.Rng.int pair_rng hosts
+          done;
+          !d
+        in
+        (Topo_gen.fat_tree_host_name src, Topo_gen.fat_tree_host_name dst))
+  in
+  let host_index name =
+    int_of_string (String.sub name 1 (String.length name - 1))
+  in
+  let latency ~src ~dst =
+    Vtime.span_ms (max 1 (Topo_gen.fat_tree_hops ~k (host_index src) (host_index dst)))
+  in
+  let fabric = Traffic_gen.aggregate_fabric engine measure ~latency in
+  let spec =
+    Traffic_spec.make ~sample_cap:4 ~loss_timeout_s:2.0
+      [
+        Traffic_spec.cls ~name:"poisson" ~payload:512 ~port:5009 ~start_s:1.0
+          ~pairs
+          (Traffic_spec.Poisson
+             {
+               arrivals_per_s;
+               size_packets =
+                 Traffic_spec.Pareto { alpha = 1.3; xmin = 8; cap = 2000 };
+               packet_rate_pps = 500.0;
+               until_s = horizon_s -. 5.0;
+             });
+      ]
+  in
+  let rng = Rf_sim.Rng.create (seed + 1009) in
+  let gen = Traffic_gen.start engine ~rng ~measure ~fabric spec in
+  let t0 = Sys.time () in
+  ignore (Rf_sim.Engine.run ~until:(Vtime.of_s horizon_s) engine);
+  let elapsed = Sys.time () -. t0 in
+  Traffic_measure.finalize measure;
+  {
+    ts_k = k;
+    ts_switches = Topology.switch_count topo;
+    ts_hosts = hosts;
+    ts_links = Topology.edge_count topo;
+    ts_pairs = List.length pairs;
+    ts_flows = Traffic_gen.flows_launched gen;
+    ts_samples = Traffic_gen.samples_sent gen;
+    ts_offered = Traffic_measure.total_offered measure;
+    ts_delivered = Traffic_measure.total_delivered measure;
+    ts_lost = Traffic_measure.total_lost measure;
+    ts_horizon_s = horizon_s;
+    ts_events = Rf_sim.Engine.events_executed engine;
+    ts_elapsed_s = elapsed;
+  }
+
+let print_traffic_scaling ?(show_rate = false) ppf (r : traffic_scale_result) =
+  Format.fprintf ppf
+    "Traffic scaling — fat-tree k=%d: %d switches, %d links, %d hosts@."
+    r.ts_k r.ts_switches r.ts_links r.ts_hosts;
+  Format.fprintf ppf
+    "  %d aggregated flows over %d pairs in %.0f s of virtual time@."
+    r.ts_flows r.ts_pairs r.ts_horizon_s;
+  Format.fprintf ppf
+    "  %d probe datagrams standing for %d packets (%.1fx aggregation)@."
+    r.ts_samples r.ts_offered
+    (float_of_int r.ts_offered /. float_of_int (max 1 r.ts_samples));
+  Format.fprintf ppf "  delivered %d, lost %d@." r.ts_delivered r.ts_lost;
+  Format.fprintf ppf "  engine events %d@." r.ts_events;
+  if show_rate then
+    Format.fprintf ppf "  events/sec %.0f (%.2f s elapsed)@."
+      (float_of_int r.ts_events /. Float.max 1e-9 r.ts_elapsed_s)
+      r.ts_elapsed_s

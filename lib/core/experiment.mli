@@ -293,3 +293,99 @@ type family_row = {
 val topo_families : ?n:int -> unit -> family_row list
 
 val print_families : Format.formatter -> family_row list -> unit
+
+(** {1 E6 — data-plane traffic: disruption under reconfiguration} *)
+
+type traffic_run = {
+  tw_label : string;
+  tw_flows : int;
+  tw_offered : int;  (** weighted data-plane packets *)
+  tw_delivered : int;
+  tw_lost : int;
+  tw_disrupted_flows : int;
+  tw_window : (float * float) option;
+      (** virtual-time envelope of lost-probe send times *)
+  tw_disruption_s : float;
+  tw_reconverged_s : float option;
+  tw_queue_dropped : int;  (** link FIFO tail drops *)
+  tw_classes : Rf_traffic.Measure.class_summary list;
+}
+
+type traffic_result = {
+  tr_seed : int;
+  tr_switches : int;
+  tr_fail_at_s : float;
+  tr_manual_response_s : float;
+  tr_crash_at_s : float;
+  tr_cut_at_s : float;
+  tr_recover_at_s : float;
+  tr_auto : traffic_run;  (** E3 cut, controller up *)
+  tr_manual : traffic_run;
+      (** same cut with the control platform down across it — the
+          manual-operation baseline *)
+  tr_reconciled : traffic_run;  (** E4 crash/restart, resync on *)
+  tr_legacy : traffic_run;  (** E4 crash/restart, resync off *)
+  tr_auto_shorter : bool;
+      (** automatic disruption strictly shorter than manual *)
+}
+
+val traffic_spec : switches:int -> horizon_s:float -> Rf_traffic.Spec.t
+(** The standard E6 workload: a CBR "video" class (some pairs forced
+    across the sw2-sw3 cut), an on-off "bursty" class, and a Poisson
+    "web" class with heavy-tailed aggregated flows. *)
+
+val traffic_disruption :
+  ?seed:int ->
+  ?switches:int ->
+  ?fail_at_s:float ->
+  ?manual_response_s:float ->
+  ?crash_at_s:float ->
+  ?cut_at_s:float ->
+  ?recover_at_s:float ->
+  ?horizon_s:float ->
+  ?telemetry:string ->
+  unit ->
+  traffic_result
+(** Four measured runs of the standard workload on a ring with 10
+    Mbit/s links (one host per switch, >= 8 switches): the E3 link cut
+    with automatic reconfiguration vs. the manual baseline (controller
+    down across the cut, operator responds [manual_response_s] later),
+    and the E4 crash/restart with reconciled vs. legacy RPC.
+    [telemetry] writes the automatic run's span/event JSONL. *)
+
+val print_traffic : Format.formatter -> traffic_result -> unit
+(** Deterministic: safe to fingerprint (no wall-clock content). *)
+
+type traffic_scale_result = {
+  ts_k : int;
+  ts_switches : int;
+  ts_hosts : int;
+  ts_links : int;
+  ts_pairs : int;
+  ts_flows : int;
+  ts_samples : int;
+  ts_offered : int;
+  ts_delivered : int;
+  ts_lost : int;
+  ts_horizon_s : float;
+  ts_events : int;
+  ts_elapsed_s : float;  (** CPU seconds; not deterministic *)
+}
+
+val traffic_scaling :
+  ?seed:int ->
+  ?k:int ->
+  ?pairs_per_host:int ->
+  ?arrivals_per_s:float ->
+  ?horizon_s:float ->
+  unit ->
+  traffic_scale_result
+(** The E6 scaling run: a k-ary fat-tree (default k=20: 500 switches,
+    2000 hosts) with Poisson flow arrivals through the aggregate
+    fabric — >= 10^5 aggregated flows in 60 s of virtual time at the
+    defaults. *)
+
+val print_traffic_scaling :
+  ?show_rate:bool -> Format.formatter -> traffic_scale_result -> unit
+(** With [show_rate] the (non-deterministic) events/sec line is
+    included; leave it off for fingerprinted summaries. *)

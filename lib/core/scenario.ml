@@ -18,6 +18,7 @@ type options = {
   rpc_latency : Rf_sim.Vtime.span;
   ip_range : Ipv4_addr.Prefix.t;
   faults : Rf_sim.Faults.plan;
+  link_capacity : Rf_net.Link.capacity option;
 }
 
 let default_options =
@@ -30,6 +31,7 @@ let default_options =
     rpc_latency = Rf_sim.Vtime.span_ms 1;
     ip_range = Ipv4_addr.Prefix.of_string_exn "172.16.0.0/16";
     faults = Rf_sim.Faults.empty;
+    link_capacity = None;
   }
 
 type host_plan = { hp_subnet : Ipv4_addr.Prefix.t; hp_ip : Ipv4_addr.t }
@@ -196,6 +198,9 @@ let build ?(options = default_options) topo =
       ~attach_controller:(Flowvisor.switch_attach fv)
       ~control_latency:options.control_latency ()
   in
+  (match options.link_capacity with
+  | Some _ as cap -> Network.set_all_link_capacity net cap
+  | None -> ());
 
   (* GUI and instrumentation. *)
   let gui = Gui.create engine () in

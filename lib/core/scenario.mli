@@ -22,6 +22,10 @@ type options = {
   ip_range : Ipv4_addr.Prefix.t;  (** the administrator's range *)
   faults : Rf_sim.Faults.plan;
       (** deterministic fault plan injected into the built system *)
+  link_capacity : Rf_net.Link.capacity option;
+      (** when set, applied to every data-plane link at build time so
+          congestion and blackholing produce real loss (default [None]:
+          ideal links, the pre-traffic behaviour) *)
 }
 
 val default_options : options

@@ -139,7 +139,16 @@ let expire t ~now =
       ([], []) t.entries
   in
   t.entries <- List.rev kept;
-  List.rev gone
+  (* Canonical eviction order, independent of insertion history: higher
+     priority first, then lowest cookie, with table order as the final
+     (stable) tie-break. Keeps the Flow_removed sequence deterministic
+     when several entries expire at the same vtime. *)
+  List.stable_sort
+    (fun ((a : entry), _) ((b : entry), _) ->
+      match compare b.e_priority a.e_priority with
+      | 0 -> Int64.compare a.e_cookie b.e_cookie
+      | c -> c)
+    (List.rev gone)
 
 let stats t ~match_ ~out_port ~now =
   List.filter_map

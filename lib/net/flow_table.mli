@@ -46,7 +46,10 @@ val apply_flow_mod :
     replaces it, resetting counters. *)
 
 val expire : t -> now:Rf_sim.Vtime.t -> (entry * removal_reason) list
-(** Removes and returns timed-out entries. *)
+(** Removes and returns timed-out entries in canonical eviction order:
+    priority descending, then cookie ascending, then table order — so
+    the Flow_removed sequence is deterministic even when several
+    entries expire at the same vtime regardless of install order. *)
 
 val stats :
   t -> match_:Of_match.t -> out_port:Of_port.t option -> now:Rf_sim.Vtime.t ->

@@ -181,11 +181,25 @@ type stream = {
   host : t;
   mutable timer : Rf_sim.Engine.timer option;
   mutable sent : int;
+  mutable stopped : bool;
   limit : int option;
 }
 
+let stop_stream s =
+  (* Idempotent: the first call wins, later calls (and ticks raced in
+     at the same vtime) are no-ops, so [stream_sent] is frozen at the
+     number of datagrams actually handed to [send_udp]. *)
+  if not s.stopped then begin
+    s.stopped <- true;
+    match s.timer with
+    | Some timer ->
+        Rf_sim.Engine.cancel timer;
+        s.timer <- None
+    | None -> ()
+  end
+
 let start_udp_stream t ~dst ~dst_port ~period ~payload_size ?count () =
-  let s = { host = t; timer = None; sent = 0; limit = count } in
+  let s = { host = t; timer = None; sent = 0; stopped = false; limit = count } in
   let src_port = 5004 in
   let payload seq =
     (* An RTP-flavoured payload: sequence number then filler. *)
@@ -195,27 +209,20 @@ let start_udp_stream t ~dst ~dst_port ~period ~payload_size ?count () =
     Wire.Writer.contents w
   in
   let tick () =
-    match s.limit with
-    | Some n when s.sent >= n -> (
-        match s.timer with
-        | Some timer -> Rf_sim.Engine.cancel timer
-        | None -> ())
-    | Some _ | None ->
-        send_udp t ~src_port ~dst ~dst_port (payload s.sent);
-        s.sent <- s.sent + 1
+    if not s.stopped then
+      match s.limit with
+      | Some n when s.sent >= n -> stop_stream s
+      | Some _ | None ->
+          send_udp t ~src_port ~dst ~dst_port (payload s.sent);
+          s.sent <- s.sent + 1
   in
   tick ();
-  s.timer <- Some (Rf_sim.Engine.periodic t.engine period tick);
+  if not s.stopped then s.timer <- Some (Rf_sim.Engine.periodic t.engine period tick);
   s
 
-let stop_stream s =
-  match s.timer with
-  | Some timer ->
-      Rf_sim.Engine.cancel timer;
-      s.timer <- None
-  | None -> ()
-
 let stream_sent s = s.sent
+
+let stream_stopped s = s.stopped
 
 let udp_received t = t.udp_rx
 

@@ -65,8 +65,15 @@ val start_udp_stream :
     Unlimited when [count] is omitted. *)
 
 val stop_stream : stream -> unit
+(** Idempotent: the first call cancels the timer and freezes the
+    counter; further calls are no-ops. After stopping, no more
+    datagrams from this stream reach [send_udp], so [stream_sent]
+    equals the stream's contribution to [udp_sent]. Streams that hit
+    their [count] limit stop themselves. *)
 
 val stream_sent : stream -> int
+
+val stream_stopped : stream -> bool
 
 (** {1 Counters} *)
 

@@ -1,11 +1,26 @@
 type attachment = To_switch of Datapath.t * int | To_host of Host.t
 
+type capacity = { bandwidth_bps : int; queue_frames : int }
+
+(* Per-direction transmitter state: [busy_until] is when the serializer
+   frees up, [queued] counts frames buffered or on the wire (the frame
+   being serialized occupies a queue slot until transmission ends). *)
+type direction = {
+  mutable busy_until : Rf_sim.Vtime.t;
+  mutable queued : int;
+  mutable queue_dropped : int;
+}
+
 type t = {
   engine : Rf_sim.Engine.t;
   latency : Rf_sim.Vtime.span;
   a : attachment;
   b : attachment;
   mutable up : bool;
+  mutable capacity : capacity option;
+  dir_ab : direction;
+  dir_ba : direction;
+  mutable offered : int;
   mutable carried : int;
   mutable dropped : int;
   mutable tap : (string -> unit) option;
@@ -16,30 +31,84 @@ let deliver side frame =
   | To_switch (dp, port) -> Datapath.receive_frame dp ~in_port:port frame
   | To_host h -> Host.receive_frame h frame
 
-let attach t side other =
+let propagate t other frame =
+  ignore
+    (Rf_sim.Engine.schedule t.engine t.latency (fun () ->
+         if t.up then begin
+           t.carried <- t.carried + 1;
+           (match t.tap with Some f -> f frame | None -> ());
+           deliver other frame
+         end
+         else t.dropped <- t.dropped + 1))
+
+let serialization_delay cap frame =
+  let bits = 8 * String.length frame in
+  let us = bits * 1_000_000 / cap.bandwidth_bps in
+  Rf_sim.Vtime.span_us (max 1 us)
+
+let attach t side other dir =
   let transmit frame =
-    if t.up then
-      ignore
-        (Rf_sim.Engine.schedule t.engine t.latency (fun () ->
-             if t.up then begin
-               t.carried <- t.carried + 1;
-               (match t.tap with Some f -> f frame | None -> ());
-               deliver other frame
-             end
-             else t.dropped <- t.dropped + 1))
-    else t.dropped <- t.dropped + 1
+    t.offered <- t.offered + 1;
+    if not t.up then t.dropped <- t.dropped + 1
+    else
+      match t.capacity with
+      | None -> propagate t other frame
+      | Some cap ->
+          if dir.queued >= cap.queue_frames then begin
+            (* Bounded FIFO: tail drop. *)
+            dir.queue_dropped <- dir.queue_dropped + 1;
+            t.dropped <- t.dropped + 1
+          end
+          else begin
+            dir.queued <- dir.queued + 1;
+            let now = Rf_sim.Engine.now t.engine in
+            let start =
+              if Rf_sim.Vtime.compare dir.busy_until now > 0 then
+                dir.busy_until
+              else now
+            in
+            let finish =
+              Rf_sim.Vtime.add start (serialization_delay cap frame)
+            in
+            dir.busy_until <- finish;
+            ignore
+              (Rf_sim.Engine.schedule_at t.engine finish (fun () ->
+                   dir.queued <- dir.queued - 1;
+                   if t.up then propagate t other frame
+                   else t.dropped <- t.dropped + 1))
+          end
   in
   match side with
   | To_switch (dp, port) -> Datapath.set_transmit dp ~port transmit
   | To_host h -> Host.set_transmit h transmit
 
-let connect engine ?(latency = Rf_sim.Vtime.span_ms 1) a b =
-  let t =
-    { engine; latency; a; b; up = true; carried = 0; dropped = 0; tap = None }
+let connect engine ?(latency = Rf_sim.Vtime.span_ms 1) ?capacity a b =
+  let direction () =
+    { busy_until = Rf_sim.Vtime.zero; queued = 0; queue_dropped = 0 }
   in
-  attach t a b;
-  attach t b a;
+  let t =
+    {
+      engine;
+      latency;
+      a;
+      b;
+      up = true;
+      capacity;
+      dir_ab = direction ();
+      dir_ba = direction ();
+      offered = 0;
+      carried = 0;
+      dropped = 0;
+      tap = None;
+    }
+  in
+  attach t a b t.dir_ab;
+  attach t b a t.dir_ba;
   t
+
+let set_capacity t capacity = t.capacity <- capacity
+
+let capacity t = t.capacity
 
 let set_up t up =
   if t.up <> up then begin
@@ -56,6 +125,10 @@ let is_up t = t.up
 
 let set_tap t f = t.tap <- Some f
 
+let frames_offered t = t.offered
+
 let frames_carried t = t.carried
 
 let frames_dropped t = t.dropped
+
+let frames_queue_dropped t = t.dir_ab.queue_dropped + t.dir_ba.queue_dropped

@@ -48,6 +48,23 @@ let set_link_up t a b up =
   | Some l -> Link.set_up l up
   | None -> raise Not_found
 
+let node_key = function
+  | Topology.Switch d -> (0, d, "")
+  | Topology.Host n -> (1, 0L, n)
+
+let links t =
+  Hashtbl.fold (fun k l acc -> (k, l) :: acc) t.links []
+  |> List.sort (fun ((a1, b1), _) ((a2, b2), _) ->
+         match compare (node_key a1) (node_key a2) with
+         | 0 -> compare (node_key b1) (node_key b2)
+         | c -> c)
+
+let set_all_link_capacity t capacity =
+  List.iter (fun (_, l) -> Link.set_capacity l capacity) (links t)
+
+let queue_dropped_frames t =
+  Hashtbl.fold (fun _ l acc -> acc + Link.frames_queue_dropped l) t.links 0
+
 let disconnect_switch t dpid =
   match Hashtbl.find_opt t.agents dpid with
   | Some agent -> Of_agent.disconnect agent

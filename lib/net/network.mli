@@ -40,6 +40,17 @@ val hosts : t -> (string * Host.t) list
 
 val link : t -> Topology.node -> Topology.node -> Link.t option
 
+val links : t -> ((Topology.node * Topology.node) * Link.t) list
+(** All links in a deterministic order (switches before hosts, then by
+    dpid/name), regardless of construction order. *)
+
+val set_all_link_capacity : t -> Link.capacity option -> unit
+(** Applies one capacity model to every link (switch-switch and
+    switch-host alike); [None] restores ideal links. *)
+
+val queue_dropped_frames : t -> int
+(** Sum of FIFO tail drops over all links. *)
+
 val set_link_up : t -> Topology.node -> Topology.node -> bool -> unit
 (** Raises [Not_found] when there is no such link. *)
 

@@ -171,6 +171,76 @@ let pan_european_links =
     (2, 20, 6) (* Athens-Milan *);
   ]
 
+(* k-ary fat-tree (Al-Fares et al., SIGCOMM 2008): (k/2)^2 core
+   switches, k pods of k/2 aggregation + k/2 edge switches, and k/2
+   hosts per edge switch — 5k^2/4 switches, k^3/4 hosts, every switch
+   of degree k. Dpids: cores first (1..(k/2)^2), then per pod the
+   aggregation switches followed by the edge switches. *)
+
+let fat_tree_host_name idx = Printf.sprintf "h%04d" idx
+
+let fat_tree_host_count k = k * k * k / 4
+
+let fat_tree_hops ~k a b =
+  let half = k / 2 in
+  if a = b then 0
+  else if a / half = b / half then 2 (* same edge switch *)
+  else if a / (half * half) = b / (half * half) then 4 (* same pod *)
+  else 6
+
+let fat_tree ?(latency = Rf_sim.Vtime.span_ms 1) ?(with_hosts = true) k =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Topo_gen.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let cores = half * half in
+  let t = Topology.create () in
+  let core i = Int64.of_int (i + 1) in
+  let agg p j = Int64.of_int (cores + (p * k) + j + 1) in
+  let edge p e = Int64.of_int (cores + (p * k) + half + e + 1) in
+  for i = 0 to cores - 1 do
+    Topology.add_switch t (core i)
+  done;
+  for p = 0 to k - 1 do
+    for j = 0 to half - 1 do
+      Topology.add_switch t (agg p j)
+    done;
+    for e = 0 to half - 1 do
+      Topology.add_switch t (edge p e)
+    done
+  done;
+  for p = 0 to k - 1 do
+    for j = 0 to half - 1 do
+      (* Aggregation switch j of every pod reaches core group j. *)
+      for i = 0 to half - 1 do
+        ignore
+          (Topology.connect t ~latency
+             (Topology.Switch (agg p j))
+             (Topology.Switch (core ((j * half) + i))))
+      done;
+      for e = 0 to half - 1 do
+        ignore
+          (Topology.connect t ~latency
+             (Topology.Switch (agg p j))
+             (Topology.Switch (edge p e)))
+      done
+    done
+  done;
+  if with_hosts then
+    for p = 0 to k - 1 do
+      for e = 0 to half - 1 do
+        for i = 0 to half - 1 do
+          let idx = (((p * half) + e) * half) + i in
+          let name = fat_tree_host_name idx in
+          Topology.add_host t name;
+          ignore
+            (Topology.connect t ~latency
+               (Topology.Switch (edge p e))
+               (Topology.Host name))
+        done
+      done
+    done;
+  t
+
 let pan_european () =
   let t = Topology.create () in
   for i = 1 to Array.length cities do

@@ -1,0 +1,177 @@
+type fabric = {
+  fab_send :
+    src:string ->
+    dst:string ->
+    port:int ->
+    flow_id:int ->
+    seq:int ->
+    size:int ->
+    unit;
+}
+
+let live_fabric measure ~hosts =
+  let tbl = Hashtbl.create (List.length hosts * 2) in
+  List.iter (fun (name, h) -> Hashtbl.replace tbl name h) hosts;
+  let host name =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None -> invalid_arg ("Generator.live_fabric: unknown host " ^ name)
+  in
+  (* Demux deliveries by probe header, not by port: one handler serves
+     every class. *)
+  List.iter
+    (fun (_, h) ->
+      Rf_net.Host.set_udp_handler h
+        (fun ~src:_ ~src_port:_ ~dst_port:_ ~payload ->
+          match Spec.decode_probe payload with
+          | Some (flow_id, seq) -> Measure.delivered measure ~flow_id ~seq
+          | None -> ()))
+    hosts;
+  {
+    fab_send =
+      (fun ~src ~dst ~port ~flow_id ~seq ~size ->
+        let dst_ip = Rf_net.Host.ip (host dst) in
+        Rf_net.Host.send_udp (host src) ~dst:dst_ip ~dst_port:port
+          (Spec.encode_probe ~flow_id ~seq ~size));
+  }
+
+let aggregate_fabric engine measure ~latency =
+  {
+    fab_send =
+      (fun ~src ~dst ~port:_ ~flow_id ~seq ~size:_ ->
+        ignore
+          (Rf_sim.Engine.schedule engine (latency ~src ~dst) (fun () ->
+               Measure.delivered measure ~flow_id ~seq)));
+  }
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  measure : Measure.t;
+  fabric : fabric;
+  spec : Spec.t;
+  mutable flows_launched : int;
+  mutable samples_sent : int;
+}
+
+let send t (c : Spec.cls) flow ~src ~dst ~seq ~weight =
+  let bytes = weight * c.Spec.c_payload in
+  Measure.sent t.measure flow ~seq ~weight ~bytes;
+  t.samples_sent <- t.samples_sent + 1;
+  t.fabric.fab_send ~src ~dst ~port:c.Spec.c_port
+    ~flow_id:(Measure.flow_id flow)
+    ~seq ~size:c.Spec.c_payload
+
+let schedule_at_s t at_s f =
+  let at = Rf_sim.Vtime.of_s at_s in
+  let now = Rf_sim.Engine.now t.engine in
+  if Rf_sim.Vtime.compare at now <= 0 then f ()
+  else ignore (Rf_sim.Engine.schedule_at t.engine at f)
+
+(* One aggregated flow: [weights] probes paced [gap_s] apart starting
+   now. *)
+let launch_flow t (c : Spec.cls) ~src ~dst ~weights ~gap_s =
+  let flow = Measure.register_flow t.measure ~cls:c.Spec.c_name ~src ~dst in
+  t.flows_launched <- t.flows_launched + 1;
+  let n = Array.length weights in
+  let rec probe seq =
+    send t c flow ~src ~dst ~seq ~weight:weights.(seq);
+    if seq + 1 < n then
+      ignore
+        (Rf_sim.Engine.schedule t.engine (Rf_sim.Vtime.span_s gap_s) (fun () ->
+             probe (seq + 1)))
+    else Measure.close_flow flow
+  in
+  probe 0
+
+(* Aggregation: S packets represented by K = min(S, sample_cap) probes
+   whose integer weights sum to S. *)
+let weights_for ~sample_cap size =
+  let k = max 1 (min size sample_cap) in
+  let base = size / k and rem = size mod k in
+  Array.init k (fun i -> base + if i < rem then 1 else 0)
+
+let start_cbr t (c : Spec.cls) ~rate_pps ~duration_s =
+  let period = 1.0 /. rate_pps in
+  let n = max 1 (int_of_float (duration_s *. rate_pps)) in
+  List.iter
+    (fun (src, dst) ->
+      launch_flow t c ~src ~dst ~weights:(Array.make n 1) ~gap_s:period)
+    c.Spec.c_pairs
+
+let start_on_off t (c : Spec.cls) ~rate_pps ~on_s ~off_s ~duration_s =
+  let period = 1.0 /. rate_pps in
+  let cycle = on_s +. off_s in
+  List.iter
+    (fun (src, dst) ->
+      let flow =
+        Measure.register_flow t.measure ~cls:c.Spec.c_name ~src ~dst
+      in
+      t.flows_launched <- t.flows_launched + 1;
+      let seq = ref 0 in
+      (* [off_t] is the offset in seconds since the class started; the
+         step function runs exactly at class start + off_t. *)
+      let rec step off_t =
+        if off_t >= duration_s then Measure.close_flow flow
+        else
+          let pos = Float.rem off_t cycle in
+          if pos < on_s then begin
+            send t c flow ~src ~dst ~seq:!seq ~weight:1;
+            incr seq;
+            after off_t (off_t +. period)
+          end
+          else after off_t (off_t -. pos +. cycle)
+      and after from_t next_t =
+        ignore
+          (Rf_sim.Engine.schedule t.engine
+             (Rf_sim.Vtime.span_s (next_t -. from_t))
+             (fun () -> step next_t))
+      in
+      step 0.0)
+    c.Spec.c_pairs
+
+let start_poisson t rng (c : Spec.cls) ~arrivals_per_s ~size_packets
+    ~packet_rate_pps ~until_s =
+  let pairs = Array.of_list c.Spec.c_pairs in
+  if Array.length pairs = 0 then invalid_arg "Generator: Poisson class with no pairs";
+  let sample_cap = t.spec.Spec.sample_cap in
+  let rec arrival () =
+    let now_s = Rf_sim.Vtime.to_s (Rf_sim.Engine.now t.engine) in
+    if now_s < until_s then begin
+      let src, dst = Rf_sim.Rng.pick rng pairs in
+      let size = Spec.draw_size rng size_packets in
+      let weights = weights_for ~sample_cap size in
+      let duration = float_of_int size /. packet_rate_pps in
+      let gap_s = duration /. float_of_int (Array.length weights) in
+      launch_flow t c ~src ~dst ~weights ~gap_s;
+      let gap = Rf_sim.Rng.exponential rng (1.0 /. arrivals_per_s) in
+      ignore
+        (Rf_sim.Engine.schedule t.engine (Rf_sim.Vtime.span_s gap) arrival)
+    end
+  in
+  arrival ()
+
+let start engine ~rng ~measure ~fabric spec =
+  let t =
+    { engine; measure; fabric; spec; flows_launched = 0; samples_sent = 0 }
+  in
+  List.iter
+    (fun (c : Spec.cls) ->
+      (* One independent generator per class, split in class order so
+         adding a class never perturbs earlier ones. *)
+      let class_rng = Rf_sim.Rng.split rng in
+      schedule_at_s t c.Spec.c_start_s (fun () ->
+          match c.Spec.c_kind with
+          | Spec.Cbr { rate_pps; duration_s } ->
+              start_cbr t c ~rate_pps ~duration_s
+          | Spec.On_off { rate_pps; on_s; off_s; duration_s } ->
+              start_on_off t c ~rate_pps ~on_s ~off_s ~duration_s
+          | Spec.Poisson
+              { arrivals_per_s; size_packets; packet_rate_pps; until_s } ->
+              start_poisson t class_rng c ~arrivals_per_s ~size_packets
+                ~packet_rate_pps ~until_s))
+    spec.Spec.classes;
+  t
+
+let flows_launched t = t.flows_launched
+
+let samples_sent t = t.samples_sent

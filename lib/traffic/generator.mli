@@ -1,0 +1,52 @@
+(** Open-loop workload generator driving a {!Spec.t} through a fabric.
+
+    The fabric abstracts how probes travel: {!live_fabric} pushes them
+    through the emulated hosts' UDP stacks (so they traverse real
+    datapaths, flow tables and links), while {!aggregate_fabric}
+    schedules delivery directly after a caller-supplied latency — the
+    O(flows) path used for the fat-tree scaling runs where no control
+    plane is present. All randomness is drawn from the provided
+    {!Rf_sim.Rng.t}, so same-seed runs are byte-identical. *)
+
+type t
+
+type fabric = {
+  fab_send :
+    src:string ->
+    dst:string ->
+    port:int ->
+    flow_id:int ->
+    seq:int ->
+    size:int ->
+    unit;
+}
+
+val live_fabric : Measure.t -> hosts:(string * Rf_net.Host.t) list -> fabric
+(** Sends probes with [Host.send_udp] and installs a UDP handler on
+    every listed host that feeds deliveries back into the measurement
+    plane (demuxed by probe header, so it serves all classes). *)
+
+val aggregate_fabric :
+  Rf_sim.Engine.t ->
+  Measure.t ->
+  latency:(src:string -> dst:string -> Rf_sim.Vtime.span) ->
+  fabric
+(** Ideal fabric: every probe is delivered after [latency]; no loss, no
+    queueing, no per-hop events. *)
+
+val start :
+  Rf_sim.Engine.t ->
+  rng:Rf_sim.Rng.t ->
+  measure:Measure.t ->
+  fabric:fabric ->
+  Spec.t ->
+  t
+(** Schedules every class of the spec (each class gets an [Rng.split]
+    in class order) and returns immediately; the engine run drives the
+    sends. *)
+
+val flows_launched : t -> int
+
+val samples_sent : t -> int
+(** Probe datagrams handed to the fabric (weighted packet counts live
+    in the measurement plane). *)

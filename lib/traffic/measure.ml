@@ -1,0 +1,336 @@
+type sample = { s_sent : Rf_sim.Vtime.t; s_weight : int; s_bytes : int }
+
+type flow = {
+  f_id : int;
+  f_class : string;
+  f_src : string;
+  f_dst : string;
+  mutable f_offered : int;  (* weighted packets *)
+  mutable f_delivered : int;
+  mutable f_lost : int;
+  mutable f_offered_samples : int;
+  mutable f_delivered_samples : int;
+  mutable f_late : int;  (* samples arriving after being declared lost *)
+  mutable f_bytes : int;  (* weighted delivered bytes *)
+  mutable f_outstanding : (int * sample) list;  (* newest first *)
+  mutable f_first_loss : Rf_sim.Vtime.t option;
+  mutable f_last_loss : Rf_sim.Vtime.t option;
+  mutable f_disruption_span : int option;
+  mutable f_closed : bool;  (* no more probes will be sent *)
+  mutable f_watched : bool;
+}
+
+type cls_state = {
+  k_name : string;
+  k_latency : Rf_sim.Stats.series;
+  k_offered : Rf_obs.Metrics.counter;
+  k_delivered : Rf_obs.Metrics.counter;
+  k_lost : Rf_obs.Metrics.counter;
+  k_hist : Rf_obs.Metrics.histogram;
+}
+
+type t = {
+  engine : Rf_sim.Engine.t;
+  loss_timeout : Rf_sim.Vtime.span;
+  by_id : (int, flow) Hashtbl.t;
+  cls_tbl : (string, cls_state) Hashtbl.t;
+  mutable cls_order : cls_state list;  (* reverse creation order *)
+  mutable all_flows : flow list;  (* reverse creation order *)
+  mutable watched : flow list;  (* flows with probes possibly in flight *)
+  mutable next_id : int;
+  mutable reaper : Rf_sim.Engine.timer option;
+  mutable finalized : bool;
+}
+
+let reap_period = Rf_sim.Vtime.span_ms 500
+
+let create engine ~loss_timeout_s () =
+  {
+    engine;
+    loss_timeout = Rf_sim.Vtime.span_s loss_timeout_s;
+    by_id = Hashtbl.create 1024;
+    cls_tbl = Hashtbl.create 8;
+    cls_order = [];
+    all_flows = [];
+    watched = [];
+    next_id = 0;
+    reaper = None;
+    finalized = false;
+  }
+
+let cls_state t name =
+  match Hashtbl.find_opt t.cls_tbl name with
+  | Some k -> k
+  | None ->
+      let m = Rf_sim.Engine.metrics t.engine in
+      let labels = [ ("class", name) ] in
+      let k =
+        {
+          k_name = name;
+          k_latency = Rf_sim.Stats.series ();
+          k_offered =
+            Rf_obs.Metrics.counter m ~labels
+              ~help:"Weighted data-plane packets offered"
+              "traffic_offered_packets_total";
+          k_delivered =
+            Rf_obs.Metrics.counter m ~labels
+              ~help:"Weighted data-plane packets delivered"
+              "traffic_delivered_packets_total";
+          k_lost =
+            Rf_obs.Metrics.counter m ~labels
+              ~help:"Weighted data-plane packets lost"
+              "traffic_lost_packets_total";
+          k_hist =
+            Rf_obs.Metrics.histogram m ~labels
+              ~help:"Probe one-way delay" "traffic_latency_seconds";
+        }
+      in
+      Hashtbl.replace t.cls_tbl name k;
+      t.cls_order <- k :: t.cls_order;
+      k
+
+let register_flow t ~cls ~src ~dst =
+  ignore (cls_state t cls);
+  let f =
+    {
+      f_id = t.next_id;
+      f_class = cls;
+      f_src = src;
+      f_dst = dst;
+      f_offered = 0;
+      f_delivered = 0;
+      f_lost = 0;
+      f_offered_samples = 0;
+      f_delivered_samples = 0;
+      f_late = 0;
+      f_bytes = 0;
+      f_outstanding = [];
+      f_first_loss = None;
+      f_last_loss = None;
+      f_disruption_span = None;
+      f_closed = false;
+      f_watched = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.by_id f.f_id f;
+  t.all_flows <- f :: t.all_flows;
+  f
+
+let flow_id f = f.f_id
+
+let mark_lost t f (s : sample) =
+  f.f_lost <- f.f_lost + s.s_weight;
+  Rf_obs.Metrics.incr ~by:s.s_weight (cls_state t f.f_class).k_lost;
+  (match f.f_first_loss with
+  | None -> f.f_first_loss <- Some s.s_sent
+  | Some w ->
+      if Rf_sim.Vtime.compare s.s_sent w < 0 then f.f_first_loss <- Some s.s_sent);
+  (match f.f_last_loss with
+  | None -> f.f_last_loss <- Some s.s_sent
+  | Some w ->
+      if Rf_sim.Vtime.compare s.s_sent w > 0 then f.f_last_loss <- Some s.s_sent);
+  if f.f_disruption_span = None then begin
+    let tracer = Rf_sim.Engine.tracer t.engine in
+    let id =
+      Rf_obs.Tracer.span_start tracer
+        ~start_us:(Rf_sim.Vtime.to_us s.s_sent)
+        ~attrs:
+          [
+            ("class", f.f_class);
+            ("flow", string_of_int f.f_id);
+            ("src", f.f_src);
+            ("dst", f.f_dst);
+          ]
+        "traffic.disruption"
+    in
+    f.f_disruption_span <- Some id
+  end
+
+let close_disruption t f =
+  match f.f_disruption_span with
+  | None -> ()
+  | Some id ->
+      Rf_obs.Tracer.span_end
+        (Rf_sim.Engine.tracer t.engine)
+        ~attrs:[ ("lost_packets", string_of_int f.f_lost) ]
+        id;
+      f.f_disruption_span <- None
+
+(* Declare outstanding samples older than [loss_timeout] lost. With
+   [all_outstanding] every sample still in flight is reaped (end of
+   run). *)
+let reap_flow t ?(all_outstanding = false) f ~now =
+  match f.f_outstanding with
+  | [] -> ()
+  | outstanding ->
+      let deadline = Rf_sim.Vtime.add now (Rf_sim.Vtime.span_scale (-1.0) t.loss_timeout) in
+      let kept, lost =
+        List.partition
+          (fun (_, s) ->
+            (not all_outstanding) && Rf_sim.Vtime.compare s.s_sent deadline > 0)
+          outstanding
+      in
+      if lost <> [] then begin
+        (* Oldest first, so the disruption span opens at the earliest
+           lost probe. *)
+        List.iter (fun (_, s) -> mark_lost t f s) (List.rev lost);
+        f.f_outstanding <- kept
+      end
+
+let sent t f ~seq ~weight ~bytes =
+  let now = Rf_sim.Engine.now t.engine in
+  f.f_offered <- f.f_offered + weight;
+  f.f_offered_samples <- f.f_offered_samples + 1;
+  f.f_outstanding <-
+    (seq, { s_sent = now; s_weight = weight; s_bytes = bytes })
+    :: f.f_outstanding;
+  Rf_obs.Metrics.incr ~by:weight (cls_state t f.f_class).k_offered;
+  if not f.f_watched then begin
+    f.f_watched <- true;
+    t.watched <- f :: t.watched
+  end;
+  if t.reaper = None && not t.finalized then
+    t.reaper <-
+      Some
+        (Rf_sim.Engine.periodic t.engine reap_period (fun () ->
+             let now = Rf_sim.Engine.now t.engine in
+             t.watched <-
+               List.filter
+                 (fun f ->
+                   reap_flow t f ~now;
+                   not (f.f_closed && f.f_outstanding = []))
+                 t.watched))
+
+let delivered t ~flow_id ~seq =
+  match Hashtbl.find_opt t.by_id flow_id with
+  | None -> ()
+  | Some f -> (
+      match List.assoc_opt seq f.f_outstanding with
+      | None ->
+          (* Duplicate, or arrived after being declared lost: the
+             original verdict stands so conservation holds. *)
+          f.f_late <- f.f_late + 1
+      | Some s ->
+          let now = Rf_sim.Engine.now t.engine in
+          f.f_outstanding <-
+            List.filter (fun (q, _) -> q <> seq) f.f_outstanding;
+          f.f_delivered <- f.f_delivered + s.s_weight;
+          f.f_delivered_samples <- f.f_delivered_samples + 1;
+          f.f_bytes <- f.f_bytes + s.s_bytes;
+          let k = cls_state t f.f_class in
+          Rf_obs.Metrics.incr ~by:s.s_weight k.k_delivered;
+          let latency =
+            Rf_sim.Vtime.span_to_s (Rf_sim.Vtime.diff now s.s_sent)
+          in
+          Rf_sim.Stats.add k.k_latency latency;
+          Rf_obs.Metrics.observe k.k_hist latency;
+          close_disruption t f)
+
+let close_flow f = f.f_closed <- true
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    (match t.reaper with
+    | Some timer ->
+        Rf_sim.Engine.cancel timer;
+        t.reaper <- None
+    | None -> ());
+    let now = Rf_sim.Engine.now t.engine in
+    List.iter
+      (fun f ->
+        f.f_closed <- true;
+        reap_flow t ~all_outstanding:true f ~now;
+        close_disruption t f)
+      t.watched;
+    t.watched <- []
+  end
+
+(** {1 Summaries} *)
+
+type class_summary = {
+  cs_class : string;
+  cs_flows : int;
+  cs_offered : int;
+  cs_delivered : int;
+  cs_lost : int;
+  cs_late : int;
+  cs_bytes : int;
+  cs_latency : Rf_sim.Stats.summary option;
+  cs_disrupted_flows : int;
+  cs_window : (float * float) option;
+}
+
+let flows t = List.rev t.all_flows
+
+let flow_count t = t.next_id
+
+let window_of_flow f =
+  match (f.f_first_loss, f.f_last_loss) with
+  | Some a, Some b -> Some (Rf_sim.Vtime.to_s a, Rf_sim.Vtime.to_s b)
+  | _ -> None
+
+let merge_window acc w =
+  match (acc, w) with
+  | None, w -> w
+  | acc, None -> acc
+  | Some (a1, b1), Some (a2, b2) -> Some (min a1 a2, max b1 b2)
+
+let class_summary t name =
+  let k = cls_state t name in
+  let init =
+    {
+      cs_class = name;
+      cs_flows = 0;
+      cs_offered = 0;
+      cs_delivered = 0;
+      cs_lost = 0;
+      cs_late = 0;
+      cs_bytes = 0;
+      cs_latency = Rf_sim.Stats.summarize k.k_latency;
+      cs_disrupted_flows = 0;
+      cs_window = None;
+    }
+  in
+  List.fold_left
+    (fun acc f ->
+      if not (String.equal f.f_class name) then acc
+      else
+        {
+          acc with
+          cs_flows = acc.cs_flows + 1;
+          cs_offered = acc.cs_offered + f.f_offered;
+          cs_delivered = acc.cs_delivered + f.f_delivered;
+          cs_lost = acc.cs_lost + f.f_lost;
+          cs_late = acc.cs_late + f.f_late;
+          cs_bytes = acc.cs_bytes + f.f_bytes;
+          cs_disrupted_flows =
+            (acc.cs_disrupted_flows + if f.f_lost > 0 then 1 else 0);
+          cs_window = merge_window acc.cs_window (window_of_flow f);
+        })
+    init (flows t)
+
+let summaries t =
+  List.rev_map (fun k -> class_summary t k.k_name) t.cls_order
+
+let total_offered t =
+  List.fold_left (fun acc f -> acc + f.f_offered) 0 t.all_flows
+
+let total_delivered t =
+  List.fold_left (fun acc f -> acc + f.f_delivered) 0 t.all_flows
+
+let total_lost t = List.fold_left (fun acc f -> acc + f.f_lost) 0 t.all_flows
+
+let disruption_window t =
+  List.fold_left
+    (fun acc f -> merge_window acc (window_of_flow f))
+    None t.all_flows
+
+let disruption_seconds t =
+  match disruption_window t with Some (a, b) -> b -. a | None -> 0.0
+
+let disrupted_flows t =
+  List.fold_left
+    (fun acc f -> acc + if f.f_lost > 0 then 1 else 0)
+    0 t.all_flows

@@ -1,0 +1,78 @@
+open Rf_packet
+
+type size_dist =
+  | Fixed_size of int
+  | Pareto of { alpha : float; xmin : int; cap : int }
+
+type kind =
+  | Cbr of { rate_pps : float; duration_s : float }
+  | On_off of {
+      rate_pps : float;
+      on_s : float;
+      off_s : float;
+      duration_s : float;
+    }
+  | Poisson of {
+      arrivals_per_s : float;
+      size_packets : size_dist;
+      packet_rate_pps : float;
+      until_s : float;
+    }
+
+type cls = {
+  c_name : string;
+  c_pairs : (string * string) list;
+  c_kind : kind;
+  c_payload : int;
+  c_port : int;
+  c_start_s : float;
+}
+
+type t = { classes : cls list; sample_cap : int; loss_timeout_s : float }
+
+let make ?(sample_cap = 4) ?(loss_timeout_s = 2.0) classes =
+  if sample_cap < 1 then invalid_arg "Spec.make: sample_cap must be >= 1";
+  if loss_timeout_s <= 0.0 then
+    invalid_arg "Spec.make: loss_timeout_s must be positive";
+  { classes; sample_cap; loss_timeout_s }
+
+let probe_header_bytes = 12
+
+let probe_magic = 0x52465447l (* "RFTG" *)
+
+let cls ?(payload = 64) ?(port = 5005) ?(start_s = 0.0) ~name ~pairs kind =
+  {
+    c_name = name;
+    c_pairs = pairs;
+    c_kind = kind;
+    c_payload = max probe_header_bytes payload;
+    c_port = port;
+    c_start_s = start_s;
+  }
+
+let encode_probe ~flow_id ~seq ~size =
+  let w = Wire.Writer.create ~initial:(max probe_header_bytes size) () in
+  Wire.Writer.u32 w probe_magic;
+  Wire.Writer.u32 w (Int32.of_int flow_id);
+  Wire.Writer.u32 w (Int32.of_int seq);
+  Wire.Writer.zeros w (max 0 (size - probe_header_bytes));
+  Wire.Writer.contents w
+
+let decode_probe payload =
+  if String.length payload < probe_header_bytes then None
+  else
+    let r = Wire.Reader.of_string payload in
+    if not (Int32.equal (Wire.Reader.u32 r) probe_magic) then None
+    else
+      let flow_id = Int32.to_int (Wire.Reader.u32 r) in
+      let seq = Int32.to_int (Wire.Reader.u32 r) in
+      Some (flow_id, seq)
+
+let draw_size rng = function
+  | Fixed_size n -> max 1 n
+  | Pareto { alpha; xmin; cap } ->
+      (* Inverse-transform sampling of a Pareto tail: heavy-tailed flow
+         sizes (a few elephants, many mice), truncated at [cap]. *)
+      let u = max 1e-9 (1.0 -. Rf_sim.Rng.float rng 1.0) in
+      let s = float_of_int xmin *. (u ** (-1.0 /. alpha)) in
+      max 1 (min cap (int_of_float s))

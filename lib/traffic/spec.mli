@@ -1,0 +1,80 @@
+(** Declarative workload specifications.
+
+    A spec names a set of traffic classes, each driving a list of
+    (source, destination) host pairs with one of three arrival models:
+    constant bit-rate streams, on-off (bursty) streams, or open-loop
+    Poisson flow arrivals with heavy-tailed flow sizes. Flows are
+    *aggregated*: a flow of S packets is represented by at most
+    [sample_cap] probe datagrams carrying integer weights summing to S,
+    so driving "millions of users" costs O(flows), not O(packets). *)
+
+type size_dist =
+  | Fixed_size of int  (** every flow is exactly this many packets *)
+  | Pareto of { alpha : float; xmin : int; cap : int }
+      (** heavy-tailed flow sizes (truncated Pareto): many mice, a few
+          elephants *)
+
+type kind =
+  | Cbr of { rate_pps : float; duration_s : float }
+      (** constant rate from class start for [duration_s] *)
+  | On_off of {
+      rate_pps : float;
+      on_s : float;
+      off_s : float;
+      duration_s : float;
+    }  (** alternating bursts: [on_s] sending, [off_s] silent *)
+  | Poisson of {
+      arrivals_per_s : float;
+      size_packets : size_dist;
+      packet_rate_pps : float;
+      until_s : float;
+    }
+      (** open-loop flow arrivals at rate [arrivals_per_s] until
+          [until_s] (absolute virtual time); each flow picks a random
+          pair, draws its size and is paced at [packet_rate_pps] *)
+
+type cls = {
+  c_name : string;
+  c_pairs : (string * string) list;  (** (src host, dst host) names *)
+  c_kind : kind;
+  c_payload : int;  (** bytes per probe datagram *)
+  c_port : int;  (** destination UDP port *)
+  c_start_s : float;  (** virtual time at which the class starts *)
+}
+
+type t = {
+  classes : cls list;
+  sample_cap : int;  (** max probe datagrams per aggregated flow *)
+  loss_timeout_s : float;
+      (** a probe not delivered within this span counts as lost *)
+}
+
+val make : ?sample_cap:int -> ?loss_timeout_s:float -> cls list -> t
+(** Defaults: [sample_cap] 4, [loss_timeout_s] 2.0. *)
+
+val cls :
+  ?payload:int ->
+  ?port:int ->
+  ?start_s:float ->
+  name:string ->
+  pairs:(string * string) list ->
+  kind ->
+  cls
+(** Defaults: 64-byte payload, port 5005, start at t=0. The payload is
+    clamped up to {!probe_header_bytes}. *)
+
+(** {1 Probe datagrams}
+
+    Every generated datagram carries a 12-byte header — magic, flow id,
+    sequence number — so the measurement plane can attribute deliveries
+    without per-packet state in the fabric. *)
+
+val probe_header_bytes : int
+
+val encode_probe : flow_id:int -> seq:int -> size:int -> string
+
+val decode_probe : string -> (int * int) option
+(** [Some (flow_id, seq)] when the payload is a probe. *)
+
+val draw_size : Rf_sim.Rng.t -> size_dist -> int
+(** Flow size in packets, >= 1. *)

@@ -15,4 +15,5 @@ let () = Alcotest.run "routeflow-autoconf" [
       ("props", Test_props.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
+      ("traffic", Test_traffic.suite);
     ]

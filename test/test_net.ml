@@ -780,6 +780,128 @@ let test_agent_port_mod () =
   ignore (Engine.run ~until:(Vtime.of_s 2.0) engine);
   Alcotest.(check bool) "port brought back up" true (Datapath.port_up dp 2)
 
+(* --- deterministic eviction order ------------------------------------------- *)
+
+(* Two (or more) entries expiring at the same vtime must come out in
+   canonical order — priority descending, then cookie ascending —
+   regardless of install order. *)
+let test_flow_table_expire_order () =
+  let install table specs =
+    List.iter
+      (fun (prefix, priority, cookie) ->
+        match
+          Flow_table.apply_flow_mod table ~now:Vtime.zero
+            (Of_msg.flow_add ~cookie ~priority ~hard_timeout:5
+               (Of_match.nw_dst_prefix (pfx prefix))
+               [ Of_action.output 1 ])
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e)
+      specs
+  in
+  let specs =
+    [
+      ("10.0.0.0/8", 100, 7L);
+      ("20.0.0.0/8", 100, 3L);
+      ("30.0.0.0/8", 200, 9L);
+    ]
+  in
+  let order table =
+    List.map
+      (fun ((e : Flow_table.entry), reason) ->
+        Alcotest.(check bool) "hard expiry" true (reason = Flow_table.Expired_hard);
+        (e.Flow_table.e_priority, e.Flow_table.e_cookie))
+      (Flow_table.expire table ~now:(Vtime.of_s 6.0))
+  in
+  let forward = Flow_table.create () in
+  install forward specs;
+  let backward = Flow_table.create () in
+  install backward (List.rev specs);
+  let expected = [ (200, 9L); (100, 3L); (100, 7L) ] in
+  Alcotest.(check (list (pair int int64))) "canonical order" expected (order forward);
+  Alcotest.(check (list (pair int int64)))
+    "install order irrelevant" expected (order backward)
+
+(* --- stream stop idempotency ------------------------------------------------- *)
+
+let test_host_stream_stop_idempotent () =
+  let engine = Engine.create () in
+  let h1, h2 = host_pair engine in
+  ignore h2;
+  let dst = ip "10.0.0.2" in
+  (* count:0 stops itself before the first datagram. *)
+  let s0 =
+    Host.start_udp_stream h1 ~dst ~dst_port:5004 ~period:(Vtime.span_ms 10)
+      ~payload_size:32 ~count:0 ()
+  in
+  Alcotest.(check bool) "count 0 self-stops" true (Host.stream_stopped s0);
+  Alcotest.(check int) "count 0 sends nothing" 0 (Host.stream_sent s0);
+  (* A bounded stream stops itself exactly at its limit. *)
+  let s3 =
+    Host.start_udp_stream h1 ~dst ~dst_port:5004 ~period:(Vtime.span_ms 10)
+      ~payload_size:32 ~count:3 ()
+  in
+  ignore (Engine.run ~until:(Vtime.of_s 1.0) engine);
+  Alcotest.(check bool) "limit reached stops" true (Host.stream_stopped s3);
+  Alcotest.(check int) "exactly the limit" 3 (Host.stream_sent s3);
+  (* Manual stop freezes the counter; repeated stops are no-ops. *)
+  let s =
+    Host.start_udp_stream h1 ~dst ~dst_port:5004 ~period:(Vtime.span_ms 10)
+      ~payload_size:32 ()
+  in
+  ignore (Engine.run ~until:(Vtime.of_s 1.2) engine);
+  Host.stop_stream s;
+  let frozen = Host.stream_sent s in
+  Host.stop_stream s;
+  Host.stop_stream s;
+  ignore (Engine.run ~until:(Vtime.of_s 5.0) engine);
+  Alcotest.(check bool) "stopped" true (Host.stream_stopped s);
+  Alcotest.(check int) "counter frozen" frozen (Host.stream_sent s);
+  Alcotest.(check int) "every datagram accounted"
+    (Host.stream_sent s0 + Host.stream_sent s3 + frozen)
+    (Host.udp_sent h1)
+
+(* --- fat-tree generator ------------------------------------------------------ *)
+
+let test_fat_tree_structure () =
+  List.iter
+    (fun k ->
+      let t = Topo_gen.fat_tree k in
+      Alcotest.(check int) "switches" (5 * k * k / 4) (Topology.switch_count t);
+      Alcotest.(check int) "hosts" (Topo_gen.fat_tree_host_count k)
+        (List.length (Topology.hosts t));
+      Alcotest.(check int) "edges" (3 * k * k * k / 4) (Topology.edge_count t);
+      Alcotest.(check bool) "connected" true (Topology.is_connected t);
+      List.iter
+        (fun d ->
+          Alcotest.(check int) "every switch has degree k" k
+            (Topology.degree t (Topology.Switch d)))
+        (Topology.switches t))
+    [ 2; 4; 6; 8 ]
+
+let test_fat_tree_hops_agree () =
+  let k = 4 in
+  let t = Topo_gen.fat_tree k in
+  let n = Topo_gen.fat_tree_host_count k in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let na = Topology.Host (Topo_gen.fat_tree_host_name a)
+      and nb = Topology.Host (Topo_gen.fat_tree_host_name b) in
+      match Topology.hop_distance t na nb with
+      | Some d ->
+          Alcotest.(check int)
+            (Printf.sprintf "hops %d-%d" a b)
+            (Topo_gen.fat_tree_hops ~k a b)
+            d
+      | None -> Alcotest.fail "fat-tree hosts unreachable"
+    done
+  done
+
+let test_fat_tree_rejects_odd_k () =
+  Alcotest.check_raises "odd k"
+    (Invalid_argument "Topo_gen.fat_tree: k must be even and >= 2") (fun () ->
+      ignore (Topo_gen.fat_tree 3))
+
 let suite =
   [
     Alcotest.test_case "topology allocates ports" `Quick test_topology_ports_allocated;
@@ -801,6 +923,8 @@ let suite =
     Alcotest.test_case "counters and flow stats" `Quick
       test_flow_table_counters_and_stats;
     Alcotest.test_case "table capacity" `Quick test_flow_table_capacity;
+    Alcotest.test_case "same-vtime expiry is canonical" `Quick
+      test_flow_table_expire_order;
     QCheck_alcotest.to_alcotest prop_flow_table_model;
     Alcotest.test_case "datapath forwards on match" `Quick
       test_datapath_forwards_on_match;
@@ -823,6 +947,12 @@ let suite =
     Alcotest.test_case "host ARP + UDP delivery" `Quick test_host_arp_and_udp;
     Alcotest.test_case "host ping" `Quick test_host_ping;
     Alcotest.test_case "host stream respects count" `Quick test_host_stream_counts;
+    Alcotest.test_case "stream stop idempotent + accounting" `Quick
+      test_host_stream_stop_idempotent;
+    Alcotest.test_case "fat-tree structure" `Quick test_fat_tree_structure;
+    Alcotest.test_case "fat-tree hop formula agrees with BFS" `Quick
+      test_fat_tree_hops_agree;
+    Alcotest.test_case "fat-tree rejects odd k" `Quick test_fat_tree_rejects_odd_k;
     Alcotest.test_case "host ARP retries until reachable" `Quick
       test_host_arp_retry_until_peer_appears;
     Alcotest.test_case "link failure toggles ports" `Quick test_link_failure_drops;

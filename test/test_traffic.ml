@@ -1,0 +1,250 @@
+(* Tests for the data-plane traffic engine: the probe codec, capacity
+   links (conservation under tail drop), the measurement plane's
+   disruption windows, the aggregated workload generator, and the
+   determinism of the fat-tree scaling experiment. *)
+
+open Rf_packet
+module Engine = Rf_sim.Engine
+module Vtime = Rf_sim.Vtime
+module Rng = Rf_sim.Rng
+module Host = Rf_net.Host
+module Link = Rf_net.Link
+module Spec = Rf_traffic.Spec
+module Measure = Rf_traffic.Measure
+module Generator = Rf_traffic.Generator
+module G = QCheck.Gen
+
+let ip = Ipv4_addr.of_string_exn
+
+let long_factor =
+  match Sys.getenv_opt "QCHECK_LONG" with
+  | None | Some "" | Some "0" -> 1
+  | Some _ -> 10
+
+let prop ?(count = 100) name gen print f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:(count * long_factor)
+       (QCheck.make ~print gen) f)
+
+(* Two hosts on the same subnet joined by a real link. *)
+let linked_host_pair engine ?capacity () =
+  let h1 =
+    Host.create engine ~name:"h1" ~mac:(Mac.make_local 1) ~ip:(ip "10.0.0.1")
+      ~prefix_len:24 ~gateway:(ip "10.0.0.254") ()
+  in
+  let h2 =
+    Host.create engine ~name:"h2" ~mac:(Mac.make_local 2) ~ip:(ip "10.0.0.2")
+      ~prefix_len:24 ~gateway:(ip "10.0.0.254") ()
+  in
+  let link =
+    Link.connect engine ~latency:(Vtime.span_ms 1) ?capacity (Link.To_host h1)
+      (Link.To_host h2)
+  in
+  (h1, h2, link)
+
+(* Prime both ARP caches so bursts hit the link instead of the hosts'
+   3-deep unresolved-neighbour queue. *)
+let prime_arp engine h1 h2 =
+  Host.gratuitous_arp h1;
+  Host.gratuitous_arp h2;
+  ignore (Engine.run ~until:(Vtime.of_s 1.0) engine)
+
+(* --- probe codec ------------------------------------------------------ *)
+
+let prop_probe_roundtrip =
+  prop "probe header round-trips"
+    (G.pair (G.int_range 0 0xff_ffff) (G.int_range 0 0xffff))
+    (fun (f, s) -> Printf.sprintf "flow=%d seq=%d" f s)
+    (fun (flow_id, seq) ->
+      let size = Spec.probe_header_bytes + 20 in
+      Spec.decode_probe (Spec.encode_probe ~flow_id ~seq ~size)
+      = Some (flow_id, seq))
+
+let test_probe_rejects_noise () =
+  Alcotest.(check (option (pair int int))) "short" None (Spec.decode_probe "xy");
+  Alcotest.(check (option (pair int int)))
+    "wrong magic" None
+    (Spec.decode_probe "NOPEnopenope....")
+
+let prop_draw_size_positive =
+  prop "flow sizes are >= 1 and capped"
+    (G.pair (G.int_range 0 100_000) (G.int_range 1 500))
+    (fun (seed, cap) -> Printf.sprintf "seed=%d cap=%d" seed cap)
+    (fun (seed, cap) ->
+      let rng = Rng.create seed in
+      let d = Spec.Pareto { alpha = 1.3; xmin = 3; cap } in
+      let cap = max cap 3 in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let s = Spec.draw_size rng d in
+        if s < 1 || s > cap then ok := false
+      done;
+      !ok)
+
+(* --- link capacity: conservation under tail drop ---------------------- *)
+
+let prop_link_conservation =
+  prop ~count:40 "capacity link: offered = carried + dropped"
+    (G.quad (G.int_range 64 2048) (G.int_range 1 16) (G.int_range 1 120)
+       (G.int_range 100 3000))
+    (fun (bw, q, n, per) ->
+      Printf.sprintf "bw=%dkbit q=%d n=%d period=%dus" bw q n per)
+    (fun (bw_kbit, queue_frames, n, period_us) ->
+      let engine = Engine.create () in
+      let capacity = { Link.bandwidth_bps = bw_kbit * 1000; queue_frames } in
+      let h1, h2, link = linked_host_pair engine ~capacity () in
+      prime_arp engine h1 h2;
+      let s =
+        Host.start_udp_stream h1 ~dst:(ip "10.0.0.2") ~dst_port:9
+          ~period:(Vtime.span_us period_us) ~payload_size:128 ~count:n ()
+      in
+      ignore (Engine.run ~until:(Vtime.of_s 120.0) engine);
+      Host.stop_stream s;
+      Link.frames_offered link
+      = Link.frames_carried link + Link.frames_dropped link
+      && Link.frames_queue_dropped link <= Link.frames_dropped link
+      && Host.udp_received h2 <= n)
+
+let test_link_tail_drop_bounds_queue () =
+  (* 100 frames blasted back-to-back into a 8-deep queue at 64 kbit/s:
+     only the queue depth survives, the rest are tail drops. *)
+  let engine = Engine.create () in
+  let capacity = { Link.bandwidth_bps = 64_000; queue_frames = 8 } in
+  let h1, h2, link = linked_host_pair engine ~capacity () in
+  prime_arp engine h1 h2;
+  let s =
+    Host.start_udp_stream h1 ~dst:(ip "10.0.0.2") ~dst_port:9
+      ~period:(Vtime.span_us 1) ~payload_size:256 ~count:100 ()
+  in
+  ignore (Engine.run ~until:(Vtime.of_s 60.0) engine);
+  Host.stop_stream s;
+  Alcotest.(check bool) "tail drops happened" true
+    (Link.frames_queue_dropped link > 0);
+  Alcotest.(check int) "conservation"
+    (Link.frames_offered link)
+    (Link.frames_carried link + Link.frames_dropped link);
+  Alcotest.(check bool) "some datagrams survived" true (Host.udp_received h2 > 0);
+  Alcotest.(check bool) "not all datagrams survived" true
+    (Host.udp_received h2 < 100)
+
+(* --- workload conservation over an ideal fabric ----------------------- *)
+
+let workload_spec =
+  Spec.make ~sample_cap:4 ~loss_timeout_s:1.0
+    [
+      Spec.cls ~name:"web"
+        ~pairs:[ ("a", "b"); ("b", "c"); ("c", "a") ]
+        (Spec.Poisson
+           {
+             arrivals_per_s = 50.0;
+             size_packets = Spec.Pareto { alpha = 1.3; xmin = 5; cap = 200 };
+             packet_rate_pps = 100.0;
+             until_s = 5.0;
+           });
+      Spec.cls ~name:"video" ~pairs:[ ("a", "c") ]
+        (Spec.Cbr { rate_pps = 25.0; duration_s = 4.0 });
+      Spec.cls ~name:"bursty" ~pairs:[ ("b", "a") ]
+        (Spec.On_off
+           { rate_pps = 40.0; on_s = 0.5; off_s = 0.5; duration_s = 4.0 });
+    ]
+
+let prop_workload_conservation =
+  prop ~count:15 "any seed: delivered + lost = offered; no loss => no window"
+    (G.int_range 0 100_000) string_of_int (fun seed ->
+      let engine = Engine.create ~seed () in
+      let measure = Measure.create engine ~loss_timeout_s:1.0 () in
+      let fabric =
+        Generator.aggregate_fabric engine measure ~latency:(fun ~src:_ ~dst:_ ->
+            Vtime.span_ms 5)
+      in
+      let gen =
+        Generator.start engine ~rng:(Rng.create seed) ~measure ~fabric
+          workload_spec
+      in
+      ignore (Engine.run ~until:(Vtime.of_s 30.0) engine);
+      Measure.finalize measure;
+      Generator.flows_launched gen > 0
+      && Measure.total_offered measure
+         = Measure.total_delivered measure + Measure.total_lost measure
+      && Measure.total_lost measure = 0
+      && Measure.disruption_window measure = None
+      && Measure.disrupted_flows measure = 0)
+
+(* --- disruption window on a live fabric ------------------------------- *)
+
+let test_loss_window_detected () =
+  let engine = Engine.create ~seed:7 () in
+  let measure = Measure.create engine ~loss_timeout_s:0.5 () in
+  let h1, h2, link = linked_host_pair engine () in
+  let fabric =
+    Generator.live_fabric measure ~hosts:[ ("h1", h1); ("h2", h2) ]
+  in
+  let spec =
+    Spec.make ~sample_cap:1 ~loss_timeout_s:0.5
+      [
+        Spec.cls ~name:"cbr" ~pairs:[ ("h1", "h2") ]
+          (Spec.Cbr { rate_pps = 10.0; duration_s = 5.0 });
+      ]
+  in
+  (* Link down over (1.95 s, 3.05 s): probes sent in [2.0, 3.0] are
+     lost, everything else arrives. *)
+  ignore
+    (Engine.schedule_at engine (Vtime.of_s 1.95) (fun () ->
+         Link.set_up link false));
+  ignore
+    (Engine.schedule_at engine (Vtime.of_s 3.05) (fun () ->
+         Link.set_up link true));
+  let _gen = Generator.start engine ~rng:(Rng.create 7) ~measure ~fabric spec in
+  ignore (Engine.run ~until:(Vtime.of_s 10.0) engine);
+  Measure.finalize measure;
+  Alcotest.(check int) "conservation"
+    (Measure.total_offered measure)
+    (Measure.total_delivered measure + Measure.total_lost measure);
+  Alcotest.(check bool) "losses recorded" true (Measure.total_lost measure >= 5);
+  Alcotest.(check int) "one disrupted flow" 1 (Measure.disrupted_flows measure);
+  match Measure.disruption_window measure with
+  | None -> Alcotest.fail "no disruption window"
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "window starts at the cut" true
+        (lo >= 1.9 && lo <= 2.2);
+      Alcotest.(check bool) "window ends at the last loss" true
+        (hi >= 2.8 && hi <= 3.1)
+
+(* --- scaling experiment determinism ----------------------------------- *)
+
+let test_scaling_deterministic () =
+  let open Rf_core.Experiment in
+  let run () =
+    traffic_scaling ~seed:11 ~k:4 ~pairs_per_host:2 ~arrivals_per_s:120.0
+      ~horizon_s:10.0 ()
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check int) "flows" a.ts_flows b.ts_flows;
+  Alcotest.(check int) "samples" a.ts_samples b.ts_samples;
+  Alcotest.(check int) "offered" a.ts_offered b.ts_offered;
+  Alcotest.(check int) "delivered" a.ts_delivered b.ts_delivered;
+  Alcotest.(check int) "lost" a.ts_lost b.ts_lost;
+  Alcotest.(check int) "events" a.ts_events b.ts_events;
+  Alcotest.(check int) "pairs" a.ts_pairs b.ts_pairs;
+  Alcotest.(check int) "conservation" a.ts_offered
+    (a.ts_delivered + a.ts_lost);
+  Alcotest.(check int) "k=4 switches" 20 a.ts_switches;
+  Alcotest.(check int) "k=4 hosts" 16 a.ts_hosts;
+  Alcotest.(check bool) "flows launched" true (a.ts_flows > 0)
+
+let suite =
+  [
+    prop_probe_roundtrip;
+    Alcotest.test_case "probe decode rejects noise" `Quick
+      test_probe_rejects_noise;
+    prop_draw_size_positive;
+    prop_link_conservation;
+    Alcotest.test_case "tail drop bounds the queue" `Quick
+      test_link_tail_drop_bounds_queue;
+    prop_workload_conservation;
+    Alcotest.test_case "loss window spans the outage" `Quick
+      test_loss_window_detected;
+    Alcotest.test_case "scaling run is deterministic" `Quick
+      test_scaling_deterministic;
+  ]
