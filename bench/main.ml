@@ -225,7 +225,37 @@ let micro_tests () =
            Rf_obs.Tracer.span_end obs_tracer sp));
   ]
 
-let run_micro () =
+(* Machine-readable results, schema "rfauto-bench-v1" (documented in
+   README): {"schema", "suites": {"micro": [{"name","mean_ns","runs"}]}}.
+   mean_ns is the OLS ns/run estimate (null if the fit failed), runs
+   the number of raw samples bechamel collected. *)
+let write_bench_json path rows samples_of =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"rfauto-bench-v1\",\"suites\":{\"micro\":[";
+  List.iteri
+    (fun i (name, est) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let short =
+        match String.index_opt name '/' with
+        | Some j -> String.sub name (j + 1) (String.length name - j - 1)
+        | None -> name
+      in
+      let mean =
+        match est with
+        | Some v when Float.is_finite v -> Printf.sprintf "%.1f" v
+        | Some _ | None -> "null"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"mean_ns\":%s,\"runs\":%d}" short
+           mean (samples_of name)))
+    rows;
+  Buffer.add_string buf "]}}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.fprintf std "bench json written to %s@." path
+
+let run_micro ?json_out () =
   let open Bechamel in
   section "Microbenchmarks (bechamel)";
   let ols =
@@ -245,12 +275,30 @@ let run_micro () =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Format.fprintf std "%-40s %16s@." "benchmark" "ns/run";
-  List.iter
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ est ] -> Format.fprintf std "%-40s %16.1f@." name est
-      | Some _ | None -> Format.fprintf std "%-40s %16s@." name "-")
-    rows
+  let estimates =
+    List.map
+      (fun (name, v) ->
+        let est =
+          match Analyze.OLS.estimates v with
+          | Some [ est ] ->
+              Format.fprintf std "%-40s %16.1f@." name est;
+              Some est
+          | Some _ | None ->
+              Format.fprintf std "%-40s %16s@." name "-";
+              None
+        in
+        (name, est))
+      rows
+  in
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let samples_of name =
+        match Hashtbl.find_opt raw name with
+        | Some (b : Benchmark.t) -> b.stats.samples
+        | None -> 0
+      in
+      write_bench_json path estimates samples_of
 
 (* ------------------------------------------------------------------ *)
 
@@ -310,8 +358,39 @@ let run_families () =
   section "X3 — topology families (extension)";
   Experiment.print_families std (Experiment.topo_families ())
 
+let all_sections =
+  [
+    "all"; "fig3"; "demo"; "failure"; "restart"; "gui"; "scaling"; "ablation";
+    "families"; "census"; "obs"; "traffic"; "micro";
+  ]
+
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* argv: [section] [--json [PATH]]. --json applies to the micro
+     suite and defaults to BENCH_5.json. *)
+  let json_out = ref None in
+  let sections = ref [] in
+  let rec parse i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--json" ->
+          if
+            i + 1 < Array.length Sys.argv
+            && String.length Sys.argv.(i + 1) > 0
+            && Sys.argv.(i + 1).[0] <> '-'
+            && not (List.mem Sys.argv.(i + 1) all_sections)
+          then (
+            json_out := Some Sys.argv.(i + 1);
+            parse (i + 2))
+          else (
+            json_out := Some "BENCH_5.json";
+            parse (i + 1))
+      | s ->
+          sections := s :: !sections;
+          parse (i + 1)
+  in
+  parse 1;
+  let what = match List.rev !sections with [] -> "all" | s :: _ -> s in
+  let json_out = !json_out in
   match what with
   | "fig3" -> run_fig3 ()
   | "demo" -> run_demo ()
@@ -324,7 +403,7 @@ let () =
   | "census" -> run_census ()
   | "obs" -> run_obs ()
   | "traffic" -> run_traffic ()
-  | "micro" -> run_micro ()
+  | "micro" -> run_micro ?json_out ()
   | "all" ->
       run_fig3 ();
       run_demo ();
@@ -337,9 +416,9 @@ let () =
       run_census ();
       run_obs ();
       run_traffic ();
-      run_micro ()
+      run_micro ?json_out ()
   | other ->
       Format.eprintf
-        "unknown section %S (use all|fig3|demo|failure|restart|gui|scaling|ablation|families|census|obs|micro)@."
+        "unknown section %S (use all|fig3|demo|failure|restart|gui|scaling|ablation|families|census|obs|traffic|micro, optionally with --json [PATH])@."
         other;
       exit 2

@@ -25,6 +25,93 @@ let telemetry_arg =
   in
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~doc ~docv:"FILE")
 
+(* --- trace analytics (shared by analyze/obs/failure/restart/traffic) --- *)
+
+module Analysis = Rf_core.Analysis
+
+let slo_arg =
+  Arg.(
+    value & flag
+    & info [ "slo" ]
+        ~doc:
+          "Evaluate the experiment's SLO rules against the run's telemetry          and print the PASS/WARN/FAIL scorecard (exit 2 on FAIL).")
+
+let flamegraph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flamegraph" ] ~docv:"FILE"
+        ~doc:
+          "Write a folded-stack flamegraph of the run's span tree to          $(docv) (self-time microseconds; renderable by flamegraph.pl or          speedscope).")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Diff this run's indicators against the baseline stored in          $(docv) (exit 3 on regression); the file is created when          missing.")
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let needs_analysis ~slo ~flamegraph ~baseline =
+  slo || flamegraph <> None || baseline <> None
+
+(* Commands keep their own telemetry flag; when analysis is requested
+   without one, the dump routes through a temp file removed after
+   ingestion. Returns the path to pass to the experiment plus a loader
+   to call after the run. *)
+let telemetry_route ~needed telemetry =
+  match (telemetry, needed) with
+  | Some path, _ -> (Some path, fun () -> Some (Rf_obs.Ingest.load_file path))
+  | None, true ->
+      let path = Filename.temp_file "rfauto-analyze" ".jsonl" in
+      ( Some path,
+        fun () ->
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () -> Some (Rf_obs.Ingest.load_file path)) )
+  | None, false -> (None, fun () -> None)
+
+(* Shared post-run analysis: scorecard, flamegraph, baseline diff.
+   Exits 2 on an SLO FAIL, 3 on a baseline regression. *)
+let analyze_dump exp dump ~slo ~flamegraph ~baseline =
+  let results = Analysis.evaluate exp dump in
+  if slo then Format.fprintf std "@.%a" Analysis.scorecard results;
+  (match flamegraph with
+  | Some path ->
+      write_file path (Rf_obs.Flamegraph.folded (Analysis.forest dump));
+      Format.fprintf std "flamegraph written to %s@." path
+  | None -> ());
+  let regressed = ref false in
+  (match baseline with
+  | Some path ->
+      let current = Analysis.baseline_run ~label:(Analysis.name exp) results in
+      if Sys.file_exists path then begin
+        let entries =
+          Rf_obs.Baseline.diff ~base:(Rf_obs.Baseline.load path) ~current ()
+        in
+        Format.fprintf std "@.vs baseline %s:@.%a" path Rf_obs.Baseline.pp_diff
+          entries;
+        if Rf_obs.Baseline.has_regression entries then regressed := true
+      end
+      else begin
+        Rf_obs.Baseline.save path current;
+        Format.fprintf std "baseline saved to %s@." path
+      end
+  | None -> ());
+  if !regressed then exit 3;
+  if slo && Rf_obs.Slo.worst results = Rf_obs.Slo.Fail then exit 2
+
+let post_run_analysis exp load ~slo ~flamegraph ~baseline =
+  if needs_analysis ~slo ~flamegraph ~baseline then
+    match load () with
+    | Some dump -> analyze_dump exp dump ~slo ~flamegraph ~baseline
+    | None -> ()
+
 let fig3_cmd =
   let run sizes vm_boot_s parallel_boot telemetry =
     Experiment.print_fig3 std
@@ -96,10 +183,13 @@ let failure_cmd =
   let fail_horizon_arg =
     Arg.(value & opt float 150.0 & info [ "horizon" ] ~doc:"Sim seconds.")
   in
-  let run seed switches fail_at_s horizon_s telemetry =
+  let run seed switches fail_at_s horizon_s telemetry slo flamegraph baseline =
+    let needed = needs_analysis ~slo ~flamegraph ~baseline in
+    let telemetry, load = telemetry_route ~needed telemetry in
     Experiment.print_failure_recovery std
       (Experiment.failure_recovery ~seed ~switches ~fail_at_s ~horizon_s
-         ?telemetry ())
+         ?telemetry ());
+    post_run_analysis Analysis.E3 load ~slo ~flamegraph ~baseline
   in
   Cmd.v
     (Cmd.info "failure"
@@ -108,7 +198,7 @@ let failure_cmd =
           reconvergence time (deterministic: same seed, same trace)")
     Term.(
       const run $ seed_arg $ switches_arg $ fail_at_arg $ fail_horizon_arg
-      $ telemetry_arg)
+      $ telemetry_arg $ slo_arg $ flamegraph_arg $ baseline_arg)
 
 (* --- restart -------------------------------------------------------- *)
 
@@ -138,10 +228,14 @@ let restart_cmd =
   let restart_horizon_arg =
     Arg.(value & opt float 120.0 & info [ "horizon" ] ~doc:"Sim seconds.")
   in
-  let run seed switches crash_at_s cut_at_s recover_at_s horizon_s telemetry =
+  let run seed switches crash_at_s cut_at_s recover_at_s horizon_s telemetry
+      slo flamegraph baseline =
+    let needed = needs_analysis ~slo ~flamegraph ~baseline in
+    let telemetry, load = telemetry_route ~needed telemetry in
     Experiment.print_restart std
       (Experiment.restart ~seed ~switches ~crash_at_s ~cut_at_s ~recover_at_s
-         ~horizon_s ?telemetry ())
+         ~horizon_s ?telemetry ());
+    post_run_analysis Analysis.E4 load ~slo ~flamegraph ~baseline
   in
   Cmd.v
     (Cmd.info "restart"
@@ -151,7 +245,8 @@ let restart_cmd =
           (deterministic: same seed, same trace)")
     Term.(
       const run $ seed_arg $ switches_arg $ crash_at_arg $ cut_at_arg
-      $ recover_at_arg $ restart_horizon_arg $ telemetry_arg)
+      $ recover_at_arg $ restart_horizon_arg $ telemetry_arg $ slo_arg
+      $ flamegraph_arg $ baseline_arg)
 
 (* --- gui ----------------------------------------------------------- *)
 
@@ -306,7 +401,8 @@ let obs_cmd =
       value & flag
       & info [ "spans" ] ~doc:"Also print per-span-name aggregates.")
   in
-  let run switches vm_boot_s parallel_boot out summary_out prometheus spans =
+  let run switches vm_boot_s parallel_boot out summary_out prometheus spans
+      slo flamegraph baseline =
     let options =
       {
         Rf_core.Scenario.default_options with
@@ -331,6 +427,14 @@ let obs_cmd =
           ~meta:[ ("experiment", "e1-phases") ];
         Format.fprintf std "telemetry written to %s@." path
     | None -> ());
+    if needs_analysis ~slo ~flamegraph ~baseline then begin
+      let dump =
+        Rf_obs.Ingest.load_string
+          (Rf_core.Scenario.telemetry_jsonl s
+             ~meta:[ ("experiment", "e1-phases") ])
+      in
+      analyze_dump Analysis.E1b dump ~slo ~flamegraph ~baseline
+    end;
     (match summary_out with
     | Some path ->
         let oc = open_out path in
@@ -350,7 +454,8 @@ let obs_cmd =
          "Run a ring configuration and decompose the end-to-end time into           discovery, RPC, VM-provisioning, Quagga and convergence phases           from the span tree; optionally dump JSONL telemetry and           Prometheus-style metrics")
     Term.(
       const run $ switches_arg $ boot_arg $ parallel_arg $ out_arg
-      $ summary_arg $ prometheus_arg $ spans_arg)
+      $ summary_arg $ prometheus_arg $ spans_arg $ slo_arg $ flamegraph_arg
+      $ baseline_arg)
 
 (* --- trace ------------------------------------------------------------- *)
 
@@ -485,10 +590,13 @@ let traffic_cmd =
           ~doc:
             "Write the disruption summary to $(docv) (byte-identical across              same-seed runs; used by CI as the E6 fingerprint).")
   in
-  let run switches seed fail_at manual_delay horizon scale k out summary_out =
+  let run switches seed fail_at manual_delay horizon scale k out summary_out
+      slo flamegraph baseline =
+    let needed = needs_analysis ~slo ~flamegraph ~baseline in
+    let telemetry, load = telemetry_route ~needed out in
     let r =
       Experiment.traffic_disruption ~seed ~switches ~fail_at_s:fail_at
-        ~manual_response_s:manual_delay ~horizon_s:horizon ?telemetry:out ()
+        ~manual_response_s:manual_delay ~horizon_s:horizon ?telemetry ()
     in
     Experiment.print_traffic std r;
     (match out with
@@ -504,12 +612,13 @@ let traffic_cmd =
       end
       else summary
     in
-    match summary_out with
+    (match summary_out with
     | Some path ->
         let oc = open_out path in
         output_string oc summary;
         close_out oc
-    | None -> ()
+    | None -> ());
+    post_run_analysis Analysis.E6 load ~slo ~flamegraph ~baseline
   in
   Cmd.v
     (Cmd.info "traffic"
@@ -517,7 +626,172 @@ let traffic_cmd =
          "E6: measure data-plane traffic disruption (loss, latency,           disruption windows) while the E3 link-failure and E4           controller-restart scenarios play out, automatic configuration vs           a manual-operation baseline; optionally a fat-tree scaling run")
     Term.(
       const run $ switches_arg $ seed_arg $ fail_arg $ manual_arg
-      $ horizon_arg $ scale_arg $ k_arg $ out_arg $ summary_arg)
+      $ horizon_arg $ scale_arg $ k_arg $ out_arg $ summary_arg $ slo_arg
+      $ flamegraph_arg $ baseline_arg)
+
+(* --- analyze: trace analytics & SLO engine (E7) --------------------- *)
+
+let analyze_cmd =
+  let input_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"FILE"
+          ~doc:
+            "Analyze an existing telemetry JSONL dump instead of running            experiments; the experiment is inferred from the dump's meta            line unless --experiment names it.")
+  in
+  let experiment_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "experiment" ] ~docv:"EXP"
+          ~doc:"Which experiment to analyze: e1b, e3, e4, e6 or all.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  let flamegraph_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flamegraph-json" ] ~docv:"FILE"
+          ~doc:"Write the span tree as d3-flamegraph JSON to $(docv).")
+  in
+  let save_baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Write this run's indicators to $(docv) as the new baseline            (overwrites; no diff).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report to $(docv) (byte-identical across            same-seed runs; used by CI as the E7 fingerprint).")
+  in
+  let infer_experiment dump =
+    match Rf_obs.Ingest.meta_value dump "experiment" with
+    | Some ("e1-phases" | "fig3" | "demo") -> Some Analysis.E1b
+    | Some "failure" -> Some Analysis.E3
+    | Some "restart" -> Some Analysis.E4
+    | Some "traffic" -> Some Analysis.E6
+    | Some _ | None -> None
+  in
+  let run input experiment seed slo flamegraph flamegraph_json baseline
+      save_baseline summary_out =
+    let die fmt =
+      Format.kasprintf
+        (fun msg ->
+          Format.eprintf "rfauto analyze: %s@." msg;
+          exit 64)
+        fmt
+    in
+    let dumps =
+      match input with
+      | Some path ->
+          let dump = Rf_obs.Ingest.load_file path in
+          let exp =
+            match
+              if experiment = "all" then infer_experiment dump
+              else Analysis.of_string experiment
+            with
+            | Some e -> e
+            | None ->
+                die
+                  "cannot infer the experiment from %s; pass --experiment \
+                   e1b|e3|e4|e6"
+                  path
+          in
+          [ (exp, dump) ]
+      | None ->
+          let exps =
+            if experiment = "all" then Analysis.all
+            else
+              match Analysis.of_string experiment with
+              | Some e -> [ e ]
+              | None -> die "unknown experiment %s" experiment
+          in
+          List.map (fun e -> (e, Analysis.run_dump ~seed e)) exps
+    in
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    (match input with
+    | Some path -> Format.fprintf ppf "E7 — trace analytics of %s@." path
+    | None ->
+        Format.fprintf ppf "E7 — trace analytics & SLO scorecard (seed %d)@."
+          seed);
+    let all_results =
+      List.map
+        (fun (exp, dump) ->
+          Format.fprintf ppf "@.== %s: %s ==@." (Analysis.name exp)
+            (Analysis.describe exp);
+          (match Analysis.configure_path dump with
+          | Some steps ->
+              Format.fprintf ppf "%a" Rf_obs.Critical_path.pp_path steps
+          | None -> ());
+          let results = Analysis.evaluate exp dump in
+          if slo then Format.fprintf ppf "@.%a" Analysis.scorecard results;
+          (exp, dump, results))
+        dumps
+    in
+    Format.pp_print_flush ppf ();
+    let report = Buffer.contents buf in
+    print_string report;
+    (match summary_out with
+    | Some path -> write_file path report
+    | None -> ());
+    let forest_all =
+      List.concat_map (fun (_, dump, _) -> Analysis.forest dump) all_results
+    in
+    (match flamegraph with
+    | Some path ->
+        write_file path (Rf_obs.Flamegraph.folded forest_all);
+        Format.fprintf std "flamegraph written to %s@." path
+    | None -> ());
+    (match flamegraph_json with
+    | Some path ->
+        write_file path (Rf_obs.Flamegraph.d3_json forest_all);
+        Format.fprintf std "flamegraph JSON written to %s@." path
+    | None -> ());
+    let results_flat = List.concat_map (fun (_, _, r) -> r) all_results in
+    let label =
+      match all_results with
+      | [ (exp, _, _) ] -> Analysis.name exp
+      | _ -> "all"
+    in
+    let current = Analysis.baseline_run ~label results_flat in
+    (match save_baseline with
+    | Some path ->
+        Rf_obs.Baseline.save path current;
+        Format.fprintf std "baseline saved to %s@." path
+    | None -> ());
+    let regressed = ref false in
+    (match baseline with
+    | Some path when Sys.file_exists path ->
+        let entries =
+          Rf_obs.Baseline.diff ~base:(Rf_obs.Baseline.load path) ~current ()
+        in
+        Format.fprintf std "@.vs baseline %s:@.%a" path Rf_obs.Baseline.pp_diff
+          entries;
+        if Rf_obs.Baseline.has_regression entries then regressed := true
+    | Some path ->
+        Rf_obs.Baseline.save path current;
+        Format.fprintf std "baseline saved to %s@." path
+    | None -> ());
+    if !regressed then exit 3;
+    if slo && Rf_obs.Slo.worst results_flat = Rf_obs.Slo.Fail then exit 2
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "E7: trace analytics & SLO engine — critical paths, flamegraphs,           sliding-window SLO verdicts and regression baselines over the           experiments' telemetry (consumes a JSONL dump via --input or runs           the experiments itself)")
+    Term.(
+      const run $ input_arg $ experiment_arg $ seed_arg $ slo_arg
+      $ flamegraph_arg $ flamegraph_json_arg $ baseline_arg
+      $ save_baseline_arg $ summary_arg)
 
 let main =
   Cmd.group
@@ -525,6 +799,6 @@ let main =
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,173 @@
+(* Trace analytics over the experiments: runs (or ingests) a
+   telemetry dump and evaluates the standard SLO rule set for each
+   experiment, producing deterministic scorecards, critical paths,
+   flamegraphs and baseline indicators. Thresholds are calibrated to
+   the seed-42 defaults — warn sits above the observed value with
+   headroom for legitimate drift, fail marks a broken run. *)
+
+module Ingest = Rf_obs.Ingest
+module Slo = Rf_obs.Slo
+module Critical_path = Rf_obs.Critical_path
+module Flamegraph = Rf_obs.Flamegraph
+module Baseline = Rf_obs.Baseline
+
+type experiment = E1b | E3 | E4 | E6
+
+let all = [ E1b; E3; E4; E6 ]
+
+let name = function E1b -> "e1b" | E3 -> "e3" | E4 -> "e4" | E6 -> "e6"
+
+let of_string = function
+  | "e1b" -> Some E1b
+  | "e3" -> Some E3
+  | "e4" -> Some E4
+  | "e6" -> Some E6
+  | _ -> None
+
+let describe = function
+  | E1b -> "phase decomposition, 8-switch ring, 2 s boots"
+  | E3 -> "link cut under live traffic, 6-switch ring"
+  | E4 -> "controller crash + reconciliation, 8-switch ring"
+  | E6 -> "traffic disruption, automatic response, 8-switch ring"
+
+(* Runs the experiment with telemetry into a temp file and ingests it:
+   the analysis path is identical for live runs and replayed files. *)
+let run_dump ?(seed = 42) exp =
+  let path = Filename.temp_file "rfauto-analyze" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match exp with
+      | E1b ->
+          (* Same parameters as the CI E1 fingerprint run. *)
+          ignore
+            (Experiment.phase_breakdown ~switches:8 ~vm_boot_s:2.0
+               ~telemetry:path ())
+      | E3 -> ignore (Experiment.failure_recovery ~seed ~telemetry:path ())
+      | E4 -> ignore (Experiment.restart ~seed ~telemetry:path ())
+      | E6 -> ignore (Experiment.traffic_disruption ~seed ~telemetry:path ()));
+      Ingest.load_file path)
+
+let rule ?(unit_ = "s") ?(direction = Slo.At_most) name what source ~warn ~fail
+    =
+  {
+    Slo.r_name = name;
+    r_what = what;
+    r_source = source;
+    r_direction = direction;
+    r_warn = warn;
+    r_fail = fail;
+    r_unit = unit_;
+  }
+
+let completeness prefix =
+  rule ~unit_:"records"
+    (prefix ^ ".dropped_records")
+    "telemetry records dropped anywhere in the pipeline" Slo.Dropped_records
+    ~warn:0. ~fail:0.
+
+let rules = function
+  | E1b ->
+      [
+        rule "e1b.configure_max_s" "slowest switch end-to-end configure time"
+          (Slo.Span_max_duration_s "sw.configure") ~warn:17. ~fail:25.;
+        rule "e1b.convergence_tail_s"
+          "routing tail between all-green and full RIB coverage"
+          (Slo.Span_max_duration_s "phase.convergence") ~warn:3. ~fail:10.;
+        rule "e1b.end_to_end_s" "time to full routing convergence"
+          (Slo.Meta_s "converged_s") ~warn:20. ~fail:30.;
+        rule "e1b.rpc_p99_s" "p99 of per-switch RPC config delivery"
+          (Slo.Span_quantile_s ("phase.rpc", 0.99))
+          ~warn:0.1 ~fail:1.;
+        completeness "e1b";
+      ]
+  | E3 ->
+      [
+        rule "e3.recovery_delay_s"
+          "routes settled after the link cut (reconverged - cut)"
+          (Slo.Meta_diff_s ("reconverged_s", "last_fault_s"))
+          ~warn:10. ~fail:30.;
+        rule ~unit_:"ratio" "e3.window_loss_ratio"
+          "datagrams lost in the 30 s post-cut window"
+          (Slo.Meta_ratio ("window_lost", "window_sent"))
+          ~warn:0.2 ~fail:0.5;
+        rule "e3.converged_s" "initial convergence before the fault"
+          (Slo.Meta_s "converged_s") ~warn:30. ~fail:60.;
+        completeness "e3";
+      ]
+  | E4 ->
+      [
+        rule ~unit_:"msgs" "e4.rpc_undelivered"
+          "config events lost across the crash (0 under reconciliation)"
+          (Slo.Meta_s "rpc_undelivered") ~warn:0. ~fail:0.;
+        rule "e4.recovery_delay_s"
+          "routes settled after controller recovery"
+          (Slo.Meta_diff_s ("reconverged_s", "recover_at_s"))
+          ~warn:15. ~fail:40.;
+        (* Denominator is ALL telemetry events: a sparse window that is
+           nothing but deadness signals would otherwise saturate the
+           burn at its 1/(1-objective) ceiling. *)
+        rule ~unit_:"x" "e4.rpc_deadness_burn"
+          "sliding-window budget burn of peer-dead signals (99% objective)"
+          (Slo.Burn_rate
+             {
+               errors =
+                 {
+                   Slo.m_component = Some "rpc-client";
+                   m_kind = Some "peer-dead";
+                 };
+               total = { Slo.m_component = None; m_kind = None };
+               objective = 0.99;
+               window_us = 10_000_000;
+             })
+          ~warn:60. ~fail:90.;
+        completeness "e4";
+      ]
+  | E6 ->
+      [
+        rule "e6.disruption_s"
+          "traffic-weighted disruption under automatic response"
+          (Slo.Meta_s "disruption_s") ~warn:2. ~fail:10.;
+        rule ~direction:Slo.At_least ~unit_:"ratio" "e6.delivery_ratio"
+          "datagrams delivered / offered over the whole run"
+          (Slo.Meta_ratio ("delivered", "offered"))
+          ~warn:0.97 ~fail:0.90;
+        rule "e6.disruption_union_s"
+          "wall-clock union of per-flow disruption spans"
+          (Slo.Span_union_duration_s "traffic.disruption") ~warn:8. ~fail:30.;
+        completeness "e6";
+      ]
+
+let evaluate exp dump = Slo.evaluate dump (rules exp)
+
+(* Baseline indicators are the SLO measurements themselves: the rule's
+   direction gives the bad direction, its unit the display unit. Rules
+   without a value contribute nothing (their Fail verdict already
+   reports the problem). *)
+let indicators_of_results results =
+  List.filter_map
+    (fun (r : Slo.result) ->
+      match r.res_value with
+      | None -> None
+      | Some v ->
+          Some
+            {
+              Baseline.i_name = r.res_rule.r_name;
+              i_value = v;
+              i_unit = r.res_rule.r_unit;
+              i_lower_is_better = r.res_rule.r_direction = Slo.At_most;
+            })
+    results
+
+let baseline_run ~label results =
+  { Baseline.run_label = label; indicators = indicators_of_results results }
+
+(* The span forest of a dump, and the critical path of the longest
+   configure chain — the headline "where did the time go" answer. *)
+let forest (dump : Ingest.dump) = Critical_path.forest dump.spans
+
+let configure_path dump =
+  Option.map Critical_path.critical_path
+    (Critical_path.find_longest ~name:"sw.configure" (forest dump))
+
+let scorecard ppf results = Slo.pp_scorecard ppf results

@@ -426,7 +426,19 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
   Scenario.run_for s (Vtime.span_s horizon_s);
   (match telemetry with
   | Some path ->
-      Scenario.write_telemetry s path ~meta:[ ("experiment", "failure") ]
+      Scenario.write_telemetry s path
+        ~meta:
+          [
+            ("experiment", "failure");
+            ("fail_at_s", Printf.sprintf "%.3f" fail_at_s);
+            ("window_s", Printf.sprintf "%.3f" window_s);
+            ("window_sent", string_of_int (!sent_at_end - !sent_at_fail));
+            ("window_received", string_of_int (!recv_at_end - !recv_at_fail));
+            ( "window_lost",
+              string_of_int
+                (!sent_at_end - !sent_at_fail - (!recv_at_end - !recv_at_fail))
+            );
+          ]
   | None -> ());
   (* Post-failure routes must not use the interfaces facing the dead
      link. *)
@@ -630,12 +642,28 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
     in
     let s = Scenario.build ~options (Topo_gen.ring switches) in
     Scenario.run_for s (Vtime.span_s horizon_s);
-    (match telemetry with
-    | Some path ->
-        Scenario.write_telemetry s path ~meta:[ ("experiment", "restart") ]
-    | None -> ());
     let client = Scenario.rpc_client s in
     let server = Scenario.rpc_server s in
+    (match telemetry with
+    | Some path ->
+        Scenario.write_telemetry s path
+          ~meta:
+            [
+              ("experiment", "restart");
+              ("crash_at_s", Printf.sprintf "%.3f" crash_at_s);
+              ("recover_at_s", Printf.sprintf "%.3f" recover_at_s);
+              ("rpc_sent", string_of_int (Rf_rpc.Rpc_client.sent client));
+              ( "rpc_retx",
+                string_of_int (Rf_rpc.Rpc_client.retransmissions client) );
+              ("rpc_gave_up", string_of_int (Rf_rpc.Rpc_client.gave_up client));
+              ( "rpc_undelivered",
+                string_of_int
+                  (Rf_rpc.Rpc_client.unacked client
+                  + Rf_rpc.Rpc_server.dedup_size server) );
+              ( "rpc_handled",
+                string_of_int (Rf_rpc.Rpc_server.requests_handled server) );
+            ]
+    | None -> ());
     {
       rr_label = label;
       rr_configured = Rf_system.configured_count (Scenario.rf_system s);
@@ -1100,7 +1128,19 @@ let traffic_ring_run ?telemetry ~label ~seed ~switches ~horizon_s ~faults
   (match telemetry with
   | Some path ->
       Scenario.write_telemetry s path
-        ~meta:[ ("experiment", "traffic"); ("run", label) ]
+        ~meta:
+          [
+            ("experiment", "traffic");
+            ("run", label);
+            ("flows", string_of_int (Traffic_measure.flow_count measure));
+            ("offered", string_of_int (Traffic_measure.total_offered measure));
+            ( "delivered",
+              string_of_int (Traffic_measure.total_delivered measure) );
+            ("lost", string_of_int (Traffic_measure.total_lost measure));
+            ( "disruption_s",
+              Printf.sprintf "%.3f" (Traffic_measure.disruption_seconds measure)
+            );
+          ]
   | None -> ());
   {
     tw_label = label;

@@ -364,23 +364,6 @@ let last_fault_at t = Rf_sim.Faults.last_fired_at t.fault_handle
 
 (* --- Telemetry ----------------------------------------------------- *)
 
-let telemetry_meta t =
-  [
-    ("seed", string_of_int t.opts.seed);
-    ("switches", string_of_int t.n_switches);
-    ("subnets", string_of_int t.n_subnets);
-  ]
-
-let telemetry_jsonl ?(meta = []) t =
-  Rf_obs.Export.jsonl
-    ~meta:(telemetry_meta t @ meta)
-    (Rf_sim.Engine.tracer t.engine)
-
-let write_telemetry ?meta t path =
-  let oc = open_out path in
-  output_string oc (telemetry_jsonl ?meta t);
-  close_out oc
-
 let prometheus t = Rf_obs.Metrics.to_prometheus (Rf_sim.Engine.metrics t.engine)
 
 let span_stats t = Rf_obs.Export.span_stats (Rf_sim.Engine.tracer t.engine)
@@ -392,3 +375,36 @@ let reconverged_at t =
   | Some fault_at, Some change_at when Rf_sim.Vtime.(fault_at <= change_at) ->
       Some change_at
   | (Some _ | None), (Some _ | None) -> None
+
+(* Outcome fields ride in the meta line so downstream SLO rules can
+   judge a run from its telemetry file alone; absent outcomes (never
+   converged, no fault plan) simply omit their key, which Slo turns
+   into a Fail for rules that require them. All values are fixed
+   precision so same-seed runs stay byte-identical. *)
+let telemetry_meta t =
+  let opt_s key = function
+    | Some v -> [ (key, Printf.sprintf "%.3f" (Rf_sim.Vtime.to_s v)) ]
+    | None -> []
+  in
+  let nonzero key n = if n = 0 then [] else [ (key, string_of_int n) ] in
+  [
+    ("seed", string_of_int t.opts.seed);
+    ("switches", string_of_int t.n_switches);
+    ("subnets", string_of_int t.n_subnets);
+  ]
+  @ opt_s "all_green_s" (Gui.all_green_at t.gui)
+  @ opt_s "converged_s" t.converged_at
+  @ opt_s "last_fault_s" (Rf_sim.Faults.last_fired_at t.fault_handle)
+  @ opt_s "reconverged_s" (reconverged_at t)
+  @ nonzero "fault_events" (Rf_sim.Faults.fired_count t.fault_handle)
+  @ nonzero "trace_dropped" (trace_dropped t)
+
+let telemetry_jsonl ?(meta = []) t =
+  Rf_obs.Export.jsonl
+    ~meta:(telemetry_meta t @ meta)
+    (Rf_sim.Engine.tracer t.engine)
+
+let write_telemetry ?meta t path =
+  let oc = open_out path in
+  output_string oc (telemetry_jsonl ?meta t);
+  close_out oc

@@ -107,9 +107,13 @@ val last_fault_at : t -> Rf_sim.Vtime.t option
     retroactive [phase.convergence] span covering the routing tail. *)
 
 val telemetry_jsonl : ?meta:(string * string) list -> t -> string
-(** The full span/event stream as JSON lines, preceded by a meta line
-    (seed, switch and subnet counts, plus [meta]). Deterministic: two
-    same-seed runs produce byte-identical output. *)
+(** The full span/event stream as JSON lines, preceded by a meta line:
+    seed, switch and subnet counts, run outcomes when observed
+    ([all_green_s], [converged_s], [last_fault_s], [reconverged_s],
+    [fault_events]), drop counts when non-zero ([trace_dropped] plus
+    the exporter's own), and [meta]. Deterministic: two same-seed runs
+    produce byte-identical output, and the meta line alone lets
+    [Rf_obs.Slo] judge a run from its telemetry file. *)
 
 val write_telemetry : ?meta:(string * string) list -> t -> string -> unit
 (** [write_telemetry t path] dumps {!telemetry_jsonl} to [path]. *)

@@ -61,8 +61,17 @@ let event_line (ev : Tracer.event) =
   Buffer.add_string buf "}";
   Buffer.contents buf
 
+(* Truncated telemetry must be detectable from the dump alone: any
+   non-zero drop counts ride along in the meta line even when the
+   caller passed no meta of its own. *)
+let drop_meta t =
+  let drops name n = if n = 0 then [] else [ (name, string_of_int n) ] in
+  drops "dropped_spans" (Tracer.dropped_spans t)
+  @ drops "dropped_events" (Tracer.dropped_events t)
+
 let jsonl ?(meta = []) t =
   let buf = Buffer.create 4096 in
+  let meta = meta @ drop_meta t in
   if meta <> [] then begin
     Buffer.add_string buf "{\"type\":\"meta\"";
     List.iter
@@ -145,3 +154,10 @@ let pp_span_stats ppf stats =
       Format.fprintf ppf "%-18s %6d %5d %10.3f %10.3f %10.3f@." st.st_name
         st.st_count st.st_open st.st_total_s st.st_mean_s st.st_max_s)
     stats
+
+let completeness_line ?(trace_dropped = 0) t =
+  Printf.sprintf
+    "telemetry: %d spans (%d dropped), %d events (%d dropped), trace ring \
+     dropped %d"
+    (Tracer.span_count t) (Tracer.dropped_spans t) (Tracer.event_count t)
+    (Tracer.dropped_events t) trace_dropped

@@ -22,7 +22,17 @@ val event_line : Tracer.event -> string
 val jsonl : ?meta:(string * string) list -> Tracer.t -> string
 (** The full dump: an optional leading
     [{"type":"meta","k":"v",...}] line, then every span in id order,
-    then every event in insertion order, newline-terminated. *)
+    then every event in insertion order, newline-terminated. Non-zero
+    tracer drop counts are appended to the meta line automatically
+    (keys [dropped_spans]/[dropped_events]) so a truncated dump cannot
+    pass downstream analysis silently. *)
+
+val drop_meta : Tracer.t -> (string * string) list
+(** The meta entries [jsonl] appends: empty when nothing was dropped. *)
+
+val completeness_line : ?trace_dropped:int -> Tracer.t -> string
+(** One summary-table line of span/event counts and drop counts;
+    [trace_dropped] adds the {!Rf_sim.Trace} ring's own drop count. *)
 
 (** {1 Summary table} *)
 

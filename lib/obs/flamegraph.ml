@@ -1,0 +1,136 @@
+(* Flamegraph exporters over a span forest.
+
+   The folded format is Brendan Gregg's: one line per unique
+   name-path, "root;child;leaf <self_us>", mergeable by any standard
+   flamegraph renderer. Frames with zero self time are kept so the
+   tree shape survives a fold/parse round trip, and lines are sorted
+   by path, so output is byte-stable.
+
+   Values are integer microseconds of SELF time under an exact
+   partition of each span's interval among its children: a child
+   claims the part of the parent's (remaining) interval it covers,
+   earlier siblings winning any overlap, and recursion is confined to
+   the claimed region. Concurrent siblings (overlapping rpc.frame
+   spans) therefore never double-count, and the folded total equals
+   the summed root-span durations exactly — the invariant the test
+   suite and the E7 acceptance check rely on. *)
+
+let frame name =
+  String.map (function ';' -> ':' | '\n' -> ' ' | c -> c) name
+
+(* Interval sets: sorted disjoint [(lo, hi)] lists, half-open. *)
+
+let measure_ivs ivs = List.fold_left (fun t (a, b) -> t + (b - a)) 0 ivs
+
+let clip (s, e) ivs =
+  List.filter_map
+    (fun (a, b) ->
+      let a = max a s and b = min b e in
+      if b > a then Some (a, b) else None)
+    ivs
+
+let subtract_ivs ivs minus =
+  List.fold_left
+    (fun ivs (ms, me) ->
+      List.concat_map
+        (fun (a, b) ->
+          List.filter
+            (fun (x, y) -> y > x)
+            [ (a, min b ms); (max a me, b) ])
+        ivs)
+    ivs minus
+
+let folded_entries nodes =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk path allowed (n : Critical_path.node) =
+    let path = path @ [ frame n.span.name ] in
+    let key = String.concat ";" path in
+    let remaining, claims =
+      List.fold_left
+        (fun (remaining, claims) (c : Critical_path.node) ->
+          let claim = clip (c.span.start_us, c.n_end_us) remaining in
+          (subtract_ivs remaining claim, (c, claim) :: claims))
+        (allowed, []) n.children
+    in
+    let prev = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0 in
+    Hashtbl.replace tbl key (prev + measure_ivs remaining);
+    List.iter (fun (c, claim) -> walk path claim c) (List.rev claims)
+  in
+  List.iter
+    (fun (n : Critical_path.node) ->
+      walk [] [ (n.span.start_us, n.n_end_us) ] n)
+    nodes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let folded nodes =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (path, self_us) ->
+      Buffer.add_string buf path;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int self_us);
+      Buffer.add_char buf '\n')
+    (folded_entries nodes);
+  Buffer.contents buf
+
+exception Malformed of string
+
+let parse_folded text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun line ->
+         match String.rindex_opt line ' ' with
+         | None -> raise (Malformed ("no value in line: " ^ line))
+         | Some i -> (
+             let path = String.sub line 0 i in
+             let v = String.sub line (i + 1) (String.length line - i - 1) in
+             match int_of_string_opt v with
+             | Some n -> (String.split_on_char ';' path, n)
+             | None -> raise (Malformed ("bad value in line: " ^ line))))
+
+let total text =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (parse_folded text)
+
+(* d3-flamegraph JSON: nested {"name","value","children"} with value =
+   TOTAL microseconds (d3-flamegraph sizes frames by their own value,
+   which must include descendants). Multiple roots wrap under a
+   synthetic "all" frame, as d3 requires a single root. *)
+let rec d3_node buf (n : Critical_path.node) =
+  Buffer.add_string buf "{\"name\":\"";
+  Buffer.add_string buf (Export.json_escape (frame n.span.name));
+  Buffer.add_string buf "\",\"value\":";
+  Buffer.add_string buf (string_of_int n.n_total_us);
+  (match n.children with
+  | [] -> ()
+  | cs ->
+      Buffer.add_string buf ",\"children\":[";
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char buf ',';
+          d3_node buf c)
+        cs;
+      Buffer.add_char buf ']');
+  Buffer.add_char buf '}'
+
+let d3_json nodes =
+  let buf = Buffer.create 1024 in
+  (match nodes with
+  | [ n ] -> d3_node buf n
+  | nodes ->
+      let total =
+        List.fold_left
+          (fun acc (n : Critical_path.node) -> acc + n.n_total_us)
+          0 nodes
+      in
+      Buffer.add_string buf "{\"name\":\"all\",\"value\":";
+      Buffer.add_string buf (string_of_int total);
+      Buffer.add_string buf ",\"children\":[";
+      List.iteri
+        (fun i n ->
+          if i > 0 then Buffer.add_char buf ',';
+          d3_node buf n)
+        nodes;
+      Buffer.add_string buf "]}");
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

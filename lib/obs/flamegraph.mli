@@ -1,0 +1,38 @@
+(** Flamegraph exporters over a {!Critical_path} span forest: the
+    folded-stack text format (Brendan Gregg's tools, speedscope) and
+    d3-flamegraph JSON.
+
+    Both outputs are sorted/deterministic, so same-seed runs export
+    byte-identical graphs. *)
+
+val frame : string -> string
+(** Span name sanitized for the folded format ([';'] and newlines
+    replaced). *)
+
+val folded_entries : Critical_path.node list -> (string * int) list
+(** Unique semicolon-joined name-paths with summed SELF microseconds,
+    sorted by path. Zero-self frames are kept so tree shape survives a
+    round trip through {!parse_folded}. Each parent's interval is
+    partitioned exactly among its children (earlier siblings win any
+    overlap, recursion stays inside the claimed region), so concurrent
+    sibling spans never double-count. *)
+
+val folded : Critical_path.node list -> string
+(** ["root;child;leaf <self_us>\n"] per entry. The values of a tree
+    partition its root's interval, so the folded total equals the
+    summed root-span durations exactly — the invariant the test suite
+    checks. *)
+
+exception Malformed of string
+
+val parse_folded : string -> (string list * int) list
+(** Inverse of {!folded} (paths split on [';']); raises {!Malformed}
+    on lines without a trailing integer. *)
+
+val total : string -> int
+(** Sum of all values in a folded file. *)
+
+val d3_json : Critical_path.node list -> string
+(** Nested [{"name","value","children"}] with value = TOTAL
+    microseconds per frame, wrapped under a synthetic ["all"] root
+    when the forest has several roots. *)

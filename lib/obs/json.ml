@@ -1,0 +1,228 @@
+(* Minimal recursive-descent JSON reader, sufficient for the formats
+   this library itself writes (Export.jsonl dumps, Baseline files).
+   No external dependency: the toolchain image has no yojson, and the
+   subset we emit — objects, arrays, strings, numbers, null, bool —
+   keeps the parser small enough to audit. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail "expected '%c' at %d, got '%c'" c st.pos c'
+  | None -> fail "expected '%c' at %d, got end of input" c st.pos
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if
+    st.pos + n <= String.length st.s
+    && String.sub st.s st.pos n = lit
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail "invalid literal at %d" st.pos
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' ->
+            advance st;
+            Buffer.add_char buf '"';
+            go ()
+        | Some '\\' ->
+            advance st;
+            Buffer.add_char buf '\\';
+            go ()
+        | Some '/' ->
+            advance st;
+            Buffer.add_char buf '/';
+            go ()
+        | Some 'n' ->
+            advance st;
+            Buffer.add_char buf '\n';
+            go ()
+        | Some 'r' ->
+            advance st;
+            Buffer.add_char buf '\r';
+            go ()
+        | Some 't' ->
+            advance st;
+            Buffer.add_char buf '\t';
+            go ()
+        | Some 'b' ->
+            advance st;
+            Buffer.add_char buf '\b';
+            go ()
+        | Some 'f' ->
+            advance st;
+            Buffer.add_char buf '\012';
+            go ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.s then
+              fail "truncated \\u escape at %d" st.pos;
+            let hex = String.sub st.s st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape at %d" st.pos
+            in
+            st.pos <- st.pos + 4;
+            (* Our own writer only emits \u for control characters;
+               anything above Latin-1 degrades to '?' rather than
+               growing a UTF-8 encoder here. *)
+            if code < 0x100 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_char buf '?';
+            go ()
+        | _ -> fail "bad escape at %d" st.pos)
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let lit = String.sub st.s start (st.pos - start) in
+  match int_of_string_opt lit with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad number %S at %d" lit start)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input at %d" st.pos
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_arr st
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail "unexpected '%c' at %d" c st.pos
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else
+    let rec members acc =
+      skip_ws st;
+      let k = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          members ((k, v) :: acc)
+      | Some '}' ->
+          advance st;
+          Obj (List.rev ((k, v) :: acc))
+      | _ -> fail "expected ',' or '}' at %d" st.pos
+    in
+    members []
+
+and parse_arr st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    Arr []
+  end
+  else
+    let rec elements acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          elements (v :: acc)
+      | Some ']' ->
+          advance st;
+          Arr (List.rev (v :: acc))
+      | _ -> fail "expected ',' or ']' at %d" st.pos
+    in
+    elements []
+
+let parse s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail "trailing input at %d" st.pos;
+  v
+
+(* Accessors: total functions returning option, so callers decide
+   whether a missing field is an error. *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_list_opt = function Arr l -> Some l | _ -> None
+
+let obj_fields = function Obj fields -> fields | _ -> []

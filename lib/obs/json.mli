@@ -1,0 +1,39 @@
+(** Minimal JSON reader for the formats this library itself writes
+    ({!Export.jsonl} dumps, {!Baseline} files).
+
+    Hand-rolled rather than a dependency: the build image carries no
+    JSON library, and the emitted subset (objects, arrays, strings,
+    numbers, booleans, null) keeps this small. Numbers that parse as
+    OCaml [int] stay exact — span timestamps are integer microseconds
+    and must not round-trip through floats. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+
+val parse : string -> value
+(** Parses one complete JSON value; raises {!Parse_error} on malformed
+    or trailing input. *)
+
+(** {1 Accessors} — [None] on type or key mismatch. *)
+
+val member : string -> value -> value option
+
+val to_string_opt : value -> string option
+
+val to_int_opt : value -> int option
+
+val to_float_opt : value -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_list_opt : value -> value list option
+
+val obj_fields : value -> (string * value) list
+(** Fields in document order; [[]] for non-objects. *)

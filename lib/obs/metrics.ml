@@ -112,6 +112,30 @@ let observations h = h.n
 
 let observation_sum h = h.sum
 
+(* Prometheus-style histogram_quantile: find the bucket holding the
+   q-rank, then interpolate linearly inside it (the first bucket's
+   lower edge is 0, the +Inf bucket clamps to the highest finite
+   bound). Input validation mirrors [Rf_sim.Stats.percentile]. *)
+let histogram_quantile h q =
+  if h.n = 0 then invalid_arg "Metrics.histogram_quantile: empty histogram";
+  if q < 0. || q > 1. then
+    invalid_arg "Metrics.histogram_quantile: q outside [0,1]";
+  let nb = Array.length buckets in
+  let rank = q *. float_of_int h.n in
+  let rec go i cum =
+    if i >= nb then buckets.(nb - 1)
+    else
+      let cum' = cum + h.counts.(i) in
+      if float_of_int cum' >= rank && h.counts.(i) > 0 then
+        let lower = if i = 0 then 0. else buckets.(i - 1) in
+        let upper = buckets.(i) in
+        lower
+        +. (upper -. lower)
+           *. ((rank -. float_of_int cum) /. float_of_int h.counts.(i))
+      else go (i + 1) cum'
+  in
+  go 0 0
+
 (* Exposition order: family name, then the (sorted) label set. *)
 let sorted_samples t =
   let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.samples [] in

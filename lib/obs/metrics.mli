@@ -53,6 +53,16 @@ val observations : histogram -> int
 
 val observation_sum : histogram -> float
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile (q in [0,1])
+    with Prometheus semantics: locate the log bucket containing the
+    q-rank and interpolate linearly within its bounds (lower edge 0 for
+    the first bucket; observations in the implicit +Inf bucket clamp to
+    the highest finite bound). Lets SLOs read p99 straight off a live
+    histogram without keeping raw samples. Raises [Invalid_argument] on
+    an empty histogram or [q] outside [0,1], mirroring
+    [Rf_sim.Stats.percentile]. *)
+
 val fold :
   t ->
   init:'a ->

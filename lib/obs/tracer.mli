@@ -31,9 +31,14 @@ type event = {
 
 type t
 
-val create : ?clock:(unit -> int) -> unit -> t
+val create :
+  ?clock:(unit -> int) -> ?max_spans:int -> ?max_events:int -> unit -> t
 (** The default clock is [fun () -> 0]; the simulation engine installs
-    its virtual clock with [set_clock] right after construction. *)
+    its virtual clock with [set_clock] right after construction.
+    [max_spans]/[max_events] bound the stores (default unbounded):
+    records past the cap are dropped and counted — see
+    {!dropped_spans}/{!dropped_events} — so truncated telemetry is
+    always detectable downstream. *)
 
 val set_clock : t -> (unit -> int) -> unit
 
@@ -79,6 +84,18 @@ val events : t -> event list
 (** All events in insertion order. *)
 
 val event_count : t -> int
+
+(** {1 Drop accounting}
+
+    Non-zero counts mean the telemetry below is incomplete; exporters
+    surface them so an SLO evaluated over a truncated stream cannot
+    silently pass. *)
+
+val dropped_spans : t -> int
+(** Spans discarded because the store was at [max_spans]. *)
+
+val dropped_events : t -> int
+(** Events discarded because the store was at [max_events]. *)
 
 (** {1 Correlation}
 

@@ -16,4 +16,5 @@ let () = Alcotest.run "routeflow-autoconf" [
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("traffic", Test_traffic.suite);
+      ("analysis", Test_analysis.suite);
     ]
