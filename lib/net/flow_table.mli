@@ -14,6 +14,7 @@ type entry = {
   e_idle_timeout : int;  (** seconds; 0 = none *)
   e_hard_timeout : int;
   e_notify_removed : bool;
+  e_seq : int;  (** installation sequence; equal-priority tie-break *)
   mutable e_actions : Of_action.t list;
   mutable e_packets : int64;
   mutable e_bytes : int64;
@@ -35,7 +36,16 @@ val entries : t -> entry list
 (** Priority-descending, then insertion order. *)
 
 val lookup : t -> Of_match.key -> entry option
-(** Does not touch counters; callers account explicitly. *)
+(** Highest-priority matching entry (insertion order breaks ties).
+    Served from a lazily rebuilt index that partitions entries by
+    wildcard signature into exact-match hash buckets, so steady-state
+    cost is one hash probe per distinct signature rather than a scan
+    of every entry. Does not touch counters; callers account
+    explicitly. *)
+
+val lookup_linear : t -> Of_match.key -> entry option
+(** The original linear scan over the priority-sorted entry list; the
+    reference oracle for {!lookup} — both must agree on every key. *)
 
 val account : entry -> now:Rf_sim.Vtime.t -> bytes:int -> unit
 

@@ -55,6 +55,16 @@ type t = {
   mutable ifaces : oiface list;
   nbr_tbl : (Ipv4_addr.t, neighbor) Hashtbl.t;
   lsdb : (Ospf_pkt.lsa_key, Ospf_pkt.lsa) Hashtbl.t;
+  spf : Spf.t;
+  graph : Spf.graph;
+  (* Advertising routers whose LSAs changed since the last SPF run;
+     drives the incremental recomputation. *)
+  spf_dirty : (Ipv4_addr.t, unit) Hashtbl.t;
+  (* Parsed stub links per advertising router — prefix, packed prefix
+     key, link metric — invalidated with the LSA, so route publication
+     does not re-derive masks and prefixes from unchanged LSAs every
+     run. *)
+  stub_cache : (Ipv4_addr.t, (Ipv4_addr.Prefix.t * int * int) array) Hashtbl.t;
   mutable my_seq : int32;
   mutable spf_scheduled : bool;
   mutable spf_count : int;
@@ -78,6 +88,10 @@ let create engine cfg rib =
     ifaces = [];
     nbr_tbl = Hashtbl.create 16;
     lsdb = Hashtbl.create 64;
+    spf = Spf.create ~root:cfg.router_id;
+    graph = Spf.graph_create ();
+    spf_dirty = Hashtbl.create 16;
+    stub_cache = Hashtbl.create 64;
     my_seq = Ospf_pkt.initial_seq;
     spf_scheduled = false;
     spf_count = 0;
@@ -198,6 +212,194 @@ let flood t ?except lsa =
       end)
     t.ifaces
 
+let router_lsa t rid =
+  Hashtbl.find_opt t.lsdb { Ospf_pkt.k_type = 1; k_id = rid; k_adv = rid }
+
+let p2p_pairs lsa =
+  match lsa.Ospf_pkt.body with
+  | Ospf_pkt.Router { links } ->
+      List.filter_map
+        (fun (l : Ospf_pkt.router_link) ->
+          if l.link_type = Ospf_pkt.Point_to_point then Some (l.link_id, l.metric)
+          else None)
+        links
+  | Ospf_pkt.Network _ | Ospf_pkt.Opaque _ -> []
+
+(* Vertices = router LSAs; a p2p edge A->B counts only when B's LSA
+   links back to A (bidirectionality check of RFC 2328 §16.1) — the
+   back-link check lives in {!Spf}. *)
+let refresh_graph_node t rid =
+  match router_lsa t rid with
+  | Some lsa -> Spf.graph_set_links t.graph rid (p2p_pairs lsa)
+  | None -> Spf.graph_remove t.graph rid
+
+let mark_dirty t rid =
+  Hashtbl.replace t.spf_dirty rid ();
+  Hashtbl.remove t.stub_cache rid
+
+(* Set bits of the 32-bit netmask (SWAR popcount, replacing a 32-step
+   shift loop on the route-build hot path). *)
+let mask_len_of m =
+  let v = Int32.to_int m land 0xFFFFFFFF in
+  let v = v - ((v lsr 1) land 0x55555555) in
+  let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
+  let v = (v + (v lsr 4)) land 0x0F0F0F0F in
+  ((v * 0x01010101) land 0xFFFFFFFF) lsr 24
+
+(* A prefix as a plain int, ordered exactly like [Prefix.compare]
+   (signed 32-bit network address, then length): cheap hash key and
+   sort/merge comparand on the route-publication path. *)
+let prefix_key p =
+  (Int32.to_int (Ipv4_addr.to_int32 (Ipv4_addr.Prefix.network p)) lsl 6)
+  lor Ipv4_addr.Prefix.length p
+
+(* Stub links of [rid]'s router LSA as (prefix, key, metric) triples,
+   parsed once per LSA generation. *)
+let stub_links_of t rid =
+  match Hashtbl.find_opt t.stub_cache rid with
+  | Some a -> a
+  | None ->
+      let a =
+        match router_lsa t rid with
+        | Some { Ospf_pkt.body = Ospf_pkt.Router { links }; _ } ->
+            List.filter_map
+              (fun (l : Ospf_pkt.router_link) ->
+                if l.link_type = Ospf_pkt.Stub then begin
+                  let p =
+                    Ipv4_addr.Prefix.make l.link_id
+                      (mask_len_of (Ipv4_addr.to_int32 l.link_data))
+                  in
+                  Some (p, prefix_key p, l.metric)
+                end
+                else None)
+              links
+            |> Array.of_list
+        | Some _ | None -> [||]
+      in
+      Hashtbl.add t.stub_cache rid a;
+      a
+
+(* Everything but the prefix (equal by construction at comparison
+   sites): cheap field-wise check replacing polymorphic equality. *)
+let route_same (a : Rib.route) (b : Rib.route) =
+  a.Rib.r_metric = b.Rib.r_metric
+  && a.Rib.r_distance = b.Rib.r_distance
+  && (match (a.Rib.r_next_hop, b.Rib.r_next_hop) with
+     | Some x, Some y -> Ipv4_addr.equal x y
+     | None, None -> true
+     | Some _, None | None, Some _ -> false)
+  && String.equal a.Rib.r_iface b.Rib.r_iface
+  && a.Rib.r_proto = b.Rib.r_proto
+
+(* Build OSPF routes from remote routers' stub links, using the SPT
+   held in [t.spf]. Equal-cost prefix candidates break ties on the
+   advertising router id so the result is independent of hash order. *)
+let publish_routes t =
+  let candidates : (int, Rib.route * Ipv4_addr.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* Distinct first hops number at most the root's degree, so the
+     neighbor lookup memoizes on the previous hop. *)
+  let memo_hop = ref Ipv4_addr.any in
+  let memo_info = ref None in
+  let hop_info hop =
+    if Ipv4_addr.equal hop !memo_hop then !memo_info
+    else begin
+      memo_hop := hop;
+      let info =
+        match Hashtbl.find_opt t.nbr_tbl hop with
+        | Some hop_nbr when hop_nbr.n_state = Full ->
+            Some (Some hop_nbr.n_addr, Iface.name hop_nbr.n_oiface.ifc)
+        | Some _ | None -> None
+      in
+      memo_info := info;
+      info
+    end
+  in
+  Spf.iter t.spf (fun rid d hop ->
+      match hop_info hop with
+      | Some (next_hop, iface) ->
+          let stubs = stub_links_of t rid in
+          Array.iter
+            (fun (prefix, pkey, link_metric) ->
+              let metric = d + link_metric in
+              let better =
+                match Hashtbl.find_opt candidates pkey with
+                | None -> true
+                | Some (existing, adv) ->
+                    metric < existing.Rib.r_metric
+                    || metric = existing.Rib.r_metric
+                       && Ipv4_addr.compare rid adv < 0
+              in
+              if better then
+                Hashtbl.replace candidates pkey
+                  ( {
+                      Rib.r_prefix = prefix;
+                      r_proto = Rib.Ospf;
+                      r_distance = Rib.default_distance Rib.Ospf;
+                      r_metric = metric;
+                      r_next_hop = next_hop;
+                      r_iface = iface;
+                    },
+                    rid ))
+            stubs
+      | None -> ());
+  (* Drop prefixes we own directly: connected wins anyway, but keeping
+     them out of the OSPF table matches Quagga. *)
+  let own_keys =
+    List.map (fun oif -> prefix_key (Iface.prefix oif.ifc)) t.ifaces
+  in
+  let routes =
+    Hashtbl.fold
+      (fun pkey (route, _) acc ->
+        if List.exists (fun (k : int) -> k = pkey) own_keys then acc
+        else (pkey, route) :: acc)
+      candidates []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
+  in
+  (* Publish as a sorted-merge diff against the previous run: only
+     prefixes whose best route actually moved touch the RIB trie.
+     [last_routes] mirrors the RIB's OSPF content exactly (emptied in
+     [stop] alongside the wholesale withdraw), so this is equivalent
+     to [Rib.replace_proto] at a fraction of the cost on the hot
+     steady-state path where most routes are unchanged. *)
+  let changed = ref false in
+  let rec merge olds news =
+    match (olds, news) with
+    | [], [] -> ()
+    | o :: os, [] ->
+        Rib.withdraw t.rib Rib.Ospf o.Rib.r_prefix;
+        changed := true;
+        merge os []
+    | [], n :: ns ->
+        Rib.update t.rib n;
+        changed := true;
+        merge [] ns
+    | o :: os, n :: ns ->
+        let c = Ipv4_addr.Prefix.compare o.Rib.r_prefix n.Rib.r_prefix in
+        if c < 0 then begin
+          Rib.withdraw t.rib Rib.Ospf o.Rib.r_prefix;
+          changed := true;
+          merge os news
+        end
+        else if c > 0 then begin
+          Rib.update t.rib n;
+          changed := true;
+          merge olds ns
+        end
+        else begin
+          if not (route_same o n) then begin
+            Rib.update t.rib n;
+            changed := true
+          end;
+          merge os ns
+        end
+  in
+  merge t.last_routes routes;
+  t.last_routes <- routes;
+  if !changed then t.on_route_change ()
+
 let rec schedule_spf t =
   if not t.spf_scheduled then begin
     t.spf_scheduled <- true;
@@ -209,189 +411,32 @@ and run_spf t =
   Rf_obs.Metrics.incr t.m_spf;
   t.spf_scheduled <- false;
   t.spf_count <- t.spf_count + 1;
-  (* Vertices = router LSAs; a p2p edge A->B counts only when B's LSA
-     links back to A (bidirectionality check of RFC 2328 §16.1). *)
-  let lsa_of rid =
-    Hashtbl.find_opt t.lsdb { Ospf_pkt.k_type = 1; k_id = rid; k_adv = rid }
-  in
-  let p2p_links lsa =
-    match lsa.Ospf_pkt.body with
-    | Ospf_pkt.Router { links } ->
-        List.filter
-          (fun (l : Ospf_pkt.router_link) -> l.link_type = Ospf_pkt.Point_to_point)
-          links
-    | Ospf_pkt.Network _ | Ospf_pkt.Opaque _ -> []
-  in
-  let stub_links lsa =
-    match lsa.Ospf_pkt.body with
-    | Ospf_pkt.Router { links } ->
-        List.filter
-          (fun (l : Ospf_pkt.router_link) -> l.link_type = Ospf_pkt.Stub)
-          links
-    | Ospf_pkt.Network _ | Ospf_pkt.Opaque _ -> []
-  in
-  let has_back_link from_rid to_lsa =
-    List.exists
-      (fun (l : Ospf_pkt.router_link) -> Ipv4_addr.equal l.link_id from_rid)
-      (p2p_links to_lsa)
-  in
-  (* Dijkstra with (dist, first_hop router id). The frontier is a
-     binary min-heap of (dist, rid) with lazy deletion: stale entries
-     are skipped when their recorded distance no longer matches. *)
-  let dist : (Ipv4_addr.t, int) Hashtbl.t = Hashtbl.create 64 in
-  let first_hop : (Ipv4_addr.t, Ipv4_addr.t) Hashtbl.t = Hashtbl.create 64 in
-  let visited : (Ipv4_addr.t, unit) Hashtbl.t = Hashtbl.create 64 in
-  let heap = ref (Array.make 64 (0, Ipv4_addr.any)) in
-  let heap_len = ref 0 in
-  let swap i j =
-    let tmp = !heap.(i) in
-    !heap.(i) <- !heap.(j);
-    !heap.(j) <- tmp
-  in
-  let push d rid =
-    if !heap_len = Array.length !heap then begin
-      let bigger = Array.make (2 * Array.length !heap) (0, Ipv4_addr.any) in
-      Array.blit !heap 0 bigger 0 !heap_len;
-      heap := bigger
-    end;
-    !heap.(!heap_len) <- (d, rid);
-    incr heap_len;
-    let i = ref (!heap_len - 1) in
-    while !i > 0 && fst !heap.((!i - 1) / 2) > fst !heap.(!i) do
-      swap !i ((!i - 1) / 2);
-      i := (!i - 1) / 2
-    done
-  in
-  let pop () =
-    if !heap_len = 0 then None
-    else begin
-      let top = !heap.(0) in
-      decr heap_len;
-      !heap.(0) <- !heap.(!heap_len);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < !heap_len && fst !heap.(l) < fst !heap.(!smallest) then
-          smallest := l;
-        if r < !heap_len && fst !heap.(r) < fst !heap.(!smallest) then
-          smallest := r;
-        if !smallest <> !i then begin
-          swap !i !smallest;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some top
-    end
-  in
-  Hashtbl.replace dist t.cfg.router_id 0;
-  push 0 t.cfg.router_id;
-  let rec loop () =
-    match pop () with
-    | None -> ()
-    | Some (d, rid) ->
-        let stale =
-          Hashtbl.mem visited rid
-          || match Hashtbl.find_opt dist rid with Some cur -> cur <> d | None -> true
-        in
-        if not stale then begin
-          Hashtbl.replace visited rid ();
-          match lsa_of rid with
-          | None -> ()
-          | Some lsa ->
-              List.iter
-                (fun (l : Ospf_pkt.router_link) ->
-                  let nbr_rid = l.link_id in
-                  match lsa_of nbr_rid with
-                  | Some nbr_lsa when has_back_link rid nbr_lsa ->
-                      let nd = d + l.metric in
-                      let better =
-                        match Hashtbl.find_opt dist nbr_rid with
-                        | Some old -> nd < old
-                        | None -> true
-                      in
-                      if better then begin
-                        Hashtbl.replace dist nbr_rid nd;
-                        push nd nbr_rid;
-                        let hop =
-                          if Ipv4_addr.equal rid t.cfg.router_id then nbr_rid
-                          else
-                            match Hashtbl.find_opt first_hop rid with
-                            | Some h -> h
-                            | None -> nbr_rid
-                        in
-                        Hashtbl.replace first_hop nbr_rid hop
-                      end
-                  | Some _ | None -> ())
-                (p2p_links lsa)
-        end;
-        loop ()
-  in
-  loop ();
-  (* Build OSPF routes from remote routers' stub links. *)
-  let candidates : (Ipv4_addr.Prefix.t, Rib.route) Hashtbl.t = Hashtbl.create 64 in
+  (* Incremental SPF: refresh the adjacency cache for the routers whose
+     LSAs changed, then repair only the affected part of the tree. *)
+  let dirty = Hashtbl.fold (fun rid () acc -> rid :: acc) t.spf_dirty [] in
+  Hashtbl.reset t.spf_dirty;
+  List.iter (refresh_graph_node t) dirty;
+  Spf.update t.spf t.graph ~dirty;
+  publish_routes t
+
+let spf_now_full t =
+  Rf_obs.Metrics.incr t.m_spf;
+  t.spf_count <- t.spf_count + 1;
+  (* Reference oracle: rebuild the adjacency cache from the LSDB and
+     recompute the tree from scratch. *)
+  Hashtbl.reset t.spf_dirty;
+  Spf.graph_reset t.graph;
   Hashtbl.iter
-    (fun rid d ->
-      if not (Ipv4_addr.equal rid t.cfg.router_id) then
-        match (lsa_of rid, Hashtbl.find_opt first_hop rid) with
-        | Some lsa, Some hop -> (
-            match Hashtbl.find_opt t.nbr_tbl hop with
-            | Some hop_nbr when hop_nbr.n_state = Full ->
-                List.iter
-                  (fun (l : Ospf_pkt.router_link) ->
-                    let mask_len =
-                      let m = Ipv4_addr.to_int32 l.link_data in
-                      let rec count i acc =
-                        if i = 32 then acc
-                        else
-                          count (i + 1)
-                            (acc
-                            + Int32.to_int
-                                (Int32.logand
-                                   (Int32.shift_right_logical m (31 - i))
-                                   1l))
-                      in
-                      count 0 0
-                    in
-                    let prefix = Ipv4_addr.Prefix.make l.link_id mask_len in
-                    let metric = d + l.metric in
-                    let route =
-                      {
-                        Rib.r_prefix = prefix;
-                        r_proto = Rib.Ospf;
-                        r_distance = Rib.default_distance Rib.Ospf;
-                        r_metric = metric;
-                        r_next_hop = Some hop_nbr.n_addr;
-                        r_iface = Iface.name hop_nbr.n_oiface.ifc;
-                      }
-                    in
-                    match Hashtbl.find_opt candidates prefix with
-                    | Some existing when existing.Rib.r_metric <= metric -> ()
-                    | Some _ | None -> Hashtbl.replace candidates prefix route)
-                  (stub_links lsa)
-            | Some _ | None -> ())
-        | (Some _ | None), (Some _ | None) -> ())
-    dist;
-  (* Drop prefixes we own directly: connected wins anyway, but keeping
-     them out of the OSPF table matches Quagga. *)
-  let own_prefixes = List.map (fun oif -> Iface.prefix oif.ifc) t.ifaces in
-  let routes =
-    Hashtbl.fold
-      (fun prefix route acc ->
-        if List.exists (Ipv4_addr.Prefix.equal prefix) own_prefixes then acc
-        else route :: acc)
-      candidates []
-    |> List.sort (fun a b -> Ipv4_addr.Prefix.compare a.Rib.r_prefix b.Rib.r_prefix)
-  in
-  Rib.replace_proto t.rib Rib.Ospf routes;
-  let changed = routes <> t.last_routes in
-  t.last_routes <- routes;
-  if changed then t.on_route_change ()
+    (fun (k : Ospf_pkt.lsa_key) lsa ->
+      if k.k_type = 1 then Spf.graph_set_links t.graph k.k_adv (p2p_pairs lsa))
+    t.lsdb;
+  Spf.full t.spf t.graph;
+  publish_routes t;
+  List.length t.last_routes
 
 let install_lsa t lsa =
   Hashtbl.replace t.lsdb (Ospf_pkt.key_of_lsa lsa) lsa;
+  mark_dirty t lsa.Ospf_pkt.adv_router;
   schedule_spf t
 
 let originate_router_lsa t =
@@ -616,6 +661,7 @@ let handle_lsu t nbr lsas =
         | `Purge ->
             (* A MaxAge instance flushes the LSA from the database. *)
             Hashtbl.remove t.lsdb key;
+            mark_dirty t lsa.adv_router;
             schedule_spf t;
             acks := header :: !acks;
             flood t ~except:(Iface.name nbr.n_oiface.ifc) lsa
@@ -754,6 +800,7 @@ let stop t =
     in
     Hashtbl.remove t.lsdb
       { Ospf_pkt.k_type = 1; k_id = t.cfg.router_id; k_adv = t.cfg.router_id };
+    mark_dirty t t.cfg.router_id;
     flood t flush;
     t.started <- false;
     List.iter
@@ -773,7 +820,8 @@ let stop t =
         | None -> ())
       t.nbr_tbl;
     Hashtbl.reset t.nbr_tbl;
-    Rib.replace_proto t.rib Rib.Ospf []
+    Rib.replace_proto t.rib Rib.Ospf [];
+    t.last_routes <- []
   end
 
 let neighbors t =

@@ -1,0 +1,56 @@
+(** Incremental shortest-path-first engine.
+
+    Holds the shortest-path tree rooted at one router and repairs it
+    in place when a subset of routers re-originate their LSAs: only
+    the root-side boundary and the invalidated subtree are re-relaxed
+    (warm-start Dijkstra), instead of recomputing from scratch. The
+    full recomputation stays available as {!full} and both paths
+    produce identical results — parents and first hops are derived by
+    a canonical deterministic pass over the (unique) distance map, so
+    equal-cost ties break the same way regardless of relaxation order.
+
+    The graph is the router-LSA topology: a directed edge [u -> v]
+    with metric [m] exists when [u]'s links list [(v, m)] {e and} [v]'s
+    links list [u] back (the bidirectionality check of RFC 2328
+    §16.1). *)
+
+open Rf_packet
+
+type graph
+(** Mutable adjacency cache, keyed by router id. *)
+
+val graph_create : unit -> graph
+
+val graph_set_links : graph -> Ipv4_addr.t -> (Ipv4_addr.t * int) list -> unit
+(** Replace [rid]'s out-links with [(neighbor, metric)] pairs. *)
+
+val graph_remove : graph -> Ipv4_addr.t -> unit
+
+val graph_reset : graph -> unit
+
+type t
+
+val create : root:Ipv4_addr.t -> t
+
+val full : t -> graph -> unit
+(** Cold-start: recompute the whole tree from the root. *)
+
+val update : t -> graph -> dirty:Ipv4_addr.t list -> unit
+(** Warm-start: repair the tree given that exactly the routers in
+    [dirty] changed their links since the last run. The caller must
+    have refreshed [graph] for those routers first. Falls back to
+    {!full} when the tree has never been computed or when the root
+    itself is dirty. *)
+
+val dist : t -> Ipv4_addr.t -> int option
+(** Distance from the root; [None] when unreachable. *)
+
+val first_hop : t -> Ipv4_addr.t -> Ipv4_addr.t option
+(** First router on the canonical shortest path from the root. *)
+
+val iter : t -> (Ipv4_addr.t -> int -> Ipv4_addr.t -> unit) -> unit
+(** [iter t f] calls [f rid dist first_hop] for every reachable router
+    other than the root (iteration order unspecified). *)
+
+val reachable : t -> (Ipv4_addr.t * int * Ipv4_addr.t) list
+(** Sorted [(rid, dist, first_hop)] snapshot, for tests. *)

@@ -320,6 +320,119 @@ let prop_flow_table_model =
           | _ -> false)
         [ 0; 1; 2; 3 ])
 
+(* Differential oracle for the bucketed index: lookup and lookup_linear
+   must return the SAME entry (physical equality, not just equal
+   priority) for every key, across add/delete churn that forces index
+   rebuilds. *)
+let prop_bucketed_lookup_matches_linear =
+  QCheck.Test.make ~name:"bucketed lookup equals linear scan" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_bound 60)
+        (quad (int_bound 5) (int_bound 7) (oneofl [ 8; 16; 24; 32 ]) (int_bound 3)))
+    (fun ops ->
+      let table = Flow_table.create () in
+      let now = Vtime.zero in
+      List.iter
+        (fun (kind, oct, len, prio) ->
+          let prefix =
+            Ipv4_addr.Prefix.make (Ipv4_addr.of_octets 10 oct 0 0) len
+          in
+          let m = Of_match.nw_dst_prefix prefix in
+          let fm =
+            match kind with
+            | 0 | 1 | 2 ->
+                Of_msg.flow_add ~priority:(100 + prio) m
+                  [ Of_action.output (oct + 1) ]
+            | 3 -> Of_msg.flow_delete m
+            | _ -> Of_msg.flow_delete ~strict:true ~priority:(100 + prio) m
+          in
+          match Flow_table.apply_flow_mod table ~now fm with
+          | Ok _ -> ()
+          | Error e -> failwith e)
+        ops;
+      List.for_all
+        (fun oct ->
+          let key = key_for (Ipv4_addr.of_octets 10 oct 7 9) in
+          match
+            (Flow_table.lookup table key, Flow_table.lookup_linear table key)
+          with
+          | None, None -> true
+          | Some a, Some b -> a == b
+          | _ -> false)
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+(* Regression: two entries at the same priority both matching a key —
+   insertion order must break the tie, identically on both paths. The
+   bucketed index partitions these into different signature buckets, so
+   a naive "max over buckets" implementation gets this wrong. *)
+let test_lookup_same_priority_tiebreak () =
+  let table = Flow_table.create () in
+  let now = Vtime.zero in
+  let add m port =
+    match
+      Flow_table.apply_flow_mod table ~now
+        (Of_msg.flow_add ~priority:500 m [ Of_action.output port ])
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  in
+  add (Of_match.nw_dst_prefix (pfx "10.1.0.0/16")) 1;
+  add (Of_match.nw_dst_prefix (pfx "10.0.0.0/8")) 2;
+  let key = key_for (ip "10.1.2.3") in
+  match (Flow_table.lookup table key, Flow_table.lookup_linear table key) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "same entry on both paths" true (a == b);
+      (match a.Flow_table.e_actions with
+      | [ Of_action.Output { port; _ } ] ->
+          Alcotest.(check int) "first installed wins" 1 port
+      | _ -> Alcotest.fail "unexpected actions")
+  | _ -> Alcotest.fail "no match"
+
+(* Regression: expiry must remove entries in the canonical order
+   (priority descending, cookie ascending) regardless of install order,
+   and the bucketed index must observe the removals — a stale index
+   would keep serving the expired entries. *)
+let test_expire_order_and_index_invalidation () =
+  let table = Flow_table.create () in
+  let now = Vtime.zero in
+  let add ~cookie ~priority oct =
+    match
+      Flow_table.apply_flow_mod table ~now
+        (Of_msg.flow_add ~cookie ~hard_timeout:5 ~priority
+           (Of_match.nw_dst_prefix
+              (pfx (Printf.sprintf "10.%d.0.0/16" oct)))
+           [ Of_action.output oct ])
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  in
+  (* Installed in scrambled order on purpose. *)
+  add ~cookie:9L ~priority:200 1;
+  add ~cookie:2L ~priority:900 2;
+  add ~cookie:1L ~priority:200 3;
+  add ~cookie:5L ~priority:900 4;
+  (* Warm the index, then let everything time out at once. *)
+  ignore (Flow_table.lookup table (key_for (ip "10.1.9.9")));
+  let removed = Flow_table.expire table ~now:(Vtime.of_s 10.) in
+  let order =
+    List.map
+      (fun (e, _) -> (e.Flow_table.e_priority, e.Flow_table.e_cookie))
+      removed
+  in
+  Alcotest.(check (list (pair int int64)))
+    "priority desc, cookie asc"
+    [ (900, 2L); (900, 5L); (200, 1L); (200, 9L) ]
+    order;
+  List.iter
+    (fun oct ->
+      let key = key_for (ip (Printf.sprintf "10.%d.9.9" oct)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucketed index dropped 10.%d/16" oct)
+        true
+        (Flow_table.lookup table key = None
+        && Flow_table.lookup_linear table key = None))
+    [ 1; 2; 3; 4 ]
+
 (* --- datapath ------------------------------------------------------------ *)
 
 let udp_frame ?(dst_ip = "10.0.2.2") ?(size = 10) () =
@@ -926,6 +1039,11 @@ let suite =
     Alcotest.test_case "same-vtime expiry is canonical" `Quick
       test_flow_table_expire_order;
     QCheck_alcotest.to_alcotest prop_flow_table_model;
+    QCheck_alcotest.to_alcotest prop_bucketed_lookup_matches_linear;
+    Alcotest.test_case "same-priority tie-break, bucketed vs linear" `Quick
+      test_lookup_same_priority_tiebreak;
+    Alcotest.test_case "expire order and index invalidation" `Quick
+      test_expire_order_and_index_invalidation;
     Alcotest.test_case "datapath forwards on match" `Quick
       test_datapath_forwards_on_match;
     Alcotest.test_case "datapath miss raises packet-in" `Quick

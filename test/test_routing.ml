@@ -382,6 +382,185 @@ let test_zebra_apply_config () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "accepted mismatched address"
 
+(* --- incremental SPF vs full recompute (differential oracle) ------------ *)
+
+let spf_rid i = ip (Printf.sprintf "10.1.0.%d" (i + 1))
+
+(* Push row [i] of the symmetric metric matrix into the SPF graph. *)
+let spf_sync g adj n i =
+  let links = ref [] in
+  for j = n - 1 downto 0 do
+    if adj.(i).(j) > 0 then links := (spf_rid j, adj.(i).(j)) :: !links
+  done;
+  Spf.graph_set_links g (spf_rid i) !links
+
+let spf_snapshot t =
+  List.map
+    (fun (rid, d, hop) ->
+      (Ipv4_addr.to_string rid, d, Ipv4_addr.to_string hop))
+    (Spf.reachable t)
+
+(* Random graphs of 4-12 routers, then a mutation sequence: each step
+   rewrites one link (metric 0 = link down, otherwise cost change or
+   link up). After every step the warm-started tree must match a cold
+   recompute on distances AND canonical first hops — the canonical
+   parent pass makes equal-cost ties deterministic, so exact equality
+   is the contract, not just equal distances. *)
+let prop_spf_incremental_matches_full =
+  QCheck.Test.make
+    ~name:"incremental SPF equals full recompute after every mutation"
+    ~count:60
+    QCheck.(
+      triple (int_range 4 12)
+        (list_of_size (Gen.int_bound 30)
+           (triple (int_bound 11) (int_bound 11) (int_range 1 20)))
+        (list_of_size (Gen.int_bound 20)
+           (triple (int_bound 11) (int_bound 11) (int_bound 16))))
+    (fun (n, edges, mutations) ->
+      let adj = Array.make_matrix n n 0 in
+      List.iter
+        (fun (a, b, m) ->
+          let i = a mod n and j = b mod n in
+          if i <> j then begin
+            adj.(i).(j) <- m;
+            adj.(j).(i) <- m
+          end)
+        edges;
+      let g = Spf.graph_create () in
+      for i = 0 to n - 1 do
+        spf_sync g adj n i
+      done;
+      let t = Spf.create ~root:(spf_rid 0) in
+      Spf.full t g;
+      List.for_all
+        (fun (a, b, m) ->
+          let i = a mod n and j = b mod n in
+          if i = j then true
+          else begin
+            adj.(i).(j) <- m;
+            adj.(j).(i) <- m;
+            spf_sync g adj n i;
+            spf_sync g adj n j;
+            Spf.update t g ~dirty:[ spf_rid i; spf_rid j ];
+            let fresh = Spf.create ~root:(spf_rid 0) in
+            Spf.full fresh g;
+            spf_snapshot t = spf_snapshot fresh
+          end)
+        mutations)
+
+(* The daemon-level contract: after a sequence of LSA flaps, the RIB an
+   incremental spf_now leaves behind is exactly what spf_now_full (the
+   from-scratch oracle) computes — prefixes, metrics, next hops,
+   interfaces, and ordering. *)
+let route_repr (r : Rib.route) =
+  ( Ipv4_addr.Prefix.to_string r.Rib.r_prefix,
+    Rib.proto_name r.Rib.r_proto,
+    r.Rib.r_distance,
+    r.Rib.r_metric,
+    (match r.Rib.r_next_hop with
+    | None -> "-"
+    | Some h -> Ipv4_addr.to_string h),
+    r.Rib.r_iface )
+
+let test_ospfd_incremental_rib_oracle () =
+  let engine = Engine.create () in
+  let join a b =
+    Iface.set_transmit a (fun f ->
+        ignore
+          (Engine.schedule engine (Vtime.span_ms 1) (fun () ->
+               Iface.deliver b f)));
+    Iface.set_transmit b (fun f ->
+        ignore
+          (Engine.schedule engine (Vtime.span_ms 1) (fun () ->
+               Iface.deliver a f)))
+  in
+  let n = 6 in
+  let ribs = Array.init n (fun _ -> Rib.create ()) in
+  let routers =
+    Array.init n (fun i ->
+        let rid = ip (Printf.sprintf "10.250.0.%d" (i + 1)) in
+        Ospfd.create engine (Ospfd.default_config ~router_id:rid) ribs.(i))
+  in
+  Array.iteri
+    (fun i d ->
+      let stub =
+        Iface.create
+          ~name:(Printf.sprintf "stub%d" i)
+          ~mac:(Mac.make_local (7000 + i))
+          ~ip:(ip (Printf.sprintf "10.8.%d.1" i))
+          ~prefix_len:24 ()
+      in
+      Ospfd.add_interface d ~passive:true stub)
+    routers;
+  for i = 0 to n - 2 do
+    let ia =
+      Iface.create
+        ~name:(Printf.sprintf "r%d" i)
+        ~mac:(Mac.make_local (7100 + (2 * i)))
+        ~ip:(ip (Printf.sprintf "172.21.%d.1" i))
+        ~prefix_len:30 ()
+    in
+    let ib =
+      Iface.create
+        ~name:(Printf.sprintf "l%d" (i + 1))
+        ~mac:(Mac.make_local (7101 + (2 * i)))
+        ~ip:(ip (Printf.sprintf "172.21.%d.2" i))
+        ~prefix_len:30 ()
+    in
+    join ia ib;
+    Ospfd.add_interface routers.(i) ia;
+    Ospfd.add_interface routers.(i + 1) ib
+  done;
+  Array.iter Ospfd.start routers;
+  ignore (Engine.run ~until:(Vtime.of_s 60.) engine);
+  let d = routers.(0) in
+  let rib = ribs.(0) in
+  let flap_rid = ip "10.250.0.5" in
+  let base_lsa =
+    List.find
+      (fun (l : Ospf_pkt.lsa) -> Ipv4_addr.compare l.adv_router flap_rid = 0)
+      (Ospfd.lsdb d)
+  in
+  let seq = ref base_lsa.Ospf_pkt.seq in
+  let flap metric =
+    seq := Int32.succ !seq;
+    let body =
+      match base_lsa.Ospf_pkt.body with
+      | Ospf_pkt.Router { links } ->
+          Ospf_pkt.Router
+            {
+              links =
+                List.map
+                  (fun (l : Ospf_pkt.router_link) ->
+                    match l.link_type with
+                    | Ospf_pkt.Point_to_point -> { l with metric }
+                    | _ -> l)
+                  links;
+            }
+      | b -> b
+    in
+    Ospfd.install_lsa d { base_lsa with seq = !seq; body }
+  in
+  List.iteri
+    (fun step metric ->
+      flap metric;
+      let n_inc = Ospfd.spf_now d in
+      let after_inc = List.map route_repr (Rib.selected rib) in
+      let n_full = Ospfd.spf_now_full d in
+      let after_full = List.map route_repr (Rib.selected rib) in
+      Alcotest.(check int)
+        (Printf.sprintf "route count, step %d" step)
+        n_full n_inc;
+      Alcotest.(check (list (pair string (pair string (pair int (pair int (pair string string)))))))
+        (Printf.sprintf "RIB identical, step %d" step)
+        (List.map
+           (fun (a, b, c, d', e, f) -> (a, (b, (c, (d', (e, f))))))
+           after_full)
+        (List.map
+           (fun (a, b, c, d', e, f) -> (a, (b, (c, (d', (e, f))))))
+           after_inc))
+    [ 11; 10; 25; 10; 3; 10 ]
+
 let suite =
   [
     Alcotest.test_case "trie exact and LPM" `Quick test_trie_exact_and_lpm;
@@ -410,4 +589,7 @@ let suite =
     Alcotest.test_case "zebra unnumbered then addressed" `Quick
       test_zebra_unnumbered_then_addressed;
     Alcotest.test_case "zebra apply_config" `Quick test_zebra_apply_config;
+    QCheck_alcotest.to_alcotest prop_spf_incremental_matches_full;
+    Alcotest.test_case "ospfd incremental SPF leaves oracle RIB" `Quick
+      test_ospfd_incremental_rib_oracle;
   ]
