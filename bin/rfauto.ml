@@ -629,6 +629,108 @@ let traffic_cmd =
       $ horizon_arg $ scale_arg $ k_arg $ out_arg $ summary_arg $ slo_arg
       $ flamegraph_arg $ baseline_arg)
 
+(* --- cluster: controller-cluster failover (E9) ---------------------- *)
+
+let cluster_cmd =
+  let switches_arg =
+    Arg.(value & opt int 28 & info [ "switches" ] ~doc:"Ring size (>= 8).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~doc:"RF-controller replicas (>= 3).")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "crash-at" ]
+          ~doc:"Virtual second the acting leader (replica 0) crashes.")
+  in
+  let cut_arg =
+    Arg.(
+      value & opt float 36.0
+      & info [ "cut-at" ] ~doc:"Virtual second of the sw2-sw3 cut.")
+  in
+  let recover_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "recover-at" ]
+          ~doc:"Virtual second the crashed replica rejoins.")
+  in
+  let manual_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "manual-delay" ]
+          ~doc:
+            "Seconds the operator takes to restart the single-controller            baseline after its crash.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 120.0 & info [ "horizon" ] ~doc:"Sim seconds per run.")
+  in
+  let traffic_start_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "traffic-start" ]
+          ~doc:
+            "Virtual second the workload starts; raise it (with            --parallel-boot) on large rings so provisioning completes            first.")
+  in
+  let parallel_boot_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "parallel-boot" ] ~doc:"Concurrent VM boots while provisioning.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the automatic run's span/event JSONL to $(docv).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the failover summary to $(docv) (byte-identical across              same-seed runs; used by CI as the E9 fingerprint).")
+  in
+  let run switches seed replicas crash_at cut_at recover_at manual_delay
+      horizon traffic_start parallel_boot out summary_out slo flamegraph
+      baseline =
+    let needed = needs_analysis ~slo ~flamegraph ~baseline in
+    let telemetry, load = telemetry_route ~needed out in
+    let r =
+      Experiment.cluster_failover ~seed ~switches ~replicas
+        ~crash_at_s:crash_at ~cut_at_s:cut_at ~recover_at_s:recover_at
+        ~manual_response_s:manual_delay ~horizon_s:horizon
+        ~traffic_start_s:traffic_start ~parallel_boot ?telemetry ()
+    in
+    Experiment.print_cluster std r;
+    (match out with
+    | Some path -> Format.fprintf std "telemetry written to %s@." path
+    | None -> ());
+    (match summary_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Format.asprintf "%a" Experiment.print_cluster r);
+        close_out oc
+    | None -> ());
+    post_run_analysis Analysis.E9 load ~slo ~flamegraph ~baseline
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "E9: replicated RF-controller cluster under live traffic — the           acting leader crashes just before a link cut, the survivors           elect a new leader and take the switch sessions back, vs. the           single-controller baseline waiting for the operator")
+    Term.(
+      const run $ switches_arg $ seed_arg $ replicas_arg $ crash_arg
+      $ cut_arg $ recover_arg $ manual_arg $ horizon_arg $ traffic_start_arg
+      $ parallel_boot_arg $ out_arg $ summary_arg $ slo_arg $ flamegraph_arg
+      $ baseline_arg)
+
 (* --- analyze: trace analytics & SLO engine (E7) --------------------- *)
 
 let analyze_cmd =
@@ -644,7 +746,8 @@ let analyze_cmd =
     Arg.(
       value & opt string "all"
       & info [ "experiment" ] ~docv:"EXP"
-          ~doc:"Which experiment to analyze: e1b, e3, e4, e6 or all.")
+          ~doc:
+            "Which experiment to analyze: e1b, e3, e4, e6, e9 or all (all            covers the pinned E7 set, which excludes e9).")
   in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
@@ -678,6 +781,7 @@ let analyze_cmd =
     | Some "failure" -> Some Analysis.E3
     | Some "restart" -> Some Analysis.E4
     | Some "traffic" -> Some Analysis.E6
+    | Some "cluster" -> Some Analysis.E9
     | Some _ | None -> None
   in
   let run input experiment seed slo flamegraph flamegraph_json baseline
@@ -702,7 +806,7 @@ let analyze_cmd =
             | None ->
                 die
                   "cannot infer the experiment from %s; pass --experiment \
-                   e1b|e3|e4|e6"
+                   e1b|e3|e4|e6|e9"
                   path
           in
           [ (exp, dump) ]
@@ -799,6 +903,6 @@ let main =
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd; analyze_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd; cluster_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

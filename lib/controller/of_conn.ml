@@ -1,5 +1,7 @@
 open Rf_openflow
 
+type role = Master | Slave
+
 type t = {
   engine : Rf_sim.Engine.t;
   chan : Rf_net.Channel.endpoint;
@@ -12,6 +14,8 @@ type t = {
   mutable on_close : unit -> unit;
   mutable echo_timer : Rf_sim.Engine.timer option;
   mutable faults : (Rf_sim.Rng.t * Rf_sim.Faults.chan_profile) option;
+  mutable role : role;
+  mutable suppressed : int;
   mutable msgs_dropped : int;
   mutable msgs_duplicated : int;
   mutable msgs_delayed : int;
@@ -61,9 +65,22 @@ let send_msg t m =
       | Rf_sim.Faults.Deliver | Rf_sim.Faults.Drop | Rf_sim.Faults.Duplicate ->
           raw_send t m)
 
+(* OFPP 1.2-style role filtering: a slave controller keeps its channel
+   (handshake, echo) but must not mutate switch state or emit packets.
+   Standby cluster replicas hold their connections in this role. *)
+let state_changing (payload : Of_msg.payload) =
+  match payload with
+  | Of_msg.Flow_mod _ | Of_msg.Packet_out _ -> true
+  | _ -> false
+
 let send t payload =
   let xid = fresh_xid t in
-  send_msg t (Of_msg.msg ~xid payload);
+  if t.role = Slave && state_changing payload then begin
+    t.suppressed <- t.suppressed + 1;
+    Rf_sim.Engine.record t.engine ~component:"of-conn" ~event:"slave-suppressed"
+      (Of_msg.type_name payload)
+  end
+  else send_msg t (Of_msg.msg ~xid payload);
   xid
 
 let handle t (m : Of_msg.t) =
@@ -99,6 +116,8 @@ let create engine ?(echo_interval = Rf_sim.Vtime.span_s 15.0) chan =
       on_close = (fun () -> ());
       echo_timer = None;
       faults = None;
+      role = Master;
+      suppressed = 0;
       msgs_dropped = 0;
       msgs_duplicated = 0;
       msgs_delayed = 0;
@@ -144,6 +163,12 @@ let set_on_handshake t f =
 let set_on_message t f = t.on_message <- f
 
 let set_fault_profile t rng profile = t.faults <- Some (rng, profile)
+
+let set_role t role = t.role <- role
+
+let role t = t.role
+
+let suppressed_sends t = t.suppressed
 
 let messages_dropped t = t.msgs_dropped
 

@@ -6,6 +6,13 @@
 
 open Rf_openflow
 
+type role = Master | Slave
+(** OpenFlow 1.2-style controller role. A [Slave] keeps the channel
+    alive (handshake, echo, reads) but its state-changing sends —
+    [Flow_mod] and [Packet_out] — are suppressed and counted. Standby
+    cluster replicas hold their switch connections as slaves until
+    failover promotes them. *)
+
 type t
 
 val create :
@@ -35,6 +42,14 @@ val set_fault_profile : t -> Rf_sim.Rng.t -> Rf_sim.Faults.chan_profile -> unit
     framing is never corrupted — and the handshake openers (Hello,
     Features_request) are exempt from drop/duplication since nothing
     retries them. *)
+
+val set_role : t -> role -> unit
+(** Connections start as [Master]. *)
+
+val role : t -> role
+
+val suppressed_sends : t -> int
+(** State-changing messages swallowed while in the [Slave] role. *)
 
 val messages_dropped : t -> int
 

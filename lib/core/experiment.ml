@@ -605,6 +605,7 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
       rto_max = Vtime.span_s 4.0;
       max_retries = 3;
       heartbeat_every = Vtime.span_s 1.0;
+      heartbeat_jitter = 0.0;
       dead_after = 3;
       resync = true;
     }
@@ -625,9 +626,9 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
         Rf_sim.Faults.(
           plan
             [
-              controller_crash ~at_s:crash_at_s;
+              controller_crash ~at_s:crash_at_s ();
               cut;
-              controller_recover ~at_s:recover_at_s;
+              controller_recover ~at_s:recover_at_s ();
             ])
       else Rf_sim.Faults.plan [ cut ]
     in
@@ -1045,9 +1046,8 @@ type traffic_result = {
    so some flows must cross the sw2-sw3 link that the fault plans cut
    (h02->h03 has no one-hop alternative) and some act as controls on
    the far side of the ring. *)
-let traffic_spec ~switches ~horizon_s =
+let traffic_spec ?(start_s = 20.0) ~switches ~horizon_s () =
   let h i = Printf.sprintf "h%02d" (((i - 1) mod switches) + 1) in
-  let start_s = 20.0 in
   let stop_s = horizon_s -. 10.0 in
   let on_dur = stop_s -. start_s in
   let web_pairs =
@@ -1082,7 +1082,7 @@ let traffic_link_capacity =
    fault plan, and the standard workload through the live data plane. *)
 let traffic_ring_run ?telemetry ~label ~seed ~switches ~horizon_s ~faults
     ~resync () =
-  let spec = traffic_spec ~switches ~horizon_s in
+  let spec = traffic_spec ~switches ~horizon_s () in
   let topo = Topo_gen.ring switches in
   for i = 1 to switches do
     let name = Printf.sprintf "h%02d" i in
@@ -1097,6 +1097,7 @@ let traffic_ring_run ?telemetry ~label ~seed ~switches ~horizon_s ~faults
       rto_max = Vtime.span_s 4.0;
       max_retries = 3;
       heartbeat_every = Vtime.span_s 1.0;
+      heartbeat_jitter = 0.0;
       dead_after = 3;
       resync;
     }
@@ -1180,9 +1181,9 @@ let traffic_disruption ?(seed = 42) ?(switches = 8) ?(fail_at_s = 40.0)
         (Rf_sim.Faults.(
            plan
              [
-               controller_crash ~at_s:(fail_at_s -. 2.0);
+               controller_crash ~at_s:(fail_at_s -. 2.0) ();
                cut_fault fail_at_s;
-               controller_recover ~at_s:(fail_at_s +. manual_response_s);
+               controller_recover ~at_s:(fail_at_s +. manual_response_s) ();
              ]))
       ~resync:true ()
   in
@@ -1191,9 +1192,9 @@ let traffic_disruption ?(seed = 42) ?(switches = 8) ?(fail_at_s = 40.0)
     Rf_sim.Faults.(
       plan
         [
-          controller_crash ~at_s:crash_at_s;
+          controller_crash ~at_s:crash_at_s ();
           cut_fault cut_at_s;
-          controller_recover ~at_s:recover_at_s;
+          controller_recover ~at_s:recover_at_s ();
         ])
   in
   let reconciled =
@@ -1362,6 +1363,250 @@ let traffic_scaling ?(seed = 42) ?(k = 20) ?(pairs_per_host = 2)
     ts_events = Rf_sim.Engine.events_executed engine;
     ts_elapsed_s = elapsed;
   }
+
+(* --- E9: controller-cluster failover under live traffic ------------- *)
+
+type cluster_run = {
+  cw_traffic : traffic_run;
+  cw_replicas : int;
+  cw_digest : string;  (** {!rf_state_digest} at the end of the run *)
+  cw_elections : int;
+  cw_failovers : int;
+  cw_failover_s : float option;
+      (** most recent leaderless interval, fault to re-election *)
+  cw_leader : int option;
+  cw_epoch : int32;
+  cw_agree : bool;  (** live replicas end on the same committed log *)
+  cw_applied : int;  (** committed entries surfaced to RouteFlow *)
+  cw_reassignments : int;  (** switch sessions whose OpenFlow role flipped *)
+  cw_rejected : int;  (** mutations fenced off outside the commit path *)
+}
+
+(* One measured scenario run like [traffic_ring_run], but with the
+   RF-controller replicated [replicas] ways ([1] keeps the legacy
+   single controller, so the baseline goes through the same code). *)
+let cluster_ring_run ?telemetry ~label ~seed ~switches ~replicas ~horizon_s
+    ~traffic_start_s ~parallel_boot ~faults () =
+  let spec = traffic_spec ~start_s:traffic_start_s ~switches ~horizon_s () in
+  let topo = Topo_gen.ring switches in
+  for i = 1 to switches do
+    let name = Printf.sprintf "h%02d" i in
+    Topology.add_host topo name;
+    ignore
+      (Topology.connect topo (Topology.Host name)
+         (Topology.Switch (Int64.of_int i)))
+  done;
+  let rpc_params =
+    {
+      Rf_rpc.Rpc_client.rto = Vtime.span_s 0.5;
+      rto_max = Vtime.span_s 4.0;
+      max_retries = 3;
+      heartbeat_every = Vtime.span_s 1.0;
+      heartbeat_jitter = 0.0;
+      dead_after = 3;
+      resync = true;
+    }
+  in
+  let options =
+    {
+      Scenario.default_options with
+      seed;
+      rf_params = params ~vm_boot_s:2.0 ~parallel_boot ();
+      rpc_params;
+      faults;
+      link_capacity = Some traffic_link_capacity;
+      cluster_replicas = replicas;
+    }
+  in
+  let s = Scenario.build ~options topo in
+  let engine = Scenario.engine s in
+  let measure =
+    Traffic_measure.create engine
+      ~loss_timeout_s:spec.Traffic_spec.loss_timeout_s ()
+  in
+  let fabric =
+    Traffic_gen.live_fabric measure
+      ~hosts:(Rf_net.Network.hosts (Scenario.network s))
+  in
+  let rng = Rf_sim.Rng.create (seed + 1009) in
+  ignore (Traffic_gen.start engine ~rng ~measure ~fabric spec);
+  Scenario.run_for s (Vtime.span_s horizon_s);
+  Traffic_measure.finalize measure;
+  (match telemetry with
+  | Some path ->
+      Scenario.write_telemetry s path
+        ~meta:
+          [
+            ("experiment", "cluster");
+            ("run", label);
+            ("flows", string_of_int (Traffic_measure.flow_count measure));
+            ("offered", string_of_int (Traffic_measure.total_offered measure));
+            ( "delivered",
+              string_of_int (Traffic_measure.total_delivered measure) );
+            ("lost", string_of_int (Traffic_measure.total_lost measure));
+            ( "disruption_s",
+              Printf.sprintf "%.3f" (Traffic_measure.disruption_seconds measure)
+            );
+          ]
+  | None -> ());
+  let traffic =
+    {
+      tw_label = label;
+      tw_flows = Traffic_measure.flow_count measure;
+      tw_offered = Traffic_measure.total_offered measure;
+      tw_delivered = Traffic_measure.total_delivered measure;
+      tw_lost = Traffic_measure.total_lost measure;
+      tw_disrupted_flows = Traffic_measure.disrupted_flows measure;
+      tw_window = Traffic_measure.disruption_window measure;
+      tw_disruption_s = Traffic_measure.disruption_seconds measure;
+      tw_reconverged_s = to_s_opt (Scenario.reconverged_at s);
+      tw_queue_dropped =
+        Rf_net.Network.queue_dropped_frames (Scenario.network s);
+      tw_classes = Traffic_measure.summaries measure;
+    }
+  in
+  let elections, failovers, failover_s, leader, epoch, agree, applied =
+    match Scenario.cluster s with
+    | Some cl ->
+        ( Rf_rpc.Cluster.elections cl,
+          Rf_rpc.Cluster.failovers cl,
+          Rf_rpc.Cluster.last_failover_s cl,
+          Rf_rpc.Cluster.leader cl,
+          Rf_rpc.Cluster.leader_epoch cl,
+          Rf_rpc.Cluster.converged cl,
+          Rf_rpc.Cluster.applied cl )
+    | None -> (0, 0, None, None, 0l, true, 0)
+  in
+  {
+    cw_traffic = traffic;
+    cw_replicas = replicas;
+    cw_digest = rf_state_digest s;
+    cw_elections = elections;
+    cw_failovers = failovers;
+    cw_failover_s = failover_s;
+    cw_leader = leader;
+    cw_epoch = epoch;
+    cw_agree = agree;
+    cw_applied = applied;
+    cw_reassignments =
+      Rf_routeflow.Rf_controller_app.reassignments (Scenario.rf_app s);
+    cw_rejected = Rf_system.mutations_rejected (Scenario.rf_system s);
+  }
+
+type cluster_result = {
+  cf_seed : int;
+  cf_switches : int;
+  cf_replicas : int;
+  cf_crash_at_s : float;
+  cf_cut_at_s : float;
+  cf_recover_at_s : float;
+  cf_manual_response_s : float;
+  cf_auto : cluster_run;  (** replicated: leader crash, automatic failover *)
+  cf_legacy : cluster_run;
+      (** single controller: same crash needs the operator *)
+  cf_digest_match : bool;
+      (** both deployments configured the network identically *)
+  cf_auto_shorter : bool;
+}
+
+let cluster_failover ?(seed = 42) ?(switches = 28) ?(replicas = 3)
+    ?(crash_at_s = 30.0) ?(cut_at_s = 36.0) ?(recover_at_s = 60.0)
+    ?(manual_response_s = 25.0) ?(horizon_s = 120.0) ?(traffic_start_s = 20.0)
+    ?(parallel_boot = 4) ?telemetry () =
+  if switches < 8 then invalid_arg "cluster_failover: need a ring of >= 8";
+  if replicas < 3 then invalid_arg "cluster_failover: need >= 3 replicas";
+  if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
+    invalid_arg "cluster_failover: need crash < cut < recover";
+  let cut_fault at = Rf_sim.Faults.link_down ~at_s:at 2L 3L in
+  (* Replicated: the acting leader (replica 0, the deterministic
+     bootstrap winner) dies just before the link cut. The survivors
+     elect a new leader within seconds, it takes the switch sessions
+     back as master, and the cut is rerouted as if nothing happened to
+     the control plane. Replica 0 later rejoins as a follower. *)
+  let auto =
+    cluster_ring_run ?telemetry ~label:"automatic" ~seed ~switches ~replicas
+      ~horizon_s ~traffic_start_s ~parallel_boot
+      ~faults:
+        Rf_sim.Faults.(
+          plan
+            [
+              controller_crash ~at_s:crash_at_s ~replica:0 ();
+              cut_fault cut_at_s;
+              controller_recover ~at_s:recover_at_s ~replica:0 ();
+            ])
+      ()
+  in
+  (* Single controller: the same crash takes the whole control plane
+     down across the cut; the operator notices and restarts it only
+     [manual_response_s] later, and resync reconciles from there. *)
+  let legacy =
+    cluster_ring_run ~label:"legacy" ~seed ~switches ~replicas:1 ~horizon_s
+      ~traffic_start_s ~parallel_boot
+      ~faults:
+        Rf_sim.Faults.(
+          plan
+            [
+              controller_crash ~at_s:crash_at_s ();
+              cut_fault cut_at_s;
+              controller_recover ~at_s:(crash_at_s +. manual_response_s) ();
+            ])
+      ()
+  in
+  {
+    cf_seed = seed;
+    cf_switches = switches;
+    cf_replicas = replicas;
+    cf_crash_at_s = crash_at_s;
+    cf_cut_at_s = cut_at_s;
+    cf_recover_at_s = recover_at_s;
+    cf_manual_response_s = manual_response_s;
+    cf_auto = auto;
+    cf_legacy = legacy;
+    cf_digest_match = String.equal auto.cw_digest legacy.cw_digest;
+    cf_auto_shorter =
+      auto.cw_traffic.tw_disruption_s < legacy.cw_traffic.tw_disruption_s;
+  }
+
+let print_cluster ppf (r : cluster_result) =
+  Format.fprintf ppf
+    "Cluster failover — %d-switch ring, %d RF-controller replicas, 10 \
+     Mbit/s links@."
+    r.cf_switches r.cf_replicas;
+  Format.fprintf ppf
+    "scenario: leader crash at t=%.0fs, link sw2-sw3 cut at t=%.0fs, \
+     crashed replica back at t=%.0fs@."
+    r.cf_crash_at_s r.cf_cut_at_s r.cf_recover_at_s;
+  print_traffic_run ppf r.cf_auto.cw_traffic;
+  Format.fprintf ppf
+    "  cluster: %d elections, %d failover(s), re-election in %s; leader %s \
+     epoch %ld@."
+    r.cf_auto.cw_elections r.cf_auto.cw_failovers
+    (match r.cf_auto.cw_failover_s with
+    | Some s -> Printf.sprintf "%.3f s" s
+    | None -> "-")
+    (match r.cf_auto.cw_leader with
+    | Some l -> string_of_int l
+    | None -> "none")
+    r.cf_auto.cw_epoch;
+  Format.fprintf ppf
+    "  cluster: replicas agree on committed log %b, %d entries applied, %d \
+     fenced mutations, %d session role flips@."
+    r.cf_auto.cw_agree r.cf_auto.cw_applied r.cf_auto.cw_rejected
+    r.cf_auto.cw_reassignments;
+  Format.fprintf ppf
+    "legacy baseline: single controller, operator restarts it %.0f s after \
+     the crash@."
+    r.cf_manual_response_s;
+  print_traffic_run ppf r.cf_legacy.cw_traffic;
+  Format.fprintf ppf "  RF state digest (cluster): %s@." r.cf_auto.cw_digest;
+  Format.fprintf ppf "  RF state digest (legacy):  %s@." r.cf_legacy.cw_digest;
+  Format.fprintf ppf
+    "  both deployments configured the network identically: %b@."
+    r.cf_digest_match;
+  Format.fprintf ppf
+    "  automatic disruption strictly shorter than legacy: %b@."
+    r.cf_auto_shorter;
+  Format.fprintf ppf "  seed %d@." r.cf_seed
 
 let print_traffic_scaling ?(show_rate = false) ppf (r : traffic_scale_result) =
   Format.fprintf ppf

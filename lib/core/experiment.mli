@@ -329,10 +329,13 @@ type traffic_result = {
       (** automatic disruption strictly shorter than manual *)
 }
 
-val traffic_spec : switches:int -> horizon_s:float -> Rf_traffic.Spec.t
+val traffic_spec :
+  ?start_s:float -> switches:int -> horizon_s:float -> unit -> Rf_traffic.Spec.t
 (** The standard E6 workload: a CBR "video" class (some pairs forced
     across the sw2-sw3 cut), an on-off "bursty" class, and a Poisson
-    "web" class with heavy-tailed aggregated flows. *)
+    "web" class with heavy-tailed aggregated flows. [start_s] (default
+    20, the E6 value) delays every class — large rings need the
+    network configured before measuring it. *)
 
 val traffic_disruption :
   ?seed:int ->
@@ -389,3 +392,65 @@ val print_traffic_scaling :
   ?show_rate:bool -> Format.formatter -> traffic_scale_result -> unit
 (** With [show_rate] the (non-deterministic) events/sec line is
     included; leave it off for fingerprinted summaries. *)
+
+(** {1 E9 — controller-cluster failover under live traffic} *)
+
+type cluster_run = {
+  cw_traffic : traffic_run;
+  cw_replicas : int;
+  cw_digest : string;  (** RF-side state digest at the end of the run *)
+  cw_elections : int;
+  cw_failovers : int;
+  cw_failover_s : float option;
+      (** most recent leaderless interval, fault to re-election *)
+  cw_leader : int option;
+  cw_epoch : int32;
+  cw_agree : bool;  (** live replicas end on the same committed log *)
+  cw_applied : int;  (** committed entries surfaced to RouteFlow *)
+  cw_reassignments : int;  (** switch sessions whose OpenFlow role flipped *)
+  cw_rejected : int;  (** mutations fenced off outside the commit path *)
+}
+
+type cluster_result = {
+  cf_seed : int;
+  cf_switches : int;
+  cf_replicas : int;
+  cf_crash_at_s : float;
+  cf_cut_at_s : float;
+  cf_recover_at_s : float;
+  cf_manual_response_s : float;
+  cf_auto : cluster_run;  (** replicated: leader crash, automatic failover *)
+  cf_legacy : cluster_run;
+      (** single controller: same crash needs the operator *)
+  cf_digest_match : bool;
+      (** both deployments configured the network identically *)
+  cf_auto_shorter : bool;
+}
+
+val cluster_failover :
+  ?seed:int ->
+  ?switches:int ->
+  ?replicas:int ->
+  ?crash_at_s:float ->
+  ?cut_at_s:float ->
+  ?recover_at_s:float ->
+  ?manual_response_s:float ->
+  ?horizon_s:float ->
+  ?traffic_start_s:float ->
+  ?parallel_boot:int ->
+  ?telemetry:string ->
+  unit ->
+  cluster_result
+(** Two measured runs of the standard E6 workload on a ring with 10
+    Mbit/s links: the replicated deployment loses its acting leader
+    (replica 0, the deterministic bootstrap winner) just before the
+    sw2-sw3 cut and fails over automatically, while the
+    single-controller baseline suffers the same crash and waits
+    [manual_response_s] for the operator. Both must end on the same
+    RF-side state digest. [telemetry] writes the automatic run's
+    span/event JSONL. At large ring sizes raise [parallel_boot],
+    [traffic_start_s] and the fault times so provisioning completes
+    before the measurement starts. *)
+
+val print_cluster : Format.formatter -> cluster_result -> unit
+(** Deterministic: safe to fingerprint (no wall-clock content). *)

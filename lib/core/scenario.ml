@@ -19,6 +19,9 @@ type options = {
   ip_range : Ipv4_addr.Prefix.t;
   faults : Rf_sim.Faults.plan;
   link_capacity : Rf_net.Link.capacity option;
+  cluster_replicas : int;
+      (** RF-controller replicas; 1 = the legacy single controller
+          (no cluster machinery is instantiated at all) *)
 }
 
 let default_options =
@@ -32,6 +35,7 @@ let default_options =
     ip_range = Ipv4_addr.Prefix.of_string_exn "172.16.0.0/16";
     faults = Rf_sim.Faults.empty;
     link_capacity = None;
+    cluster_replicas = 1;
   }
 
 type host_plan = { hp_subnet : Ipv4_addr.Prefix.t; hp_ip : Ipv4_addr.t }
@@ -47,6 +51,7 @@ type t = {
   rf_app : Rf_controller_app.t;
   rpc_client : Rf_rpc.Rpc_client.t;
   rpc_server : Rf_rpc.Rpc_server.t;
+  cluster : Rf_rpc.Cluster.t option;
   gui : Gui.t;
   host_plans : (string * host_plan) list;
   n_switches : int;
@@ -114,6 +119,19 @@ let build ?(options = default_options) topo =
       Rf_rpc.Rpc_server.set_fault_profile rpc_server
         (Rf_sim.Rng.split faults_rng) profile
   | None -> ());
+  (* Replicated control plane (opt-in): the frontend RPC session stays
+     as-is, but configuration messages are committed through a leader
+     before touching the RouteFlow state. Replica rngs derive from the
+     root without advancing it, so single-controller runs stay
+     bit-identical. *)
+  let cluster =
+    if options.cluster_replicas > 1 then
+      Some
+        (Rf_rpc.Cluster.create engine
+           ~rng:(Rf_sim.Rng.derive (Rf_sim.Engine.rng engine) 0x636c)
+           ~replicas:options.cluster_replicas ())
+    else None
+  in
   let apply_msg msg =
     match msg with
     | Rf_rpc.Rpc_msg.Switch_up { dpid; n_ports } ->
@@ -132,7 +150,32 @@ let build ?(options = default_options) topo =
         Rf_system.edge_config rf_sys ~dpid:e.dpid ~port:e.port
           ~gateway:e.gateway ~prefix_len:e.prefix_len
   in
-  Rf_rpc.Rpc_server.set_handler rpc_server apply_msg;
+  (* How a delivered configuration message reaches the RouteFlow state:
+     directly in the legacy deployment, via replicated-log commit in
+     the clustered one. *)
+  let ingest =
+    match cluster with
+    | None -> apply_msg
+    | Some cl ->
+        (* Leader fence: mutations are only legal from inside a commit
+           callback, so a deposed leader (or any stray path) cannot
+           touch the state. *)
+        let in_commit = ref false in
+        Rf_system.set_mutation_guard rf_sys (fun () -> !in_commit);
+        Rf_rpc.Cluster.set_on_apply cl (fun msg ->
+            in_commit := true;
+            apply_msg msg;
+            in_commit := false);
+        (* Switch failover: while leaderless the OpenFlow sessions are
+           parked as slaves; the new leader takes them back as master
+           and idempotently re-applies the installed flows. *)
+        Rf_rpc.Cluster.set_on_failover cl (fun () ->
+            Rf_controller_app.set_master rf_app false);
+        Rf_rpc.Cluster.set_on_leader_change cl (fun _leader ->
+            Rf_controller_app.set_master rf_app true);
+        fun msg -> Rf_rpc.Cluster.submit cl msg
+  in
+  Rf_rpc.Rpc_server.set_handler rpc_server ingest;
   (* Anti-entropy: the topology controller's snapshot is the desired
      state. Tear down switches and virtual links it no longer contains,
      then push every message through the ordinary (idempotent) handler
@@ -145,20 +188,30 @@ let build ?(options = default_options) topo =
             | _ -> false)
           msgs
       in
-      List.iter
-        (fun dpid ->
-          if not (want_switch dpid) then Rf_system.switch_down rf_sys ~dpid)
-        (Rf_system.switches_known rf_sys);
-      let keep =
-        List.filter_map
-          (function
-            | Rf_rpc.Rpc_msg.Link_up l ->
-                Some ((l.a_dpid, l.a_port), (l.b_dpid, l.b_port))
-            | _ -> None)
-          msgs
-      in
-      Rf_system.prune_vlinks rf_sys ~keep;
-      List.iter apply_msg msgs);
+      (match cluster with
+      | None ->
+          List.iter
+            (fun dpid ->
+              if not (want_switch dpid) then Rf_system.switch_down rf_sys ~dpid)
+            (Rf_system.switches_known rf_sys);
+          let keep =
+            List.filter_map
+              (function
+                | Rf_rpc.Rpc_msg.Link_up l ->
+                    Some ((l.a_dpid, l.a_port), (l.b_dpid, l.b_port))
+                | _ -> None)
+              msgs
+          in
+          Rf_system.prune_vlinks rf_sys ~keep
+      | Some _ ->
+          (* clustered: the teardown must survive failover too, so it
+             rides the log as ordinary Switch_down entries *)
+          List.iter
+            (fun dpid ->
+              if not (want_switch dpid) then
+                ingest (Rf_rpc.Rpc_msg.Switch_down { dpid }))
+            (Rf_system.switches_known rf_sys));
+      List.iter ingest msgs);
 
   (* Topology controller side. *)
   let disc = Discovery.create engine ~probe_interval:options.probe_interval () in
@@ -223,9 +276,23 @@ let build ?(options = default_options) topo =
       inj_vm_boot_failure =
         (fun ~dpid ~failures -> Rf_system.arm_boot_failures rf_sys ~dpid ~failures);
       inj_controller =
-        (fun ~up ->
-          if up then Rf_rpc.Rpc_server.restart rpc_server
-          else Rf_rpc.Rpc_server.crash rpc_server);
+        (fun ~up replica ->
+          match cluster with
+          | Some cl ->
+              if up then Rf_rpc.Cluster.restart cl replica
+              else Rf_rpc.Cluster.crash cl replica
+          | None ->
+              (* legacy single controller: the replica id is moot *)
+              if up then Rf_rpc.Rpc_server.restart rpc_server
+              else Rf_rpc.Rpc_server.crash rpc_server);
+      inj_partition =
+        (fun p ->
+          match cluster with
+          | Some cl -> (
+              match p with
+              | Some (a, b) -> Rf_rpc.Cluster.partition cl a b
+              | None -> Rf_rpc.Cluster.heal cl)
+          | None -> ());
     }
   in
   let fault_handle = Rf_sim.Faults.schedule engine injector options.faults in
@@ -241,6 +308,7 @@ let build ?(options = default_options) topo =
       rf_app;
       rpc_client;
       rpc_server;
+      cluster;
       gui;
       host_plans;
       n_switches;
@@ -332,6 +400,8 @@ let rpc_client t = t.rpc_client
 
 let rpc_server t = t.rpc_server
 
+let cluster t = t.cluster
+
 let gui t = t.gui
 
 let host t name = Network.host t.net name
@@ -398,6 +468,23 @@ let telemetry_meta t =
   @ opt_s "reconverged_s" (reconverged_at t)
   @ nonzero "fault_events" (Rf_sim.Faults.fired_count t.fault_handle)
   @ nonzero "trace_dropped" (trace_dropped t)
+  @
+  (* cluster keys appear only in clustered runs, so single-controller
+     telemetry (and its pinned fingerprints) is unchanged *)
+  match t.cluster with
+  | None -> []
+  | Some cl ->
+      [
+        ("replicas", string_of_int (Rf_rpc.Cluster.replicas cl));
+        ("elections", string_of_int (Rf_rpc.Cluster.elections cl));
+        ("leader_epoch", Int32.to_string (Rf_rpc.Cluster.leader_epoch cl));
+      ]
+      @ (match Rf_rpc.Cluster.leader cl with
+        | Some l -> [ ("leader", string_of_int l) ]
+        | None -> [])
+      @ (match Rf_rpc.Cluster.last_failover_s cl with
+        | Some s -> [ ("failover_s", Printf.sprintf "%.3f" s) ]
+        | None -> [])
 
 let telemetry_jsonl ?(meta = []) t =
   Rf_obs.Export.jsonl

@@ -26,6 +26,13 @@ type options = {
       (** when set, applied to every data-plane link at build time so
           congestion and blackholing produce real loss (default [None]:
           ideal links, the pre-traffic behaviour) *)
+  cluster_replicas : int;
+      (** RF-controller replicas. 1 (default) keeps the legacy single
+          controller with no cluster machinery at all; >= 2 routes
+          every configuration message through a replicated log
+          ({!Rf_rpc.Cluster}) with leader election, guards the
+          RouteFlow state behind the commit path, and fails switch
+          OpenFlow sessions over to each new leader *)
 }
 
 val default_options : options
@@ -56,6 +63,9 @@ val rf_app : t -> Rf_routeflow.Rf_controller_app.t
 val rpc_client : t -> Rf_rpc.Rpc_client.t
 
 val rpc_server : t -> Rf_rpc.Rpc_server.t
+
+val cluster : t -> Rf_rpc.Cluster.t option
+(** The controller cluster; [None] unless [cluster_replicas >= 2]. *)
 
 val gui : t -> Gui.t
 

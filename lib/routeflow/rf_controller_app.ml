@@ -8,6 +8,8 @@ type t = {
   engine : Rf_sim.Engine.t;
   vs : Rf_vs.t;
   switches : (int64, sw) Hashtbl.t;
+  mutable master : bool;
+  mutable reassignments : int;
   mutable flow_mods : int;
   mutable pkt_in : int;
   mutable pkt_out : int;
@@ -24,6 +26,8 @@ let create engine vs =
       engine;
       vs;
       switches = Hashtbl.create 64;
+      master = true;
+      reassignments = 0;
       flow_mods = 0;
       pkt_in = 0;
       pkt_out = 0;
@@ -39,6 +43,7 @@ let create engine vs =
 
 let attach t ~dpid:_ endpoint =
   let conn = Of_conn.create t.engine endpoint in
+  if not t.master then Of_conn.set_role conn Of_conn.Slave;
   Of_conn.set_on_handshake conn (fun features ->
       let dpid = features.Of_msg.datapath_id in
       Hashtbl.replace t.switches dpid { conn; installed = [] };
@@ -114,6 +119,36 @@ let sync_flows t ~dpid flows =
           Of_conn.flow_mod sw.conn (flow_mod_of_route ~add:true f))
         fresh;
       sw.installed <- flows
+
+(* Failover reassignment: flip every switch session's OpenFlow role.
+   On promotion, re-send the flows we believe installed — a flow_add
+   with the same match and priority replaces in place, so re-applying
+   over whatever the switch already holds is idempotent; any mods the
+   slave suppressed while standing by are thereby made good. *)
+let set_master t master =
+  if t.master <> master then begin
+    t.master <- master;
+    let role = if master then Of_conn.Master else Of_conn.Slave in
+    Hashtbl.iter
+      (fun dpid sw ->
+        t.reassignments <- t.reassignments + 1;
+        Of_conn.set_role sw.conn role;
+        Rf_sim.Engine.record t.engine ~component:"rf-controller"
+          ~event:"role-reassign"
+          (Printf.sprintf "sw%Ld -> %s" dpid
+             (if master then "master" else "slave"));
+        if master then
+          List.iter
+            (fun f ->
+              t.flow_mods <- t.flow_mods + 1;
+              Of_conn.flow_mod sw.conn (flow_mod_of_route ~add:true f))
+            sw.installed)
+      t.switches
+  end
+
+let is_master t = t.master
+
+let reassignments t = t.reassignments
 
 let installed_flows t dpid =
   match Hashtbl.find_opt t.switches dpid with

@@ -24,6 +24,19 @@ val sync_flows : t -> dpid:int64 -> Vm.flow_route list -> unit
     (strict), adds new ones. Route-prefix priority grows with prefix
     length so host routes beat subnet routes. *)
 
+val set_master : t -> bool -> unit
+(** Cluster failover hook: flips every switch session's OpenFlow role
+    (and the role future attaches start in). Demotion parks the
+    connections as slaves — state-changing sends are suppressed at the
+    connection layer. Promotion re-pushes the flows believed installed
+    on each switch; same-match same-priority adds replace in place, so
+    the re-apply is idempotent. Apps start as master. *)
+
+val is_master : t -> bool
+
+val reassignments : t -> int
+(** Switch sessions whose role was flipped by {!set_master}. *)
+
 val installed_flows : t -> int64 -> Vm.flow_route list
 
 val flow_mods_sent : t -> int

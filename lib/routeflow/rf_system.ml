@@ -44,6 +44,10 @@ type t = {
   boot_faults : (int64, int ref) Hashtbl.t;
       (** armed clone failures remaining, per dpid *)
   mutable boot_failures : int;
+  mutable mutation_guard : unit -> bool;
+      (** consulted before every configuration mutation; in clustered
+          deployments only the committed-entry apply path may pass *)
+  mutable mutations_rejected : int;
   m_boots : Rf_obs.Metrics.counter;
   m_boot_failures : Rf_obs.Metrics.counter;
   m_provision : Rf_obs.Metrics.histogram;
@@ -68,6 +72,8 @@ let create engine app vs params =
     on_vm_ready = (fun _ -> ());
     boot_faults = Hashtbl.create 4;
     boot_failures = 0;
+    mutation_guard = (fun () -> true);
+    mutations_rejected = 0;
     m_boots =
       Rf_obs.Metrics.counter
         (Rf_sim.Engine.metrics engine)
@@ -293,8 +299,19 @@ and finish_boot t ss =
   (* Any configuration that arrived while the VM was booting. *)
   schedule_apply t ss
 
+(* Every configuration mutation funnels through the guard: a replica
+   that lost leadership (but does not know yet) keeps calling these,
+   and must not corrupt the state the new leader owns. *)
+let permitted t op =
+  t.mutation_guard ()
+  ||
+  (t.mutations_rejected <- t.mutations_rejected + 1;
+   Rf_sim.Engine.record t.engine ~component:"rf-server"
+     ~event:"mutation-rejected" op;
+   false)
+
 let switch_up t ~dpid ~n_ports =
-  if not (Hashtbl.mem t.switches dpid) then begin
+  if permitted t "switch-up" && not (Hashtbl.mem t.switches dpid) then begin
     let ss =
       {
         ss_dpid = dpid;
@@ -318,7 +335,9 @@ let switch_up t ~dpid ~n_ports =
   end
 
 let switch_down t ~dpid =
-  match Hashtbl.find_opt t.switches dpid with
+  match
+    if permitted t "switch-down" then Hashtbl.find_opt t.switches dpid else None
+  with
   | None -> ()
   | Some ss ->
       (match ss.ss_vm with
@@ -344,6 +363,7 @@ let switch_down t ~dpid =
 
 let link_config t ~a:(a_dpid, a_port, a_ip, a_len) ~b:(b_dpid, b_port, b_ip, b_len)
     =
+  if permitted t "link-config" then begin
   let record dpid port ip len =
     match Hashtbl.find_opt t.switches dpid with
     | None ->
@@ -357,6 +377,7 @@ let link_config t ~a:(a_dpid, a_port, a_ip, a_len) ~b:(b_dpid, b_port, b_ip, b_l
   record b_dpid b_port b_ip b_len;
   let link = ((a_dpid, a_port), (b_dpid, b_port)) in
   if not (List.mem link t.vlinks) then t.vlinks <- link :: t.vlinks
+  end
 
 let set_nic_state t (dpid, port) up =
   match Hashtbl.find_opt t.switches dpid with
@@ -365,17 +386,23 @@ let set_nic_state t (dpid, port) up =
   | Some _ | None -> ()
 
 let link_down t ~a ~b =
-  Rf_vs.disconnect_ports t.vs ~a ~b;
-  set_nic_state t a false;
-  set_nic_state t b false
+  if permitted t "link-down" then begin
+    Rf_vs.disconnect_ports t.vs ~a ~b;
+    set_nic_state t a false;
+    set_nic_state t b false
+  end
 
 let link_up_again t ~a ~b =
-  set_nic_state t a true;
-  set_nic_state t b true;
-  reconcile_vlinks t
+  if permitted t "link-up" then begin
+    set_nic_state t a true;
+    set_nic_state t b true;
+    reconcile_vlinks t
+  end
 
 let edge_config t ~dpid ~port ~gateway ~prefix_len =
-  match Hashtbl.find_opt t.switches dpid with
+  match
+    if permitted t "edge-config" then Hashtbl.find_opt t.switches dpid else None
+  with
   | None -> ()
   | Some ss ->
       Hashtbl.replace ss.ss_nics port
@@ -389,6 +416,7 @@ let switches_known t =
   |> List.sort Int64.compare
 
 let prune_vlinks t ~keep =
+  if permitted t "prune-vlinks" then begin
   let keeps link =
     let ((a, b) : (int64 * int) * (int64 * int)) = link in
     List.exists (fun (ka, kb) -> (ka = a && kb = b) || (ka = b && kb = a)) keep
@@ -405,6 +433,7 @@ let prune_vlinks t ~keep =
         (Printf.sprintf "sw%Ld/%d <-> sw%Ld/%d" (fst a) (snd a) (fst b) (snd b)))
     stale;
   if stale <> [] then t.vlinks <- List.filter keeps t.vlinks
+  end
 
 let vm t dpid =
   match Hashtbl.find_opt t.switches dpid with
@@ -423,6 +452,10 @@ let is_configured t dpid = vm t dpid <> None
 let configured_count t = List.length (vms t)
 
 let set_on_vm_ready t f = t.on_vm_ready <- f
+
+let set_mutation_guard t f = t.mutation_guard <- f
+
+let mutations_rejected t = t.mutations_rejected
 
 let arm_boot_failures t ~dpid ~failures =
   if failures < 0 then invalid_arg "Rf_system.arm_boot_failures: negative count";

@@ -93,6 +93,17 @@ val configured_count : t -> int
 
 val set_on_vm_ready : t -> (int64 -> unit) -> unit
 
+val set_mutation_guard : t -> (unit -> bool) -> unit
+(** Installed by clustered deployments: every configuration mutation
+    ({!switch_up}, {!switch_down}, {!link_config}, {!link_down},
+    {!link_up_again}, {!edge_config}, {!prune_vlinks}) first consults
+    the guard and is dropped (and counted) when it returns [false].
+    Default: always allow. This is the fence that keeps a deposed
+    leader from mutating state the new leader owns. *)
+
+val mutations_rejected : t -> int
+(** Configuration mutations dropped by the guard. *)
+
 (** {1 Fault injection} *)
 
 val arm_boot_failures : t -> dpid:int64 -> failures:int -> unit

@@ -8,6 +8,10 @@ type params = {
   rto_max : Vtime.span;
   max_retries : int;
   heartbeat_every : Vtime.span;
+  heartbeat_jitter : float;
+      (** extra seeded-uniform fraction of [heartbeat_every] added to
+          each tick, so co-seeded failure detectors don't fire in
+          lockstep; 0 keeps the historical fixed cadence *)
   dead_after : int;
   resync : bool;
 }
@@ -18,6 +22,9 @@ let default_params =
     rto_max = Vtime.span_s 30.0;
     max_retries = 10;
     heartbeat_every = Vtime.span_s 5.0;
+    (* The pinned experiment fingerprints (E1/E3/E4/E6/E7) encode the
+       unjittered cadence; cluster scenarios opt into jitter. *)
+    heartbeat_jitter = 0.0;
     dead_after = 3;
     resync = true;
   }
@@ -77,6 +84,11 @@ let body_kind = function
   | Rpc_msg.Ping -> "ping"
   | Rpc_msg.Pong -> "pong"
   | Rpc_msg.Sync_request -> "sync-request"
+  | Rpc_msg.Elect_request _ -> "elect-request"
+  | Rpc_msg.Elect_vote _ -> "elect-vote"
+  | Rpc_msg.Leader_heartbeat _ -> "leader-heartbeat"
+  | Rpc_msg.Replicate _ -> "replicate"
+  | Rpc_msg.Replicate_ack _ -> "replicate-ack"
 
 (* A Switch_up frame delivers *the* configuration message of the
    switch's RPC phase, so its span nests under that phase span (opened
@@ -252,7 +264,9 @@ let resync t =
           match p.p_body with
           | Rpc_msg.Request _ as body -> send_tracked t body
           | Rpc_msg.Sync_snapshot _ | Rpc_msg.Ack _ | Rpc_msg.Ping
-          | Rpc_msg.Pong | Rpc_msg.Sync_request ->
+          | Rpc_msg.Pong | Rpc_msg.Sync_request | Rpc_msg.Elect_request _
+          | Rpc_msg.Elect_vote _ | Rpc_msg.Leader_heartbeat _
+          | Rpc_msg.Replicate _ | Rpc_msg.Replicate_ack _ ->
               ())
         old
 
@@ -313,7 +327,9 @@ let handle_envelope t (env : Rpc_msg.envelope) =
   | Rpc_msg.Ack a -> clear_acked t a
   | Rpc_msg.Pong -> ()
   | Rpc_msg.Sync_request -> resync_for t env.Rpc_msg.epoch
-  | Rpc_msg.Request _ | Rpc_msg.Ping | Rpc_msg.Sync_snapshot _ ->
+  | Rpc_msg.Request _ | Rpc_msg.Ping | Rpc_msg.Sync_snapshot _
+  | Rpc_msg.Elect_request _ | Rpc_msg.Elect_vote _ | Rpc_msg.Leader_heartbeat _
+  | Rpc_msg.Replicate _ | Rpc_msg.Replicate_ack _ ->
       (* the server never originates these *)
       ());
   (* Last, so that a resync above (which rebuilds pending under a fresh
@@ -339,6 +355,8 @@ let heartbeat_tick t =
 let create engine ?(params = default_params) chan =
   if params.max_retries < 0 then invalid_arg "Rpc_client: max_retries >= 0";
   if params.dead_after < 1 then invalid_arg "Rpc_client: dead_after >= 1";
+  if params.heartbeat_jitter < 0. then
+    invalid_arg "Rpc_client: heartbeat_jitter >= 0";
   let t =
     {
       engine;
@@ -392,7 +410,27 @@ let create engine ?(params = default_params) chan =
         match Rpc_msg.Framer.input t.framer bytes with
         | Ok envs -> List.iter (handle_envelope t) envs
         | Error e -> record t "framing-error" e);
-  ignore (Engine.periodic engine params.heartbeat_every (fun () -> heartbeat_tick t));
+  (* Heartbeat cadence: fixed interval plus an optional seeded-uniform
+     jitter drawn from a derived generator, so enabling jitter never
+     shifts the draw sequence of any other component. *)
+  if params.heartbeat_jitter = 0. then
+    ignore
+      (Engine.periodic engine params.heartbeat_every (fun () ->
+           heartbeat_tick t))
+  else begin
+    let hb_rng = Rng.derive (Engine.rng engine) 0x4842 in
+    let base_s = Vtime.span_to_s params.heartbeat_every in
+    let rec tick () =
+      let wait =
+        Vtime.span_s (base_s +. Rng.float hb_rng (params.heartbeat_jitter *. base_s))
+      in
+      ignore
+        (Engine.schedule engine wait (fun () ->
+             heartbeat_tick t;
+             tick ()))
+    in
+    tick ()
+  end;
   t
 
 let set_snapshot_provider t f = t.snapshot_provider <- Some f

@@ -29,6 +29,10 @@ type params = {
       (** retransmissions before a frame is parked and the peer is
           declared dead *)
   heartbeat_every : Rf_sim.Vtime.span;
+  heartbeat_jitter : float;
+      (** extra uniform delay per heartbeat, as a fraction of
+          [heartbeat_every]; 0 keeps the fixed cadence the pinned
+          experiment fingerprints encode *)
   dead_after : int;
       (** heartbeat intervals of silence before the peer is presumed
           dead *)

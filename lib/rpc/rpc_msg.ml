@@ -32,6 +32,21 @@ and body =
   | Pong
   | Sync_request
   | Sync_snapshot of t list
+  | Elect_request of { el_epoch : int32; el_candidate : int; el_last : int32 }
+  | Elect_vote of { ev_epoch : int32; ev_voter : int; ev_granted : bool }
+  | Leader_heartbeat of {
+      lh_epoch : int32;
+      lh_leader : int;
+      lh_commit : int32;
+      lh_len : int32;
+    }
+  | Replicate of {
+      rp_epoch : int32;
+      rp_leader : int;
+      rp_index : int32;
+      rp_msg : t;
+    }
+  | Replicate_ack of { ra_epoch : int32; ra_replica : int; ra_index : int32 }
 
 (* Serial (RFC 1982-style) sequence arithmetic: correct ordering across
    int32 wraparound as long as compared values are within 2^31 of each
@@ -98,7 +113,34 @@ let to_wire env =
         invalid_arg "Rpc_msg.to_wire: snapshot too large";
       Wire.Writer.u8 body 5;
       Wire.Writer.u16 body (List.length msgs);
-      List.iter (encode_request body) msgs);
+      List.iter (encode_request body) msgs
+  | Elect_request { el_epoch; el_candidate; el_last } ->
+      Wire.Writer.u8 body 6;
+      Wire.Writer.u32 body el_epoch;
+      Wire.Writer.u16 body el_candidate;
+      Wire.Writer.u32 body el_last
+  | Elect_vote { ev_epoch; ev_voter; ev_granted } ->
+      Wire.Writer.u8 body 7;
+      Wire.Writer.u32 body ev_epoch;
+      Wire.Writer.u16 body ev_voter;
+      Wire.Writer.u8 body (if ev_granted then 1 else 0)
+  | Leader_heartbeat { lh_epoch; lh_leader; lh_commit; lh_len } ->
+      Wire.Writer.u8 body 8;
+      Wire.Writer.u32 body lh_epoch;
+      Wire.Writer.u16 body lh_leader;
+      Wire.Writer.u32 body lh_commit;
+      Wire.Writer.u32 body lh_len
+  | Replicate { rp_epoch; rp_leader; rp_index; rp_msg } ->
+      Wire.Writer.u8 body 9;
+      Wire.Writer.u32 body rp_epoch;
+      Wire.Writer.u16 body rp_leader;
+      Wire.Writer.u32 body rp_index;
+      encode_request body rp_msg
+  | Replicate_ack { ra_epoch; ra_replica; ra_index } ->
+      Wire.Writer.u8 body 10;
+      Wire.Writer.u32 body ra_epoch;
+      Wire.Writer.u16 body ra_replica;
+      Wire.Writer.u32 body ra_index);
   let body = Wire.Writer.contents body in
   let w = Wire.Writer.create ~initial:(4 + String.length body) () in
   Wire.Writer.u32 w (Int32.of_int (String.length body));
@@ -166,6 +208,34 @@ let of_frame frame =
             | Error e -> Error e
         in
         go [] count
+    | 6 ->
+        let el_epoch = Wire.Reader.u32 r in
+        let el_candidate = Wire.Reader.u16 r in
+        let el_last = Wire.Reader.u32 r in
+        Ok (env (Elect_request { el_epoch; el_candidate; el_last }))
+    | 7 ->
+        let ev_epoch = Wire.Reader.u32 r in
+        let ev_voter = Wire.Reader.u16 r in
+        let ev_granted = Wire.Reader.u8 r <> 0 in
+        Ok (env (Elect_vote { ev_epoch; ev_voter; ev_granted }))
+    | 8 ->
+        let lh_epoch = Wire.Reader.u32 r in
+        let lh_leader = Wire.Reader.u16 r in
+        let lh_commit = Wire.Reader.u32 r in
+        let lh_len = Wire.Reader.u32 r in
+        Ok (env (Leader_heartbeat { lh_epoch; lh_leader; lh_commit; lh_len }))
+    | 9 ->
+        let rp_epoch = Wire.Reader.u32 r in
+        let rp_leader = Wire.Reader.u16 r in
+        let rp_index = Wire.Reader.u32 r in
+        Result.map
+          (fun rp_msg -> env (Replicate { rp_epoch; rp_leader; rp_index; rp_msg }))
+          (decode_request r)
+    | 10 ->
+        let ra_epoch = Wire.Reader.u32 r in
+        let ra_replica = Wire.Reader.u16 r in
+        let ra_index = Wire.Reader.u32 r in
+        Ok (env (Replicate_ack { ra_epoch; ra_replica; ra_index }))
     | n -> Error (Printf.sprintf "rpc: unknown envelope kind %d" n)
   with Wire.Truncated -> Error "rpc: truncated"
 
@@ -228,3 +298,18 @@ let pp_body ppf = function
   | Pong -> Format.fprintf ppf "pong"
   | Sync_request -> Format.fprintf ppf "sync-request"
   | Sync_snapshot msgs -> Format.fprintf ppf "sync-snapshot(%d)" (List.length msgs)
+  | Elect_request { el_epoch; el_candidate; el_last } ->
+      Format.fprintf ppf "elect-request e=%ld candidate=%d last=%ld" el_epoch
+        el_candidate el_last
+  | Elect_vote { ev_epoch; ev_voter; ev_granted } ->
+      Format.fprintf ppf "elect-vote e=%ld voter=%d granted=%b" ev_epoch
+        ev_voter ev_granted
+  | Leader_heartbeat { lh_epoch; lh_leader; lh_commit; lh_len } ->
+      Format.fprintf ppf "leader-heartbeat e=%ld leader=%d commit=%ld len=%ld"
+        lh_epoch lh_leader lh_commit lh_len
+  | Replicate { rp_epoch; rp_leader; rp_index; rp_msg } ->
+      Format.fprintf ppf "replicate e=%ld leader=%d idx=%ld (%a)" rp_epoch
+        rp_leader rp_index pp rp_msg
+  | Replicate_ack { ra_epoch; ra_replica; ra_index } ->
+      Format.fprintf ppf "replicate-ack e=%ld replica=%d idx=%ld" ra_epoch
+        ra_replica ra_index

@@ -55,6 +55,26 @@ and body =
   | Sync_snapshot of t list
       (** the topology controller's authoritative view, in application
           order (switches, then edges, then links) *)
+  | Elect_request of { el_epoch : int32; el_candidate : int; el_last : int32 }
+      (** replica [el_candidate] stands for election in cluster epoch
+          [el_epoch]; [el_last] is its replicated-log length, so voters
+          can refuse candidates that would lose committed state *)
+  | Elect_vote of { ev_epoch : int32; ev_voter : int; ev_granted : bool }
+  | Leader_heartbeat of {
+      lh_epoch : int32;
+      lh_leader : int;
+      lh_commit : int32;  (** committed log prefix at the leader *)
+      lh_len : int32;  (** leader log length; shorter followers resync *)
+    }
+  | Replicate of {
+      rp_epoch : int32;
+      rp_leader : int;
+      rp_index : int32;  (** 1-based log index of [rp_msg] *)
+      rp_msg : t;
+    }
+  | Replicate_ack of { ra_epoch : int32; ra_replica : int; ra_index : int32 }
+      (** follower [ra_replica]'s log holds a contiguous prefix up to
+          [ra_index] *)
 
 (** {1 Serial sequence arithmetic}
 

@@ -71,7 +71,10 @@ let deliver t body =
       Rf_obs.Metrics.incr t.m_snapshots;
       record t "sync-snapshot" (Printf.sprintf "%d messages" (List.length msgs));
       t.snapshot_handler msgs
-  | Rpc_msg.Ack _ | Rpc_msg.Ping | Rpc_msg.Pong | Rpc_msg.Sync_request -> ()
+  | Rpc_msg.Ack _ | Rpc_msg.Ping | Rpc_msg.Pong | Rpc_msg.Sync_request
+  | Rpc_msg.Elect_request _ | Rpc_msg.Elect_vote _ | Rpc_msg.Leader_heartbeat _
+  | Rpc_msg.Replicate _ | Rpc_msg.Replicate_ack _ ->
+      ()
 
 (* Deliver everything buffered contiguously past the new watermark. *)
 let rec drain t =
@@ -132,8 +135,11 @@ let handle_envelope t (env : Rpc_msg.envelope) =
   match env.body with
   | Rpc_msg.Request _ | Rpc_msg.Sync_snapshot _ -> handle_tracked t env
   | Rpc_msg.Ping -> reply t Rpc_msg.Pong
-  | Rpc_msg.Pong | Rpc_msg.Ack _ | Rpc_msg.Sync_request ->
-      (* the client never originates these *)
+  | Rpc_msg.Pong | Rpc_msg.Ack _ | Rpc_msg.Sync_request
+  | Rpc_msg.Elect_request _ | Rpc_msg.Elect_vote _ | Rpc_msg.Leader_heartbeat _
+  | Rpc_msg.Replicate _ | Rpc_msg.Replicate_ack _ ->
+      (* the client never originates these; cluster traffic rides its
+         own replica mesh, not the client session *)
       ()
 
 let create engine chan =

@@ -6,8 +6,10 @@ type event =
   | Switch_crash of int64
   | Switch_recover of int64
   | Vm_boot_failure of { dpid : int64; failures : int }
-  | Controller_crash
-  | Controller_recover
+  | Controller_crash of int
+  | Controller_recover of int
+  | Controller_partition of { cp_a : int list; cp_b : int list }
+  | Controller_heal
 
 type timed = { at : Vtime.t; ev : event }
 
@@ -27,9 +29,18 @@ let vm_boot_failure ~at_s ~dpid ~failures =
   if failures < 0 then invalid_arg "Faults.vm_boot_failure: negative count";
   { at = Vtime.of_s at_s; ev = Vm_boot_failure { dpid; failures } }
 
-let controller_crash ~at_s = { at = Vtime.of_s at_s; ev = Controller_crash }
+let controller_crash ~at_s ?(replica = 0) () =
+  if replica < 0 then invalid_arg "Faults.controller_crash: negative replica";
+  { at = Vtime.of_s at_s; ev = Controller_crash replica }
 
-let controller_recover ~at_s = { at = Vtime.of_s at_s; ev = Controller_recover }
+let controller_recover ~at_s ?(replica = 0) () =
+  if replica < 0 then invalid_arg "Faults.controller_recover: negative replica";
+  { at = Vtime.of_s at_s; ev = Controller_recover replica }
+
+let controller_partition ~at_s a b =
+  { at = Vtime.of_s at_s; ev = Controller_partition { cp_a = a; cp_b = b } }
+
+let controller_heal ~at_s = { at = Vtime.of_s at_s; ev = Controller_heal }
 
 let pp_event ppf = function
   | Link_down { l_a; l_b } -> Format.fprintf ppf "link-down sw%Ld-sw%Ld" l_a l_b
@@ -38,8 +49,17 @@ let pp_event ppf = function
   | Switch_recover d -> Format.fprintf ppf "switch-recover sw%Ld" d
   | Vm_boot_failure { dpid; failures } ->
       Format.fprintf ppf "vm-boot-failure sw%Ld x%d" dpid failures
-  | Controller_crash -> Format.fprintf ppf "controller-crash"
-  | Controller_recover -> Format.fprintf ppf "controller-recover"
+  (* replica 0 keeps the historical single-controller spelling, so the
+     pinned E4 trace fingerprint is unchanged *)
+  | Controller_crash 0 -> Format.fprintf ppf "controller-crash"
+  | Controller_crash r -> Format.fprintf ppf "controller-crash replica=%d" r
+  | Controller_recover 0 -> Format.fprintf ppf "controller-recover"
+  | Controller_recover r -> Format.fprintf ppf "controller-recover replica=%d" r
+  | Controller_partition { cp_a; cp_b } ->
+      Format.fprintf ppf "controller-partition {%s}|{%s}"
+        (String.concat "," (List.map string_of_int cp_a))
+        (String.concat "," (List.map string_of_int cp_b))
+  | Controller_heal -> Format.fprintf ppf "controller-heal"
 
 type chan_profile = {
   cf_drop : float;
@@ -84,7 +104,8 @@ type injector = {
   inj_link : up:bool -> link_ref -> unit;
   inj_switch : up:bool -> int64 -> unit;
   inj_vm_boot_failure : dpid:int64 -> failures:int -> unit;
-  inj_controller : up:bool -> unit;
+  inj_controller : up:bool -> int -> unit;
+  inj_partition : (int list * int list) option -> unit;
 }
 
 type handle = {
@@ -99,8 +120,10 @@ let dispatch inj = function
   | Switch_crash d -> inj.inj_switch ~up:false d
   | Switch_recover d -> inj.inj_switch ~up:true d
   | Vm_boot_failure { dpid; failures } -> inj.inj_vm_boot_failure ~dpid ~failures
-  | Controller_crash -> inj.inj_controller ~up:false
-  | Controller_recover -> inj.inj_controller ~up:true
+  | Controller_crash r -> inj.inj_controller ~up:false r
+  | Controller_recover r -> inj.inj_controller ~up:true r
+  | Controller_partition { cp_a; cp_b } -> inj.inj_partition (Some (cp_a, cp_b))
+  | Controller_heal -> inj.inj_partition None
 
 (* Injections targeting one switch link into that switch's
    configuration span (registered under "cfg:<dpid>" by the slicer),
@@ -109,7 +132,9 @@ let span_of_event engine = function
   | Switch_crash d | Switch_recover d | Vm_boot_failure { dpid = d; _ } ->
       Rf_obs.Tracer.correlated (Engine.tracer engine)
         ~key:(Printf.sprintf "cfg:%Ld" d)
-  | Link_down _ | Link_up _ | Controller_crash | Controller_recover -> None
+  | Link_down _ | Link_up _ | Controller_crash _ | Controller_recover _
+  | Controller_partition _ | Controller_heal ->
+      None
 
 let schedule engine inj p =
   let h = { fired = 0; pending = List.length p.events; last_at = None } in

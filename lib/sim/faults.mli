@@ -30,12 +30,17 @@ type event =
       (** arms the RouteFlow server so the next [failures] VM clone
           attempts for [dpid] fail; the server's retry policy re-queues
           the switch after each failed boot until a clone succeeds *)
-  | Controller_crash
-      (** the RF-controller process dies: its RPC server stops reading
-          the session and loses all volatile session state *)
-  | Controller_recover
-      (** the RF-controller restarts with a new incarnation number and
-          asks the topology controller for a state snapshot *)
+  | Controller_crash of int
+      (** RF-controller replica [i] dies: its RPC/replication endpoint
+          stops reading and loses all volatile session state. Replica 0
+          is the single controller of the legacy deployments *)
+  | Controller_recover of int
+      (** the replica restarts (new incarnation / rejoins the cluster
+          as follower) and resynchronizes state *)
+  | Controller_partition of { cp_a : int list; cp_b : int list }
+      (** drop every RPC frame between the two replica subsets, both
+          directions; replicas in neither subset keep connectivity *)
+  | Controller_heal  (** lifts the active controller partition *)
 
 type timed = { at : Vtime.t; ev : event }
 
@@ -51,9 +56,14 @@ val switch_recover : at_s:float -> int64 -> timed
 
 val vm_boot_failure : at_s:float -> dpid:int64 -> failures:int -> timed
 
-val controller_crash : at_s:float -> timed
+val controller_crash : at_s:float -> ?replica:int -> unit -> timed
+(** [replica] defaults to 0, the legacy single controller. *)
 
-val controller_recover : at_s:float -> timed
+val controller_recover : at_s:float -> ?replica:int -> unit -> timed
+
+val controller_partition : at_s:float -> int list -> int list -> timed
+
+val controller_heal : at_s:float -> timed
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -114,7 +124,10 @@ type injector = {
   inj_link : up:bool -> link_ref -> unit;
   inj_switch : up:bool -> int64 -> unit;
   inj_vm_boot_failure : dpid:int64 -> failures:int -> unit;
-  inj_controller : up:bool -> unit;
+  inj_controller : up:bool -> int -> unit;
+      (** crash/restart of one controller replica *)
+  inj_partition : (int list * int list) option -> unit;
+      (** [Some (a, b)] installs a controller partition; [None] heals *)
 }
 (** How each fault is realised; supplied by the layer that owns the
     emulated network. *)

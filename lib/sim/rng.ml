@@ -4,16 +4,28 @@ let golden = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
-let next t =
-  t.state <- Int64.add t.state golden;
-  let z = t.state in
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
 let split t =
   let s = next t in
   { state = s }
+
+(* Salt-keyed child that leaves the parent's sequence untouched: new
+   components can obtain seeded randomness without shifting the draw
+   order of everything created after them (which would break the
+   byte-identical experiment fingerprints). *)
+let derive t salt =
+  {
+    state =
+      mix (Int64.logxor t.state (Int64.mul (Int64.of_int (salt + 1)) golden));
+  }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

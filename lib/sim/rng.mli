@@ -12,6 +12,12 @@ val create : int -> t
 val split : t -> t
 (** Derives an independent generator; the parent advances. *)
 
+val derive : t -> int -> t
+(** [derive t salt] builds an independent generator keyed by [salt]
+    from [t]'s current state {e without} advancing [t]. Distinct salts
+    give distinct streams; the parent's draw sequence is unchanged, so
+    existing same-seed runs stay bit-identical. *)
+
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
 

@@ -164,6 +164,7 @@ let restart_rpc_params resync =
     rto_max = Vtime.span_s 4.0;
     max_retries = 3;
     heartbeat_every = Vtime.span_s 1.0;
+    heartbeat_jitter = 0.0;
     dead_after = 3;
     resync;
   }
@@ -174,9 +175,9 @@ let controller_outage_faults =
   Faults.(
     plan
       [
-        controller_crash ~at_s:4.0;
+        controller_crash ~at_s:4.0 ();
         link_down ~at_s:8.0 2L 3L;
-        controller_recover ~at_s:20.0;
+        controller_recover ~at_s:20.0 ();
       ])
 
 let run_outage ~resync =
@@ -239,9 +240,9 @@ let trace_of_outage_run seed =
       plan
         ~rpc_faults:(lossy ~drop:0.1 ~duplicate:0.05 ~delay:0.05 ())
         [
-          controller_crash ~at_s:4.0;
+          controller_crash ~at_s:4.0 ();
           link_down ~at_s:8.0 2L 3L;
-          controller_recover ~at_s:20.0;
+          controller_recover ~at_s:20.0 ();
         ])
   in
   let s =

@@ -10,6 +10,7 @@ let () = Alcotest.run "routeflow-autoconf" [
       ("rip", Test_rip.suite);
       ("routeflow", Test_routeflow.suite);
       ("rpc", Test_rpc.suite);
+      ("cluster", Test_cluster.suite);
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);
       ("props", Test_props.suite);

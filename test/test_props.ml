@@ -530,6 +530,7 @@ let rpc_exactly_once =
           rto_max = Rf_sim.Vtime.span_s 4.0;
           max_retries = 4;
           heartbeat_every = Rf_sim.Vtime.span_s 2.0;
+          heartbeat_jitter = 0.0;
           dead_after = 3;
           resync = true;
         }

@@ -30,6 +30,7 @@ let fast_params =
     rto_max = Vtime.span_s 0.4;
     max_retries = 3;
     heartbeat_every = Vtime.span_s 1.0;
+    heartbeat_jitter = 0.0;
     dead_after = 2;
     resync = true;
   }
