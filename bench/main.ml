@@ -279,15 +279,50 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let sp = Rf_obs.Tracer.span_start obs_tracer "bench.span" in
            Rf_obs.Tracer.span_end obs_tracer sp));
+    (* Engine dispatch with and without a profiler installed. Each run
+       is a single event, so the profiled row carries the whole run
+       envelope (run_begin/run_end, final GC sample) on top of the
+       per-event tick — an upper bound, not the amortized cost. *)
+    Test.make ~name:"engine_dispatch"
+      (Staged.stage
+         (let e = Rf_sim.Engine.create () in
+          let nop () = () in
+          fun () ->
+            ignore (Rf_sim.Engine.schedule e (Rf_sim.Vtime.span_us 1) nop);
+            ignore (Rf_sim.Engine.run e)));
+    Test.make ~name:"engine_dispatch_profiled"
+      (Staged.stage
+         (let e = Rf_sim.Engine.create () in
+          Rf_sim.Engine.set_profiler e (Some (Rf_obs.Profiler.create ()));
+          let ent = Rf_obs.Profiler.component "bench" in
+          let nop () = () in
+          fun () ->
+            ignore
+              (Rf_sim.Engine.schedule ~entity:ent e (Rf_sim.Vtime.span_us 1)
+                 nop);
+            ignore (Rf_sim.Engine.run e)));
   ]
 
 (* Machine-readable results, schema "rfauto-bench-v1" (documented in
-   README): {"schema", "suites": {"micro": [{"name","mean_ns","runs"}]}}.
-   mean_ns is the OLS ns/run estimate (null if the fit failed), runs
-   the number of raw samples bechamel collected. *)
-let write_bench_json path rows samples_of =
+   README): {"schema", "meta": {"schema_version","seed","suite"},
+   "suites": {"micro": [{"name","mean_ns","runs"}]}}. mean_ns is the
+   OLS ns/run estimate (null if the fit failed), runs the number of
+   raw samples bechamel collected. The meta block pins provenance so a
+   baseline diff can refuse to compare apples to oranges. *)
+let bench_schema_version = 1
+
+(* Engine fixtures use Engine.create's default seed; rng-driven
+   fixtures derive from it. *)
+let bench_seed = 42
+
+let write_bench_json path ~suite rows samples_of =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"schema\":\"rfauto-bench-v1\",\"suites\":{\"micro\":[";
+  Buffer.add_string buf "{\"schema\":\"rfauto-bench-v1\",";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"meta\":{\"schema_version\":%d,\"seed\":%d,\"suite\":\"%s\"},"
+       bench_schema_version bench_seed suite);
+  Buffer.add_string buf "\"suites\":{\"micro\":[";
   List.iteri
     (fun i (name, est) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -402,7 +437,7 @@ let run_micro ?json_out ?baseline ?save_baseline () =
         | Some (b : Benchmark.t) -> b.stats.samples
         | None -> 0
       in
-      write_bench_json path estimates samples_of);
+      write_bench_json path ~suite:"micro" estimates samples_of);
   let current = baseline_run_of_estimates estimates in
   (match save_baseline with
   | None -> ()

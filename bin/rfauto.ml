@@ -25,6 +25,24 @@ let telemetry_arg =
   in
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~doc ~docv:"FILE")
 
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach the engine profiler to the run and print the per-entity          load table, heap-depth curve and GC deltas afterwards (wall          figures; never part of fingerprinted output).")
+
+let make_profiler enabled =
+  if enabled then Some (Rf_obs.Profiler.create ()) else None
+
+let print_profiler_report = function
+  | None -> ()
+  | Some p ->
+      let sn = Rf_obs.Profiler.snapshot p in
+      Format.fprintf Format.std_formatter "@.";
+      Rf_obs.Profiler.pp_top ~wall:true ~top:10 Format.std_formatter sn;
+      Rf_obs.Profiler.pp_depth_curve Format.std_formatter sn
+
 (* --- trace analytics (shared by analyze/obs/failure/restart/traffic) --- *)
 
 module Analysis = Rf_core.Analysis
@@ -113,13 +131,17 @@ let post_run_analysis exp load ~slo ~flamegraph ~baseline =
     | None -> ()
 
 let fig3_cmd =
-  let run sizes vm_boot_s parallel_boot telemetry =
+  let run sizes vm_boot_s parallel_boot telemetry profile =
+    let profiler = make_profiler profile in
     Experiment.print_fig3 std
-      (Experiment.fig3 ~sizes ~vm_boot_s ~parallel_boot ?telemetry ())
+      (Experiment.fig3 ~sizes ~vm_boot_s ~parallel_boot ?telemetry ?profiler ());
+    print_profiler_report profiler
   in
   Cmd.v
     (Cmd.info "fig3" ~doc:"Reproduce Figure 3: automatic vs manual configuration time")
-    Term.(const run $ sizes_arg $ boot_arg $ parallel_arg $ telemetry_arg)
+    Term.(
+      const run $ sizes_arg $ boot_arg $ parallel_arg $ telemetry_arg
+      $ profile_flag)
 
 (* --- demo --------------------------------------------------------- *)
 
@@ -183,12 +205,15 @@ let failure_cmd =
   let fail_horizon_arg =
     Arg.(value & opt float 150.0 & info [ "horizon" ] ~doc:"Sim seconds.")
   in
-  let run seed switches fail_at_s horizon_s telemetry slo flamegraph baseline =
+  let run seed switches fail_at_s horizon_s telemetry profile slo flamegraph
+      baseline =
     let needed = needs_analysis ~slo ~flamegraph ~baseline in
     let telemetry, load = telemetry_route ~needed telemetry in
+    let profiler = make_profiler profile in
     Experiment.print_failure_recovery std
       (Experiment.failure_recovery ~seed ~switches ~fail_at_s ~horizon_s
-         ?telemetry ());
+         ?telemetry ?profiler ());
+    print_profiler_report profiler;
     post_run_analysis Analysis.E3 load ~slo ~flamegraph ~baseline
   in
   Cmd.v
@@ -198,7 +223,8 @@ let failure_cmd =
           reconvergence time (deterministic: same seed, same trace)")
     Term.(
       const run $ seed_arg $ switches_arg $ fail_at_arg $ fail_horizon_arg
-      $ telemetry_arg $ slo_arg $ flamegraph_arg $ baseline_arg)
+      $ telemetry_arg $ profile_flag $ slo_arg $ flamegraph_arg
+      $ baseline_arg)
 
 (* --- restart -------------------------------------------------------- *)
 
@@ -591,14 +617,17 @@ let traffic_cmd =
             "Write the disruption summary to $(docv) (byte-identical across              same-seed runs; used by CI as the E6 fingerprint).")
   in
   let run switches seed fail_at manual_delay horizon scale k out summary_out
-      slo flamegraph baseline =
+      profile slo flamegraph baseline =
     let needed = needs_analysis ~slo ~flamegraph ~baseline in
     let telemetry, load = telemetry_route ~needed out in
+    let profiler = make_profiler profile in
     let r =
       Experiment.traffic_disruption ~seed ~switches ~fail_at_s:fail_at
-        ~manual_response_s:manual_delay ~horizon_s:horizon ?telemetry ()
+        ~manual_response_s:manual_delay ~horizon_s:horizon ?telemetry
+        ?profiler ()
     in
     Experiment.print_traffic std r;
+    print_profiler_report profiler;
     (match out with
     | Some path -> Format.fprintf std "telemetry written to %s@." path
     | None -> ());
@@ -626,8 +655,8 @@ let traffic_cmd =
          "E6: measure data-plane traffic disruption (loss, latency,           disruption windows) while the E3 link-failure and E4           controller-restart scenarios play out, automatic configuration vs           a manual-operation baseline; optionally a fat-tree scaling run")
     Term.(
       const run $ switches_arg $ seed_arg $ fail_arg $ manual_arg
-      $ horizon_arg $ scale_arg $ k_arg $ out_arg $ summary_arg $ slo_arg
-      $ flamegraph_arg $ baseline_arg)
+      $ horizon_arg $ scale_arg $ k_arg $ out_arg $ summary_arg
+      $ profile_flag $ slo_arg $ flamegraph_arg $ baseline_arg)
 
 (* --- cluster: controller-cluster failover (E9) ---------------------- *)
 
@@ -699,17 +728,19 @@ let cluster_cmd =
             "Write the failover summary to $(docv) (byte-identical across              same-seed runs; used by CI as the E9 fingerprint).")
   in
   let run switches seed replicas crash_at cut_at recover_at manual_delay
-      horizon traffic_start parallel_boot out summary_out slo flamegraph
-      baseline =
+      horizon traffic_start parallel_boot out summary_out profile slo
+      flamegraph baseline =
     let needed = needs_analysis ~slo ~flamegraph ~baseline in
     let telemetry, load = telemetry_route ~needed out in
+    let profiler = make_profiler profile in
     let r =
       Experiment.cluster_failover ~seed ~switches ~replicas
         ~crash_at_s:crash_at ~cut_at_s:cut_at ~recover_at_s:recover_at
         ~manual_response_s:manual_delay ~horizon_s:horizon
-        ~traffic_start_s:traffic_start ~parallel_boot ?telemetry ()
+        ~traffic_start_s:traffic_start ~parallel_boot ?telemetry ?profiler ()
     in
     Experiment.print_cluster std r;
+    print_profiler_report profiler;
     (match out with
     | Some path -> Format.fprintf std "telemetry written to %s@." path
     | None -> ());
@@ -728,8 +759,95 @@ let cluster_cmd =
     Term.(
       const run $ switches_arg $ seed_arg $ replicas_arg $ crash_arg
       $ cut_arg $ recover_arg $ manual_arg $ horizon_arg $ traffic_start_arg
-      $ parallel_boot_arg $ out_arg $ summary_arg $ slo_arg $ flamegraph_arg
-      $ baseline_arg)
+      $ parallel_boot_arg $ out_arg $ summary_arg $ profile_flag $ slo_arg
+      $ flamegraph_arg $ baseline_arg)
+
+(* --- profile: engine profiler & shard-cut advisor (E10) ------------ *)
+
+let profile_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "k" ] ~doc:"Fat-tree arity of the profiled run (even, >= 2).")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 60.0 & info [ "horizon" ] ~doc:"Sim seconds.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"Shard count the advisor partitions the topology into.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Entities shown in the load table.")
+  in
+  let entities_arg =
+    Arg.(
+      value & flag
+      & info [ "entities" ]
+          ~doc:"Show every profiled entity, not just the top N.")
+  in
+  let overhead_arg =
+    Arg.(
+      value & flag
+      & info [ "measure-overhead" ]
+          ~doc:
+            "Run the identical workload once more without the profiler and            report the instrumentation's wall-clock overhead.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's span/event JSONL (profile snapshot included,            meta line carrying the profile and advisor figures) to $(docv).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic profile report to $(docv)            (byte-identical across same-seed runs; used by CI as the E10            fingerprint).")
+  in
+  let run seed k horizon shards top entities overhead out summary_out slo
+      flamegraph baseline =
+    let needed = needs_analysis ~slo ~flamegraph ~baseline in
+    let telemetry, load = telemetry_route ~needed out in
+    let r =
+      Experiment.profile_scaling ~seed ~k ~horizon_s:horizon ~shards
+        ~measure_overhead:overhead ?telemetry ()
+    in
+    let top =
+      if entities then
+        List.length r.Experiment.pf_snapshot.Rf_obs.Profiler.sn_entities
+      else top
+    in
+    Experiment.print_profile ~wall:true ~top std r;
+    (match out with
+    | Some path -> Format.fprintf std "telemetry written to %s@." path
+    | None -> ());
+    (match summary_out with
+    | Some path ->
+        write_file path
+          (Format.asprintf "%a" (Experiment.print_profile ~wall:false ~top) r)
+    | None -> ());
+    post_run_analysis Analysis.E10 load ~slo ~flamegraph ~baseline
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "E10: profile the engine across the fat-tree scaling run —           per-entity load attribution, event-heap depth/churn and GC           telemetry — and ask the shard-cut advisor for a k-way domain           partition with its conservative-lookahead speedup bound")
+    Term.(
+      const run $ seed_arg $ k_arg $ horizon_arg $ shards_arg $ top_arg
+      $ entities_arg $ overhead_arg $ out_arg $ summary_arg $ slo_arg
+      $ flamegraph_arg $ baseline_arg)
 
 (* --- analyze: trace analytics & SLO engine (E7) --------------------- *)
 
@@ -747,7 +865,7 @@ let analyze_cmd =
       value & opt string "all"
       & info [ "experiment" ] ~docv:"EXP"
           ~doc:
-            "Which experiment to analyze: e1b, e3, e4, e6, e9 or all (all            covers the pinned E7 set, which excludes e9).")
+            "Which experiment to analyze: e1b, e3, e4, e6, e9, e10 or all            (all covers the pinned E7 set, which excludes e9 and e10).")
   in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
@@ -782,6 +900,7 @@ let analyze_cmd =
     | Some "restart" -> Some Analysis.E4
     | Some "traffic" -> Some Analysis.E6
     | Some "cluster" -> Some Analysis.E9
+    | Some "profile" -> Some Analysis.E10
     | Some _ | None -> None
   in
   let run input experiment seed slo flamegraph flamegraph_json baseline
@@ -806,7 +925,7 @@ let analyze_cmd =
             | None ->
                 die
                   "cannot infer the experiment from %s; pass --experiment \
-                   e1b|e3|e4|e6|e9"
+                   e1b|e3|e4|e6|e9|e10"
                   path
           in
           [ (exp, dump) ]
@@ -903,6 +1022,6 @@ let main =
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd; cluster_cmd; analyze_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd; cluster_cmd; profile_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -81,7 +81,10 @@ let create engine ?(probe_interval = Rf_sim.Vtime.span_s 5.0)
         t.on_link_down link)
       stale
   in
-  ignore (Rf_sim.Engine.periodic engine probe_interval age);
+  ignore
+    (Rf_sim.Engine.periodic
+       ~entity:(Rf_obs.Profiler.component "discovery")
+       engine probe_interval age);
   t
 
 let send_probes t dpid (st : switch_state) =
@@ -144,7 +147,9 @@ let attach t conn =
       let dpid = feats.Of_msg.datapath_id in
       let st_ref = ref None in
       let probe_timer =
-        Rf_sim.Engine.periodic t.engine
+        Rf_sim.Engine.periodic
+          ~entity:(Rf_obs.Profiler.switch dpid)
+          t.engine
           ~jitter:(Rf_sim.Vtime.span_s 1.0)
           t.probe_interval
           (fun () ->

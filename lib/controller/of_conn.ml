@@ -21,6 +21,7 @@ type t = {
   mutable msgs_delayed : int;
   m_sent : Rf_obs.Metrics.counter;
   m_faulted : Rf_obs.Metrics.counter;
+  entity : Rf_obs.Profiler.entity;
 }
 
 let fresh_xid t =
@@ -61,7 +62,9 @@ let send_msg t m =
       | Rf_sim.Faults.Delay span ->
           t.msgs_delayed <- t.msgs_delayed + 1;
           Rf_obs.Metrics.incr t.m_faulted;
-          ignore (Rf_sim.Engine.schedule t.engine span (fun () -> raw_send t m))
+          ignore
+            (Rf_sim.Engine.schedule ~entity:t.entity t.engine span (fun () ->
+                 raw_send t m))
       | Rf_sim.Faults.Deliver | Rf_sim.Faults.Drop | Rf_sim.Faults.Duplicate ->
           raw_send t m)
 
@@ -131,6 +134,7 @@ let create engine ?(echo_interval = Rf_sim.Vtime.span_s 15.0) chan =
           (Rf_sim.Engine.metrics engine)
           ~help:"OpenFlow messages dropped/duplicated/delayed by faults"
           "of_messages_faulted_total";
+      entity = Rf_obs.Profiler.component "of-conn";
     }
   in
   Rf_net.Channel.set_on_close chan (fun () ->
@@ -147,7 +151,7 @@ let create engine ?(echo_interval = Rf_sim.Vtime.span_s 15.0) chan =
   send_msg t (Of_msg.msg ~xid:0l Of_msg.Hello);
   t.echo_timer <-
     Some
-      (Rf_sim.Engine.periodic engine echo_interval (fun () ->
+      (Rf_sim.Engine.periodic ~entity:t.entity engine echo_interval (fun () ->
            if Rf_net.Channel.is_open chan then
              ignore (send t (Of_msg.Echo_request "keepalive"))));
   t

@@ -79,8 +79,9 @@ let attach t conn =
               publish_totals t dpid (sum_ports stats);
               t.on_sample dpid stats
           | _ -> ());
+      let entity = Rf_obs.Profiler.switch dpid in
       ignore
-        (Rf_sim.Engine.periodic t.engine
+        (Rf_sim.Engine.periodic ~entity t.engine
            ~jitter:(Rf_sim.Vtime.span_ms 500)
            t.interval
            (fun () ->

@@ -11,9 +11,9 @@ module Critical_path = Rf_obs.Critical_path
 module Flamegraph = Rf_obs.Flamegraph
 module Baseline = Rf_obs.Baseline
 
-type experiment = E1b | E3 | E4 | E6 | E9
+type experiment = E1b | E3 | E4 | E6 | E9 | E10
 
-(* E9 is deliberately absent: [all] drives the E7 scorecard fingerprint,
+(* E9 and E10 are deliberately absent: [all] drives the E7 scorecard fingerprint,
    which is pinned. Ask for e9 explicitly. *)
 let all = [ E1b; E3; E4; E6 ]
 
@@ -23,6 +23,7 @@ let name = function
   | E4 -> "e4"
   | E6 -> "e6"
   | E9 -> "e9"
+  | E10 -> "e10"
 
 let of_string = function
   | "e1b" -> Some E1b
@@ -30,6 +31,7 @@ let of_string = function
   | "e4" -> Some E4
   | "e6" -> Some E6
   | "e9" -> Some E9
+  | "e10" -> Some E10
   | _ -> None
 
 let describe = function
@@ -38,6 +40,7 @@ let describe = function
   | E4 -> "controller crash + reconciliation, 8-switch ring"
   | E6 -> "traffic disruption, automatic response, 8-switch ring"
   | E9 -> "cluster leader crash + failover, 28-switch ring, 3 replicas"
+  | E10 -> "engine profile of the fat-tree scaling run + shard-cut advisory"
 
 (* Runs the experiment with telemetry into a temp file and ingests it:
    the analysis path is identical for live runs and replayed files. *)
@@ -55,7 +58,11 @@ let run_dump ?(seed = 42) exp =
       | E3 -> ignore (Experiment.failure_recovery ~seed ~telemetry:path ())
       | E4 -> ignore (Experiment.restart ~seed ~telemetry:path ())
       | E6 -> ignore (Experiment.traffic_disruption ~seed ~telemetry:path ())
-      | E9 -> ignore (Experiment.cluster_failover ~seed ~telemetry:path ()));
+      | E9 -> ignore (Experiment.cluster_failover ~seed ~telemetry:path ())
+      | E10 ->
+          (* Small fat-tree so the analysis path stays quick; the CI
+             fingerprint pins the full k=20 run separately. *)
+          ignore (Experiment.profile_scaling ~seed ~k:8 ~telemetry:path ()));
       Ingest.load_file path)
 
 let rule ?(unit_ = "s") ?(direction = Slo.At_most) name what source ~warn ~fail
@@ -166,6 +173,22 @@ let rules = function
           "wall-clock union of cluster failover spans"
           (Slo.Span_union_duration_s "cluster.failover") ~warn:5. ~fail:15.;
         completeness "e9";
+      ]
+  | E10 ->
+      [
+        rule ~direction:Slo.At_least ~unit_:"pct" "e10.attributed_pct"
+          "share of executed events attributed to a tagged entity"
+          (Slo.Meta_s "profile_attributed_pct") ~warn:90. ~fail:75.;
+        rule ~direction:Slo.At_least ~unit_:"x" "e10.speedup_bound"
+          "conservative-lookahead speedup bound of the advised cut"
+          (Slo.Meta_s "shard_speedup_bound") ~warn:2. ~fail:1.2;
+        rule ~unit_:"ratio" "e10.cut_fraction"
+          "fraction of simulated messages crossing the advised cut"
+          (Slo.Meta_s "shard_cut_fraction") ~warn:0.6 ~fail:0.9;
+        rule ~unit_:"x" "e10.imbalance"
+          "heaviest shard weight over the mean shard weight"
+          (Slo.Meta_s "shard_imbalance") ~warn:1.5 ~fail:3.;
+        completeness "e10";
       ]
 
 let evaluate exp dump = Slo.evaluate dump (rules exp)

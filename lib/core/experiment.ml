@@ -24,12 +24,16 @@ let params ?(protocol = Rf_system.Proto_ospf) ~vm_boot_s ~parallel_boot () =
   }
 
 let fig3 ?(sizes = [ 4; 8; 12; 16; 20; 24; 28 ]) ?(vm_boot_s = 8.0)
-    ?(parallel_boot = 1) ?telemetry () =
+    ?(parallel_boot = 1) ?telemetry ?profiler () =
   let last_size = List.nth sizes (List.length sizes - 1) in
   List.map
     (fun n ->
       let options =
-        { Scenario.default_options with rf_params = params ~vm_boot_s ~parallel_boot () }
+        {
+          Scenario.default_options with
+          rf_params = params ~vm_boot_s ~parallel_boot ();
+          profiler = (if n = last_size then profiler else None);
+        }
       in
       let s = Scenario.build ~options (Topo_gen.ring n) in
       (* Generous horizon: boots dominate. *)
@@ -263,7 +267,9 @@ let demo ?(vm_boot_s = 8.0) ?(horizon_s = 360.0) ?(server_city = "Glasgow")
   let timeline = ref [] in
   let last_green = ref (-1) in
   ignore
-    (Rf_sim.Engine.periodic (Scenario.engine s) (Vtime.span_s 1.0) (fun () ->
+    (Rf_sim.Engine.periodic
+       ~entity:(Rf_obs.Profiler.component "experiment")
+       (Scenario.engine s) (Vtime.span_s 1.0) (fun () ->
          let g = Gui.green_count (Scenario.gui s) in
          if g <> !last_green then begin
            last_green := g;
@@ -287,7 +293,9 @@ let demo ?(vm_boot_s = 8.0) ?(horizon_s = 360.0) ?(server_city = "Glasgow")
   in
   let sent_at_mark = ref 0 and recv_at_mark = ref 0 in
   ignore
-    (Rf_sim.Engine.schedule (Scenario.engine s)
+    (Rf_sim.Engine.schedule
+       ~entity:(Rf_obs.Profiler.component "experiment")
+       (Scenario.engine s)
        (Vtime.span_s (Float.max 0. (horizon_s -. 60.)))
        (fun () ->
          sent_at_mark := Host.udp_sent server;
@@ -385,7 +393,7 @@ type recovery_result = {
 }
 
 let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
-    ?(window_s = 30.0) ?(horizon_s = 150.0) ?telemetry () =
+    ?(window_s = 30.0) ?(horizon_s = 150.0) ?telemetry ?profiler () =
   if switches < 4 then invalid_arg "failure_recovery: need a ring of >= 4";
   let topo = Topo_gen.ring switches in
   Topology.add_host topo "server";
@@ -401,6 +409,7 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
       seed;
       rf_params = params ~vm_boot_s:2.0 ~parallel_boot:4 ();
       faults = Rf_sim.Faults.(plan [ link_down ~at_s:fail_at_s fail_a fail_b ]);
+      profiler;
     }
   in
   let s = Scenario.build ~options topo in
@@ -414,11 +423,15 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
   let sent_at_end = ref 0 and recv_at_end = ref 0 in
   let engine = Scenario.engine s in
   ignore
-    (Rf_sim.Engine.schedule_at engine (Vtime.of_s fail_at_s) (fun () ->
+    (Rf_sim.Engine.schedule_at
+       ~entity:(Rf_obs.Profiler.component "experiment")
+       engine (Vtime.of_s fail_at_s) (fun () ->
          sent_at_fail := Host.udp_sent server;
          recv_at_fail := Host.udp_received client));
   ignore
-    (Rf_sim.Engine.schedule_at engine
+    (Rf_sim.Engine.schedule_at
+       ~entity:(Rf_obs.Profiler.component "experiment")
+       engine
        (Vtime.of_s (fail_at_s +. window_s))
        (fun () ->
          sent_at_end := Host.udp_sent server;
@@ -769,7 +782,9 @@ let gui_frames ?(vm_boot_s = 8.0) ?(every_s = 30.0) () =
   let s = Scenario.build ~options topo in
   let frames = ref [] in
   ignore
-    (Rf_sim.Engine.periodic (Scenario.engine s) (Vtime.span_s every_s) (fun () ->
+    (Rf_sim.Engine.periodic
+       ~entity:(Rf_obs.Profiler.component "experiment")
+       (Scenario.engine s) (Vtime.span_s every_s) (fun () ->
          frames :=
            Gui.render ~label:(fun d -> Topo_gen.pan_european_city d) (Scenario.gui s)
            :: !frames));
@@ -1080,8 +1095,8 @@ let traffic_link_capacity =
 
 (* One measured scenario run: ring + one host per switch, the given
    fault plan, and the standard workload through the live data plane. *)
-let traffic_ring_run ?telemetry ~label ~seed ~switches ~horizon_s ~faults
-    ~resync () =
+let traffic_ring_run ?telemetry ?profiler ~label ~seed ~switches ~horizon_s
+    ~faults ~resync () =
   let spec = traffic_spec ~switches ~horizon_s () in
   let topo = Topo_gen.ring switches in
   for i = 1 to switches do
@@ -1110,6 +1125,7 @@ let traffic_ring_run ?telemetry ~label ~seed ~switches ~horizon_s ~faults
       rpc_params;
       faults;
       link_capacity = Some traffic_link_capacity;
+      profiler;
     }
   in
   let s = Scenario.build ~options topo in
@@ -1160,7 +1176,7 @@ let traffic_ring_run ?telemetry ~label ~seed ~switches ~horizon_s ~faults
 
 let traffic_disruption ?(seed = 42) ?(switches = 8) ?(fail_at_s = 40.0)
     ?(manual_response_s = 25.0) ?(crash_at_s = 25.0) ?(cut_at_s = 30.0)
-    ?(recover_at_s = 45.0) ?(horizon_s = 90.0) ?telemetry () =
+    ?(recover_at_s = 45.0) ?(horizon_s = 90.0) ?telemetry ?profiler () =
   if switches < 8 then invalid_arg "traffic_disruption: need a ring of >= 8";
   if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
     invalid_arg "traffic_disruption: need crash < cut < recover";
@@ -1168,7 +1184,7 @@ let traffic_disruption ?(seed = 42) ?(switches = 8) ?(fail_at_s = 40.0)
   (* E3 scenario, automatic: the controller is up, hears the port-down,
      and the virtual topology reconverges on its own. *)
   let auto =
-    traffic_ring_run ?telemetry ~label:"automatic" ~seed ~switches ~horizon_s
+    traffic_ring_run ?telemetry ?profiler ~label:"automatic" ~seed ~switches ~horizon_s
       ~faults:(Rf_sim.Faults.plan [ cut_fault fail_at_s ])
       ~resync:true ()
   in
@@ -1299,11 +1315,14 @@ type traffic_scale_result = {
           summaries *)
 }
 
-let traffic_scaling ?(seed = 42) ?(k = 20) ?(pairs_per_host = 2)
-    ?(arrivals_per_s = 2500.0) ?(horizon_s = 60.0) () =
+let traffic_scaling_run ?(seed = 42) ?(k = 20) ?(pairs_per_host = 2)
+    ?(arrivals_per_s = 2500.0) ?(horizon_s = 60.0) ?profiler () =
   let topo = Topo_gen.fat_tree k in
   let hosts = Topo_gen.fat_tree_host_count k in
   let engine = Rf_sim.Engine.create ~seed () in
+  (match profiler with
+  | Some p -> Rf_sim.Engine.set_profiler engine (Some p)
+  | None -> ());
   let measure = Traffic_measure.create engine ~loss_timeout_s:2.0 () in
   (* A deterministic random pair list stands in for "everyone talks to
      a few peers". *)
@@ -1348,7 +1367,7 @@ let traffic_scaling ?(seed = 42) ?(k = 20) ?(pairs_per_host = 2)
   ignore (Rf_sim.Engine.run ~until:(Vtime.of_s horizon_s) engine);
   let elapsed = Sys.time () -. t0 in
   Traffic_measure.finalize measure;
-  {
+  ( {
     ts_k = k;
     ts_switches = Topology.switch_count topo;
     ts_hosts = hosts;
@@ -1362,7 +1381,14 @@ let traffic_scaling ?(seed = 42) ?(k = 20) ?(pairs_per_host = 2)
     ts_horizon_s = horizon_s;
     ts_events = Rf_sim.Engine.events_executed engine;
     ts_elapsed_s = elapsed;
-  }
+  },
+  engine )
+
+let traffic_scaling ?seed ?k ?pairs_per_host ?arrivals_per_s ?horizon_s
+    ?profiler () =
+  fst
+    (traffic_scaling_run ?seed ?k ?pairs_per_host ?arrivals_per_s ?horizon_s
+       ?profiler ())
 
 (* --- E9: controller-cluster failover under live traffic ------------- *)
 
@@ -1385,8 +1411,8 @@ type cluster_run = {
 (* One measured scenario run like [traffic_ring_run], but with the
    RF-controller replicated [replicas] ways ([1] keeps the legacy
    single controller, so the baseline goes through the same code). *)
-let cluster_ring_run ?telemetry ~label ~seed ~switches ~replicas ~horizon_s
-    ~traffic_start_s ~parallel_boot ~faults () =
+let cluster_ring_run ?telemetry ?profiler ~label ~seed ~switches ~replicas
+    ~horizon_s ~traffic_start_s ~parallel_boot ~faults () =
   let spec = traffic_spec ~start_s:traffic_start_s ~switches ~horizon_s () in
   let topo = Topo_gen.ring switches in
   for i = 1 to switches do
@@ -1416,6 +1442,7 @@ let cluster_ring_run ?telemetry ~label ~seed ~switches ~replicas ~horizon_s
       faults;
       link_capacity = Some traffic_link_capacity;
       cluster_replicas = replicas;
+      profiler;
     }
   in
   let s = Scenario.build ~options topo in
@@ -1512,7 +1539,7 @@ type cluster_result = {
 let cluster_failover ?(seed = 42) ?(switches = 28) ?(replicas = 3)
     ?(crash_at_s = 30.0) ?(cut_at_s = 36.0) ?(recover_at_s = 60.0)
     ?(manual_response_s = 25.0) ?(horizon_s = 120.0) ?(traffic_start_s = 20.0)
-    ?(parallel_boot = 4) ?telemetry () =
+    ?(parallel_boot = 4) ?telemetry ?profiler () =
   if switches < 8 then invalid_arg "cluster_failover: need a ring of >= 8";
   if replicas < 3 then invalid_arg "cluster_failover: need >= 3 replicas";
   if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
@@ -1524,7 +1551,7 @@ let cluster_failover ?(seed = 42) ?(switches = 28) ?(replicas = 3)
      back as master, and the cut is rerouted as if nothing happened to
      the control plane. Replica 0 later rejoins as a follower. *)
   let auto =
-    cluster_ring_run ?telemetry ~label:"automatic" ~seed ~switches ~replicas
+    cluster_ring_run ?telemetry ?profiler ~label:"automatic" ~seed ~switches ~replicas
       ~horizon_s ~traffic_start_s ~parallel_boot
       ~faults:
         Rf_sim.Faults.(
@@ -1625,3 +1652,155 @@ let print_traffic_scaling ?(show_rate = false) ppf (r : traffic_scale_result) =
     Format.fprintf ppf "  events/sec %.0f (%.2f s elapsed)@."
       (float_of_int r.ts_events /. Float.max 1e-9 r.ts_elapsed_s)
       r.ts_elapsed_s
+
+(* --- E10: engine profile & shard-cut advisory ----------------------- *)
+
+type profile_result = {
+  pf_scale : traffic_scale_result;
+  pf_snapshot : Rf_obs.Profiler.snapshot;
+  pf_report : Rf_obs.Shard_advisor.report;
+  pf_overhead_pct : float option;
+}
+
+let advisor_input_of topo (sn : Rf_obs.Profiler.snapshot) ~horizon_s =
+  let node_id = function
+    | Topology.Switch d -> Printf.sprintf "sw:%Ld" d
+    | Topology.Host h -> "host:" ^ h
+  in
+  let weights = Hashtbl.create 997 in
+  let add id w =
+    match Hashtbl.find_opt weights id with
+    | Some r -> r := !r + w
+    | None -> Hashtbl.add weights id (ref w)
+  in
+  List.iter
+    (fun (es : Rf_obs.Profiler.entity_stat) ->
+      match es.es_kind with
+      | Rf_obs.Profiler.Switch _ | Rf_obs.Profiler.Host _ ->
+          add es.es_id es.es_events
+      | Rf_obs.Profiler.Link (a, b) ->
+          (* A link's propagation work straddles the cut between its
+             endpoint domains: split it evenly so neither side looks
+             lighter than the wire it terminates. *)
+          let half = es.es_events / 2 in
+          add (Printf.sprintf "sw:%Ld" a) half;
+          add (Printf.sprintf "sw:%Ld" b) (es.es_events - half)
+      | Rf_obs.Profiler.Unattributed | Rf_obs.Profiler.Idle
+      | Rf_obs.Profiler.Component _ | Rf_obs.Profiler.Controller _ ->
+          ())
+    sn.Rf_obs.Profiler.sn_entities;
+  let node_ids =
+    List.map (fun d -> node_id (Topology.Switch d)) (Topology.switches topo)
+    @ List.map (fun h -> node_id (Topology.Host h)) (Topology.hosts topo)
+  in
+  let known = Hashtbl.create 997 in
+  List.iter (fun id -> Hashtbl.replace known id ()) node_ids;
+  let nodes =
+    List.map
+      (fun id ->
+        {
+          Rf_obs.Shard_advisor.nd_id = id;
+          nd_weight =
+            (match Hashtbl.find_opt weights id with Some r -> !r | None -> 0);
+        })
+      node_ids
+  in
+  let adjacency =
+    List.map
+      (fun (e : Topology.edge) -> (node_id e.a, node_id e.b))
+      (Topology.edges topo)
+  in
+  let edges =
+    List.filter_map
+      (fun (src, dst, count) ->
+        if Hashtbl.mem known src && Hashtbl.mem known dst then
+          Some { Rf_obs.Shard_advisor.ed_a = src; ed_b = dst; ed_msgs = count }
+        else None)
+      sn.Rf_obs.Profiler.sn_messages
+  in
+  {
+    Rf_obs.Shard_advisor.in_nodes = nodes;
+    in_edges = edges;
+    in_adjacency = adjacency;
+    in_horizon_s = horizon_s;
+  }
+
+let profile_scaling ?(seed = 42) ?(k = 20) ?(pairs_per_host = 2)
+    ?(arrivals_per_s = 2500.0) ?(horizon_s = 60.0) ?(shards = 4)
+    ?(measure_overhead = false) ?telemetry () =
+  (* Best-of-3 on both sides: single-sample wall-clock deltas on a
+     shared machine swing by more than the effect being measured. The
+     first baseline run also warms caches for everything after it. *)
+  let best_of_3 run = Float.min (run ()) (Float.min (run ()) (run ())) in
+  let baseline =
+    if measure_overhead then
+      Some
+        (best_of_3 (fun () ->
+             (traffic_scaling ~seed ~k ~pairs_per_host ~arrivals_per_s
+                ~horizon_s ())
+               .ts_elapsed_s))
+    else None
+  in
+  let profiler = Rf_obs.Profiler.create () in
+  let scale, engine =
+    traffic_scaling_run ~seed ~k ~pairs_per_host ~arrivals_per_s ~horizon_s
+      ~profiler ()
+  in
+  let profiled_s =
+    if measure_overhead then
+      Float.min scale.ts_elapsed_s
+        (best_of_3 (fun () ->
+             let again, _ =
+               traffic_scaling_run ~seed ~k ~pairs_per_host ~arrivals_per_s
+                 ~horizon_s
+                 ~profiler:(Rf_obs.Profiler.create ())
+                 ()
+             in
+             again.ts_elapsed_s))
+    else scale.ts_elapsed_s
+  in
+  let sn = Rf_obs.Profiler.snapshot profiler in
+  let input = advisor_input_of (Topo_gen.fat_tree k) sn ~horizon_s in
+  let report = Rf_obs.Shard_advisor.partition ~k:shards input in
+  Rf_obs.Profiler.emit sn
+    ~tracer:(Rf_sim.Engine.tracer engine)
+    ~metrics:(Rf_sim.Engine.metrics engine)
+    ~now_us:(Vtime.to_us (Rf_sim.Engine.now engine));
+  (match telemetry with
+  | Some path ->
+      let meta =
+        [
+          ("experiment", "profile");
+          ("seed", string_of_int seed);
+          ("k", string_of_int k);
+          ("shards", string_of_int shards);
+          ("horizon_s", Printf.sprintf "%.0f" horizon_s);
+        ]
+        @ Rf_obs.Profiler.meta sn
+        @ Rf_obs.Shard_advisor.meta report
+      in
+      let oc = open_out path in
+      output_string oc (Rf_obs.Export.jsonl ~meta (Rf_sim.Engine.tracer engine));
+      close_out oc
+  | None -> ());
+  let overhead =
+    Option.map
+      (fun b -> (profiled_s -. b) /. Float.max 1e-9 b *. 100.)
+      baseline
+  in
+  {
+    pf_scale = scale;
+    pf_snapshot = sn;
+    pf_report = report;
+    pf_overhead_pct = overhead;
+  }
+
+let print_profile ?(wall = false) ?(top = 10) ppf (r : profile_result) =
+  print_traffic_scaling ~show_rate:wall ppf r.pf_scale;
+  Rf_obs.Profiler.pp_top ~wall ~top ppf r.pf_snapshot;
+  Rf_obs.Profiler.pp_depth_curve ppf r.pf_snapshot;
+  Rf_obs.Shard_advisor.pp_report ppf r.pf_report;
+  match (wall, r.pf_overhead_pct) with
+  | true, Some pct ->
+      Format.fprintf ppf "profiling overhead: %+.1f%% wall clock@." pct
+  | true, None | false, _ -> ()

@@ -18,6 +18,7 @@ val fig3 :
   ?vm_boot_s:float ->
   ?parallel_boot:int ->
   ?telemetry:string ->
+  ?profiler:Rf_obs.Profiler.t ->
   unit ->
   fig3_row list
 (** Default sizes 4, 8, ..., 28 (ring topologies, as in the paper).
@@ -137,6 +138,7 @@ val failure_recovery :
   ?window_s:float ->
   ?horizon_s:float ->
   ?telemetry:string ->
+  ?profiler:Rf_obs.Profiler.t ->
   unit ->
   recovery_result
 (** Default: 6-switch ring (server behind sw1, client behind sw4, 2 s
@@ -347,6 +349,7 @@ val traffic_disruption :
   ?recover_at_s:float ->
   ?horizon_s:float ->
   ?telemetry:string ->
+  ?profiler:Rf_obs.Profiler.t ->
   unit ->
   traffic_result
 (** Four measured runs of the standard workload on a ring with 10
@@ -381,6 +384,7 @@ val traffic_scaling :
   ?pairs_per_host:int ->
   ?arrivals_per_s:float ->
   ?horizon_s:float ->
+  ?profiler:Rf_obs.Profiler.t ->
   unit ->
   traffic_scale_result
 (** The E6 scaling run: a k-ary fat-tree (default k=20: 500 switches,
@@ -439,6 +443,7 @@ val cluster_failover :
   ?traffic_start_s:float ->
   ?parallel_boot:int ->
   ?telemetry:string ->
+  ?profiler:Rf_obs.Profiler.t ->
   unit ->
   cluster_result
 (** Two measured runs of the standard E6 workload on a ring with 10
@@ -454,3 +459,61 @@ val cluster_failover :
 
 val print_cluster : Format.formatter -> cluster_result -> unit
 (** Deterministic: safe to fingerprint (no wall-clock content). *)
+
+(** {1 E10 — engine profile & shard-cut advisory}
+
+    One E6-style scaling run with the {!Rf_obs.Profiler} attached:
+    per-entity load attribution, heap/GC telemetry, and a
+    {!Rf_obs.Shard_advisor} partition of the topology. Every figure in
+    the deterministic report derives from simulation state (event
+    counts, heap shape, message counts), so the summary can be
+    fingerprinted; wall-clock rates and GC words appear only in the
+    [wall] form of the printer. *)
+
+type profile_result = {
+  pf_scale : traffic_scale_result;
+  pf_snapshot : Rf_obs.Profiler.snapshot;
+  pf_report : Rf_obs.Shard_advisor.report;
+  pf_overhead_pct : float option;
+      (** profiled vs unprofiled wall-clock cost of the same run, in
+          percent; only present with [measure_overhead] and never part
+          of deterministic output *)
+}
+
+val advisor_input_of :
+  Rf_net.Topology.t ->
+  Rf_obs.Profiler.snapshot ->
+  horizon_s:float ->
+  Rf_obs.Shard_advisor.input
+(** Builds the advisor's weighted graph: topology switches and hosts
+    as nodes weighted by attributed event counts (link-entity events
+    split between their endpoint switches), topology edges as the
+    weight-free adjacency, and the profiler's message matrix (filtered
+    to topology nodes) as the communication edges. *)
+
+val profile_scaling :
+  ?seed:int ->
+  ?k:int ->
+  ?pairs_per_host:int ->
+  ?arrivals_per_s:float ->
+  ?horizon_s:float ->
+  ?shards:int ->
+  ?measure_overhead:bool ->
+  ?telemetry:string ->
+  unit ->
+  profile_result
+(** The E6 scaling run (same defaults as {!traffic_scaling}) with
+    profiling on, partitioned into [shards] (default 4) shards.
+    [measure_overhead] first runs the identical workload unprofiled
+    and reports the relative wall-clock cost of instrumentation. *)
+
+val print_profile :
+  ?wall:bool ->
+  ?top:int ->
+  Format.formatter ->
+  profile_result ->
+  unit
+(** With [wall:false] (default) the report contains only
+    simulation-deterministic figures — safe to fingerprint. [wall]
+    adds busy-time, events/sec, GC and overhead lines. [top] (default
+    10) bounds the entity table. *)

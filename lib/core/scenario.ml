@@ -22,6 +22,7 @@ type options = {
   cluster_replicas : int;
       (** RF-controller replicas; 1 = the legacy single controller
           (no cluster machinery is instantiated at all) *)
+  profiler : Rf_obs.Profiler.t option;
 }
 
 let default_options =
@@ -36,6 +37,7 @@ let default_options =
     faults = Rf_sim.Faults.empty;
     link_capacity = None;
     cluster_replicas = 1;
+    profiler = None;
   }
 
 type host_plan = { hp_subnet : Ipv4_addr.Prefix.t; hp_ip : Ipv4_addr.t }
@@ -95,6 +97,9 @@ let edges_of_plans topo plans =
 
 let build ?(options = default_options) topo =
   let engine = Rf_sim.Engine.create ~seed:options.seed () in
+  (match options.profiler with
+  | Some p -> Rf_sim.Engine.set_profiler engine (Some p)
+  | None -> ());
   let host_plans = host_plans_of topo in
   let admin_edges = edges_of_plans topo host_plans in
 
@@ -357,7 +362,9 @@ let build ?(options = default_options) topo =
   in
   let track_routes = not (Rf_sim.Faults.is_empty options.faults) in
   ignore
-    (Rf_sim.Engine.periodic engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
+    (Rf_sim.Engine.periodic
+       ~entity:(Rf_obs.Profiler.component "scenario")
+       engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
          if t.converged_at = None && converged () then begin
            t.converged_at <- Some (Rf_sim.Engine.now engine);
            (* Retroactive convergence span: the routing tail between the

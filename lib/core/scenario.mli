@@ -33,6 +33,9 @@ type options = {
           ({!Rf_rpc.Cluster}) with leader election, guards the
           RouteFlow state behind the commit path, and fails switch
           OpenFlow sessions over to each new leader *)
+  profiler : Rf_obs.Profiler.t option;
+      (** when set, attached to the engine before anything is
+          scheduled, so boot-phase work is attributed too *)
 }
 
 val default_options : options

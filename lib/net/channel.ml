@@ -2,6 +2,7 @@ type endpoint = {
   engine : Rf_sim.Engine.t;
   latency : Rf_sim.Vtime.span;
   ep_name : string;
+  entity : Rf_obs.Profiler.entity option;
   mutable peer : endpoint option;
   mutable receiver : (string -> unit) option;
   mutable pending : string list;  (** reversed buffer until receiver set *)
@@ -9,11 +10,12 @@ type endpoint = {
   mutable on_close : (unit -> unit) option;
 }
 
-let make engine latency ep_name =
+let make engine latency entity ep_name =
   {
     engine;
     latency;
     ep_name;
+    entity;
     peer = None;
     receiver = None;
     pending = [];
@@ -21,9 +23,10 @@ let make engine latency ep_name =
     on_close = None;
   }
 
-let create engine ?(latency = Rf_sim.Vtime.span_ms 1) ?(name = "chan") () =
-  let a = make engine latency (name ^ ".a") in
-  let b = make engine latency (name ^ ".b") in
+let create engine ?(latency = Rf_sim.Vtime.span_ms 1) ?(name = "chan") ?entity
+    () =
+  let a = make engine latency entity (name ^ ".a") in
+  let b = make engine latency entity (name ^ ".b") in
   a.peer <- Some b;
   b.peer <- Some a;
   (a, b)
@@ -39,7 +42,8 @@ let send ep bytes =
   match ep.peer with
   | Some peer when ep.open_ && peer.open_ ->
       ignore
-        (Rf_sim.Engine.schedule ep.engine ep.latency (fun () -> deliver peer bytes))
+        (Rf_sim.Engine.schedule ?entity:ep.entity ep.engine ep.latency
+           (fun () -> deliver peer bytes))
   | Some _ | None -> ()
 
 let set_receiver ep f =
@@ -60,7 +64,9 @@ let close ep =
     (match ep.on_close with Some f -> f () | None -> ());
     match ep.peer with
     | Some peer ->
-        ignore (Rf_sim.Engine.schedule ep.engine ep.latency (fun () -> do_close peer))
+        ignore
+          (Rf_sim.Engine.schedule ?entity:ep.entity ep.engine ep.latency
+             (fun () -> do_close peer))
     | None -> ()
   end
 

@@ -12,9 +12,12 @@ val create :
   Rf_sim.Engine.t ->
   ?latency:Rf_sim.Vtime.span ->
   ?name:string ->
+  ?entity:Rf_obs.Profiler.entity ->
   unit ->
   endpoint * endpoint
-(** A connected pair. Default latency 1 ms. *)
+(** A connected pair. Default latency 1 ms. [entity] tags both
+    directions' delivery events for load attribution (e.g. the
+    per-switch control channel tags its switch). *)
 
 val send : endpoint -> string -> unit
 (** Queues bytes for the peer; they arrive after the channel latency.

@@ -17,6 +17,7 @@ type port = {
 type t = {
   engine : Rf_sim.Engine.t;
   dpid : int64;
+  entity : Rf_obs.Profiler.entity;
   ports : port array;  (** index 0 = port 1 *)
   table : Flow_table.t;
   buffers : (int32, int * string) Hashtbl.t;  (** id -> (in_port, frame) *)
@@ -62,6 +63,7 @@ let create engine ~dpid ~n_ports ?table_capacity () =
     {
       engine;
       dpid;
+      entity = Rf_obs.Profiler.switch dpid;
       ports = Array.init n_ports mk;
       table = Flow_table.create ?capacity:table_capacity ();
       buffers = Hashtbl.create 64;
@@ -101,10 +103,14 @@ let create engine ~dpid ~n_ports ?table_capacity () =
             })
       removed
   in
-  ignore (Rf_sim.Engine.periodic engine (Rf_sim.Vtime.span_s 1.0) expiry);
+  ignore
+    (Rf_sim.Engine.periodic ~entity:t.entity engine (Rf_sim.Vtime.span_s 1.0)
+       expiry);
   t
 
 let dpid t = t.dpid
+
+let entity t = t.entity
 
 let engine t = t.engine
 

@@ -17,6 +17,9 @@ val create :
 
 val dpid : t -> int64
 
+val entity : t -> Rf_obs.Profiler.entity
+(** The switch's load-attribution handle ([Switch dpid]). *)
+
 val engine : t -> Rf_sim.Engine.t
 
 val n_ports : t -> int

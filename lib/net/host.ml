@@ -8,6 +8,7 @@ type pending = { mutable frames : (Ipv4_addr.t -> Mac.t -> string) list }
 type t = {
   engine : Rf_sim.Engine.t;
   name : string;
+  entity : Rf_obs.Profiler.entity;
   mac : Mac.t;
   ip : Ipv4_addr.t;
   prefix : Ipv4_addr.Prefix.t;
@@ -32,6 +33,7 @@ let create engine ~name ~mac ~ip ~prefix_len ~gateway () =
   {
     engine;
     name;
+    entity = Rf_obs.Profiler.host name;
     mac;
     ip;
     prefix = Ipv4_addr.Prefix.make ip prefix_len;
@@ -49,6 +51,8 @@ let create engine ~name ~mac ~ip ~prefix_len ~gateway () =
   }
 
 let name t = t.name
+
+let entity t = t.entity
 
 let mac t = t.mac
 
@@ -77,7 +81,9 @@ let send_arp_request t target =
 let rec arp_retry t target =
   if Ip_map.mem target t.waiting then begin
     send_arp_request t target;
-    ignore (Rf_sim.Engine.schedule t.engine arp_retry_period (fun () -> arp_retry t target))
+    ignore
+      (Rf_sim.Engine.schedule ~entity:t.entity t.engine arp_retry_period
+         (fun () -> arp_retry t target))
   end
 
 let resolve_and_send t dst build =
@@ -94,8 +100,8 @@ let resolve_and_send t dst build =
           t.waiting <- Ip_map.add hop { frames = [ build ] } t.waiting;
           send_arp_request t hop;
           ignore
-            (Rf_sim.Engine.schedule t.engine arp_retry_period (fun () ->
-                 arp_retry t hop)))
+            (Rf_sim.Engine.schedule ~entity:t.entity t.engine arp_retry_period
+               (fun () -> arp_retry t hop)))
 
 let learn t ip mac =
   t.arp <- Ip_map.add ip mac t.arp;
@@ -217,7 +223,8 @@ let start_udp_stream t ~dst ~dst_port ~period ~payload_size ?count () =
           s.sent <- s.sent + 1
   in
   tick ();
-  if not s.stopped then s.timer <- Some (Rf_sim.Engine.periodic t.engine period tick);
+  if not s.stopped then
+    s.timer <- Some (Rf_sim.Engine.periodic ~entity:t.entity t.engine period tick);
   s
 
 let stream_sent s = s.sent

@@ -18,6 +18,9 @@ val create :
 
 val name : t -> string
 
+val entity : t -> Rf_obs.Profiler.entity
+(** The host's load-attribution handle ([Host name]). *)
+
 val mac : t -> Mac.t
 
 val ip : t -> Ipv4_addr.t

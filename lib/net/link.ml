@@ -14,6 +14,7 @@ type direction = {
 type t = {
   engine : Rf_sim.Engine.t;
   latency : Rf_sim.Vtime.span;
+  entity : Rf_obs.Profiler.entity;
   a : attachment;
   b : attachment;
   mutable up : bool;
@@ -33,7 +34,7 @@ let deliver side frame =
 
 let propagate t other frame =
   ignore
-    (Rf_sim.Engine.schedule t.engine t.latency (fun () ->
+    (Rf_sim.Engine.schedule ~entity:t.entity t.engine t.latency (fun () ->
          if t.up then begin
            t.carried <- t.carried + 1;
            (match t.tap with Some f -> f frame | None -> ());
@@ -72,7 +73,8 @@ let attach t side other dir =
             in
             dir.busy_until <- finish;
             ignore
-              (Rf_sim.Engine.schedule_at t.engine finish (fun () ->
+              (Rf_sim.Engine.schedule_at ~entity:t.entity t.engine finish
+                 (fun () ->
                    dir.queued <- dir.queued - 1;
                    if t.up then propagate t other frame
                    else t.dropped <- t.dropped + 1))
@@ -82,6 +84,16 @@ let attach t side other dir =
   | To_switch (dp, port) -> Datapath.set_transmit dp ~port transmit
   | To_host h -> Host.set_transmit h transmit
 
+(* Load attribution: switch-switch links are entities of their own
+   (their propagation work sits between two domains); host access
+   links fold into the host, whose placement follows its edge
+   switch. *)
+let attribution a b =
+  match (a, b) with
+  | To_switch (da, _), To_switch (db, _) ->
+      Rf_obs.Profiler.link (Datapath.dpid da) (Datapath.dpid db)
+  | To_host h, _ | _, To_host h -> Rf_obs.Profiler.host (Host.name h)
+
 let connect engine ?(latency = Rf_sim.Vtime.span_ms 1) ?capacity a b =
   let direction () =
     { busy_until = Rf_sim.Vtime.zero; queued = 0; queue_dropped = 0 }
@@ -90,6 +102,7 @@ let connect engine ?(latency = Rf_sim.Vtime.span_ms 1) ?capacity a b =
     {
       engine;
       latency;
+      entity = attribution a b;
       a;
       b;
       up = true;

@@ -130,7 +130,7 @@ let build engine topo ~host_config ~attach_controller
     let switch_end, controller_end =
       Channel.create engine ~latency:control_latency
         ~name:(Printf.sprintf "ctl-%Ld" dpid)
-        ()
+        ~entity:(Datapath.entity dp) ()
     in
     let agent = Of_agent.create engine dp switch_end in
     Hashtbl.replace t.agents dpid agent;
@@ -142,7 +142,12 @@ let build engine topo ~host_config ~attach_controller
       let delay = switch_boot_delay dpid in
       if Rf_sim.Vtime.span_compare delay Rf_sim.Vtime.span_zero <= 0 then
         connect dpid
-      else ignore (Rf_sim.Engine.schedule engine delay (fun () -> connect dpid)))
+      else
+        ignore
+          (Rf_sim.Engine.schedule
+             ~entity:(Datapath.entity (datapath t dpid))
+             engine delay
+             (fun () -> connect dpid)))
     (datapaths t);
   (* Host self-announcement. *)
   List.iter (fun (_, h) -> Host.gratuitous_arp h) (hosts t);

@@ -115,11 +115,13 @@ let observation_sum h = h.sum
 (* Prometheus-style histogram_quantile: find the bucket holding the
    q-rank, then interpolate linearly inside it (the first bucket's
    lower edge is 0, the +Inf bucket clamps to the highest finite
-   bound). Input validation mirrors [Rf_sim.Stats.percentile]. *)
+   bound). Total functions on totally-ordered inputs: an empty
+   histogram yields [nan] and q is clamped to [0,1], mirroring
+   [Rf_sim.Stats.percentile]. *)
 let histogram_quantile h q =
-  if h.n = 0 then invalid_arg "Metrics.histogram_quantile: empty histogram";
-  if q < 0. || q > 1. then
-    invalid_arg "Metrics.histogram_quantile: q outside [0,1]";
+  if h.n = 0 then Float.nan
+  else begin
+  let q = if Float.is_nan q then 0. else Float.min 1. (Float.max 0. q) in
   let nb = Array.length buckets in
   let rank = q *. float_of_int h.n in
   let rec go i cum =
@@ -135,6 +137,7 @@ let histogram_quantile h q =
       else go (i + 1) cum'
   in
   go 0 0
+  end
 
 (* Exposition order: family name, then the (sorted) label set. *)
 let sorted_samples t =
@@ -155,6 +158,24 @@ let fold t ~init ~counter ~gauge =
       | H _ -> acc)
     init (sorted_samples t)
 
+(* Prometheus exposition-format escaping: label values escape
+   backslash, double-quote and newline; HELP text escapes backslash
+   and newline. *)
+let add_escaped buf ~quote s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | ch -> Buffer.add_char buf ch)
+    s
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  add_escaped buf ~quote:false s;
+  Buffer.contents buf
+
 let render_labels buf labels =
   match labels with
   | [] -> ()
@@ -165,7 +186,7 @@ let render_labels buf labels =
           if i > 0 then Buffer.add_char buf ',';
           Buffer.add_string buf k;
           Buffer.add_string buf "=\"";
-          Buffer.add_string buf v;
+          add_escaped buf ~quote:true v;
           Buffer.add_char buf '"')
         labels;
       Buffer.add_char buf '}'
@@ -189,11 +210,16 @@ let to_prometheus t =
             (match f.f_help with
             | Some h ->
                 Buffer.add_string buf
-                  (Printf.sprintf "# HELP %s %s\n" s.s_name h)
+                  (Printf.sprintf "# HELP %s %s\n" s.s_name (escape_help h))
             | None -> ());
             Buffer.add_string buf
               (Printf.sprintf "# TYPE %s %s\n" s.s_name (kind_name f.f_kind))
-        | None -> ()
+        | None ->
+            (* Every exposed family carries a # TYPE line even if it was
+               never registered (defensive: untyped is the spec's
+               catch-all). *)
+            Buffer.add_string buf
+              (Printf.sprintf "# TYPE %s untyped\n" s.s_name)
       end;
       match s.inst with
       | C c -> add_sample buf s.s_name s.s_labels (string_of_int c.c)

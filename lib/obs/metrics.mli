@@ -59,9 +59,9 @@ val histogram_quantile : histogram -> float -> float
     q-rank and interpolate linearly within its bounds (lower edge 0 for
     the first bucket; observations in the implicit +Inf bucket clamp to
     the highest finite bound). Lets SLOs read p99 straight off a live
-    histogram without keeping raw samples. Raises [Invalid_argument] on
-    an empty histogram or [q] outside [0,1], mirroring
-    [Rf_sim.Stats.percentile]. *)
+    histogram without keeping raw samples. Total on all inputs: an
+    empty histogram yields [nan], [q] is clamped to [0,1] (NaN [q]
+    reads as 0), mirroring [Rf_sim.Stats.percentile]. *)
 
 val fold :
   t ->
@@ -74,6 +74,9 @@ val fold :
 
 val to_prometheus : t -> string
 (** Deterministic text exposition: families sorted by name, samples by
-    label set; [# HELP]/[# TYPE] headers when help text was given. *)
+    label set. Every family gets a [# TYPE] line ([untyped] as the
+    defensive fallback) and a [# HELP] line when help text was given;
+    label values and help text are escaped per the exposition format
+    (backslash, double-quote and newline). *)
 
 val pp_prometheus : Format.formatter -> t -> unit

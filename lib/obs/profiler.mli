@@ -1,0 +1,158 @@
+(** Per-entity load attribution for the simulation engine.
+
+    The engine's dispatch loop calls {!tick} once per executed event.
+    Ticks count events per entity exactly; the wall clock is read only
+    every [clock_every] dispatches, and each elapsed interval is
+    charged to the entity at the previous clock boundary. Consecutive
+    intervals partition the run's wall time exactly: over a completed
+    run, attributed busy time plus idle time equals total run time to
+    the nanosecond, and per-entity event counts sum to the engine's
+    executed-event count. When no profiler is installed the engine
+    dispatch path does not allocate and pays only a [None] branch.
+
+    Alongside attribution the profiler records an event-heap
+    depth/churn timeseries and periodic [Gc.quick_stat] deltas
+    (sampled every [sample_every] events, so sample {e points} are
+    deterministic even though the GC figures are not), plus a
+    src/dst message matrix that feeds {!Shard_advisor}. *)
+
+type kind =
+  | Unattributed  (** events scheduled without an [~entity] tag *)
+  | Idle  (** pseudo-entity for time outside event handlers *)
+  | Component of string
+  | Switch of int64
+  | Link of int64 * int64  (** normalised so the smaller dpid is first *)
+  | Host of string
+  | Controller of int
+
+type entity
+(** Mutable attribution handle. Create one per logical component and
+    reuse it on every [schedule] call — counters live inline on the
+    handle, so tagging costs nothing beyond the pointer. Handles for
+    the same [kind] are merged at {!snapshot} time. *)
+
+val component : string -> entity
+
+val switch : int64 -> entity
+
+val link : int64 -> int64 -> entity
+
+val host : string -> entity
+
+val controller : int -> entity
+
+val unattributed : unit -> entity
+
+val entity_id : entity -> string
+(** Stable display id: ["sw:5"], ["host:h0001"], ["comp:rpc"], ... *)
+
+val kind_id : kind -> string
+
+type t
+
+val create :
+  ?clock_ns:(unit -> int) -> ?clock_every:int -> ?sample_every:int -> unit -> t
+(** [clock_ns] defaults to a [Unix.gettimeofday]-based nanosecond
+    clock (injectable for deterministic tests). [clock_every] (default
+    32) is the dispatch stride between clock reads: each interval is
+    charged whole to the entity at the previous stride boundary —
+    sampling-profiler semantics that keep the per-event cost to a few
+    integer stores; [clock_every:1] recovers exact per-event
+    attribution. Intervals partition the run either way, so busy +
+    idle always equals total run time exactly. [sample_every] (default
+    4096) is the event-count period of heap/GC samples (aligned to
+    clock strides). Raises [Invalid_argument] if either stride is
+    [< 1]. *)
+
+(** {1 Engine hooks} *)
+
+val run_begin : t -> unit
+
+val tick : t -> entity -> depth:int -> now_us:int -> unit
+(** Called once per executed event, before its handler runs. [depth]
+    is the event-heap depth after popping; [now_us] the virtual
+    clock. *)
+
+val run_end : t -> depth:int -> now_us:int -> pushes:int -> peak:int -> unit
+(** Closes the pending attribution interval and folds [pushes] (the
+    heap's cumulative insertion count — churn) and [peak] (its exact
+    high-water mark, tracked by the heap itself) into the profile. *)
+
+val message : t -> src:entity -> dst:entity -> unit
+(** Records one simulated message from [src] to [dst] in the traffic
+    matrix consumed by the shard advisor. *)
+
+val message_counter : t -> src:entity -> dst:entity -> int ref
+(** The live counter behind {!message} for the (src, dst) pair —
+    resolve it once per flow and [incr] it per message to keep the
+    per-message cost to one store. *)
+
+val dispatches : t -> int
+
+(** {1 Snapshots} *)
+
+type sample = {
+  s_us : int;
+  s_depth : int;
+  s_minor_words : float;
+  s_major_collections : int;
+}
+
+type entity_stat = {
+  es_id : string;
+  es_kind : kind;
+  es_events : int;
+  es_busy_ns : int;
+}
+
+type gc_delta = {
+  gd_minor_words : float;
+  gd_promoted_words : float;
+  gd_major_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+  gd_compactions : int;
+  gd_top_heap_words : int;
+}
+
+type snapshot = {
+  sn_events : int;
+  sn_entities : entity_stat list;  (** events desc, then id asc *)
+  sn_attributed_events : int;
+  sn_busy_ns : int;  (** sum over entities, idle excluded *)
+  sn_idle_ns : int;
+  sn_run_ns : int;  (** equals [sn_busy_ns + sn_idle_ns] exactly *)
+  sn_heap_peak : int;
+  sn_heap_pushes : int;
+  sn_samples : sample list;  (** chronological *)
+  sn_gc : gc_delta;
+  sn_messages : (string * string * int) list;
+      (** (src id, dst id, count), count desc then ids asc *)
+}
+
+val snapshot : t -> snapshot
+
+val attributed_share : snapshot -> float
+
+val events_per_second : snapshot -> float
+(** Wall-clock rate; never included in deterministic output. *)
+
+val meta : snapshot -> (string * string) list
+(** Deterministic telemetry meta (event counts, heap shape) — safe
+    for byte-identical fingerprints. Wall-clock and GC figures are
+    deliberately excluded. *)
+
+val emit : snapshot -> tracer:Tracer.t -> metrics:Metrics.t -> now_us:int -> unit
+(** Publishes the snapshot on the telemetry bus: per-entity events and
+    a strided heap-depth curve as tracer events, plus gauges/counters
+    on the metrics registry. *)
+
+(** {1 Reports} *)
+
+val pp_top : ?wall:bool -> top:int -> Format.formatter -> snapshot -> unit
+(** Top-entities table. With [wall:false] (the default) only
+    simulation-deterministic figures are printed — this is the form
+    fingerprinted summaries use; [wall:true] adds busy time, event
+    rate and GC lines. *)
+
+val pp_depth_curve : ?points:int -> Format.formatter -> snapshot -> unit

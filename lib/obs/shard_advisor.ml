@@ -1,0 +1,235 @@
+(* Greedy k-way partition of the topology graph, weighted by profiled
+   busy-time (or event counts), in the style of linear deterministic
+   greedy (LDG) streaming partitioning: nodes are placed one at a time
+   in decreasing weight order, each going to the shard maximising
+   affinity (messages + adjacency to already-placed members) scaled by
+   remaining capacity. Everything is processed in sorted order, so the
+   same input always produces the same partition — reports are safe to
+   fingerprint.
+
+   The point is not an optimal cut (that is NP-hard) but a defensible
+   estimate of what conservative-lookahead sharding would buy: the
+   speedup bound is total weight over the heaviest shard — the best
+   any synchronous-window parallel run of this partition could do. *)
+
+type node = { nd_id : string; nd_weight : int }
+
+type edge = { ed_a : string; ed_b : string; ed_msgs : int }
+
+type input = {
+  in_nodes : node list;
+  in_edges : edge list;  (** message counts between entities *)
+  in_adjacency : (string * string) list;  (** topology edges, weight-free *)
+  in_horizon_s : float;  (** virtual seconds profiled, for msgs/s *)
+}
+
+type shard = {
+  sh_id : int;
+  sh_nodes : int;
+  sh_weight : int;
+  sh_share : float;
+  sh_members : string list;  (** sorted; capped for display *)
+}
+
+type report = {
+  rp_k : int;
+  rp_nodes : int;
+  rp_total_weight : int;
+  rp_shards : shard list;
+  rp_max_share : float;
+  rp_imbalance : float;  (** max shard weight / mean shard weight *)
+  rp_cut_msgs : int;
+  rp_total_msgs : int;
+  rp_cut_fraction : float;
+  rp_cut_msgs_per_s : float;
+  rp_speedup_bound : float;
+  rp_efficiency : float;  (** speedup bound / k *)
+}
+
+let partition ~k input =
+  if k < 1 then invalid_arg "Shard_advisor.partition: k < 1";
+  (* Collect every id mentioned anywhere; edge/adjacency endpoints
+     missing from in_nodes join with weight 0. *)
+  let weights : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let w = try Hashtbl.find weights n.nd_id with Not_found -> 0 in
+      Hashtbl.replace weights n.nd_id (w + n.nd_weight))
+    input.in_nodes;
+  let touch id =
+    if not (Hashtbl.mem weights id) then Hashtbl.replace weights id 0
+  in
+  List.iter
+    (fun e ->
+      touch e.ed_a;
+      touch e.ed_b)
+    input.in_edges;
+  List.iter
+    (fun (a, b) ->
+      touch a;
+      touch b)
+    input.in_adjacency;
+  (* Neighbour affinities: message counts dominate; bare topology
+     adjacency contributes weight 1 so unloaded switches still cluster
+     next to their neighbours instead of being scattered. *)
+  let affinity : (string, (string * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let add_aff a b w =
+    if a <> b then
+      let cur = try Hashtbl.find affinity a with Not_found -> [] in
+      Hashtbl.replace affinity a ((b, w) :: cur)
+  in
+  List.iter
+    (fun e ->
+      add_aff e.ed_a e.ed_b e.ed_msgs;
+      add_aff e.ed_b e.ed_a e.ed_msgs)
+    input.in_edges;
+  List.iter
+    (fun (a, b) ->
+      add_aff a b 1;
+      add_aff b a 1)
+    input.in_adjacency;
+  let nodes =
+    Hashtbl.fold (fun id w acc -> (id, w) :: acc) weights []
+    |> List.sort (fun (id1, w1) (id2, w2) ->
+           match compare w2 w1 with 0 -> String.compare id1 id2 | c -> c)
+  in
+  let n_nodes = List.length nodes in
+  let total_weight = List.fold_left (fun acc (_, w) -> acc + w) 0 nodes in
+  let capacity =
+    (* 5% headroom over a perfect split; guards the greedy pass from
+       piling every high-affinity node onto one shard. *)
+    max 1 (total_weight * 21 / (20 * k))
+  in
+  let shard_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let load = Array.make k 0 in
+  let members = Array.make k [] in
+  let counts = Array.make k 0 in
+  List.iter
+    (fun (id, w) ->
+      let best = ref 0 and best_score = ref neg_infinity in
+      for j = 0 to k - 1 do
+        let aff =
+          List.fold_left
+            (fun acc (nb, aw) ->
+              match Hashtbl.find_opt shard_of nb with
+              | Some s when s = j -> acc + aw
+              | _ -> acc)
+            0
+            (try Hashtbl.find affinity id with Not_found -> [])
+        in
+        let room =
+          1. -. (float_of_int load.(j) /. float_of_int capacity)
+        in
+        let room = if room < 0. then 0. else room in
+        (* +1 keeps the capacity term decisive when affinities tie at
+           zero, sending the node to the emptiest shard. *)
+        let score = float_of_int (aff + 1) *. room in
+        if score > !best_score then begin
+          best_score := score;
+          best := j
+        end
+      done;
+      let j = !best in
+      Hashtbl.replace shard_of id j;
+      load.(j) <- load.(j) + w;
+      counts.(j) <- counts.(j) + 1;
+      members.(j) <- id :: members.(j))
+    nodes;
+  (* Edge cut: messages whose endpoints land in different shards. *)
+  let cut_msgs = ref 0 and total_msgs = ref 0 in
+  List.iter
+    (fun e ->
+      total_msgs := !total_msgs + e.ed_msgs;
+      match (Hashtbl.find_opt shard_of e.ed_a, Hashtbl.find_opt shard_of e.ed_b) with
+      | Some sa, Some sb when sa <> sb -> cut_msgs := !cut_msgs + e.ed_msgs
+      | _ -> ())
+    input.in_edges;
+  let max_load = Array.fold_left max 0 load in
+  let mean_load = float_of_int total_weight /. float_of_int k in
+  let shards =
+    List.init k (fun j ->
+        {
+          sh_id = j;
+          sh_nodes = counts.(j);
+          sh_weight = load.(j);
+          sh_share =
+            (if total_weight = 0 then 0.
+             else float_of_int load.(j) /. float_of_int total_weight);
+          sh_members = List.sort String.compare members.(j);
+        })
+  in
+  let speedup =
+    if max_load = 0 then 1.
+    else float_of_int total_weight /. float_of_int max_load
+  in
+  {
+    rp_k = k;
+    rp_nodes = n_nodes;
+    rp_total_weight = total_weight;
+    rp_shards = shards;
+    rp_max_share =
+      (if total_weight = 0 then 0.
+       else float_of_int max_load /. float_of_int total_weight);
+    rp_imbalance =
+      (if mean_load = 0. then 1. else float_of_int max_load /. mean_load);
+    rp_cut_msgs = !cut_msgs;
+    rp_total_msgs = !total_msgs;
+    rp_cut_fraction =
+      (if !total_msgs = 0 then 0.
+       else float_of_int !cut_msgs /. float_of_int !total_msgs);
+    rp_cut_msgs_per_s =
+      (if input.in_horizon_s <= 0. then 0.
+       else float_of_int !cut_msgs /. input.in_horizon_s);
+    rp_speedup_bound = speedup;
+    rp_efficiency = speedup /. float_of_int k;
+  }
+
+let shard_assignment report =
+  List.concat_map
+    (fun s -> List.map (fun id -> (id, s.sh_id)) s.sh_members)
+    report.rp_shards
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let meta report =
+  [
+    ("shard_k", string_of_int report.rp_k);
+    ("shard_nodes", string_of_int report.rp_nodes);
+    ("shard_max_share", Printf.sprintf "%.4f" report.rp_max_share);
+    ("shard_imbalance", Printf.sprintf "%.4f" report.rp_imbalance);
+    ("shard_cut_msgs", string_of_int report.rp_cut_msgs);
+    ("shard_cut_fraction", Printf.sprintf "%.4f" report.rp_cut_fraction);
+    ("shard_cut_msgs_per_s", Printf.sprintf "%.1f" report.rp_cut_msgs_per_s);
+    ("shard_speedup_bound", Printf.sprintf "%.2f" report.rp_speedup_bound);
+    ("shard_efficiency", Printf.sprintf "%.2f" report.rp_efficiency);
+  ]
+
+let pp_members ppf members =
+  let n = List.length members in
+  let shown = if n <= 6 then members else List.filteri (fun i _ -> i < 6) members in
+  Format.fprintf ppf "%s%s"
+    (String.concat " " shown)
+    (if n > 6 then Printf.sprintf " +%d" (n - 6) else "")
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "shard advisor: k=%d over %d nodes, total weight %d@." r.rp_k r.rp_nodes
+    r.rp_total_weight;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  shard %d: %3d nodes, weight %10d (%5.1f%%)  [%a]@." s.sh_id
+        s.sh_nodes s.sh_weight (100. *. s.sh_share) pp_members s.sh_members)
+    r.rp_shards;
+  Format.fprintf ppf
+    "  balance: max share %.1f%%, imbalance %.2fx@."
+    (100. *. r.rp_max_share)
+    r.rp_imbalance;
+  Format.fprintf ppf
+    "  edge cut: %d / %d msgs cross shards (%.1f%%), %.1f msgs/s@."
+    r.rp_cut_msgs r.rp_total_msgs
+    (100. *. r.rp_cut_fraction)
+    r.rp_cut_msgs_per_s;
+  Format.fprintf ppf
+    "  predicted speedup <= %.2fx on %d shards (efficiency %.0f%%, conservative lookahead)@."
+    r.rp_speedup_bound r.rp_k
+    (100. *. r.rp_efficiency)

@@ -1,0 +1,58 @@
+(** Shard-cut advisor: deterministic greedy k-way partition of the
+    topology graph weighted by profiled load.
+
+    Consumes the per-entity busy-time/event weights and the message
+    matrix produced by {!Profiler} and proposes a k-way domain cut,
+    reporting per-shard load shares, the cross-shard message cut, and
+    an upper bound on the speedup a conservative-lookahead parallel
+    engine could extract from that cut (total weight over the
+    heaviest shard). The placement pass is a streaming greedy
+    (LDG-style) over nodes in decreasing weight order; all iteration
+    is over sorted data, so identical inputs yield byte-identical
+    reports. *)
+
+type node = { nd_id : string; nd_weight : int }
+
+type edge = { ed_a : string; ed_b : string; ed_msgs : int }
+
+type input = {
+  in_nodes : node list;
+  in_edges : edge list;  (** message counts between entities *)
+  in_adjacency : (string * string) list;  (** topology edges, weight-free *)
+  in_horizon_s : float;  (** virtual seconds profiled, for msgs/s *)
+}
+
+type shard = {
+  sh_id : int;
+  sh_nodes : int;
+  sh_weight : int;
+  sh_share : float;
+  sh_members : string list;  (** sorted ids *)
+}
+
+type report = {
+  rp_k : int;
+  rp_nodes : int;
+  rp_total_weight : int;
+  rp_shards : shard list;
+  rp_max_share : float;
+  rp_imbalance : float;  (** max shard weight / mean shard weight *)
+  rp_cut_msgs : int;
+  rp_total_msgs : int;
+  rp_cut_fraction : float;
+  rp_cut_msgs_per_s : float;
+  rp_speedup_bound : float;  (** total weight / heaviest shard, <= k *)
+  rp_efficiency : float;  (** speedup bound / k *)
+}
+
+val partition : k:int -> input -> report
+(** Raises [Invalid_argument] if [k < 1]. Endpoints appearing only in
+    edges or adjacency join the node set with weight 0. *)
+
+val shard_assignment : report -> (string * int) list
+(** Flat (node id, shard id) assignment, sorted by node id. *)
+
+val meta : report -> (string * string) list
+(** Deterministic key/value pairs for telemetry meta and SLO rules. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -24,6 +24,7 @@ type nic_desired = { nd_ip : Ipv4_addr.t; nd_len : int; nd_role : nic_role }
 
 type sw_state = {
   ss_dpid : int64;
+  ss_entity : Rf_obs.Profiler.entity;
   ss_ports : int;
   mutable ss_vm : Vm.t option;
   ss_nics : (int, nic_desired) Hashtbl.t;
@@ -217,7 +218,8 @@ let schedule_apply t ss =
   if not ss.ss_dirty then begin
     ss.ss_dirty <- true;
     ignore
-      (Rf_sim.Engine.schedule t.engine t.params.config_apply_delay (fun () ->
+      (Rf_sim.Engine.schedule ~entity:ss.ss_entity t.engine
+         t.params.config_apply_delay (fun () ->
            ss.ss_dirty <- false;
            apply_configs t ss))
   end
@@ -249,7 +251,8 @@ let rec start_boots t =
           ~component:"rf-server" ~event:"vm-boot-start"
           (Printf.sprintf "vm-%Ld" ss.ss_dpid);
         ignore
-          (Rf_sim.Engine.schedule t.engine t.params.vm_boot_time (fun () ->
+          (Rf_sim.Engine.schedule ~entity:ss.ss_entity t.engine
+             t.params.vm_boot_time (fun () ->
                t.booting <- t.booting - 1;
                if boot_fails t ss then begin
                  Rf_obs.Metrics.incr t.m_boot_failures;
@@ -315,6 +318,7 @@ let switch_up t ~dpid ~n_ports =
     let ss =
       {
         ss_dpid = dpid;
+        ss_entity = Rf_obs.Profiler.switch dpid;
         ss_ports = max 1 n_ports;
         ss_vm = None;
         ss_nics = Hashtbl.create 4;

@@ -31,8 +31,13 @@ let transmit_from t key frame =
   match Hashtbl.find_opt t.vlinks key with
   | Some peer ->
       t.virtual_frames <- t.virtual_frames + 1;
+      let entity =
+        match Hashtbl.find_opt t.vms (fst peer) with
+        | Some vm -> Some (Vm.entity vm)
+        | None -> None
+      in
       ignore
-        (Rf_sim.Engine.schedule t.engine t.virtual_latency (fun () ->
+        (Rf_sim.Engine.schedule ?entity t.engine t.virtual_latency (fun () ->
              deliver_to t peer frame))
   | None -> (
       match t.physical_out with

@@ -13,6 +13,7 @@ type flow_route = {
 type t = {
   engine : Rf_sim.Engine.t;
   dpid : int64;
+  entity : Rf_obs.Profiler.entity;
   hostname : string;
   nics : Iface.t array;
   zebra : Zebra.t;
@@ -39,6 +40,8 @@ let arp_retry = Rf_sim.Vtime.span_s 1.0
 let max_arp_retries = 30
 
 let dpid t = t.dpid
+
+let entity t = t.entity
 
 let hostname t = t.hostname
 
@@ -152,7 +155,8 @@ let refresh_flows t =
     t.flows_dirty <- true;
     (* Debounce: RIB replacement fires one event per route. *)
     ignore
-      (Rf_sim.Engine.schedule t.engine (Rf_sim.Vtime.span_ms 10) (fun () ->
+      (Rf_sim.Engine.schedule ~entity:t.entity t.engine
+         (Rf_sim.Vtime.span_ms 10) (fun () ->
            t.flows_dirty <- false;
            let flows = compute_flows t in
            if flows <> t.last_flows then begin
@@ -204,7 +208,7 @@ let rec arp_retry_tick t key retries =
     else begin
       send_arp_request t port target;
       ignore
-        (Rf_sim.Engine.schedule t.engine arp_retry (fun () ->
+        (Rf_sim.Engine.schedule ~entity:t.entity t.engine arp_retry (fun () ->
              arp_retry_tick t key (retries - 1)))
     end
   end
@@ -217,7 +221,7 @@ let enqueue_pending t port next_hop ipv4 =
       Hashtbl.replace t.pending key (ref [ { pp_ipv4 = ipv4 } ]);
       send_arp_request t port next_hop;
       ignore
-        (Rf_sim.Engine.schedule t.engine arp_retry (fun () ->
+        (Rf_sim.Engine.schedule ~entity:t.entity t.engine arp_retry (fun () ->
              arp_retry_tick t key max_arp_retries))
 
 let forward_ipv4 t (ip : Ipv4.t) =
@@ -295,6 +299,7 @@ let create engine ~dpid ~n_ports () =
     {
       engine;
       dpid;
+      entity = Rf_obs.Profiler.switch dpid;
       hostname;
       nics;
       zebra = Zebra.create ~hostname ();
@@ -334,7 +339,8 @@ let create engine ~dpid ~n_ports () =
      remove the entry, so healthy next hops never cause flow churn. *)
   let reachable = Rf_sim.Vtime.span_s 300.0 in
   ignore
-    (Rf_sim.Engine.periodic engine (Rf_sim.Vtime.span_s 30.0) (fun () ->
+    (Rf_sim.Engine.periodic ~entity:t.entity engine (Rf_sim.Vtime.span_s 30.0)
+       (fun () ->
          let now = Rf_sim.Engine.now engine in
          Hashtbl.iter
            (fun key mac ->
@@ -423,7 +429,7 @@ let apply_ospfd_config t text =
                 dead_interval = conf.o_dead_interval;
               }
             in
-            let d = Ospfd.create t.engine cfg (rib t) in
+            let d = Ospfd.create t.engine ~entity:t.entity cfg (rib t) in
             t.ospfd <- Some d;
             d
       in
@@ -465,7 +471,7 @@ let apply_ripd_config t text =
                 garbage = float_of_int conf.r_garbage;
               }
             in
-            let d = Ripd.create t.engine ~config:cfg (rib t) in
+            let d = Ripd.create t.engine ~entity:t.entity ~config:cfg (rib t) in
             t.ripd <- Some d;
             d
       in
@@ -491,7 +497,8 @@ let apply_bgpd_config t ~peer_channel text =
         | Some d -> d
         | None ->
             let d =
-              Bgpd.create t.engine ~asn:conf.b_asn ~router_id:conf.b_router_id
+              Bgpd.create t.engine ~entity:t.entity ~asn:conf.b_asn
+                ~router_id:conf.b_router_id
                 (rib t)
             in
             t.bgpd <- Some d;

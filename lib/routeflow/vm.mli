@@ -22,6 +22,10 @@ val create :
 
 val dpid : t -> int64
 
+val entity : t -> Rf_obs.Profiler.entity
+(** Load-attribution handle ([Switch dpid]), shared with the physical
+    datapath of the same switch via kind-merging. *)
+
 val hostname : t -> string
 (** ["vm-<dpid>"], matching the paper's "ID identical to the switch
     ID". *)

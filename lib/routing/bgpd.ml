@@ -21,6 +21,7 @@ type peer = {
 
 and t = {
   engine : Rf_sim.Engine.t;
+  entity : Rf_obs.Profiler.entity option;
   asn : int;
   router_id : Ipv4_addr.t;
   hold_time : int;
@@ -29,8 +30,8 @@ and t = {
   mutable networks : Ipv4_addr.Prefix.t list;
 }
 
-let create engine ~asn ~router_id ?(hold_time = 90) rib =
-  { engine; asn; router_id; hold_time; rib; peers = []; networks = [] }
+let create engine ?entity ~asn ~router_id ?(hold_time = 90) rib =
+  { engine; entity; asn; router_id; hold_time; rib; peers = []; networks = [] }
 
 let asn t = t.asn
 
@@ -103,8 +104,8 @@ let establish peer =
   in
   peer.keepalive_timer <-
     Some
-      (Rf_sim.Engine.periodic peer.daemon.engine interval (fun () ->
-           send_msg peer Bgp_msg.Keepalive));
+      (Rf_sim.Engine.periodic ?entity:peer.daemon.entity peer.daemon.engine
+         interval (fun () -> send_msg peer Bgp_msg.Keepalive));
   announce_to peer peer.daemon.networks;
   (* Propagate routes learned from other peers (simple full-mesh
      re-advertisement with path prepend). *)
@@ -198,7 +199,8 @@ let start_peer peer =
   if peer.hold_timer = None then
     peer.hold_timer <-
       Some
-        (Rf_sim.Engine.periodic t.engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
+        (Rf_sim.Engine.periodic ?entity:t.entity t.engine
+           (Rf_sim.Vtime.span_s 1.0) (fun () ->
              if peer.state = Established then begin
                let silence =
                  Rf_sim.Vtime.diff (Rf_sim.Engine.now t.engine) peer.last_heard

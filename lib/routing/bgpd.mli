@@ -17,6 +17,7 @@ type peer_state = Idle | Open_sent | Established
 
 val create :
   Rf_sim.Engine.t ->
+  ?entity:Rf_obs.Profiler.entity ->
   asn:int ->
   router_id:Ipv4_addr.t ->
   ?hold_time:int ->

@@ -50,6 +50,7 @@ type neighbor = {
 
 type t = {
   engine : Rf_sim.Engine.t;
+  entity : Rf_obs.Profiler.entity option;
   cfg : config;
   rib : Rib.t;
   mutable ifaces : oiface list;
@@ -80,9 +81,10 @@ type t = {
 
 let ospf_multicast_mac = Mac.of_int64 0x01005E000005L
 
-let create engine cfg rib =
+let create engine ?entity cfg rib =
   {
     engine;
+    entity;
     cfg;
     rib;
     ifaces = [];
@@ -162,7 +164,7 @@ let send_hello t oif =
 let arm_rxmt t nbr =
   if nbr.n_rxmt_timer = None then begin
     let timer =
-      Rf_sim.Engine.periodic t.engine
+      Rf_sim.Engine.periodic ?entity:t.entity t.engine
         (Rf_sim.Vtime.span_s (float_of_int t.cfg.rxmt_interval))
         (fun () ->
           if Hashtbl.length nbr.n_rxmt > 0 then begin
@@ -404,7 +406,8 @@ let rec schedule_spf t =
   if not t.spf_scheduled then begin
     t.spf_scheduled <- true;
     ignore
-      (Rf_sim.Engine.schedule t.engine t.cfg.spf_delay (fun () -> run_spf t))
+      (Rf_sim.Engine.schedule ?entity:t.entity t.engine t.cfg.spf_delay
+         (fun () -> run_spf t))
   end
 
 and run_spf t =
@@ -708,7 +711,7 @@ let arm_iface t oif =
     send_hello t oif;
     oif.hello_timer <-
       Some
-        (Rf_sim.Engine.periodic t.engine
+        (Rf_sim.Engine.periodic ?entity:t.entity t.engine
            ~jitter:(Rf_sim.Vtime.span_ms 100)
            (Rf_sim.Vtime.span_s (float_of_int t.cfg.hello_interval))
            (fun () -> send_hello t oif))
@@ -777,7 +780,8 @@ let start t =
       List.iter (kill_neighbor t) dead
     in
     t.timers <-
-      Rf_sim.Engine.periodic t.engine (Rf_sim.Vtime.span_s 1.0) dead_scan
+      Rf_sim.Engine.periodic ?entity:t.entity t.engine
+        (Rf_sim.Vtime.span_s 1.0) dead_scan
       :: t.timers;
     originate_router_lsa t
   end

@@ -38,7 +38,10 @@ type neighbor_info = {
 
 type t
 
-val create : Rf_sim.Engine.t -> config -> Rib.t -> t
+val create :
+  Rf_sim.Engine.t -> ?entity:Rf_obs.Profiler.entity -> config -> Rib.t -> t
+(** [entity] tags the daemon's timers (hello, SPF, dead-scan) for load
+    attribution — the owning VM passes its switch entity. *)
 
 val config : t -> config
 

@@ -18,6 +18,7 @@ type riface = { ifc : Iface.t; passive : bool }
 
 type t = {
   engine : Rf_sim.Engine.t;
+  entity : Rf_obs.Profiler.entity option;
   cfg : config;
   rib : Rib.t;
   mutable ifaces : riface list;
@@ -29,9 +30,10 @@ type t = {
   mutable triggered : int;
 }
 
-let create engine ?(config = default_config) rib =
+let create engine ?entity ?(config = default_config) rib =
   {
     engine;
+    entity;
     cfg = config;
     rib;
     ifaces = [];
@@ -117,7 +119,8 @@ let schedule_triggered t =
   if t.started && not t.trig_scheduled then begin
     t.trig_scheduled <- true;
     ignore
-      (Rf_sim.Engine.schedule t.engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
+      (Rf_sim.Engine.schedule ?entity:t.entity t.engine
+         (Rf_sim.Vtime.span_s 1.0) (fun () ->
            t.trig_scheduled <- false;
            t.triggered <- t.triggered + 1;
            broadcast t ~only_changed:true;
@@ -254,13 +257,14 @@ let start t =
     clear_changed t;
     t.timers <-
       [
-        Rf_sim.Engine.periodic t.engine
+        Rf_sim.Engine.periodic ?entity:t.entity t.engine
           ~jitter:(Rf_sim.Vtime.span_s (t.cfg.update_interval /. 6.))
           (Rf_sim.Vtime.span_s t.cfg.update_interval)
           (fun () ->
             broadcast t ~only_changed:false;
             clear_changed t);
-        Rf_sim.Engine.periodic t.engine (Rf_sim.Vtime.span_s 1.0) (fun () ->
+        Rf_sim.Engine.periodic ?entity:t.entity t.engine
+          (Rf_sim.Vtime.span_s 1.0) (fun () ->
             let now = Rf_sim.Engine.now t.engine in
             let dead = ref [] in
             Hashtbl.iter

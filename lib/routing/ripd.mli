@@ -22,7 +22,12 @@ val default_config : config
 
 type t
 
-val create : Rf_sim.Engine.t -> ?config:config -> Rib.t -> t
+val create :
+  Rf_sim.Engine.t ->
+  ?entity:Rf_obs.Profiler.entity ->
+  ?config:config ->
+  Rib.t ->
+  t
 
 val add_interface : t -> ?passive:bool -> Iface.t -> unit
 (** Must be addressed. Advertises the connected subnet at metric 1 and

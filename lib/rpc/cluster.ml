@@ -5,6 +5,7 @@ module Faults = Rf_sim.Faults
 
 type t = {
   engine : Engine.t;
+  entity : Rf_obs.Profiler.entity;
   n : int;
   mutable members : Replica.t array;
   links : Rf_net.Channel.endpoint option array array;
@@ -54,7 +55,7 @@ let transmit t ~src ~dst frame =
                 Rf_net.Channel.send ep frame
             | Faults.Delay span ->
                 ignore
-                  (Engine.schedule t.engine span (fun () ->
+                  (Engine.schedule ~entity:t.entity t.engine span (fun () ->
                        (* the partition is re-checked at delivery time *)
                        if not (blocked t src dst) then
                          Rf_net.Channel.send ep frame
@@ -157,6 +158,7 @@ let create engine ~rng ?(replicas = 3) ?(latency = Vtime.span_ms 1)
   let t =
     {
       engine;
+      entity = Rf_obs.Profiler.component "cluster";
       n = replicas;
       members = [||];
       links = Array.make_matrix replicas replicas None;
@@ -192,7 +194,7 @@ let create engine ~rng ?(replicas = 3) ?(latency = Vtime.span_ms 1)
       let a, b =
         Rf_net.Channel.create engine ~latency
           ~name:(Printf.sprintf "mesh-%d-%d" i j)
-          ()
+          ~entity:t.entity ()
       in
       t.links.(i).(j) <- Some a;
       t.links.(j).(i) <- Some b

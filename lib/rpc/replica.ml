@@ -28,6 +28,7 @@ let default_config =
 
 type t = {
   engine : Engine.t;
+  entity : Rf_obs.Profiler.entity;
   rng : Rng.t;
   cfg : config;
   send : dst:int -> Rpc_msg.body -> unit;
@@ -109,7 +110,9 @@ let rec arm_election t =
   cancel_election_timer t;
   if (not t.crashed) && t.role <> Leader then
     t.election_timer <-
-      Some (Engine.schedule t.engine (timeout_span t) (fun () -> election t))
+      Some
+        (Engine.schedule ~entity:t.entity t.engine (timeout_span t) (fun () ->
+             election t))
 
 and election t =
   if (not t.crashed) && t.role <> Leader then begin
@@ -169,8 +172,8 @@ and heartbeat_loop t gen =
     let base = Vtime.span_to_s t.cfg.heartbeat_every in
     let wait = base +. Rng.float t.rng (t.cfg.heartbeat_jitter *. base) in
     ignore
-      (Engine.schedule t.engine (Vtime.span_s wait) (fun () ->
-           heartbeat_loop t gen))
+      (Engine.schedule ~entity:t.entity t.engine (Vtime.span_s wait)
+         (fun () -> heartbeat_loop t gen))
   end
 
 (* Newer epoch observed in a vote request: adopt it, but keep the log
@@ -361,6 +364,7 @@ let create engine ~rng cfg ~send =
   let t =
     {
       engine;
+      entity = Rf_obs.Profiler.controller cfg.id;
       rng;
       cfg;
       send;

@@ -40,6 +40,7 @@ type pending = {
 
 type t = {
   engine : Rf_sim.Engine.t;
+  entity : Rf_obs.Profiler.entity;
   chan : Rf_net.Channel.endpoint;
   params : params;
   jitter_rng : Rng.t;
@@ -139,7 +140,7 @@ let transmit t frame =
             Rf_net.Channel.send t.chan frame
         | Faults.Delay span ->
             ignore
-              (Engine.schedule t.engine span (fun () ->
+              (Engine.schedule ~entity:t.entity t.engine span (fun () ->
                    Rf_net.Channel.send t.chan frame)))
 
 let encode_pending t p = Rpc_msg.to_wire { Rpc_msg.epoch = t.epoch; seq = p.p_seq; body = p.p_body }
@@ -177,7 +178,7 @@ let rec arm t p =
   let wait = Vtime.span_s (Vtime.span_to_s backoff +. Vtime.span_to_s jitter) in
   p.p_timer <-
     Some
-      (Engine.schedule t.engine wait (fun () ->
+      (Engine.schedule ~entity:t.entity t.engine wait (fun () ->
            p.p_timer <- None;
            if (not t.crashed) && Hashtbl.mem t.pending p.p_seq && not p.p_parked
            then
@@ -360,6 +361,7 @@ let create engine ?(params = default_params) chan =
   let t =
     {
       engine;
+      entity = Rf_obs.Profiler.component "rpc-client";
       chan;
       params;
       jitter_rng = Rng.split (Engine.rng engine);
@@ -415,8 +417,8 @@ let create engine ?(params = default_params) chan =
      shifts the draw sequence of any other component. *)
   if params.heartbeat_jitter = 0. then
     ignore
-      (Engine.periodic engine params.heartbeat_every (fun () ->
-           heartbeat_tick t))
+      (Engine.periodic ~entity:t.entity engine params.heartbeat_every
+         (fun () -> heartbeat_tick t))
   else begin
     let hb_rng = Rng.derive (Engine.rng engine) 0x4842 in
     let base_s = Vtime.span_to_s params.heartbeat_every in
@@ -425,7 +427,7 @@ let create engine ?(params = default_params) chan =
         Vtime.span_s (base_s +. Rng.float hb_rng (params.heartbeat_jitter *. base_s))
       in
       ignore
-        (Engine.schedule engine wait (fun () ->
+        (Engine.schedule ~entity:t.entity engine wait (fun () ->
              heartbeat_tick t;
              tick ()))
     in

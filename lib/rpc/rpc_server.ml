@@ -10,6 +10,7 @@ let window = 512
 
 type t = {
   engine : Engine.t;
+  entity : Rf_obs.Profiler.entity;
   chan : Rf_net.Channel.endpoint;
   mutable framer : Rpc_msg.Framer.t;
   mutable incarnation : int32;
@@ -49,7 +50,7 @@ let transmit t frame =
             Rf_net.Channel.send t.chan frame
         | Faults.Delay span ->
             ignore
-              (Engine.schedule t.engine span (fun () ->
+              (Engine.schedule ~entity:t.entity t.engine span (fun () ->
                    Rf_net.Channel.send t.chan frame)))
 
 (* Server envelopes carry the incarnation in the epoch field: every
@@ -146,6 +147,7 @@ let create engine chan =
   let t =
     {
       engine;
+      entity = Rf_obs.Profiler.component "rpc-server";
       chan;
       framer = Rpc_msg.Framer.create ();
       incarnation = 1l;

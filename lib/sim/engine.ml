@@ -1,4 +1,8 @@
-type timer = { mutable cancelled : bool; thunk : unit -> unit }
+type timer = {
+  mutable cancelled : bool;
+  thunk : unit -> unit;
+  entity : Rf_obs.Profiler.entity;
+}
 
 type t = {
   mutable clock : Vtime.t;
@@ -7,6 +11,8 @@ type t = {
   trace : Trace.t;
   tracer : Rf_obs.Tracer.t;
   metrics : Rf_obs.Metrics.t;
+  unattributed : Rf_obs.Profiler.entity;
+  mutable profiler : Rf_obs.Profiler.t option;
   mutable stop_requested : bool;
   mutable executed : int;
 }
@@ -21,6 +27,8 @@ let create ?(seed = 42) () =
       trace = Trace.create ~tracer ();
       tracer;
       metrics = Rf_obs.Metrics.create ();
+      unattributed = Rf_obs.Profiler.unattributed ();
+      profiler = None;
       stop_requested = false;
       executed = 0;
     }
@@ -40,22 +48,40 @@ let tracer t = t.tracer
 
 let metrics t = t.metrics
 
-let schedule_at t at f =
+let set_profiler t p = t.profiler <- p
+
+let profiler t = t.profiler
+
+let heap_depth t = Event_heap.size t.queue
+
+let heap_pushes t = Event_heap.pushes t.queue
+
+let schedule_at ?entity t at f =
   if Vtime.(at < t.clock) then
     invalid_arg "Engine.schedule_at: scheduling into the past";
-  let timer = { cancelled = false; thunk = f } in
+  let entity =
+    match entity with Some e -> e | None -> t.unattributed
+  in
+  let timer = { cancelled = false; thunk = f; entity } in
   Event_heap.push t.queue at timer;
   timer
 
-let schedule t after f =
+let schedule ?entity t after f =
   if Vtime.span_is_negative after then
     invalid_arg "Engine.schedule: negative delay";
-  schedule_at t (Vtime.add t.clock after) f
+  schedule_at ?entity t (Vtime.add t.clock after) f
 
-let periodic t ?jitter every f =
+let periodic ?entity t ?jitter every f =
   if Vtime.span_is_negative every then
     invalid_arg "Engine.periodic: negative period";
-  let handle = { cancelled = false; thunk = (fun () -> ()) } in
+  let handle =
+    {
+      cancelled = false;
+      thunk = (fun () -> ());
+      entity =
+        (match entity with Some e -> e | None -> t.unattributed);
+    }
+  in
   let next_delay () =
     match jitter with
     | None -> every
@@ -67,7 +93,7 @@ let periodic t ?jitter every f =
      pending event fires as a no-op and the chain ends. *)
   let rec arm () =
     ignore
-      (schedule t (next_delay ()) (fun () ->
+      (schedule ?entity t (next_delay ()) (fun () ->
            if not handle.cancelled then begin
              f ();
              arm ()
@@ -83,35 +109,57 @@ let record t ?span ~component ~event detail =
 
 type run_result = Quiescent | Deadline_reached | Stopped
 
+(* The dispatch loop must not allocate when no profiler is installed:
+   [Event_heap.min_time] returns an unboxed int and [pop_entry] hands
+   back the stored option, so the only per-event work is field reads,
+   int stores and the [None] profiler branch. A Gc.minor_words budget
+   test pins this. *)
 let run ?until ?(max_events = 50_000_000) t =
   t.stop_requested <- false;
+  (match t.profiler with
+  | Some p -> Rf_obs.Profiler.run_begin p
+  | None -> ());
   let rec loop () =
     if t.stop_requested then Stopped
+    else if Event_heap.is_empty t.queue then Quiescent
     else
-      match Event_heap.peek_time t.queue with
-      | None -> Quiescent
-      | Some next -> (
-          match until with
-          | Some horizon when Vtime.(horizon < next) ->
-              t.clock <- horizon;
-              Deadline_reached
-          | Some _ | None -> (
-              match Event_heap.pop t.queue with
-              | None -> Quiescent
-              | Some (time, timer) ->
-                  t.clock <- time;
-                  if not timer.cancelled then begin
-                    t.executed <- t.executed + 1;
-                    if t.executed > max_events then
-                      failwith "Engine.run: max_events exceeded";
-                    timer.thunk ()
-                  end;
-                  loop ()))
+      let next = Event_heap.min_time t.queue in
+      match until with
+      | Some horizon when Vtime.(horizon < next) ->
+          t.clock <- horizon;
+          Deadline_reached
+      | Some _ | None -> (
+          match Event_heap.pop_entry t.queue with
+          | None -> Quiescent
+          | Some e ->
+              let timer = e.Event_heap.value in
+              t.clock <- e.Event_heap.time;
+              if not timer.cancelled then begin
+                t.executed <- t.executed + 1;
+                if t.executed > max_events then
+                  failwith "Engine.run: max_events exceeded";
+                (match t.profiler with
+                | Some p ->
+                    Rf_obs.Profiler.tick p timer.entity
+                      ~depth:(Event_heap.size t.queue)
+                      ~now_us:(Vtime.to_us t.clock)
+                | None -> ());
+                timer.thunk ()
+              end;
+              loop ())
   in
   let result = loop () in
   (match (result, until) with
   | Quiescent, Some horizon when Vtime.(t.clock < horizon) -> t.clock <- horizon
   | (Quiescent | Deadline_reached | Stopped), _ -> ());
+  (match t.profiler with
+  | Some p ->
+      Rf_obs.Profiler.run_end p
+        ~depth:(Event_heap.size t.queue)
+        ~now_us:(Vtime.to_us t.clock)
+        ~pushes:(Event_heap.pushes t.queue)
+        ~peak:(Event_heap.peak t.queue)
+  | None -> ());
   result
 
 let stop t = t.stop_requested <- true

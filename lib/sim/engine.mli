@@ -28,14 +28,35 @@ val metrics : t -> Rf_obs.Metrics.t
 (** The engine-wide metrics registry. Components get-or-create their
     instruments here at attach time and bump them on the hot path. *)
 
-val schedule : t -> Vtime.span -> (unit -> unit) -> timer
-(** [schedule t after f] runs [f] once, [after] from now. A negative
-    delay raises [Invalid_argument]. *)
+val set_profiler : t -> Rf_obs.Profiler.t option -> unit
+(** Installs (or removes) a load profiler. With a profiler installed,
+    [run] attributes each executed event's wall time to the entity it
+    was scheduled with; without one the dispatch loop pays only a
+    [None] branch and allocates nothing. *)
 
-val schedule_at : t -> Vtime.t -> (unit -> unit) -> timer
+val profiler : t -> Rf_obs.Profiler.t option
+(** Components consult this at construction time to decide whether to
+    build entity handles and record message-matrix entries. *)
+
+val heap_depth : t -> int
+(** Current event-queue depth. *)
+
+val heap_pushes : t -> int
+(** Cumulative events ever scheduled (heap churn). *)
+
+val schedule :
+  ?entity:Rf_obs.Profiler.entity -> t -> Vtime.span -> (unit -> unit) -> timer
+(** [schedule t after f] runs [f] once, [after] from now. A negative
+    delay raises [Invalid_argument]. [entity] tags the event for load
+    attribution; untagged events are charged to "unattributed". *)
+
+val schedule_at :
+  ?entity:Rf_obs.Profiler.entity -> t -> Vtime.t -> (unit -> unit) -> timer
 (** Absolute variant; scheduling strictly in the past raises. *)
 
-val periodic : t -> ?jitter:Vtime.span -> Vtime.span -> (unit -> unit) -> timer
+val periodic :
+  ?entity:Rf_obs.Profiler.entity ->
+  t -> ?jitter:Vtime.span -> Vtime.span -> (unit -> unit) -> timer
 (** [periodic t every f] runs [f] every [every], first firing after
     [every]. With [~jitter:j], each interval is lengthened by a uniform
     draw from [0, j) (desynchronises protocol timers, as real

@@ -4,9 +4,10 @@ type 'a t = {
   mutable arr : 'a entry option array;
   mutable len : int;
   mutable next_seq : int;
+  mutable peak : int;
 }
 
-let create () = { arr = Array.make 64 None; len = 0; next_seq = 0 }
+let create () = { arr = Array.make 64 None; len = 0; next_seq = 0; peak = 0 }
 
 let is_empty h = h.len = 0
 
@@ -56,20 +57,36 @@ let push h time value =
   h.next_seq <- h.next_seq + 1;
   h.arr.(h.len) <- Some e;
   h.len <- h.len + 1;
+  if h.len > h.peak then h.peak <- h.len;
   sift_up h (h.len - 1)
 
-let pop h =
+(* Returns the stored [Some entry] directly — the dispatch hot path
+   must not allocate when profiling is off, so no tuple rebuild. *)
+let pop_entry h =
   if h.len = 0 then None
   else begin
-    let root = get h 0 in
+    let root = h.arr.(0) in
     h.len <- h.len - 1;
     h.arr.(0) <- h.arr.(h.len);
     h.arr.(h.len) <- None;
     if h.len > 0 then sift_down h 0;
-    Some (root.time, root.value)
+    root
   end
 
+let pop h =
+  match pop_entry h with
+  | None -> None
+  | Some e -> Some (e.time, e.value)
+
 let peek_time h = if h.len = 0 then None else Some (get h 0).time
+
+let min_time h =
+  if h.len = 0 then invalid_arg "Event_heap.min_time: empty heap"
+  else (get h 0).time
+
+let pushes h = h.next_seq
+
+let peak h = h.peak
 
 let clear h =
   Array.fill h.arr 0 h.len None;

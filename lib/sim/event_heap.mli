@@ -4,6 +4,9 @@
     events scheduled for the same instant fire in scheduling order —
     this is what makes the whole simulation deterministic. *)
 
+type 'a entry = private { time : Vtime.t; seq : int; value : 'a }
+(** Heap slot as stored: timestamp, insertion sequence number, payload. *)
+
 type 'a t
 
 val create : unit -> 'a t
@@ -18,7 +21,25 @@ val push : 'a t -> Vtime.t -> 'a -> unit
 val pop : 'a t -> (Vtime.t * 'a) option
 (** Removes and returns the earliest event, or [None] if empty. *)
 
+val pop_entry : 'a t -> 'a entry option
+(** Like [pop] but returns the stored entry without rebuilding a
+    tuple — the allocation-free form the engine dispatch loop uses. *)
+
 val peek_time : 'a t -> Vtime.t option
 (** Time of the earliest event without removing it. *)
+
+val min_time : 'a t -> Vtime.t
+(** Allocation-free [peek_time]; raises [Invalid_argument] on an
+    empty heap — check {!is_empty} first. *)
+
+val pushes : 'a t -> int
+(** Cumulative number of [push]es over the heap's lifetime (the
+    insertion sequence counter) — the churn figure profilers report
+    alongside depth. *)
+
+val peak : 'a t -> int
+(** Maximum size ever reached (tracked at push, so it is exact even
+    between pops) — profilers report it as the heap's high-water
+    mark. *)
 
 val clear : 'a t -> unit

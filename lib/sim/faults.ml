@@ -157,7 +157,11 @@ let schedule engine inj p =
       in
       let now = Engine.now engine in
       if Vtime.(at < now) then fire ()
-      else ignore (Engine.schedule_at engine at fire))
+      else
+        ignore
+          (Engine.schedule_at
+             ~entity:(Rf_obs.Profiler.component "faults")
+             engine at fire))
     p.events;
   h
 

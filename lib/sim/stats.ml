@@ -25,10 +25,15 @@ let sorted s = List.sort Float.compare s.samples
    minimum, p100 the maximum, and interior quantiles interpolate
    between neighbours instead of clamping to an order statistic (p99
    of [1..5] is 4.96, not 5). *)
+(* Total on all inputs: empty input yields nan (quantile of nothing is
+   undefined, and callers fold it into reports where nan is visible
+   rather than fatal); q is clamped to [0,1] with NaN q reading as 0;
+   a single sample is every quantile of itself. *)
 let percentile_of_sorted sorted_arr q =
   let n = Array.length sorted_arr in
-  if n = 0 then invalid_arg "Stats.percentile: empty series";
-  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q outside [0,1]";
+  if n = 0 then Float.nan
+  else begin
+  let q = if Float.is_nan q then 0. else Float.min 1. (Float.max 0. q) in
   let idx = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor idx) in
   let hi = int_of_float (Float.ceil idx) in
@@ -36,6 +41,7 @@ let percentile_of_sorted sorted_arr q =
   else
     let frac = idx -. float_of_int lo in
     (sorted_arr.(lo) *. (1. -. frac)) +. (sorted_arr.(hi) *. frac)
+  end
 
 let percentile s q =
   let arr = Array.of_list (sorted s) in

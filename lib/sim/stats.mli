@@ -26,9 +26,14 @@ val summarize : series -> summary option
 val percentile : series -> float -> float
 (** [percentile s q] with [q] in [0,1], linearly interpolated on the
     (n-1)-spaced rank grid (p0 = min, p100 = max, interior quantiles
-    interpolate between neighbouring order statistics). Raises
-    [Invalid_argument] when the series is empty or [q] is outside
-    [0,1]. *)
+    interpolate between neighbouring order statistics). Total on all
+    inputs: an empty series yields [nan], [q] is clamped to [0,1]
+    (NaN [q] reads as 0), and a single sample is every quantile of
+    itself. *)
+
+val percentile_of_sorted : float array -> float -> float
+(** {!percentile} on an already-sorted array — the allocation-free
+    form reports use; same totality contract. *)
 
 val mean : series -> float
 

@@ -11,7 +11,7 @@
 type t
 
 type fabric = {
-  fab_send :
+  fab_pair :
     src:string ->
     dst:string ->
     port:int ->
@@ -20,6 +20,9 @@ type fabric = {
     size:int ->
     unit;
 }
+(** [fab_pair] is applied once per (src, dst, port) pair and yields
+    the per-probe sender; fabrics resolve endpoints, latency and
+    attribution handles up front so probes themselves stay cheap. *)
 
 val live_fabric : Measure.t -> hosts:(string * Rf_net.Host.t) list -> fabric
 (** Sends probes with [Host.send_udp] and installs a UDP handler on

@@ -193,7 +193,9 @@ let sent t f ~seq ~weight ~bytes =
   if t.reaper = None && not t.finalized then
     t.reaper <-
       Some
-        (Rf_sim.Engine.periodic t.engine reap_period (fun () ->
+        (Rf_sim.Engine.periodic
+           ~entity:(Rf_obs.Profiler.component "measure")
+           t.engine reap_period (fun () ->
              let now = Rf_sim.Engine.now t.engine in
              t.watched <-
                List.filter

@@ -18,4 +18,5 @@ let () = Alcotest.run "routeflow-autoconf" [
       ("obs", Test_obs.suite);
       ("traffic", Test_traffic.suite);
       ("analysis", Test_analysis.suite);
+      ("profiler", Test_profiler.suite);
     ]

@@ -65,6 +65,114 @@ let test_prometheus_deterministic () =
   in
   Alcotest.(check string) "order-independent" a b
 
+(* --- Exposition escaping ------------------------------------------- *)
+
+(* Small exposition parser for the roundtrip property: splits a sample
+   line into name and unescaped labels. Raw newlines in label values
+   are escaped by the renderer, so splitting the exposition on '\n'
+   is safe — that is exactly what the property demonstrates. *)
+let parse_sample line =
+  match String.index_opt line '{' with
+  | None -> (
+      match String.index_opt line ' ' with
+      | Some i -> Some (String.sub line 0 i, [])
+      | None -> None)
+  | Some b ->
+      let name = String.sub line 0 b in
+      let n = String.length line in
+      let buf = Buffer.create 16 in
+      let labels = ref [] in
+      let i = ref (b + 1) in
+      let rec read_pairs () =
+        if !i < n && line.[!i] <> '}' then begin
+          let k0 = !i in
+          while line.[!i] <> '=' do
+            incr i
+          done;
+          let key = String.sub line k0 (!i - k0) in
+          i := !i + 2;
+          Buffer.clear buf;
+          let rec value () =
+            match line.[!i] with
+            | '\\' ->
+                (match line.[!i + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | c -> Buffer.add_char buf c);
+                i := !i + 2;
+                value ()
+            | '"' -> incr i
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                value ()
+          in
+          value ();
+          labels := (key, Buffer.contents buf) :: !labels;
+          if line.[!i] = ',' then begin
+            incr i;
+            read_pairs ()
+          end
+        end
+      in
+      read_pairs ();
+      Some (name, List.rev !labels)
+
+let test_prometheus_escaping () =
+  let m = Metrics.create () in
+  Metrics.incr
+    (Metrics.counter m ~help:"line1\nline2 \\ back"
+       ~labels:[ ("path", "a\\b\"c\nd") ]
+       "esc_total");
+  let text = Metrics.to_prometheus m in
+  Alcotest.(check bool)
+    "help escapes newline and backslash" true
+    (Astring_contains.contains text
+       "# HELP esc_total line1\\nline2 \\\\ back");
+  Alcotest.(check bool)
+    "label value escapes quote, backslash, newline" true
+    (Astring_contains.contains text
+       "esc_total{path=\"a\\\\b\\\"c\\nd\"} 1")
+
+let test_prometheus_type_for_every_family () =
+  let m = Metrics.create () in
+  (* No help text anywhere: TYPE lines must still appear. *)
+  Metrics.incr (Metrics.counter m "c_total");
+  Metrics.set (Metrics.gauge m "g_now") 1.5;
+  Metrics.observe (Metrics.histogram m "h_seconds") 0.01;
+  let text = Metrics.to_prometheus m in
+  List.iter
+    (fun want ->
+      Alcotest.(check bool) want true (Astring_contains.contains text want))
+    [
+      "# TYPE c_total counter";
+      "# TYPE g_now gauge";
+      "# TYPE h_seconds histogram";
+    ]
+
+let prop_prometheus_label_roundtrip =
+  QCheck.Test.make
+    ~name:"prometheus label values roundtrip through escaping" ~count:200
+    QCheck.(
+      string_gen_of_size
+        (Gen.int_range 0 24)
+        (Gen.oneofl
+           [ 'a'; 'z'; '0'; '"'; '\\'; '\n'; ' '; '{'; '}'; ','; '=' ]))
+    (fun v ->
+      let m = Metrics.create () in
+      Metrics.incr (Metrics.counter m ~labels:[ ("v", v) ] "round_total");
+      let text = Metrics.to_prometheus m in
+      let sample =
+        List.find_opt
+          (fun l ->
+            String.length l > 0 && l.[0] <> '#'
+            && String.length l >= 11
+            && String.sub l 0 11 = "round_total")
+          (String.split_on_char '\n' text)
+      in
+      match sample with
+      | None -> false
+      | Some line -> parse_sample line = Some ("round_total", [ ("v", v) ]))
+
 (* --- Tracer -------------------------------------------------------- *)
 
 let test_tracer_spans () =
@@ -258,6 +366,10 @@ let suite =
       test_metrics_histogram;
     Alcotest.test_case "prometheus exposition is order-independent" `Quick
       test_prometheus_deterministic;
+    Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+    Alcotest.test_case "prometheus TYPE for every family" `Quick
+      test_prometheus_type_for_every_family;
+    QCheck_alcotest.to_alcotest prop_prometheus_label_roundtrip;
     Alcotest.test_case "tracer span lifecycle" `Quick test_tracer_spans;
     Alcotest.test_case "tracer correlation keys" `Quick
       test_tracer_correlation;

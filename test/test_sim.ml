@@ -254,18 +254,24 @@ let test_percentile_boundaries () =
   Alcotest.(check (float 1e-9)) "p99 interpolates" 4.96 (Stats.percentile s 0.99);
   Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile s 0.25)
 
-let test_percentile_invalid () =
+(* Degenerate inputs have documented values instead of raising: empty
+   series -> nan, q clamped to [0,1] (NaN q reads as 0), single sample
+   is every quantile of itself. *)
+let test_percentile_edge_cases () =
   let s = Stats.series () in
-  Alcotest.check_raises "empty series"
-    (Invalid_argument "Stats.percentile: empty series") (fun () ->
-      ignore (Stats.percentile s 0.5));
+  Alcotest.(check bool) "empty series is nan" true
+    (Float.is_nan (Stats.percentile s 0.5));
   Stats.add s 1.0;
-  Alcotest.check_raises "q above 1"
-    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
-      ignore (Stats.percentile s 1.5));
-  Alcotest.check_raises "q below 0"
-    (Invalid_argument "Stats.percentile: q outside [0,1]") (fun () ->
-      ignore (Stats.percentile s (-0.1)))
+  Alcotest.(check (float 1e-9)) "q above 1 clamps" 1.0 (Stats.percentile s 1.5);
+  Alcotest.(check (float 1e-9)) "q below 0 clamps" 1.0
+    (Stats.percentile s (-0.1));
+  Alcotest.(check (float 1e-9)) "nan q reads as 0" 1.0
+    (Stats.percentile s Float.nan);
+  List.iter (Stats.add s) [ 2.0; 3.0 ];
+  Alcotest.(check (float 1e-9)) "clamped q=2 is max" 3.0
+    (Stats.percentile s 2.0);
+  Alcotest.(check (float 1e-9)) "single sample" 7.5
+    (Stats.percentile_of_sorted [| 7.5 |] 0.33)
 
 (* --- Trace ---------------------------------------------------------------- *)
 
@@ -330,8 +336,8 @@ let suite =
     Alcotest.test_case "stats counter" `Quick test_stats_counter;
     Alcotest.test_case "percentile boundaries interpolate" `Quick
       test_percentile_boundaries;
-    Alcotest.test_case "percentile rejects bad input" `Quick
-      test_percentile_invalid;
+    Alcotest.test_case "percentile edge cases are total" `Quick
+      test_percentile_edge_cases;
     Alcotest.test_case "trace records and queries" `Quick test_trace_query;
     Alcotest.test_case "trace capacity counts drops" `Quick
       test_trace_capacity;
