@@ -132,6 +132,14 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+val merge : snapshot list -> snapshot
+(** Aggregates per-shard snapshots into one profile: counters, busy/idle
+    time and GC deltas sum; entity and message rows merge by id; heap
+    samples interleave in virtual-time order. Heap peaks are summed
+    because shard heaps coexist — the result is the run's worst-case
+    aggregate footprint, not a concurrent high-water mark. Raises
+    [Invalid_argument] on an empty list. *)
+
 val attributed_share : snapshot -> float
 
 val events_per_second : snapshot -> float

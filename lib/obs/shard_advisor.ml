@@ -190,6 +190,70 @@ let shard_assignment report =
     report.rp_shards
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Machine-readable entity→shard map: [rfauto profile --partition-out]
+   writes it, [rfauto traffic --shards-from] loads it back, so a
+   profiled cut can drive a later sharded run. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let assignment_json report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"rfauto-shard-map-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"k\": %d,\n" report.rp_k);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_bound\": %.4f,\n" report.rp_speedup_bound);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cut_msgs\": %d,\n" report.rp_cut_msgs);
+  Buffer.add_string buf "  \"assign\": {\n";
+  let assignment = shard_assignment report in
+  let n = List.length assignment in
+  List.iteri
+    (fun i (id, shard) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %d%s\n" (json_escape id) shard
+           (if i < n - 1 then "," else "")))
+    assignment;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
+let assignment_of_json text =
+  let fail what = raise (Json.Parse_error ("shard map: " ^ what)) in
+  let v = Json.parse text in
+  (match Json.member "schema" v with
+  | Some s when Json.to_string_opt s = Some "rfauto-shard-map-v1" -> ()
+  | Some _ | None -> fail "schema is not rfauto-shard-map-v1");
+  let k =
+    match Option.bind (Json.member "k" v) Json.to_int_opt with
+    | Some k when k >= 1 -> k
+    | Some _ | None -> fail "missing or bad \"k\""
+  in
+  let assign =
+    match Json.member "assign" v with
+    | Some (Json.Obj fields) ->
+        List.map
+          (fun (id, shard) ->
+            match Json.to_int_opt shard with
+            | Some s when s >= 0 && s < k -> (id, s)
+            | Some _ | None ->
+                fail (Printf.sprintf "shard of %S out of [0, k)" id))
+          fields
+    | Some _ | None -> fail "missing \"assign\" object"
+  in
+  (k, List.sort (fun (a, _) (b, _) -> String.compare a b) assign)
+
 let meta report =
   [
     ("shard_k", string_of_int report.rp_k);

@@ -52,6 +52,17 @@ val partition : k:int -> input -> report
 val shard_assignment : report -> (string * int) list
 (** Flat (node id, shard id) assignment, sorted by node id. *)
 
+val assignment_json : report -> string
+(** The entity→shard map as a [rfauto-shard-map-v1] JSON document —
+    machine-readable form of {!shard_assignment}, with the advisor's
+    [k], speedup bound and cut size alongside. *)
+
+val assignment_of_json : string -> int * (string * int) list
+(** Parses a [rfauto-shard-map-v1] document back into [(k, assignment)]
+    with the assignment sorted by entity id. Raises {!Json.Parse_error}
+    on malformed input, a wrong schema tag, or a shard id outside
+    [0, k). *)
+
 val meta : report -> (string * string) list
 (** Deterministic key/value pairs for telemetry meta and SLO rules. *)
 

@@ -17,13 +17,13 @@ type t = {
   mutable executed : int;
 }
 
-let create ?(seed = 42) () =
+let create_with_rng rng =
   let tracer = Rf_obs.Tracer.create () in
   let t =
     {
       clock = Vtime.zero;
       queue = Event_heap.create ();
-      rng = Rng.create seed;
+      rng;
       trace = Trace.create ~tracer ();
       tracer;
       metrics = Rf_obs.Metrics.create ();
@@ -37,6 +37,8 @@ let create ?(seed = 42) () =
      telemetry is deterministic for a given seed. *)
   Rf_obs.Tracer.set_clock tracer (fun () -> Vtime.to_us t.clock);
   t
+
+let create ?(seed = 42) () = create_with_rng (Rng.create seed)
 
 let now t = t.clock
 
@@ -52,9 +54,13 @@ let set_profiler t p = t.profiler <- p
 
 let profiler t = t.profiler
 
+let next_time t = Event_heap.peek_time t.queue
+
 let heap_depth t = Event_heap.size t.queue
 
 let heap_pushes t = Event_heap.pushes t.queue
+
+let heap_peak t = Event_heap.peak t.queue
 
 let schedule_at ?entity t at f =
   if Vtime.(at < t.clock) then

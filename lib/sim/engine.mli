@@ -12,6 +12,11 @@ type timer
 
 val create : ?seed:int -> unit -> t
 
+val create_with_rng : Rng.t -> t
+(** Like [create] but with a caller-built generator — shard drivers use
+    {!Rng.derive_label} streams so a shard's draws depend only on the
+    root seed and the shard's label, never on the shard count. *)
+
 val now : t -> Vtime.t
 
 val rng : t -> Rng.t
@@ -38,11 +43,19 @@ val profiler : t -> Rf_obs.Profiler.t option
 (** Components consult this at construction time to decide whether to
     build entity handles and record message-matrix entries. *)
 
+val next_time : t -> Vtime.t option
+(** Timestamp of the earliest queued event, [None] when the queue is
+    empty. Shard drivers ({!Shard_engine}) read this to compute the
+    conservative-lookahead horizon they may [run ~until] safely. *)
+
 val heap_depth : t -> int
 (** Current event-queue depth. *)
 
 val heap_pushes : t -> int
 (** Cumulative events ever scheduled (heap churn). *)
+
+val heap_peak : t -> int
+(** High-water mark of the event-queue depth. *)
 
 val schedule :
   ?entity:Rf_obs.Profiler.entity -> t -> Vtime.span -> (unit -> unit) -> timer

@@ -1,0 +1,68 @@
+type 'a msg = {
+  mx_at : Vtime.t;
+  mx_src : int;
+  mx_dst : int;
+  mx_seq : int;
+  mx_payload : 'a;
+}
+
+(* One cell per (src, dst) pair. [bx_msgs] is newest-first; posts touch
+   only row [src], so a shard's domain owns its whole row for the
+   duration of a window and posting is lock-free. *)
+type 'a box = { mutable bx_msgs : 'a msg list; mutable bx_seq : int }
+
+type 'a t = { n : int; boxes : 'a box array array }
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Mailbox.create: shards < 1";
+  {
+    n = shards;
+    boxes =
+      Array.init shards (fun _ ->
+          Array.init shards (fun _ -> { bx_msgs = []; bx_seq = 0 }));
+  }
+
+let shards t = t.n
+
+let post t ~src ~dst ~at payload =
+  if src < 0 || src >= t.n then invalid_arg "Mailbox.post: bad src";
+  if dst < 0 || dst >= t.n then invalid_arg "Mailbox.post: bad dst";
+  let box = t.boxes.(src).(dst) in
+  let seq = box.bx_seq in
+  box.bx_seq <- seq + 1;
+  box.bx_msgs <-
+    { mx_at = at; mx_src = src; mx_dst = dst; mx_seq = seq; mx_payload = payload }
+    :: box.bx_msgs
+
+let msg_compare a b =
+  match Vtime.compare a.mx_at b.mx_at with
+  | 0 -> (
+      match Int.compare a.mx_src b.mx_src with
+      | 0 -> Int.compare a.mx_seq b.mx_seq
+      | c -> c)
+  | c -> c
+
+let collect t ~dst =
+  if dst < 0 || dst >= t.n then invalid_arg "Mailbox.collect: bad dst";
+  let acc = ref [] in
+  for src = 0 to t.n - 1 do
+    let box = t.boxes.(src).(dst) in
+    acc := List.rev_append box.bx_msgs !acc;
+    box.bx_msgs <- []
+  done;
+  List.sort msg_compare !acc
+
+(* [bx_seq] never resets, so the sum is the lifetime post count. *)
+let posted t =
+  let n = ref 0 in
+  Array.iter
+    (fun row -> Array.iter (fun box -> n := !n + box.bx_seq) row)
+    t.boxes;
+  !n
+
+let in_flight t =
+  let n = ref 0 in
+  Array.iter
+    (fun row -> Array.iter (fun box -> n := !n + List.length box.bx_msgs) row)
+    t.boxes;
+  !n

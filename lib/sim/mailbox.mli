@@ -1,0 +1,45 @@
+(** Deterministic cross-shard message channels.
+
+    A mailbox is an n×n matrix of outboxes. During a conservative
+    window, shard [src]'s domain appends to row [src] exclusively — no
+    other domain reads or writes that row, so posting needs no lock.
+    Between windows the (single-threaded) coordinator drains every
+    outbox aimed at a destination with {!collect}, which returns the
+    messages in canonical [(arrival vtime, src shard, seq)] order.
+    Because delivery order is a pure function of the messages
+    themselves — never of domain scheduling — same-seed runs are
+    bit-identical regardless of how many domains executed the windows,
+    or whether any domains were used at all. *)
+
+type 'a msg = {
+  mx_at : Vtime.t;  (** arrival instant at the destination shard *)
+  mx_src : int;
+  mx_dst : int;
+  mx_seq : int;  (** per-(src,dst) monotone sequence number *)
+  mx_payload : 'a;
+}
+
+type 'a t
+
+val create : shards:int -> 'a t
+(** Raises [Invalid_argument] if [shards < 1]. *)
+
+val shards : 'a t -> int
+
+val post : 'a t -> src:int -> dst:int -> at:Vtime.t -> 'a -> unit
+(** Appends to outbox [(src, dst)]. Safe to call from shard [src]'s
+    domain while other shards run concurrently; two domains must never
+    post with the same [src]. *)
+
+val msg_compare : 'a msg -> 'a msg -> int
+(** The canonical [(mx_at, mx_src, mx_seq)] order. *)
+
+val collect : 'a t -> dst:int -> 'a msg list
+(** Drains every outbox aimed at [dst], merged in [(mx_at, mx_src,
+    mx_seq)] order. Coordinator-only: must not race with posts. *)
+
+val posted : 'a t -> int
+(** Cumulative messages ever posted (all pairs). Coordinator-only. *)
+
+val in_flight : 'a t -> int
+(** Messages currently posted but not yet collected. Coordinator-only. *)

@@ -1,0 +1,278 @@
+type mode = Parallel | Sequential
+
+type 'msg t = {
+  n : int;
+  md : mode;
+  la : Vtime.span;
+  engines : Engine.t array;
+  handlers : (at:Vtime.t -> src:int -> 'msg -> unit) option array;
+  mailbox : 'msg Mailbox.t;
+  mutable windows : int;
+  mutable delivered : int;
+  mutable undelivered : 'msg Mailbox.msg list;  (* canonical order *)
+}
+
+let create ?(seed = 42) ?(mode = Parallel) ~lookahead ~shards () =
+  if shards < 1 then invalid_arg "Shard_engine.create: shards < 1";
+  if shards > 1 && Vtime.span_compare lookahead Vtime.span_zero <= 0 then
+    invalid_arg
+      "Shard_engine.create: lookahead must be positive — a zero-latency \
+       cross-shard link leaves no safe horizon (drop to shards = 1 for that \
+       cut)";
+  let root = Rng.create seed in
+  {
+    n = shards;
+    md = mode;
+    la = lookahead;
+    engines =
+      Array.init shards (fun i ->
+          (* Label-derived so shard i's stream is a function of (seed, i)
+             alone — stable when the shard count changes. *)
+          Engine.create_with_rng
+            (Rng.derive_label root (Printf.sprintf "shard:%d" i)));
+    handlers = Array.make shards None;
+    mailbox = Mailbox.create ~shards;
+    windows = 0;
+    delivered = 0;
+    undelivered = [];
+  }
+
+let shards t = t.n
+
+let mode t = t.md
+
+let lookahead t = t.la
+
+let engine t i =
+  if i < 0 || i >= t.n then invalid_arg "Shard_engine.engine: bad shard";
+  t.engines.(i)
+
+let set_handler t i f =
+  if i < 0 || i >= t.n then invalid_arg "Shard_engine.set_handler: bad shard";
+  t.handlers.(i) <- Some f
+
+let handler t i =
+  match t.handlers.(i) with
+  | Some f -> f
+  | None -> invalid_arg "Shard_engine: message for a shard with no handler"
+
+let post t ~src ~dst ~at payload =
+  let now = Engine.now t.engines.(src) in
+  if Vtime.(at < now) then
+    invalid_arg "Shard_engine.post: arrival in the sender's past";
+  if src = dst then
+    (* Intra-shard: an ordinary local event; no horizon applies. *)
+    let f = handler t dst in
+    ignore (Engine.schedule_at t.engines.(dst) at (fun () -> f ~at ~src payload))
+  else begin
+    if Vtime.(at < Vtime.add now t.la) then
+      invalid_arg
+        "Shard_engine.post: arrival under the lookahead horizon — the \
+         destination may already have executed past it";
+    Mailbox.post t.mailbox ~src ~dst ~at payload
+  end
+
+type result = Quiescent | Deadline_reached
+
+type stats = {
+  st_windows : int;
+  st_events : int;
+  st_heap_pushes : int;
+  st_heap_peak : int;
+  st_messages : int;
+  st_undelivered : int;
+}
+
+(* Move mailbox contents into destination heaps. Messages are handled
+   in canonical (vtime, src, seq) order per destination, so heap
+   tie-break seqs — and therefore execution order at equal instants —
+   are a pure function of the message set. Arrivals past [until] are
+   parked (the cross-shard analogue of events left queued). *)
+let deliver t ~until =
+  let fresh = ref [] in
+  for dst = t.n - 1 downto 0 do
+    fresh := List.rev_append (List.rev (Mailbox.collect t.mailbox ~dst)) !fresh
+  done;
+  let all =
+    List.merge Mailbox.msg_compare t.undelivered
+      (List.sort Mailbox.msg_compare !fresh)
+  in
+  t.undelivered <- [];
+  let park = ref [] in
+  List.iter
+    (fun (m : 'msg Mailbox.msg) ->
+      let in_horizon =
+        match until with None -> true | Some h -> Vtime.(m.mx_at <= h)
+      in
+      if in_horizon then begin
+        let f = handler t m.mx_dst in
+        t.delivered <- t.delivered + 1;
+        ignore
+          (Engine.schedule_at t.engines.(m.mx_dst) m.mx_at (fun () ->
+               f ~at:m.mx_at ~src:m.mx_src m.mx_payload))
+      end
+      else park := m :: !park)
+    all;
+  t.undelivered <- List.rev !park
+
+let global_next t =
+  Array.fold_left
+    (fun acc e ->
+      match (acc, Engine.next_time e) with
+      | None, n -> n
+      | acc, None -> acc
+      | Some a, Some n -> if Vtime.(n < a) then Some n else Some a)
+    None t.engines
+
+(* One mutex/condvar pair per worker; the coordinator and the worker
+   strictly alternate, so each signal has exactly one possible waiter.
+   Engines hand off between the worker domain (inside a window) and
+   the coordinator (between windows) through these mutexes, which
+   gives the required happens-before edges. *)
+type wjob = Idle | Run_until of Vtime.t | Quit
+
+type wstate = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_job : wjob;
+  mutable w_done : bool;
+  mutable w_exn : exn option;
+}
+
+let with_window_runner t ~max_events f =
+  if t.md = Sequential || t.n = 1 then
+    f (fun w_end ->
+        Array.iter
+          (fun e -> ignore (Engine.run ~until:w_end ~max_events e))
+          t.engines)
+  else begin
+    let states =
+      Array.init t.n (fun _ ->
+          {
+            w_mutex = Mutex.create ();
+            w_cond = Condition.create ();
+            w_job = Idle;
+            w_done = true;
+            w_exn = None;
+          })
+    in
+    let worker i st =
+      let rec loop () =
+        Mutex.lock st.w_mutex;
+        while st.w_job = Idle do
+          Condition.wait st.w_cond st.w_mutex
+        done;
+        let job = st.w_job in
+        Mutex.unlock st.w_mutex;
+        match job with
+        | Quit -> ()
+        | Idle -> loop ()
+        | Run_until w_end ->
+            let exn =
+              match Engine.run ~until:w_end ~max_events t.engines.(i) with
+              | (_ : Engine.run_result) -> None
+              | exception e -> Some e
+            in
+            Mutex.lock st.w_mutex;
+            st.w_job <- Idle;
+            st.w_done <- true;
+            st.w_exn <- exn;
+            Condition.broadcast st.w_cond;
+            Mutex.unlock st.w_mutex;
+            if exn = None then loop ()
+      in
+      loop ()
+    in
+    let domains =
+      Array.mapi (fun i st -> Domain.spawn (fun () -> worker i st)) states
+    in
+    let stop_workers () =
+      Array.iter
+        (fun st ->
+          Mutex.lock st.w_mutex;
+          st.w_job <- Quit;
+          Condition.broadcast st.w_cond;
+          Mutex.unlock st.w_mutex)
+        states;
+      Array.iter Domain.join domains
+    in
+    let run_window w_end =
+      Array.iter
+        (fun st ->
+          Mutex.lock st.w_mutex;
+          st.w_job <- Run_until w_end;
+          st.w_done <- false;
+          Condition.broadcast st.w_cond;
+          Mutex.unlock st.w_mutex)
+        states;
+      Array.iter
+        (fun st ->
+          Mutex.lock st.w_mutex;
+          while not st.w_done do
+            Condition.wait st.w_cond st.w_mutex
+          done;
+          Mutex.unlock st.w_mutex)
+        states;
+      Array.iter
+        (fun st -> match st.w_exn with Some e -> raise e | None -> ())
+        states
+    in
+    Fun.protect ~finally:stop_workers (fun () -> f run_window)
+  end
+
+let run ?until ?(max_events = 50_000_000) t =
+  with_window_runner t ~max_events (fun run_window ->
+      (* Leave every clock at the horizon, like [Engine.run ~until]. *)
+      let settle () =
+        match until with
+        | Some h ->
+            Array.iter
+              (fun e -> ignore (Engine.run ~until:h ~max_events e))
+              t.engines
+        | None -> ()
+      in
+      let la_tail = Vtime.span_add t.la (Vtime.span_us (-1)) in
+      let rec loop () =
+        deliver t ~until;
+        match global_next t with
+        | None ->
+            settle ();
+            Quiescent
+        | Some next -> (
+            match until with
+            | Some h when Vtime.(h < next) ->
+                settle ();
+                Deadline_reached
+            | _ ->
+                let w_end =
+                  if t.n = 1 then
+                    (* Single shard: no cross-shard horizon; drain in
+                       one window. *)
+                    match until with Some h -> h | None -> Vtime.add next la_tail
+                  else
+                    let cap = Vtime.add next la_tail in
+                    match until with
+                    | Some h when Vtime.(h < cap) -> h
+                    | Some _ | None -> cap
+                in
+                run_window w_end;
+                t.windows <- t.windows + 1;
+                loop ())
+      in
+      loop ())
+
+let undelivered t =
+  List.map
+    (fun (m : 'msg Mailbox.msg) -> (m.mx_at, m.mx_src, m.mx_dst, m.mx_payload))
+    t.undelivered
+
+let stats t =
+  let sum f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines in
+  {
+    st_windows = t.windows;
+    st_events = sum Engine.events_executed;
+    st_heap_pushes = sum Engine.heap_pushes;
+    st_heap_peak = sum Engine.heap_peak;
+    st_messages = t.delivered;
+    st_undelivered = List.length t.undelivered;
+  }

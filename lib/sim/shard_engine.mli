@@ -1,0 +1,91 @@
+(** Sharded discrete-event engine with conservative lookahead.
+
+    Partitions a simulation into [shards] independent {!Engine}
+    instances — each with its own event heap, virtual clock and
+    {!Rng.derive_label}-seeded generator — and drives them in
+    conservative time windows (Chandy–Misra–Bryant style, collapsed to
+    synchronous windows): if every cross-shard message takes at least
+    [lookahead] of virtual time to arrive, then all events in
+    [\[t, t + lookahead)] are safe to execute in parallel, because
+    nothing a neighbour does inside the window can arrive before the
+    window ends. Cross-shard messages travel through a {!Mailbox} and
+    are injected into destination heaps between windows in canonical
+    [(vtime, src shard, seq)] order, so a run's outcome is a pure
+    function of the seed — bit-identical whether the windows execute on
+    one domain ([`Sequential]) or [shards] domains ([`Parallel]), and
+    regardless of how the OS schedules those domains.
+
+    Zero (or negative) lookahead would make every window empty — the
+    horizon could never advance past the next event — so [create]
+    rejects it outright when [shards > 1] rather than silently
+    serialising; degrade to [shards = 1] explicitly if the topology cut
+    has a zero-latency boundary link. *)
+
+type 'msg t
+
+type mode = Parallel | Sequential
+
+val create :
+  ?seed:int ->
+  ?mode:mode ->
+  lookahead:Vtime.span ->
+  shards:int ->
+  unit ->
+  'msg t
+(** [mode] defaults to [Parallel] (one domain per shard during {!run});
+    [Sequential] runs the identical window schedule on the calling
+    domain and produces bit-identical results. Shard [i]'s engine is
+    seeded from [Rng.derive_label (Rng.create seed) ("shard:" ^ i)], so
+    a shard's stream depends only on the root seed and its index —
+    never on the shard count. Raises [Invalid_argument] if
+    [shards < 1], or if [shards > 1] and [lookahead <= 0]. *)
+
+val shards : 'msg t -> int
+
+val mode : 'msg t -> mode
+
+val lookahead : 'msg t -> Vtime.span
+
+val engine : 'msg t -> int -> Engine.t
+(** Shard [i]'s engine. Schedule setup events and read clocks/traces
+    here; during {!run}, shard [i]'s events must touch only shard-local
+    state and communicate outward solely via {!post}. *)
+
+val set_handler : 'msg t -> int -> (at:Vtime.t -> src:int -> 'msg -> unit) -> unit
+(** Installs shard [i]'s inbound-message handler. It runs as an event
+    on shard [i]'s engine at the message's arrival instant. *)
+
+val post : 'msg t -> src:int -> dst:int -> at:Vtime.t -> 'msg -> unit
+(** Sends a cross-shard message from within one of shard [src]'s
+    events. [at] is the arrival instant and must honour the lookahead
+    contract: [at >= Engine.now (engine t src) + lookahead]. Raises
+    [Invalid_argument] on a violation — a message under the horizon
+    could land in a neighbour's already-executed past. [src = dst] is
+    allowed and goes through the same deterministic merge. *)
+
+type result = Quiescent | Deadline_reached
+
+type stats = {
+  st_windows : int;  (** conservative windows executed *)
+  st_events : int;  (** events executed, summed over shards *)
+  st_heap_pushes : int;  (** heap churn, summed over shards *)
+  st_heap_peak : int;  (** per-shard heap peaks, summed *)
+  st_messages : int;  (** cross-shard messages delivered *)
+  st_undelivered : int;  (** messages whose arrival fell past [until] *)
+}
+
+val run : ?until:Vtime.t -> ?max_events:int -> 'msg t -> result
+(** Drives every shard to [until] (or to global quiescence). On
+    return all shard clocks sit at the same instant. [max_events]
+    bounds each shard's executed events, as {!Engine.run} does. May be
+    called again to continue from the previous horizon. *)
+
+val undelivered : 'msg t -> (Vtime.t * int * int * 'msg) list
+(** Messages posted during {!run} whose arrival instant lies beyond the
+    [until] horizon — the cross-shard analogue of events left in the
+    heap — as [(at, src, dst, payload)] in canonical order. They are
+    kept and injected by the next [run] call; read them after the final
+    horizon to account for in-flight work (e.g. probes that must be
+    declared lost). *)
+
+val stats : 'msg t -> stats

@@ -40,6 +40,8 @@ let span_to_s = to_s
 
 let span_to_ms d = float_of_int d /. 1e3
 
+let span_to_us d = d
+
 let of_s = span_s
 
 let to_us t = t

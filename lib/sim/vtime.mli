@@ -44,6 +44,7 @@ val to_s : t -> float
 
 val span_to_s : span -> float
 val span_to_ms : span -> float
+val span_to_us : span -> int
 
 val of_s : float -> t
 (** Instant [s] seconds after the epoch. *)

@@ -1,0 +1,482 @@
+module Vtime = Rf_sim.Vtime
+module Rng = Rf_sim.Rng
+module Engine = Rf_sim.Engine
+module Shard_engine = Rf_sim.Shard_engine
+module Stats = Rf_sim.Stats
+
+(* --- Phase 0: sequential expansion of the spec into a flow schedule --
+
+   This replicates Generator.start's RNG consumption draw for draw
+   (one Rng.split per class in class order; for Poisson classes a
+   pick, a size draw and an exponential gap per arrival), so the
+   schedule below is byte-identical to what the legacy generator
+   would have executed — and, being computed before any shard exists,
+   identical for every shard count. *)
+
+type flow_plan = {
+  fp_id : int;
+  fp_cls : int;  (* index into the spec's class list *)
+  fp_src : string;
+  fp_dst : string;
+  fp_start : Vtime.t;
+  fp_probes : (Vtime.span * int) array;  (* (offset from start, weight) *)
+}
+
+(* Mirrors Generator.weights_for: S packets as K = min(S, cap) probes
+   whose integer weights sum to S. *)
+let weights_for ~sample_cap size =
+  let k = max 1 (min size sample_cap) in
+  let base = size / k and rem = size mod k in
+  Array.init k (fun i -> base + if i < rem then 1 else 0)
+
+(* Offsets accumulate span-by-span exactly as the legacy probe chain
+   does (each hop adds the same rounded span), so probe instants match
+   the event times the single-engine run would produce. *)
+let paced_probes ~weights ~gap_s =
+  let gap = Vtime.span_s gap_s in
+  let off = ref Vtime.span_zero in
+  Array.mapi
+    (fun i w ->
+      if i > 0 then off := Vtime.span_add !off gap;
+      (!off, w))
+    weights
+
+let on_off_probes ~rate_pps ~on_s ~off_s ~duration_s =
+  let period = 1.0 /. rate_pps in
+  let cycle = on_s +. off_s in
+  let probes = ref [] in
+  let off = ref Vtime.span_zero in
+  let off_t = ref 0.0 in
+  while !off_t < duration_s do
+    let pos = Float.rem !off_t cycle in
+    let next_t =
+      if pos < on_s then begin
+        probes := (!off, 1) :: !probes;
+        !off_t +. period
+      end
+      else !off_t -. pos +. cycle
+    in
+    off := Vtime.span_add !off (Vtime.span_s (next_t -. !off_t));
+    off_t := next_t
+  done;
+  Array.of_list (List.rev !probes)
+
+let expand ~rng (spec : Spec.t) =
+  let plans = ref [] in
+  let next_id = ref 0 in
+  let emit cls_i ~src ~dst ~start probes =
+    plans :=
+      {
+        fp_id = !next_id;
+        fp_cls = cls_i;
+        fp_src = src;
+        fp_dst = dst;
+        fp_start = start;
+        fp_probes = probes;
+      }
+      :: !plans;
+    incr next_id
+  in
+  List.iteri
+    (fun cls_i (c : Spec.cls) ->
+      let class_rng = Rng.split rng in
+      let start = Vtime.of_s c.Spec.c_start_s in
+      match c.Spec.c_kind with
+      | Spec.Cbr { rate_pps; duration_s } ->
+          let period = 1.0 /. rate_pps in
+          let n = max 1 (int_of_float (duration_s *. rate_pps)) in
+          let probes = paced_probes ~weights:(Array.make n 1) ~gap_s:period in
+          List.iter
+            (fun (src, dst) -> emit cls_i ~src ~dst ~start probes)
+            c.Spec.c_pairs
+      | Spec.On_off { rate_pps; on_s; off_s; duration_s } ->
+          let probes = on_off_probes ~rate_pps ~on_s ~off_s ~duration_s in
+          List.iter
+            (fun (src, dst) -> emit cls_i ~src ~dst ~start probes)
+            c.Spec.c_pairs
+      | Spec.Poisson { arrivals_per_s; size_packets; packet_rate_pps; until_s }
+        ->
+          let pairs = Array.of_list c.Spec.c_pairs in
+          if Array.length pairs = 0 then
+            invalid_arg "Shard_run: Poisson class with no pairs";
+          let sample_cap = spec.Spec.sample_cap in
+          let cur = ref start in
+          let live = ref true in
+          while !live do
+            if Vtime.to_s !cur < until_s then begin
+              let src, dst = Rng.pick class_rng pairs in
+              let size = Spec.draw_size class_rng size_packets in
+              let weights = weights_for ~sample_cap size in
+              let duration = float_of_int size /. packet_rate_pps in
+              let gap_s = duration /. float_of_int (Array.length weights) in
+              emit cls_i ~src ~dst ~start:!cur
+                (paced_probes ~weights ~gap_s);
+              let gap = Rng.exponential class_rng (1.0 /. arrivals_per_s) in
+              cur := Vtime.add !cur (Vtime.span_s gap)
+            end
+            else live := false
+          done)
+    spec.Spec.classes;
+  List.rev !plans
+
+(* --- Sharded execution ---------------------------------------------- *)
+
+(* Per-flow accounting, owned by the flow's destination shard: only
+   that shard's domain touches the record during windows, so no field
+   needs synchronisation. *)
+type fstate = {
+  mutable fs_offered : int;
+  mutable fs_offered_samples : int;
+  mutable fs_delivered : int;
+  mutable fs_delivered_samples : int;
+  mutable fs_bytes : int;
+  mutable fs_lost : int;
+  mutable fs_first_loss : Vtime.t option;
+  mutable fs_last_loss : Vtime.t option;
+}
+
+type probe_msg = { pm_flow : int; pm_weight : int; pm_sent : Vtime.t }
+
+type result = {
+  sr_shards : int;
+  sr_mode : Shard_engine.mode;
+  sr_lookahead : Vtime.span;
+  sr_flows : int;
+  sr_samples : int;
+  sr_offered : int;
+  sr_delivered : int;
+  sr_lost : int;
+  sr_classes : Measure.class_summary list;
+  sr_events : int;
+  sr_windows : int;
+  sr_cross_msgs : int;
+  sr_digest : string;
+  sr_fingerprint : string;
+  sr_elapsed_s : float;
+  sr_profile : Rf_obs.Profiler.snapshot option;
+}
+
+let vt_opt_us = function None -> "-" | Some t -> string_of_int (Vtime.to_us t)
+
+let run ?(seed = 42) ?(mode = Shard_engine.Parallel) ?(profile = false) ~shards
+    ~assign ~latency ~horizon_s ~rng spec =
+  let until_v = Vtime.of_s horizon_s in
+  let classes = Array.of_list spec.Spec.classes in
+  (* Resolve each distinct pair once: latency, shard endpoints and the
+     equivalence preconditions (positive latency below the loss
+     timeout — see the interface). The minimum cross-shard latency is
+     the engine's conservative lookahead. *)
+  let loss_timeout = Vtime.span_s spec.Spec.loss_timeout_s in
+  let pair_tbl : (string * string, Vtime.span * int * int) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let lookahead = ref None in
+  let shard_of host =
+    let s = assign host in
+    if s < 0 || s >= shards then
+      invalid_arg
+        (Printf.sprintf "Shard_run: host %s assigned to shard %d outside [0, %d)"
+           host s shards);
+    s
+  in
+  let pair_info src dst =
+    match Hashtbl.find_opt pair_tbl (src, dst) with
+    | Some info -> info
+    | None ->
+        let l = latency ~src ~dst in
+        if Vtime.span_compare l Vtime.span_zero <= 0 then
+          invalid_arg
+            (Printf.sprintf "Shard_run: non-positive latency on pair %s-%s" src
+               dst);
+        if Vtime.span_compare l loss_timeout >= 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Shard_run: pair %s-%s latency reaches the loss timeout — the \
+                no-reaper shard model is not equivalent to the legacy run"
+               src dst);
+        let ss = shard_of src and ds = shard_of dst in
+        if ss <> ds then
+          lookahead :=
+            Some
+              (match !lookahead with
+              | None -> l
+              | Some la -> if Vtime.span_compare l la < 0 then l else la);
+        let info = (l, ss, ds) in
+        Hashtbl.add pair_tbl (src, dst) info;
+        info
+  in
+  Array.iter
+    (fun (c : Spec.cls) ->
+      List.iter (fun (src, dst) -> ignore (pair_info src dst)) c.Spec.c_pairs)
+    classes;
+  let lookahead =
+    match !lookahead with Some la -> la | None -> Vtime.span_ms 1
+  in
+  let plans =
+    expand ~rng spec
+    |> List.filter (fun p -> Vtime.(p.fp_start <= until_v))
+    |> Array.of_list
+  in
+  let states =
+    Array.map
+      (fun _ ->
+        {
+          fs_offered = 0;
+          fs_offered_samples = 0;
+          fs_delivered = 0;
+          fs_delivered_samples = 0;
+          fs_bytes = 0;
+          fs_lost = 0;
+          fs_first_loss = None;
+          fs_last_loss = None;
+        })
+      plans
+  in
+  let se = Shard_engine.create ~seed ~mode ~lookahead ~shards () in
+  let profilers =
+    if not profile then [||]
+    else
+      Array.init shards (fun i ->
+          let p = Rf_obs.Profiler.create () in
+          Engine.set_profiler (Shard_engine.engine se i) (Some p);
+          p)
+  in
+  let host_entity =
+    if not profile then fun _ _ -> None
+    else begin
+      (* Entity handles carry inline counters, so each shard needs its
+         own — sharing one across domains would race. Profiler.merge
+         re-unifies them by id afterwards. *)
+      let tbls = Array.init shards (fun _ -> Hashtbl.create 64) in
+      fun shard name ->
+        let tbl = tbls.(shard) in
+        match Hashtbl.find_opt tbl name with
+        | Some e -> Some e
+        | None ->
+            let e = Rf_obs.Profiler.host name in
+            Hashtbl.replace tbl name e;
+            Some e
+    end
+  in
+  (* Latency samples per (dst shard, class): appended only by the
+     owning shard's domain, merged canonically afterwards. *)
+  let lat_samples =
+    Array.init shards (fun _ -> Array.map (fun _ -> ref []) classes)
+  in
+  (* Probes whose arrival would fall past the horizon, recorded at the
+     source at send time ("doomed"): the legacy run would leave them
+     outstanding and Measure.finalize would declare them lost. *)
+  let doomed = Array.init shards (fun _ -> ref []) in
+  let deliver shard ~at (m : probe_msg) =
+    let p = plans.(m.pm_flow) in
+    let fs = states.(m.pm_flow) in
+    let payload = classes.(p.fp_cls).Spec.c_payload in
+    fs.fs_offered <- fs.fs_offered + m.pm_weight;
+    fs.fs_offered_samples <- fs.fs_offered_samples + 1;
+    fs.fs_delivered <- fs.fs_delivered + m.pm_weight;
+    fs.fs_delivered_samples <- fs.fs_delivered_samples + 1;
+    fs.fs_bytes <- fs.fs_bytes + (m.pm_weight * payload);
+    let cell = lat_samples.(shard).(p.fp_cls) in
+    cell := Vtime.span_to_s (Vtime.diff at m.pm_sent) :: !cell
+  in
+  for i = 0 to shards - 1 do
+    Shard_engine.set_handler se i (fun ~at ~src:_ m -> deliver i ~at m)
+  done;
+  (* Schedule every flow's probe chain on its source shard. The chain
+     is lazy — each probe schedules the next — so the heap holds one
+     pending event per live flow, as the legacy generator's does. *)
+  Array.iter
+    (fun p ->
+      let lat, src_sh, dst_sh = pair_info p.fp_src p.fp_dst in
+      let eng = Shard_engine.engine se src_sh in
+      let src_entity = host_entity src_sh p.fp_src in
+      let n = Array.length p.fp_probes in
+      let rec fire i () =
+        let off, w = p.fp_probes.(i) in
+        let s = Vtime.add p.fp_start off in
+        let arr = Vtime.add s lat in
+        if Vtime.(arr <= until_v) then
+          if src_sh = dst_sh then
+            ignore
+              (Engine.schedule_at
+                 ?entity:(host_entity dst_sh p.fp_dst)
+                 eng arr
+                 (fun () ->
+                   deliver dst_sh ~at:arr
+                     { pm_flow = p.fp_id; pm_weight = w; pm_sent = s }))
+          else
+            Shard_engine.post se ~src:src_sh ~dst:dst_sh ~at:arr
+              { pm_flow = p.fp_id; pm_weight = w; pm_sent = s }
+        else doomed.(src_sh) := (p.fp_id, w, s) :: !(doomed.(src_sh));
+        if i + 1 < n then
+          ignore
+            (Engine.schedule_at ?entity:src_entity eng
+               (Vtime.add p.fp_start (fst p.fp_probes.(i + 1)))
+               (fire (i + 1)))
+      in
+      ignore (Engine.schedule_at ?entity:src_entity eng p.fp_start (fire 0)))
+    plans;
+  let t0 = Unix.gettimeofday () in
+  ignore (Shard_engine.run ~until:until_v se);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  assert (Shard_engine.undelivered se = []);
+  (* Finalize: fold the doomed probes into their flows exactly as
+     Measure.finalize would (offered at send, lost at the horizon,
+     loss envelope spanning the send times). Field updates commute, so
+     the fold order does not matter. *)
+  Array.iter
+    (fun cell ->
+      List.iter
+        (fun (flow, w, sent) ->
+          let fs = states.(flow) in
+          fs.fs_offered <- fs.fs_offered + w;
+          fs.fs_offered_samples <- fs.fs_offered_samples + 1;
+          fs.fs_lost <- fs.fs_lost + w;
+          (match fs.fs_first_loss with
+          | None -> fs.fs_first_loss <- Some sent
+          | Some t -> if Vtime.(sent < t) then fs.fs_first_loss <- Some sent);
+          match fs.fs_last_loss with
+          | None -> fs.fs_last_loss <- Some sent
+          | Some t -> if Vtime.(t < sent) then fs.fs_last_loss <- Some sent)
+        !cell)
+    doomed;
+  (* Per-class summaries over the merged, canonically sorted latency
+     samples: the sort makes the float fold order — and therefore the
+     summary bytes — a function of the sample multiset alone. *)
+  let class_summaries =
+    Array.to_list
+      (Array.mapi
+         (fun cls_i (c : Spec.cls) ->
+           let series = Stats.series () in
+           let samples =
+             Array.fold_left
+               (fun acc row -> List.rev_append !(row.(cls_i)) acc)
+               [] lat_samples
+             |> List.sort Float.compare
+           in
+           List.iter (Stats.add series) samples;
+           let init =
+             {
+               Measure.cs_class = c.Spec.c_name;
+               cs_flows = 0;
+               cs_offered = 0;
+               cs_delivered = 0;
+               cs_lost = 0;
+               cs_late = 0;
+               cs_bytes = 0;
+               cs_latency = Stats.summarize series;
+               cs_disrupted_flows = 0;
+               cs_window = None;
+             }
+           in
+           let merge_window acc w =
+             match (acc, w) with
+             | None, w -> w
+             | acc, None -> acc
+             | Some (a1, b1), Some (a2, b2) ->
+                 Some (Float.min a1 a2, Float.max b1 b2)
+           in
+           let acc = ref init in
+           Array.iteri
+             (fun i p ->
+               if p.fp_cls = cls_i then begin
+                 let fs = states.(i) in
+                 let window =
+                   match (fs.fs_first_loss, fs.fs_last_loss) with
+                   | Some a, Some b -> Some (Vtime.to_s a, Vtime.to_s b)
+                   | _ -> None
+                 in
+                 acc :=
+                   {
+                     !acc with
+                     Measure.cs_flows = !acc.Measure.cs_flows + 1;
+                     cs_offered = !acc.Measure.cs_offered + fs.fs_offered;
+                     cs_delivered = !acc.Measure.cs_delivered + fs.fs_delivered;
+                     cs_lost = !acc.Measure.cs_lost + fs.fs_lost;
+                     cs_bytes = !acc.Measure.cs_bytes + fs.fs_bytes;
+                     cs_disrupted_flows =
+                       (!acc.Measure.cs_disrupted_flows
+                       + if fs.fs_lost > 0 then 1 else 0);
+                     cs_window = merge_window !acc.Measure.cs_window window;
+                   }
+               end)
+             plans;
+           !acc)
+         classes)
+  in
+  let offered = Array.fold_left (fun a fs -> a + fs.fs_offered) 0 states in
+  let delivered = Array.fold_left (fun a fs -> a + fs.fs_delivered) 0 states in
+  let lost = Array.fold_left (fun a fs -> a + fs.fs_lost) 0 states in
+  let samples =
+    Array.fold_left (fun a fs -> a + fs.fs_offered_samples) 0 states
+  in
+  (* Canonical dumps. Everything below is virtual-clock-only, so two
+     runs produce the same digest iff they produced the same results. *)
+  let summary_buf = Buffer.create 1024 in
+  List.iter
+    (fun (cs : Measure.class_summary) ->
+      Buffer.add_string summary_buf
+        (Printf.sprintf
+           "c %s flows=%d offered=%d delivered=%d lost=%d bytes=%d \
+            disrupted=%d window=%s"
+           cs.Measure.cs_class cs.Measure.cs_flows cs.Measure.cs_offered
+           cs.Measure.cs_delivered cs.Measure.cs_lost cs.Measure.cs_bytes
+           cs.Measure.cs_disrupted_flows
+           (match cs.Measure.cs_window with
+           | None -> "-"
+           | Some (a, b) -> Printf.sprintf "%.6f..%.6f" a b));
+      (match cs.Measure.cs_latency with
+      | None -> Buffer.add_string summary_buf " latency=-"
+      | Some (s : Stats.summary) ->
+          Buffer.add_string summary_buf
+            (Printf.sprintf " n=%d mean=%.17g p50=%.17g p90=%.17g p99=%.17g"
+               s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p90 s.Stats.p99));
+      Buffer.add_char summary_buf '\n')
+    class_summaries;
+  Buffer.add_string summary_buf
+    (Printf.sprintf "t flows=%d samples=%d offered=%d delivered=%d lost=%d clock=%d\n"
+       (Array.length plans) samples offered delivered lost
+       (Vtime.to_us until_v));
+  let flow_buf = Buffer.create (Array.length plans * 64) in
+  Array.iteri
+    (fun i p ->
+      let fs = states.(i) in
+      Buffer.add_string flow_buf
+        (Printf.sprintf
+           "f %d %s %s>%s start=%d off=%d del=%d lost=%d bytes=%d os=%d ds=%d \
+            fl=%s ll=%s\n"
+           p.fp_id
+           classes.(p.fp_cls).Spec.c_name
+           p.fp_src p.fp_dst
+           (Vtime.to_us p.fp_start)
+           fs.fs_offered fs.fs_delivered fs.fs_lost fs.fs_bytes
+           fs.fs_offered_samples fs.fs_delivered_samples
+           (vt_opt_us fs.fs_first_loss)
+           (vt_opt_us fs.fs_last_loss)))
+    plans;
+  Buffer.add_buffer flow_buf summary_buf;
+  let stats = Shard_engine.stats se in
+  {
+    sr_shards = shards;
+    sr_mode = mode;
+    sr_lookahead = lookahead;
+    sr_flows = Array.length plans;
+    sr_samples = samples;
+    sr_offered = offered;
+    sr_delivered = delivered;
+    sr_lost = lost;
+    sr_classes = class_summaries;
+    sr_events = stats.Shard_engine.st_events;
+    sr_windows = stats.Shard_engine.st_windows;
+    sr_cross_msgs = stats.Shard_engine.st_messages;
+    sr_digest = Digest.to_hex (Digest.string (Buffer.contents flow_buf));
+    sr_fingerprint =
+      Digest.to_hex (Digest.string (Buffer.contents summary_buf));
+    sr_elapsed_s = elapsed;
+    sr_profile =
+      (if profile then
+         Some
+           (Rf_obs.Profiler.merge
+              (Array.to_list (Array.map Rf_obs.Profiler.snapshot profilers)))
+       else None);
+  }

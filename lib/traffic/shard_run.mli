@@ -1,0 +1,78 @@
+(** Sharded execution of aggregated-fabric traffic runs.
+
+    Runs a {!Spec} workload on a {!Rf_sim.Shard_engine} instead of a
+    single engine, partitioned by a host→shard assignment. The flow
+    *schedule* — which flows start when, between which pair, with which
+    probe weights — is expanded up front by a sequential pass that
+    consumes the generator RNG stream exactly as {!Generator.start}
+    would (same [Rng.split] per class, same pick/size/exponential draw
+    order), so the schedule is one fixed object regardless of shard
+    count. Each flow's probe pacing is then RNG-free and runs as events
+    on its source host's shard; probes travel to the destination shard
+    through the engine's deterministic mailbox and are accounted on
+    arrival by the shard that owns the flow (the destination's).
+
+    Equivalence with the legacy single-engine path holds under two
+    preconditions this module validates:
+
+    - every pair latency is positive (a zero-latency cross-shard pair
+      would leave no conservative-lookahead horizon), and
+    - every pair latency is below the spec's loss timeout, so the
+      legacy reaper could never have declared an in-flight probe lost —
+      losses happen only at the horizon, which the sharded runner
+      reproduces exactly: a probe sent at [s] with path latency [L] is
+      delivered iff [s + L <= horizon], otherwise it is declared lost
+      with loss envelope at [s], matching {!Measure.finalize}.
+
+    Integer results (flows, offered, delivered, lost, bytes, loss
+    windows) are byte-identical for any shard count; latency summaries
+    are folded over canonically sorted samples, so they too are
+    byte-identical across shard counts (and agree with the legacy path
+    up to float summation order). *)
+
+type result = {
+  sr_shards : int;
+  sr_mode : Rf_sim.Shard_engine.mode;
+  sr_lookahead : Rf_sim.Vtime.span;
+      (** min cross-shard pair latency (1 ms when nothing crosses) *)
+  sr_flows : int;
+  sr_samples : int;  (** probes actually sent by the horizon *)
+  sr_offered : int;  (** weighted packets; = delivered + lost *)
+  sr_delivered : int;
+  sr_lost : int;
+  sr_classes : Measure.class_summary list;  (** in spec class order *)
+  sr_events : int;
+  sr_windows : int;  (** conservative windows executed *)
+  sr_cross_msgs : int;  (** probes that crossed a shard boundary *)
+  sr_digest : string;
+      (** MD5 over the canonical per-flow dump + class summaries +
+          totals + final clock — virtual-clock-only, so equal digests
+          mean equal runs *)
+  sr_fingerprint : string;
+      (** MD5 over class summaries + totals only (the stable summary
+          fingerprinted by CI) *)
+  sr_elapsed_s : float;  (** wall-clock; never part of the digest *)
+  sr_profile : Rf_obs.Profiler.snapshot option;
+      (** merged over shards when [profile] was requested *)
+}
+
+val run :
+  ?seed:int ->
+  ?mode:Rf_sim.Shard_engine.mode ->
+  ?profile:bool ->
+  shards:int ->
+  assign:(string -> int) ->
+  latency:(src:string -> dst:string -> Rf_sim.Vtime.span) ->
+  horizon_s:float ->
+  rng:Rf_sim.Rng.t ->
+  Spec.t ->
+  result
+(** [assign] maps a host name to its shard in [0, shards); [latency]
+    gives the analytic path latency per pair (the aggregated-fabric
+    model — probes are not routed through a network). [rng] is the
+    generator stream the legacy path would receive; [seed] (default 42)
+    seeds the per-shard engines. Raises [Invalid_argument] when an
+    assignment falls outside [0, shards), when a pair latency is
+    non-positive or at least the spec's loss timeout, or (via
+    {!Rf_sim.Shard_engine.create}) when the induced lookahead is not
+    positive. *)
