@@ -141,6 +141,29 @@ let post_run_analysis exp load ~slo ~flamegraph ~baseline =
     | Some dump -> analyze_dump exp dump ~slo ~flamegraph ~baseline
     | None -> ()
 
+(* --audit support: print the audited runs' window summaries and exit 5
+   when any violation window overlaps the steady-state interval —
+   "quiescent network => zero violations" is CI-gateable. *)
+let audit_flag =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Attach the continuous forwarding-state auditor to the run(s),          print the violation-window summary, and exit 5 if any window          overlaps the steady-state (post-convergence, pre-fault)          interval.")
+
+let print_audit_runs runs =
+  List.iter (Experiment.print_audit_run std) (List.filter_map Fun.id runs)
+
+let audit_gate runs =
+  if
+    List.exists
+      (fun (r : Experiment.audit_run) -> r.ar_steady_windows > 0)
+      (List.filter_map Fun.id runs)
+  then begin
+    Format.eprintf "rfauto: steady-state forwarding violations detected@.";
+    exit 5
+  end
+
 let fig3_cmd =
   let run sizes vm_boot_s parallel_boot telemetry profile =
     let profiler = make_profiler profile in
@@ -216,16 +239,20 @@ let failure_cmd =
   let fail_horizon_arg =
     Arg.(value & opt float 150.0 & info [ "horizon" ] ~doc:"Sim seconds.")
   in
-  let run seed switches fail_at_s horizon_s telemetry profile slo flamegraph
-      baseline =
+  let run seed switches fail_at_s horizon_s audit telemetry profile slo
+      flamegraph baseline =
     let needed = needs_analysis ~slo ~flamegraph ~baseline in
     let telemetry, load = telemetry_route ~needed telemetry in
     let profiler = make_profiler profile in
-    Experiment.print_failure_recovery std
-      (Experiment.failure_recovery ~seed ~switches ~fail_at_s ~horizon_s
-         ?telemetry ?profiler ());
+    let r =
+      Experiment.failure_recovery ~seed ~switches ~fail_at_s ~horizon_s ~audit
+        ?telemetry ?profiler ()
+    in
+    Experiment.print_failure_recovery std r;
+    print_audit_runs [ r.fr_audit ];
     print_profiler_report profiler;
-    post_run_analysis Analysis.E3 load ~slo ~flamegraph ~baseline
+    post_run_analysis Analysis.E3 load ~slo ~flamegraph ~baseline;
+    audit_gate [ r.fr_audit ]
   in
   Cmd.v
     (Cmd.info "failure"
@@ -234,7 +261,7 @@ let failure_cmd =
           reconvergence time (deterministic: same seed, same trace)")
     Term.(
       const run $ seed_arg $ switches_arg $ fail_at_arg $ fail_horizon_arg
-      $ telemetry_arg $ profile_flag $ slo_arg $ flamegraph_arg
+      $ audit_flag $ telemetry_arg $ profile_flag $ slo_arg $ flamegraph_arg
       $ baseline_arg)
 
 (* --- restart -------------------------------------------------------- *)
@@ -265,14 +292,19 @@ let restart_cmd =
   let restart_horizon_arg =
     Arg.(value & opt float 120.0 & info [ "horizon" ] ~doc:"Sim seconds.")
   in
-  let run seed switches crash_at_s cut_at_s recover_at_s horizon_s telemetry
-      slo flamegraph baseline =
+  let run seed switches crash_at_s cut_at_s recover_at_s horizon_s audit
+      telemetry slo flamegraph baseline =
     let needed = needs_analysis ~slo ~flamegraph ~baseline in
     let telemetry, load = telemetry_route ~needed telemetry in
-    Experiment.print_restart std
-      (Experiment.restart ~seed ~switches ~crash_at_s ~cut_at_s ~recover_at_s
-         ~horizon_s ?telemetry ());
-    post_run_analysis Analysis.E4 load ~slo ~flamegraph ~baseline
+    let r =
+      Experiment.restart ~seed ~switches ~crash_at_s ~cut_at_s ~recover_at_s
+        ~horizon_s ~audit ?telemetry ()
+    in
+    Experiment.print_restart std r;
+    print_audit_runs
+      [ r.rs_supervised.rr_audit; r.rs_legacy.rr_audit ];
+    post_run_analysis Analysis.E4 load ~slo ~flamegraph ~baseline;
+    audit_gate [ r.rs_supervised.rr_audit; r.rs_legacy.rr_audit ]
   in
   Cmd.v
     (Cmd.info "restart"
@@ -282,8 +314,8 @@ let restart_cmd =
           (deterministic: same seed, same trace)")
     Term.(
       const run $ seed_arg $ switches_arg $ crash_at_arg $ cut_at_arg
-      $ recover_at_arg $ restart_horizon_arg $ telemetry_arg $ slo_arg
-      $ flamegraph_arg $ baseline_arg)
+      $ recover_at_arg $ restart_horizon_arg $ audit_flag $ telemetry_arg
+      $ slo_arg $ flamegraph_arg $ baseline_arg)
 
 (* --- gui ----------------------------------------------------------- *)
 
@@ -787,8 +819,8 @@ let cluster_cmd =
             "Register a static N-way partition of the automatic run's            network and record its cut statistics (cross links, lookahead            bound) in the telemetry meta.")
   in
   let run switches seed replicas crash_at cut_at recover_at manual_delay
-      horizon traffic_start parallel_boot shards out summary_out profile slo
-      flamegraph baseline =
+      horizon traffic_start parallel_boot shards audit out summary_out profile
+      slo flamegraph baseline =
     let needed = needs_analysis ~slo ~flamegraph ~baseline in
     let telemetry, load = telemetry_route ~needed out in
     let profiler = make_profiler profile in
@@ -796,10 +828,11 @@ let cluster_cmd =
       Experiment.cluster_failover ~seed ~switches ~replicas
         ~crash_at_s:crash_at ~cut_at_s:cut_at ~recover_at_s:recover_at
         ~manual_response_s:manual_delay ~horizon_s:horizon
-        ~traffic_start_s:traffic_start ~parallel_boot ~shards ?telemetry
-        ?profiler ()
+        ~traffic_start_s:traffic_start ~parallel_boot ~shards ~audit
+        ?telemetry ?profiler ()
     in
     Experiment.print_cluster std r;
+    print_audit_runs [ r.cf_auto.cw_audit; r.cf_legacy.cw_audit ];
     print_profiler_report profiler;
     (match out with
     | Some path -> Format.fprintf std "telemetry written to %s@." path
@@ -810,7 +843,8 @@ let cluster_cmd =
         output_string oc (Format.asprintf "%a" Experiment.print_cluster r);
         close_out oc
     | None -> ());
-    post_run_analysis Analysis.E9 load ~slo ~flamegraph ~baseline
+    post_run_analysis Analysis.E9 load ~slo ~flamegraph ~baseline;
+    audit_gate [ r.cf_auto.cw_audit; r.cf_legacy.cw_audit ]
   in
   Cmd.v
     (Cmd.info "cluster"
@@ -819,8 +853,8 @@ let cluster_cmd =
     Term.(
       const run $ switches_arg $ seed_arg $ replicas_arg $ crash_arg
       $ cut_arg $ recover_arg $ manual_arg $ horizon_arg $ traffic_start_arg
-      $ parallel_boot_arg $ shards_arg $ out_arg $ summary_arg $ profile_flag
-      $ slo_arg $ flamegraph_arg $ baseline_arg)
+      $ parallel_boot_arg $ shards_arg $ audit_flag $ out_arg $ summary_arg
+      $ profile_flag $ slo_arg $ flamegraph_arg $ baseline_arg)
 
 (* --- profile: engine profiler & shard-cut advisor (E10) ------------ *)
 
@@ -1024,6 +1058,82 @@ let shard_cmd =
 
 (* --- analyze: trace analytics & SLO engine (E7) --------------------- *)
 
+(* --- audit: E12 forwarding-state audit of the fault replays -------- *)
+
+let audit_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  let e3_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "e3-switches" ] ~doc:"Ring size of the E3 link-cut replay.")
+  in
+  let e4_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "e4-switches" ] ~doc:"Ring size of the E4 restart replay.")
+  in
+  let e9_arg =
+    Arg.(
+      value & opt int 28
+      & info [ "e9-switches" ]
+          ~doc:"Ring size of the E9 leader-crash replay (>= 8).")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ]
+          ~doc:"RF-controller replicas of the E9 automatic replay (>= 3).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the E9 automatic replay's span/event JSONL (including            the audit.violation spans) to $(docv).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the audit summary to $(docv) (byte-identical across            same-seed runs; used by CI as the E12 fingerprint).")
+  in
+  let run seed e3_switches e4_switches e9_switches replicas out summary_out
+      slo flamegraph baseline =
+    let needed = needs_analysis ~slo ~flamegraph ~baseline in
+    let telemetry, load = telemetry_route ~needed out in
+    let r =
+      Experiment.audit_windows ~seed ~e3_switches ~e4_switches ~e9_switches
+        ~e9_replicas:replicas ?telemetry ()
+    in
+    Experiment.print_audit std r;
+    (match out with
+    | Some path -> Format.fprintf std "telemetry written to %s@." path
+    | None -> ());
+    (match summary_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Format.asprintf "%a" Experiment.print_audit r);
+        close_out oc
+    | None -> ());
+    post_run_analysis Analysis.E12 load ~slo ~flamegraph ~baseline;
+    if r.ad_steady_total > 0 then begin
+      Format.eprintf "rfauto: steady-state forwarding violations detected@.";
+      exit 5
+    end
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "E12: replay the E3 link-cut, E4 restart and E9 leader-crash fault           schedules with the continuous forwarding-state auditor           attached — loop / blackhole / RIB-FIB / slice-isolation           violation windows in virtual time, automatic vs legacy — and           exit 5 if any window overlaps the steady-state interval")
+    Term.(
+      const run $ seed_arg $ e3_arg $ e4_arg $ e9_arg $ replicas_arg
+      $ out_arg $ summary_arg $ slo_arg $ flamegraph_arg $ baseline_arg)
+
 let analyze_cmd =
   let input_arg =
     Arg.(
@@ -1038,7 +1148,7 @@ let analyze_cmd =
       value & opt string "all"
       & info [ "experiment" ] ~docv:"EXP"
           ~doc:
-            "Which experiment to analyze: e1b, e3, e4, e6, e9, e10 or all            (all covers the pinned E7 set, which excludes e9 and e10).")
+            "Which experiment to analyze: e1b, e3, e4, e6, e9, e10, e12 or            all (all covers the pinned E7 set, which excludes e9, e10 and            e12).")
   in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
@@ -1074,6 +1184,7 @@ let analyze_cmd =
     | Some "traffic" -> Some Analysis.E6
     | Some "cluster" -> Some Analysis.E9
     | Some "profile" -> Some Analysis.E10
+    | Some "audit" -> Some Analysis.E12
     | Some _ | None -> None
   in
   let run input experiment seed slo flamegraph flamegraph_json baseline
@@ -1098,7 +1209,7 @@ let analyze_cmd =
             | None ->
                 die
                   "cannot infer the experiment from %s; pass --experiment \
-                   e1b|e3|e4|e6|e9|e10"
+                   e1b|e3|e4|e6|e9|e10|e12"
                   path
           in
           [ (exp, dump) ]
@@ -1195,6 +1306,6 @@ let main =
        ~doc:
          "Automatic configuration of routing control platforms in OpenFlow \
           networks — reproduction experiments")
-    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd; cluster_cmd; profile_cmd; shard_cmd; analyze_cmd ]
+    [ fig3_cmd; demo_cmd; failure_cmd; restart_cmd; gui_cmd; scaling_cmd; ablation_cmd; families_cmd; inspect_cmd; obs_cmd; trace_cmd; run_cmd; traffic_cmd; cluster_cmd; profile_cmd; shard_cmd; audit_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

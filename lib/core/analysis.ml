@@ -11,10 +11,10 @@ module Critical_path = Rf_obs.Critical_path
 module Flamegraph = Rf_obs.Flamegraph
 module Baseline = Rf_obs.Baseline
 
-type experiment = E1b | E3 | E4 | E6 | E9 | E10
+type experiment = E1b | E3 | E4 | E6 | E9 | E10 | E12
 
-(* E9 and E10 are deliberately absent: [all] drives the E7 scorecard fingerprint,
-   which is pinned. Ask for e9 explicitly. *)
+(* E9, E10 and E12 are deliberately absent: [all] drives the E7
+   scorecard fingerprint, which is pinned. Ask for them explicitly. *)
 let all = [ E1b; E3; E4; E6 ]
 
 let name = function
@@ -24,6 +24,7 @@ let name = function
   | E6 -> "e6"
   | E9 -> "e9"
   | E10 -> "e10"
+  | E12 -> "e12"
 
 let of_string = function
   | "e1b" -> Some E1b
@@ -32,6 +33,7 @@ let of_string = function
   | "e6" -> Some E6
   | "e9" -> Some E9
   | "e10" -> Some E10
+  | "e12" -> Some E12
   | _ -> None
 
 let describe = function
@@ -41,6 +43,7 @@ let describe = function
   | E6 -> "traffic disruption, automatic response, 8-switch ring"
   | E9 -> "cluster leader crash + failover, 28-switch ring, 3 replicas"
   | E10 -> "engine profile of the fat-tree scaling run + shard-cut advisory"
+  | E12 -> "forwarding-state audit of the E3/E4/E9 fault replays"
 
 (* Runs the experiment with telemetry into a temp file and ingests it:
    the analysis path is identical for live runs and replayed files. *)
@@ -62,7 +65,8 @@ let run_dump ?(seed = 42) exp =
       | E10 ->
           (* Small fat-tree so the analysis path stays quick; the CI
              fingerprint pins the full k=20 run separately. *)
-          ignore (Experiment.profile_scaling ~seed ~k:8 ~telemetry:path ()));
+          ignore (Experiment.profile_scaling ~seed ~k:8 ~telemetry:path ())
+      | E12 -> ignore (Experiment.audit_windows ~seed ~telemetry:path ()));
       Ingest.load_file path)
 
 let rule ?(unit_ = "s") ?(direction = Slo.At_most) name what source ~warn ~fail
@@ -189,6 +193,23 @@ let rules = function
           "heaviest shard weight over the mean shard weight"
           (Slo.Meta_s "shard_imbalance") ~warn:1.5 ~fail:3.;
         completeness "e10";
+      ]
+  | E12 ->
+      [
+        rule ~unit_:"windows" "e12.steady_windows"
+          "violation windows inside the steady (post-convergence, \
+           pre-fault) interval"
+          (Slo.Meta_s "steady_windows") ~warn:0. ~fail:0.;
+        rule "e12.fault_union_s"
+          "union of violation windows after the fault (automatic E9 run)"
+          (Slo.Meta_s "fault_union_s") ~warn:10. ~fail:40.;
+        rule ~unit_:"windows" "e12.open_at_horizon"
+          "violation windows still open at the horizon"
+          (Slo.Meta_s "open_at_horizon") ~warn:0. ~fail:0.;
+        rule "e12.violation_union_s"
+          "union of every audit.violation span over the whole run"
+          (Slo.Span_union_duration_s "audit.violation") ~warn:40. ~fail:90.;
+        completeness "e12";
       ]
 
 let evaluate exp dump = Slo.evaluate dump (rules exp)

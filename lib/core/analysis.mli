@@ -8,14 +8,14 @@
     scorecard of an unmodified run is all-PASS and byte-identical
     across invocations — CI diffs it as the E7 fingerprint. *)
 
-type experiment = E1b | E3 | E4 | E6 | E9 | E10
+type experiment = E1b | E3 | E4 | E6 | E9 | E10 | E12
 
 val all : experiment list
-(** In E-number order. E9 and E10 are excluded — [all] drives the
-    pinned E7 scorecard fingerprint; ask for e9/e10 explicitly. *)
+(** In E-number order. E9, E10 and E12 are excluded — [all] drives
+    the pinned E7 scorecard fingerprint; ask for them explicitly. *)
 
 val name : experiment -> string
-(** ["e1b"] / ["e3"] / ["e4"] / ["e6"] / ["e9"] / ["e10"] *)
+(** ["e1b"] / ["e3"] / ["e4"] / ["e6"] / ["e9"] / ["e10"] / ["e12"] *)
 
 val of_string : string -> experiment option
 

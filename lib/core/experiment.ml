@@ -375,6 +375,170 @@ let print_demo ppf (d : demo_result) =
           d.d_gui_timeline));
   Format.fprintf ppf "%s" d.d_gui_final_frame
 
+(* --- E12: forwarding-state audit (shared pieces) ------------------- *)
+
+type audit_window = {
+  aw_kind : string;
+  aw_key : string;
+  aw_open_s : float;
+  aw_close_s : float option;  (** [None]: still open at the horizon *)
+}
+
+type audit_run = {
+  ar_label : string;
+  ar_updates : int;
+  ar_eq_classes : int;
+  ar_walks : int;
+  ar_dropped : int;
+  ar_loop : int;
+  ar_blackhole : int;
+  ar_rib_fib : int;
+  ar_slice : int;
+  ar_window_count : int;
+  ar_open_at_end : int;
+  ar_converged_s : float option;
+  ar_first_fault_s : float option;
+  ar_steady_windows : int;
+  ar_boot_union_s : float;
+  ar_fault_union_s : float;
+  ar_fault_windows : audit_window list;
+}
+
+(* Total length of the union of half-open [a, b) interval lists, in the
+   interval unit (microseconds here). *)
+let interval_union ivs =
+  List.sort compare ivs
+  |> List.fold_left
+       (fun (total, edge) (a, b) ->
+         if b <= edge then (total, edge) else (total + b - max a edge, b))
+       (0, min_int)
+  |> fst
+
+let audit_run_of s ~label ~first_fault_s ~horizon_s =
+  let au =
+    match Scenario.auditor s with
+    | Some a -> a
+    | None -> invalid_arg "audit_run_of: scenario built without audit"
+  in
+  let module A = Rf_obs.Auditor in
+  let horizon_us = Vtime.to_us (Vtime.of_s horizon_s) in
+  let wins = A.windows au in
+  let conv_us = Option.map Vtime.to_us (Scenario.routing_converged_at s) in
+  let fault_us =
+    Option.map (fun t -> Vtime.to_us (Vtime.of_s t)) first_fault_s
+  in
+  let clip lo hi =
+    List.filter_map
+      (fun (w : A.window) ->
+        let a = max w.A.w_open_us lo
+        and b = min (Option.value w.A.w_close_us ~default:hi) hi in
+        if b > a then Some (a, b) else None)
+      wins
+  in
+  let boot_hi = Option.value fault_us ~default:horizon_us in
+  let boot_union_us = interval_union (clip 0 boot_hi) in
+  let fault_union_us =
+    match fault_us with
+    | None -> 0
+    | Some f -> interval_union (clip f horizon_us)
+  in
+  (* The steady-state interval is strictly after convergence and
+     strictly before the first planned fault: a window closing exactly
+     at convergence (the last flow-mod of the boot) or opening exactly
+     at the fault does not count against the quiescent network. *)
+  let steady_windows =
+    let upto =
+      match fault_us with Some f -> f - 1 | None -> horizon_us
+    in
+    match conv_us with
+    | Some c when c + 1 <= upto ->
+        List.length (A.overlapping au ~start_us:(c + 1) ~stop_us:upto)
+    | Some _ | None -> 0
+  in
+  let row (w : A.window) =
+    {
+      aw_kind = A.kind_to_string w.A.w_kind;
+      aw_key = w.A.w_key;
+      aw_open_s = float_of_int w.A.w_open_us /. 1e6;
+      aw_close_s = Option.map (fun c -> float_of_int c /. 1e6) w.A.w_close_us;
+    }
+  in
+  let fault_windows =
+    match fault_us with
+    | None -> []
+    | Some f ->
+        List.filter_map
+          (fun (w : A.window) ->
+            if w.A.w_open_us >= f then Some (row w) else None)
+          wins
+  in
+  {
+    ar_label = label;
+    ar_updates = A.updates au;
+    ar_eq_classes = A.eq_classes au;
+    ar_walks = A.walks au;
+    ar_dropped = A.dropped au;
+    ar_loop = A.violations_total au A.Loop;
+    ar_blackhole = A.violations_total au A.Blackhole;
+    ar_rib_fib = A.violations_total au A.Rib_fib;
+    ar_slice = A.violations_total au A.Slice;
+    ar_window_count = List.length wins;
+    ar_open_at_end = List.length (A.open_violations au);
+    ar_converged_s = to_s_opt (Scenario.routing_converged_at s);
+    ar_first_fault_s = first_fault_s;
+    ar_steady_windows = steady_windows;
+    ar_boot_union_s = float_of_int boot_union_us /. 1e6;
+    ar_fault_union_s = float_of_int fault_union_us /. 1e6;
+    ar_fault_windows = fault_windows;
+  }
+
+let audit_meta (r : audit_run) =
+  [
+    ( "first_fault_s",
+      match r.ar_first_fault_s with
+      | Some f -> Printf.sprintf "%.3f" f
+      | None -> "none" );
+    ("steady_windows", string_of_int r.ar_steady_windows);
+    ("boot_union_s", Printf.sprintf "%.3f" r.ar_boot_union_s);
+    ("fault_union_s", Printf.sprintf "%.3f" r.ar_fault_union_s);
+    ("open_at_horizon", string_of_int r.ar_open_at_end);
+  ]
+
+let print_audit_run ppf (r : audit_run) =
+  Format.fprintf ppf
+    "  [%s] %d audited updates, %d equivalence classes, %d walks, %d \
+     unprobed@."
+    r.ar_label r.ar_updates r.ar_eq_classes r.ar_walks r.ar_dropped;
+  Format.fprintf ppf
+    "  [%s] windows loop %d, blackhole %d, rib-fib %d, slice %d; open at \
+     horizon %d@."
+    r.ar_label r.ar_loop r.ar_blackhole r.ar_rib_fib r.ar_slice
+    r.ar_open_at_end;
+  Format.fprintf ppf
+    "  [%s] violation union: boot %.3f s, post-fault %.3f s; steady-state \
+     violations %d@."
+    r.ar_label r.ar_boot_union_s r.ar_fault_union_s r.ar_steady_windows;
+  let shown, extra =
+    let rec take n = function
+      | [] -> ([], 0)
+      | l when n = 0 -> ([], List.length l)
+      | w :: rest ->
+          let taken, more = take (n - 1) rest in
+          (w :: taken, more)
+    in
+    take 10 r.ar_fault_windows
+  in
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "  [%s]   %-9s %-18s %9.3f -> %s@." r.ar_label
+        w.aw_kind w.aw_key w.aw_open_s
+        (match w.aw_close_s with
+        | Some c -> Printf.sprintf "%.3f" c
+        | None -> "open"))
+    shown;
+  if extra > 0 then
+    Format.fprintf ppf "  [%s]   ... and %d more@." r.ar_label extra
+
 (* --- E3: failure recovery ------------------------------------------ *)
 
 type recovery_result = {
@@ -390,10 +554,12 @@ type recovery_result = {
   fr_window_lost : int;
   fr_routes_avoid_failed_link : bool;
   fr_trace_fingerprint : string;
+  fr_audit : audit_run option;
 }
 
 let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
-    ?(window_s = 30.0) ?(horizon_s = 150.0) ?telemetry ?profiler () =
+    ?(window_s = 30.0) ?(horizon_s = 150.0) ?(audit = false) ?telemetry
+    ?profiler () =
   if switches < 4 then invalid_arg "failure_recovery: need a ring of >= 4";
   let topo = Topo_gen.ring switches in
   Topology.add_host topo "server";
@@ -410,6 +576,7 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
       rf_params = params ~vm_boot_s:2.0 ~parallel_boot:4 ();
       faults = Rf_sim.Faults.(plan [ link_down ~at_s:fail_at_s fail_a fail_b ]);
       profiler;
+      audit;
     }
   in
   let s = Scenario.build ~options topo in
@@ -437,11 +604,21 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
          sent_at_end := Host.udp_sent server;
          recv_at_end := Host.udp_received client));
   Scenario.run_for s (Vtime.span_s horizon_s);
+  let audit_run =
+    if audit then
+      Some
+        (audit_run_of s ~label:"automatic" ~first_fault_s:(Some fail_at_s)
+           ~horizon_s)
+    else None
+  in
   (match telemetry with
   | Some path ->
       Scenario.write_telemetry s path
         ~meta:
-          [
+          ((match audit_run with
+           | Some r -> audit_meta r
+           | None -> [])
+          @ [
             ("experiment", "failure");
             ("fail_at_s", Printf.sprintf "%.3f" fail_at_s);
             ("window_s", Printf.sprintf "%.3f" window_s);
@@ -451,7 +628,7 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
               string_of_int
                 (!sent_at_end - !sent_at_fail - (!recv_at_end - !recv_at_fail))
             );
-          ]
+          ])
   | None -> ());
   (* Post-failure routes must not use the interfaces facing the dead
      link. *)
@@ -502,6 +679,7 @@ let failure_recovery ?(seed = 42) ?(switches = 6) ?(fail_at_s = 60.0)
     fr_window_lost = window_sent - window_recv;
     fr_routes_avoid_failed_link = avoid;
     fr_trace_fingerprint = fingerprint;
+    fr_audit = audit_run;
   }
 
 let print_failure_recovery ppf (r : recovery_result) =
@@ -547,6 +725,7 @@ type restart_run = {
   rr_undelivered : int;
   rr_incarnation : int;
   rr_trace_fingerprint : string;
+  rr_audit : audit_run option;
 }
 
 type restart_result = {
@@ -604,8 +783,8 @@ let rf_state_digest s =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
-    ?(cut_at_s = 8.0) ?(recover_at_s = 20.0) ?(horizon_s = 120.0) ?telemetry ()
-    =
+    ?(cut_at_s = 8.0) ?(recover_at_s = 20.0) ?(horizon_s = 120.0)
+    ?(audit = false) ?telemetry () =
   if switches < 4 then invalid_arg "restart: need a ring of >= 4";
   if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
     invalid_arg "restart: need crash < cut < recover";
@@ -652,17 +831,29 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
         rf_params = params ~vm_boot_s:2.0 ~parallel_boot:4 ();
         rpc_params = { rpc_params with Rf_rpc.Rpc_client.resync };
         faults;
+        audit;
       }
     in
     let s = Scenario.build ~options (Topo_gen.ring switches) in
     Scenario.run_for s (Vtime.span_s horizon_s);
     let client = Scenario.rpc_client s in
     let server = Scenario.rpc_server s in
+    let audit_run =
+      if audit then
+        let first_fault_s = if faulty then crash_at_s else cut_at_s in
+        Some
+          (audit_run_of s ~label ~first_fault_s:(Some first_fault_s)
+             ~horizon_s)
+      else None
+    in
     (match telemetry with
     | Some path ->
         Scenario.write_telemetry s path
           ~meta:
-            [
+            ((match audit_run with
+             | Some r -> audit_meta r
+             | None -> [])
+            @ [
               ("experiment", "restart");
               ("crash_at_s", Printf.sprintf "%.3f" crash_at_s);
               ("recover_at_s", Printf.sprintf "%.3f" recover_at_s);
@@ -676,7 +867,7 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
                   + Rf_rpc.Rpc_server.dedup_size server) );
               ( "rpc_handled",
                 string_of_int (Rf_rpc.Rpc_server.requests_handled server) );
-            ]
+            ])
     | None -> ());
     {
       rr_label = label;
@@ -706,6 +897,7 @@ let restart ?(seed = 42) ?(switches = 8) ?(crash_at_s = 4.0)
           (Digest.string
              (Format.asprintf "%a" Rf_sim.Trace.dump
                 (Rf_sim.Engine.trace (Scenario.engine s))));
+      rr_audit = audit_run;
     }
   in
   let baseline = run "no-fault" ~faulty:false ~resync:true in
@@ -1432,13 +1624,17 @@ type cluster_run = {
   cw_applied : int;  (** committed entries surfaced to RouteFlow *)
   cw_reassignments : int;  (** switch sessions whose OpenFlow role flipped *)
   cw_rejected : int;  (** mutations fenced off outside the commit path *)
+  cw_audit : audit_run option;
 }
 
 (* One measured scenario run like [traffic_ring_run], but with the
    RF-controller replicated [replicas] ways ([1] keeps the legacy
-   single controller, so the baseline goes through the same code). *)
-let cluster_ring_run ?telemetry ?profiler ?(shards = 1) ~label ~seed
-    ~switches ~replicas ~horizon_s ~traffic_start_s ~parallel_boot ~faults ()
+   single controller, so the baseline goes through the same code).
+   [audit_from] attaches the forwarding-state auditor; its value is
+   the first planned fault time, the steady-state upper bound. *)
+let cluster_ring_run ?telemetry ?profiler ?(shards = 1) ?audit_from ~label
+    ~seed ~switches ~replicas ~horizon_s ~traffic_start_s ~parallel_boot
+    ~faults ()
     =
   let spec = traffic_spec ~start_s:traffic_start_s ~switches ~horizon_s () in
   let topo = Topo_gen.ring switches in
@@ -1471,6 +1667,7 @@ let cluster_ring_run ?telemetry ?profiler ?(shards = 1) ~label ~seed
       cluster_replicas = replicas;
       profiler;
       shards;
+      audit = audit_from <> None;
     }
   in
   let s = Scenario.build ~options topo in
@@ -1487,11 +1684,20 @@ let cluster_ring_run ?telemetry ?profiler ?(shards = 1) ~label ~seed
   ignore (Traffic_gen.start engine ~rng ~measure ~fabric spec);
   Scenario.run_for s (Vtime.span_s horizon_s);
   Traffic_measure.finalize measure;
+  let audit_run =
+    Option.map
+      (fun first_fault_s ->
+        audit_run_of s ~label ~first_fault_s:(Some first_fault_s) ~horizon_s)
+      audit_from
+  in
   (match telemetry with
   | Some path ->
       Scenario.write_telemetry s path
         ~meta:
-          [
+          ((match audit_run with
+           | Some r -> audit_meta r
+           | None -> [])
+          @ [
             ("experiment", "cluster");
             ("run", label);
             ("flows", string_of_int (Traffic_measure.flow_count measure));
@@ -1502,7 +1708,7 @@ let cluster_ring_run ?telemetry ?profiler ?(shards = 1) ~label ~seed
             ( "disruption_s",
               Printf.sprintf "%.3f" (Traffic_measure.disruption_seconds measure)
             );
-          ]
+          ])
   | None -> ());
   let traffic =
     {
@@ -1546,6 +1752,7 @@ let cluster_ring_run ?telemetry ?profiler ?(shards = 1) ~label ~seed
     cw_reassignments =
       Rf_routeflow.Rf_controller_app.reassignments (Scenario.rf_app s);
     cw_rejected = Rf_system.mutations_rejected (Scenario.rf_system s);
+    cw_audit = audit_run;
   }
 
 type cluster_result = {
@@ -1567,7 +1774,8 @@ type cluster_result = {
 let cluster_failover ?(seed = 42) ?(switches = 28) ?(replicas = 3)
     ?(crash_at_s = 30.0) ?(cut_at_s = 36.0) ?(recover_at_s = 60.0)
     ?(manual_response_s = 25.0) ?(horizon_s = 120.0) ?(traffic_start_s = 20.0)
-    ?(parallel_boot = 4) ?(shards = 1) ?telemetry ?profiler () =
+    ?(parallel_boot = 4) ?(shards = 1) ?(audit = false) ?telemetry ?profiler
+    () =
   if switches < 8 then invalid_arg "cluster_failover: need a ring of >= 8";
   if replicas < 3 then invalid_arg "cluster_failover: need >= 3 replicas";
   if not (crash_at_s < cut_at_s && cut_at_s < recover_at_s) then
@@ -1578,9 +1786,11 @@ let cluster_failover ?(seed = 42) ?(switches = 28) ?(replicas = 3)
      elect a new leader within seconds, it takes the switch sessions
      back as master, and the cut is rerouted as if nothing happened to
      the control plane. Replica 0 later rejoins as a follower. *)
+  let audit_from = if audit then Some crash_at_s else None in
   let auto =
-    cluster_ring_run ?telemetry ?profiler ~shards ~label:"automatic" ~seed
-      ~switches ~replicas ~horizon_s ~traffic_start_s ~parallel_boot
+    cluster_ring_run ?telemetry ?profiler ~shards ?audit_from
+      ~label:"automatic" ~seed ~switches ~replicas ~horizon_s ~traffic_start_s
+      ~parallel_boot
       ~faults:
         Rf_sim.Faults.(
           plan
@@ -1595,8 +1805,8 @@ let cluster_failover ?(seed = 42) ?(switches = 28) ?(replicas = 3)
      down across the cut; the operator notices and restarts it only
      [manual_response_s] later, and resync reconciles from there. *)
   let legacy =
-    cluster_ring_run ~label:"legacy" ~seed ~switches ~replicas:1 ~horizon_s
-      ~traffic_start_s ~parallel_boot
+    cluster_ring_run ?audit_from ~label:"legacy" ~seed ~switches ~replicas:1
+      ~horizon_s ~traffic_start_s ~parallel_boot
       ~faults:
         Rf_sim.Faults.(
           plan
@@ -2090,3 +2300,204 @@ let print_scaling_sharded ?(wall = false) ppf (r : Shard_run.result) =
     Format.fprintf ppf "  events/sec %.0f (%.2f s elapsed)@."
       (float_of_int r.sr_events /. Float.max 1e-9 r.sr_elapsed_s)
       r.sr_elapsed_s
+
+(* --- E12: forwarding-state audit of the fault replays -------------- *)
+
+type audit_pair = {
+  ap_name : string;
+  ap_detail : string;
+  ap_switches : int;
+  ap_auto : audit_run;
+  ap_legacy : audit_run;
+}
+
+type audit_result = {
+  ad_seed : int;
+  ad_pairs : audit_pair list;
+  ad_steady_total : int;  (** steady-state violations across every run *)
+}
+
+(* One audited control-plane replay: the ring with one host per switch
+   (every subnet is a configured prefix, so blackhole coverage is
+   total), the aggressive RPC supervision of the fault experiments, no
+   traffic workload — E12 watches the forwarding *state*, not the
+   packets, so the runs stay cheap enough to fingerprint in CI. *)
+let audit_ring_run ?telemetry ~scenario ~label ~seed ~switches ~replicas
+    ~resync ~faults ~first_fault_s ~horizon_s () =
+  let topo = Topo_gen.ring switches in
+  for i = 1 to switches do
+    let name = Printf.sprintf "h%02d" i in
+    Topology.add_host topo name;
+    ignore
+      (Topology.connect topo (Topology.Host name)
+         (Topology.Switch (Int64.of_int i)))
+  done;
+  let rpc_params =
+    {
+      Rf_rpc.Rpc_client.rto = Vtime.span_s 0.5;
+      rto_max = Vtime.span_s 4.0;
+      max_retries = 3;
+      heartbeat_every = Vtime.span_s 1.0;
+      heartbeat_jitter = 0.0;
+      dead_after = 3;
+      resync;
+    }
+  in
+  let options =
+    {
+      Scenario.default_options with
+      seed;
+      rf_params = params ~vm_boot_s:2.0 ~parallel_boot:4 ();
+      rpc_params;
+      faults;
+      cluster_replicas = replicas;
+      audit = true;
+    }
+  in
+  let s = Scenario.build ~options topo in
+  Scenario.run_for s (Vtime.span_s horizon_s);
+  let run =
+    audit_run_of s ~label ~first_fault_s:(Some first_fault_s) ~horizon_s
+  in
+  (match telemetry with
+  | Some path ->
+      Scenario.write_telemetry s path
+        ~meta:
+          ([ ("experiment", "audit"); ("scenario", scenario); ("run", label) ]
+          @ audit_meta run)
+  | None -> ());
+  run
+
+let audit_windows ?(seed = 42) ?(e3_switches = 6) ?(e4_switches = 8)
+    ?(e9_switches = 28) ?(e9_replicas = 3) ?telemetry () =
+  if e3_switches < 4 || e4_switches < 4 then
+    invalid_arg "audit_windows: need rings of >= 4";
+  if e9_switches < 8 then invalid_arg "audit_windows: need an E9 ring >= 8";
+  if e9_replicas < 3 then invalid_arg "audit_windows: need >= 3 replicas";
+  let cut at = Rf_sim.Faults.link_down ~at_s:at 2L 3L in
+  (* E3 replay: link sw2-sw3 cut at t=60 s with the controller up
+     (automatic) vs. down across the cut until the operator responds
+     (legacy, the E6 manual baseline). *)
+  let e3 =
+    let auto =
+      audit_ring_run ~scenario:"e3-link-cut" ~label:"automatic" ~seed
+        ~switches:e3_switches ~replicas:1 ~resync:true
+        ~faults:(Rf_sim.Faults.plan [ cut 60.0 ])
+        ~first_fault_s:60.0 ~horizon_s:150.0 ()
+    in
+    let legacy =
+      audit_ring_run ~scenario:"e3-link-cut" ~label:"legacy" ~seed
+        ~switches:e3_switches ~replicas:1 ~resync:true
+        ~faults:
+          Rf_sim.Faults.(
+            plan
+              [
+                controller_crash ~at_s:58.0 ();
+                cut 60.0;
+                controller_recover ~at_s:85.0 ();
+              ])
+        ~first_fault_s:58.0 ~horizon_s:150.0 ()
+    in
+    {
+      ap_name = "e3-link-cut";
+      ap_detail =
+        "link sw2-sw3 cut at t=60s; legacy: controller down 58s..85s";
+      ap_switches = e3_switches;
+      ap_auto = auto;
+      ap_legacy = legacy;
+    }
+  in
+  (* E4 replay: crash at 4 s, cut at 8 s while down, restart at 20 s —
+     reconciling RPC session (automatic) vs. the legacy session that
+     never hears of the cut. *)
+  let e4 =
+    let faults =
+      Rf_sim.Faults.(
+        plan
+          [
+            controller_crash ~at_s:4.0 ();
+            cut 8.0;
+            controller_recover ~at_s:20.0 ();
+          ])
+    in
+    let run label resync =
+      audit_ring_run ~scenario:"e4-restart" ~label ~seed
+        ~switches:e4_switches ~replicas:1 ~resync ~faults ~first_fault_s:4.0
+        ~horizon_s:120.0 ()
+    in
+    {
+      ap_name = "e4-restart";
+      ap_detail =
+        "controller down 4s..20s, link sw2-sw3 cut at t=8s; legacy: no \
+         resync";
+      ap_switches = e4_switches;
+      ap_auto = run "automatic" true;
+      ap_legacy = run "legacy" false;
+    }
+  in
+  (* E9 replay: the acting leader dies at 30 s, the cut lands at 36 s —
+     replicated failover (automatic) vs. the single controller waiting
+     25 s for the operator (legacy). Telemetry captures the automatic
+     run: its audit.violation spans are the headline windows. *)
+  let e9 =
+    let auto =
+      audit_ring_run ?telemetry ~scenario:"e9-leader-crash" ~label:"automatic"
+        ~seed ~switches:e9_switches ~replicas:e9_replicas ~resync:true
+        ~faults:
+          Rf_sim.Faults.(
+            plan
+              [
+                controller_crash ~at_s:30.0 ~replica:0 ();
+                cut 36.0;
+                controller_recover ~at_s:60.0 ~replica:0 ();
+              ])
+        ~first_fault_s:30.0 ~horizon_s:120.0 ()
+    in
+    let legacy =
+      audit_ring_run ~scenario:"e9-leader-crash" ~label:"legacy" ~seed
+        ~switches:e9_switches ~replicas:1 ~resync:true
+        ~faults:
+          Rf_sim.Faults.(
+            plan
+              [
+                controller_crash ~at_s:30.0 ();
+                cut 36.0;
+                controller_recover ~at_s:55.0 ();
+              ])
+        ~first_fault_s:30.0 ~horizon_s:120.0 ()
+    in
+    {
+      ap_name = "e9-leader-crash";
+      ap_detail =
+        "leader crash at t=30s, link sw2-sw3 cut at t=36s; legacy: single \
+         controller back at t=55s";
+      ap_switches = e9_switches;
+      ap_auto = auto;
+      ap_legacy = legacy;
+    }
+  in
+  let pairs = [ e3; e4; e9 ] in
+  {
+    ad_seed = seed;
+    ad_pairs = pairs;
+    ad_steady_total =
+      List.fold_left
+        (fun acc p ->
+          acc + p.ap_auto.ar_steady_windows + p.ap_legacy.ar_steady_windows)
+        0 pairs;
+  }
+
+let print_audit ppf (r : audit_result) =
+  Format.fprintf ppf
+    "Forwarding-state audit — E3/E4/E9 fault replays, one host per switch \
+     (seed %d)@."
+    r.ad_seed;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "[%s] %d-switch ring — %s@." p.ap_name p.ap_switches
+        p.ap_detail;
+      print_audit_run ppf p.ap_auto;
+      print_audit_run ppf p.ap_legacy)
+    r.ad_pairs;
+  Format.fprintf ppf "steady-state violations across all runs: %d@."
+    r.ad_steady_total

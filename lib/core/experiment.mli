@@ -107,6 +107,52 @@ val demo :
 
 val print_demo : Format.formatter -> demo_result -> unit
 
+(** {1 E12 — forwarding-state audit (shared result shape)}
+
+    One audited run's view of the {!Rf_obs.Auditor} attached via
+    {!Scenario.options.audit}: window counts per invariant, union
+    durations of the violation windows before and after the first
+    planned fault, and the steady-state gate input — windows strictly
+    inside the (post-convergence, pre-fault) interval, which must be
+    empty on a healthy run. *)
+
+type audit_window = {
+  aw_kind : string;  (** "loop" / "blackhole" / "rib_fib" / "slice" *)
+  aw_key : string;
+  aw_open_s : float;
+  aw_close_s : float option;  (** [None]: still open at the horizon *)
+}
+
+type audit_run = {
+  ar_label : string;
+  ar_updates : int;  (** audited incremental updates processed *)
+  ar_eq_classes : int;
+  ar_walks : int;
+  ar_dropped : int;  (** unprobeable classes — audit incompleteness *)
+  ar_loop : int;  (** windows opened, per invariant... *)
+  ar_blackhole : int;
+  ar_rib_fib : int;
+  ar_slice : int;
+  ar_window_count : int;
+  ar_open_at_end : int;  (** windows still open at the horizon *)
+  ar_converged_s : float option;
+  ar_first_fault_s : float option;
+  ar_steady_windows : int;
+      (** windows overlapping the open steady-state interval
+          (converged_s, first_fault_s) — the exit-code-5 gate *)
+  ar_boot_union_s : float;
+      (** union of violation windows clipped to before the first fault
+          (dominated by the boot transient) *)
+  ar_fault_union_s : float;
+      (** union clipped to [first fault, horizon] — the measurable
+          fault-induced violation window *)
+  ar_fault_windows : audit_window list;
+      (** windows opened at or after the first fault, opening order *)
+}
+
+val print_audit_run : Format.formatter -> audit_run -> unit
+(** Virtual-clock figures only — safe to fingerprint. *)
+
 (** {1 E3 — Failure recovery: link cut under live traffic}
 
     A ring carries a UDP stream end to end; a deterministic fault plan
@@ -129,6 +175,7 @@ type recovery_result = {
   fr_window_lost : int;
   fr_routes_avoid_failed_link : bool;
   fr_trace_fingerprint : string;  (** MD5 of the trace dump *)
+  fr_audit : audit_run option;  (** present with [audit] *)
 }
 
 val failure_recovery :
@@ -137,13 +184,16 @@ val failure_recovery :
   ?fail_at_s:float ->
   ?window_s:float ->
   ?horizon_s:float ->
+  ?audit:bool ->
   ?telemetry:string ->
   ?profiler:Rf_obs.Profiler.t ->
   unit ->
   recovery_result
 (** Default: 6-switch ring (server behind sw1, client behind sw4, 2 s
     quad-parallel boots so setup is quick), link sw2–sw3 cut at 60 s,
-    loss counted over the following 30 s, 150 s horizon. *)
+    loss counted over the following 30 s, 150 s horizon. [audit]
+    attaches the forwarding-state auditor and fills [fr_audit] (plus
+    the audit meta keys of the telemetry dump). *)
 
 val print_failure_recovery : Format.formatter -> recovery_result -> unit
 
@@ -180,6 +230,9 @@ type restart_run = {
       (** config events acknowledged-or-abandoned but never handled *)
   rr_incarnation : int;
   rr_trace_fingerprint : string;
+  rr_audit : audit_run option;
+      (** present with [audit]; the first fault is the crash for the
+          faulty runs, the cut for the baseline *)
 }
 
 type restart_result = {
@@ -204,6 +257,7 @@ val restart :
   ?cut_at_s:float ->
   ?recover_at_s:float ->
   ?horizon_s:float ->
+  ?audit:bool ->
   ?telemetry:string ->
   unit ->
   restart_result
@@ -413,6 +467,7 @@ type cluster_run = {
   cw_applied : int;  (** committed entries surfaced to RouteFlow *)
   cw_reassignments : int;  (** switch sessions whose OpenFlow role flipped *)
   cw_rejected : int;  (** mutations fenced off outside the commit path *)
+  cw_audit : audit_run option;  (** present with [audit] *)
 }
 
 type cluster_result = {
@@ -443,6 +498,7 @@ val cluster_failover :
   ?traffic_start_s:float ->
   ?parallel_boot:int ->
   ?shards:int ->
+  ?audit:bool ->
   ?telemetry:string ->
   ?profiler:Rf_obs.Profiler.t ->
   unit ->
@@ -627,3 +683,67 @@ val print_scaling_sharded :
 (** With [wall:false] (default) the report is byte-identical for a
     given seed regardless of shard count — the CI shard fingerprint.
     [wall] adds events/sec and elapsed seconds. *)
+
+(** {1 E12 — forwarding-state audit of the fault replays}
+
+    The E3 link-cut, E4 crash/restart and E9 leader-crash fault
+    schedules replayed with the {!Rf_obs.Auditor} attached, automatic
+    vs. legacy control plane, on rings with one host per switch and no
+    traffic workload — E12 measures the forwarding *state*: how long
+    each fault leaves the network with loops, blackholes, RIB–FIB
+    divergence or slice escapes, as violation windows in virtual
+    time. *)
+
+type audit_pair = {
+  ap_name : string;  (** "e3-link-cut" / "e4-restart" / "e9-leader-crash" *)
+  ap_detail : string;  (** printable fault schedule *)
+  ap_switches : int;
+  ap_auto : audit_run;
+  ap_legacy : audit_run;
+}
+
+type audit_result = {
+  ad_seed : int;
+  ad_pairs : audit_pair list;  (** E3, E4, E9 order *)
+  ad_steady_total : int;
+      (** steady-state violations across every run — `rfauto audit`
+          exits 5 unless this is 0 *)
+}
+
+val audit_ring_run :
+  ?telemetry:string ->
+  scenario:string ->
+  label:string ->
+  seed:int ->
+  switches:int ->
+  replicas:int ->
+  resync:bool ->
+  faults:Rf_sim.Faults.plan ->
+  first_fault_s:float ->
+  horizon_s:float ->
+  unit ->
+  audit_run
+(** One audited control-plane replay: a ring with one host subnet per
+    switch (no traffic workload), the given fault plan, and the
+    auditor attached. The building block of {!audit_windows}; exposed
+    so tests can pin reduced-size replays. *)
+
+val audit_windows :
+  ?seed:int ->
+  ?e3_switches:int ->
+  ?e4_switches:int ->
+  ?e9_switches:int ->
+  ?e9_replicas:int ->
+  ?telemetry:string ->
+  unit ->
+  audit_result
+(** Defaults mirror the source experiments: E3 on a 6-ring (cut at
+    60 s; legacy: controller down 58–85 s), E4 on an 8-ring (crash 4 s,
+    cut 8 s, recover 20 s; legacy: no resync), E9 on a 28-ring with 3
+    replicas (leader crash 30 s, cut 36 s, rejoin 60 s; legacy: single
+    controller back at 55 s). [telemetry] writes the E9 automatic run's
+    span/event JSONL — its [audit.violation] spans are the headline
+    windows. Deterministic: same seed, byte-identical windows. *)
+
+val print_audit : Format.formatter -> audit_result -> unit
+(** Virtual-clock figures only — the CI E12 fingerprint. *)

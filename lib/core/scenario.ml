@@ -30,6 +30,14 @@ type options = {
           meta; 1 = no partition. Build raises [Invalid_argument] if
           a zero-latency link crosses the cut, because such a cut
           leaves a sharded engine no conservative-lookahead horizon. *)
+  audit : bool;
+      (** attaches the continuous forwarding-state auditor
+          ({!Rf_obs.Auditor}): flow-table snapshots, link state, RIB
+          publications and slice attributions feed an incremental
+          forwarding model whose violation windows appear as
+          [audit.violation] spans and [audit_*] meta keys. Off by
+          default so unaudited telemetry (and its pinned fingerprints)
+          is unchanged. *)
 }
 
 let default_options =
@@ -46,6 +54,7 @@ let default_options =
     cluster_replicas = 1;
     profiler = None;
     shards = 1;
+    audit = false;
   }
 
 type host_plan = { hp_subnet : Ipv4_addr.Prefix.t; hp_ip : Ipv4_addr.t }
@@ -62,6 +71,7 @@ type t = {
   rpc_client : Rf_rpc.Rpc_client.t;
   rpc_server : Rf_rpc.Rpc_server.t;
   cluster : Rf_rpc.Cluster.t option;
+  auditor : Rf_obs.Auditor.t option;
   gui : Gui.t;
   host_plans : (string * host_plan) list;
   n_switches : int;
@@ -235,8 +245,9 @@ let build ?(options = default_options) topo =
 
   (* FlowVisor with the two slices of the paper. *)
   let fv = Flowvisor.create engine ~controller_latency:options.control_latency () in
-  Flowvisor.add_slice fv
-    (Flowspace.lldp_slice ~name:"topology")
+  let lldp_fs = Flowspace.lldp_slice ~name:"topology" in
+  let data_fs = Flowspace.data_slice ~name:"routeflow" in
+  Flowvisor.add_slice fv lldp_fs
     ~attach:(fun ~dpid endpoint ->
       ignore dpid;
       let conn = Rf_controller.Of_conn.create engine endpoint in
@@ -246,8 +257,7 @@ let build ?(options = default_options) topo =
             (Rf_sim.Rng.split faults_rng) profile
       | None -> ());
       Discovery.attach disc conn);
-  Flowvisor.add_slice fv
-    (Flowspace.data_slice ~name:"routeflow")
+  Flowvisor.add_slice fv data_fs
     ~attach:(fun ~dpid endpoint -> Rf_controller_app.attach rf_app ~dpid endpoint);
 
   (* The emulated network. *)
@@ -283,6 +293,82 @@ let build ?(options = default_options) topo =
         | Some i -> i * options.shards / total
         | None -> 0)
   end;
+
+  (* Forwarding-state auditor (opt-in): feed it the static topology,
+     then subscribe it to every state source — classifier snapshots on
+     table change, link transitions, RIB publications (wired per VM
+     below, once VMs exist) and FlowVisor's flow-mod attributions. *)
+  let auditor =
+    if not options.audit then None
+    else begin
+      let au =
+        Rf_obs.Auditor.create
+          ~tracer:(Rf_sim.Engine.tracer engine)
+          ~metrics:(Rf_sim.Engine.metrics engine)
+          ()
+      in
+      List.iter (fun d -> Rf_obs.Auditor.add_switch au d) (Topology.switches topo);
+      let sw_edges =
+        List.filter_map
+          (fun (e : Topology.edge) ->
+            match (e.a, e.b) with
+            | Topology.Switch da, Topology.Switch db ->
+                Some ((da, e.a_port), (db, e.b_port))
+            | (Topology.Switch _ | Topology.Host _), _ -> None)
+          (Topology.edges topo)
+      in
+      List.iter (fun (a, b) -> Rf_obs.Auditor.add_link au ~a ~b) sw_edges;
+      List.iter
+        (fun (dpid, port, subnet) -> Rf_obs.Auditor.add_host au ~dpid ~port subnet)
+        admin_edges;
+      List.iter
+        (fun (fs : Flowspace.t) ->
+          Rf_obs.Auditor.set_slice au fs.Flowspace.fs_name fs.Flowspace.fs_patterns)
+        [ lldp_fs; data_fs ];
+      Flowvisor.set_on_flow_mod fv (fun ~dpid ~slice fm ->
+          match fm.Rf_openflow.Of_msg.fm_command with
+          | Rf_openflow.Of_msg.Add | Rf_openflow.Of_msg.Modify
+          | Rf_openflow.Of_msg.Modify_strict ->
+              Rf_obs.Auditor.attribute au ~dpid
+                ~match_:fm.Rf_openflow.Of_msg.fm_match
+                ~priority:fm.Rf_openflow.Of_msg.fm_priority slice
+          | Rf_openflow.Of_msg.Delete | Rf_openflow.Of_msg.Delete_strict -> ());
+      List.iter
+        (fun (dpid, dp) ->
+          let push () =
+            let rules =
+              List.map
+                (fun (e : Rf_net.Flow_table.entry) ->
+                  Rf_obs.Fwd_model.rule_of_actions ~match_:e.Rf_net.Flow_table.e_match
+                    ~priority:e.Rf_net.Flow_table.e_priority
+                    ~seq:e.Rf_net.Flow_table.e_seq e.Rf_net.Flow_table.e_actions)
+                (Rf_net.Flow_table.entries (Rf_net.Datapath.flow_table dp))
+            in
+            Rf_obs.Auditor.set_switch_rules au dpid rules
+          in
+          Rf_net.Datapath.set_on_table_changed dp push;
+          push ())
+        (Network.datapaths net);
+      Network.set_on_link_state net (fun a b up ->
+          match (a, b) with
+          | Topology.Switch da, Topology.Switch db ->
+              let ends =
+                List.find_map
+                  (fun (((ea, _), (eb, _)) as l) ->
+                    if
+                      (Int64.equal ea da && Int64.equal eb db)
+                      || (Int64.equal ea db && Int64.equal eb da)
+                    then Some l
+                    else None)
+                  sw_edges
+              in
+              (match ends with
+              | Some (ea, eb) -> Rf_obs.Auditor.set_link_state au ~a:ea ~b:eb up
+              | None -> ())
+          | (Topology.Switch _ | Topology.Host _), _ -> ());
+      Some au
+    end
+  in
 
   (* GUI and instrumentation. *)
   let gui = Gui.create engine () in
@@ -338,6 +424,7 @@ let build ?(options = default_options) topo =
       rpc_client;
       rpc_server;
       cluster;
+      auditor;
       gui;
       host_plans;
       n_switches;
@@ -353,6 +440,27 @@ let build ?(options = default_options) topo =
   Rf_system.set_on_vm_ready rf_sys (fun dpid ->
       Gui.set_green gui dpid;
       List.iter (fun f -> f dpid) t.vm_ready_listeners);
+  (* RIB feed: each VM publishes its desired FIB — the (prefix, port)
+     pairs the RF-client wants installed — to the auditor on every
+     flow-export change. Attached on readiness because VMs are created
+     dynamically (and re-created across restarts). *)
+  (match auditor with
+  | Some au ->
+      t.vm_ready_listeners <-
+        t.vm_ready_listeners
+        @ [
+            (fun dpid ->
+              match Rf_system.vm rf_sys dpid with
+              | Some vm ->
+                  Rf_routeflow.Vm.add_on_flows_changed vm (fun () ->
+                      Rf_obs.Auditor.set_rib au dpid
+                        (List.map
+                           (fun (fr : Rf_routeflow.Vm.flow_route) ->
+                             (fr.Rf_routeflow.Vm.fr_prefix, fr.Rf_routeflow.Vm.fr_port))
+                           (Rf_routeflow.Vm.flow_routes vm)))
+              | None -> ());
+          ]
+  | None -> ());
   (* Convergence probe: every VM's RIB covers every subnet. *)
   let converged () =
     Rf_system.configured_count rf_sys = n_switches
@@ -432,6 +540,8 @@ let rpc_client t = t.rpc_client
 let rpc_server t = t.rpc_server
 
 let cluster t = t.cluster
+
+let auditor t = t.auditor
 
 let gui t = t.gui
 
@@ -516,6 +626,29 @@ let telemetry_meta t =
                   string_of_int (Rf_sim.Vtime.span_to_us la) );
               ]
           | None -> []))
+  (* audit keys appear only in audited runs, so unaudited telemetry
+     (and its pinned fingerprints) is unchanged; audit_dropped is
+     always present when auditing so completeness rules can bind to
+     it, even at 0 *)
+  @ (match t.auditor with
+    | None -> []
+    | Some au ->
+        let open Rf_obs.Auditor in
+        [
+          ("experiment_audited", "1");
+          ("audit_updates", string_of_int (updates au));
+          ("audit_eq_classes", string_of_int (eq_classes au));
+          ("audit_walks", string_of_int (walks au));
+          ("audit_windows", string_of_int (List.length (windows au)));
+          ( "audit_open_windows",
+            string_of_int (List.length (open_violations au)) );
+          ("audit_loop_windows", string_of_int (violations_total au Loop));
+          ( "audit_blackhole_windows",
+            string_of_int (violations_total au Blackhole) );
+          ("audit_rib_fib_windows", string_of_int (violations_total au Rib_fib));
+          ("audit_slice_windows", string_of_int (violations_total au Slice));
+          ("audit_dropped", string_of_int (dropped au));
+        ])
   @
   (* cluster keys appear only in clustered runs, so single-controller
      telemetry (and its pinned fingerprints) is unchanged *)

@@ -45,6 +45,16 @@ type options = {
           [Invalid_argument] when a zero-latency link crosses the
           cut, since such a cut leaves a sharded engine no
           conservative-lookahead horizon *)
+  audit : bool;
+      (** attaches a continuous forwarding-state auditor
+          ({!Rf_obs.Auditor}) fed by flow-table snapshots (on every
+          flow-mod and expiry), link-state transitions, per-VM RIB
+          publications and FlowVisor slice attributions. Violation
+          windows appear as [audit.violation] spans in the telemetry
+          and as [audit_*] meta keys ([audit_dropped] always present
+          when auditing, so completeness rules can bind to it). Off
+          (default) adds no meta keys, keeping every pinned
+          fingerprint unchanged *)
 }
 
 val default_options : options
@@ -78,6 +88,9 @@ val rpc_server : t -> Rf_rpc.Rpc_server.t
 
 val cluster : t -> Rf_rpc.Cluster.t option
 (** The controller cluster; [None] unless [cluster_replicas >= 2]. *)
+
+val auditor : t -> Rf_obs.Auditor.t option
+(** The forwarding-state auditor; [None] unless [options.audit]. *)
 
 val gui : t -> Gui.t
 

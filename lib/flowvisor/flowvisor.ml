@@ -28,10 +28,19 @@ type t = {
   controller_latency : Rf_sim.Vtime.span;
   mutable slice_list : slice_state list;  (** registration order *)
   switches : (int64, switch_state) Hashtbl.t;
+  mutable on_flow_mod : dpid:int64 -> slice:string -> Of_msg.flow_mod -> unit;
 }
 
 let create engine ?(controller_latency = Rf_sim.Vtime.span_ms 1) () =
-  { engine; controller_latency; slice_list = []; switches = Hashtbl.create 64 }
+  {
+    engine;
+    controller_latency;
+    slice_list = [];
+    switches = Hashtbl.create 64;
+    on_flow_mod = (fun ~dpid:_ ~slice:_ _ -> ());
+  }
+
+let set_on_flow_mod t f = t.on_flow_mod <- f
 
 let add_slice t def ~attach =
   let m = Rf_sim.Engine.metrics t.engine in
@@ -98,7 +107,7 @@ let eperm_packet_out xid =
          err_data = "flowvisor: packet outside slice flowspace";
        })
 
-let handle_from_slice _t sw slice conn (m : Of_msg.t) =
+let handle_from_slice t sw slice conn (m : Of_msg.t) =
   Rf_obs.Metrics.incr slice.from_slice;
   let reply msg = send_to_slice slice conn msg in
   match m.payload with
@@ -116,8 +125,11 @@ let handle_from_slice _t sw slice conn (m : Of_msg.t) =
          the RouteFlow slice raises it to get whole frames relayed. *)
       forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
   | Of_msg.Flow_mod fm ->
-      if Flowspace.permits_match slice.def fm.fm_match then
+      if Flowspace.permits_match slice.def fm.fm_match then begin
+        t.on_flow_mod ~dpid:sw.features.Of_msg.datapath_id
+          ~slice:slice.def.Flowspace.fs_name fm;
         forward_to_switch sw ~slice_name:slice.def.Flowspace.fs_name m
+      end
       else begin
         Rf_obs.Metrics.incr slice.denied;
         reply (eperm_flow_mod m.xid)

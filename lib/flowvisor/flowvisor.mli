@@ -29,6 +29,13 @@ val switch_attach : t -> dpid:int64 -> Rf_net.Channel.endpoint -> unit
     {!Rf_net.Network.build}. The [dpid] parameter is redundant with the
     handshake and only used for bookkeeping labels. *)
 
+val set_on_flow_mod :
+  t -> (dpid:int64 -> slice:string -> Rf_openflow.Of_msg.flow_mod -> unit) ->
+  unit
+(** Observer fired for every flow-mod a slice controller was permitted
+    to install, before it is forwarded to the switch — the auditor's
+    slice-attribution feed. Denied flow-mods never reach it. *)
+
 (** {1 Introspection} *)
 
 val slices : t -> string list

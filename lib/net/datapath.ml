@@ -27,6 +27,7 @@ type t = {
   mutable on_packet_in : Of_msg.packet_in -> unit;
   mutable on_flow_removed : Of_msg.flow_removed -> unit;
   mutable on_port_status : Of_msg.port_status_reason -> Of_msg.phys_port -> unit;
+  mutable on_table_changed : unit -> unit;
   mutable forwarded : int;
   mutable missed : int;
   mutable dropped : int;
@@ -73,6 +74,7 @@ let create engine ~dpid ~n_ports ?table_capacity () =
       on_packet_in = (fun _ -> ());
       on_flow_removed = (fun _ -> ());
       on_port_status = (fun _ _ -> ());
+      on_table_changed = (fun () -> ());
       forwarded = 0;
       missed = 0;
       dropped = 0;
@@ -101,7 +103,8 @@ let create engine ~dpid ~n_ports ?table_capacity () =
               fr_packet_count = e.Flow_table.e_packets;
               fr_byte_count = e.Flow_table.e_bytes;
             })
-      removed
+      removed;
+    if removed <> [] then t.on_table_changed ()
   in
   ignore
     (Rf_sim.Engine.periodic ~entity:t.entity engine (Rf_sim.Vtime.span_s 1.0)
@@ -161,6 +164,8 @@ let set_on_packet_in t f = t.on_packet_in <- f
 let set_on_flow_removed t f = t.on_flow_removed <- f
 
 let set_on_port_status t f = t.on_port_status <- f
+
+let set_on_table_changed t f = t.on_table_changed <- f
 
 let packets_forwarded t = t.forwarded
 
@@ -404,6 +409,7 @@ let handle_flow_mod t (fm : Of_msg.flow_mod) =
       | (Of_msg.Add | Of_msg.Modify | Of_msg.Modify_strict | Of_msg.Delete
         | Of_msg.Delete_strict), (Some _ | None) ->
           ());
+      t.on_table_changed ();
       Ok ()
 
 let handle_packet_out t (po : Of_msg.packet_out) =

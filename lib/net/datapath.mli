@@ -64,6 +64,10 @@ val set_on_flow_removed : t -> (Of_msg.flow_removed -> unit) -> unit
 val set_on_port_status :
   t -> (Of_msg.port_status_reason -> Of_msg.phys_port -> unit) -> unit
 
+val set_on_table_changed : t -> (unit -> unit) -> unit
+(** Fires after every successful flow-mod and after each expiry sweep
+    that removed entries — the forwarding-state auditor's feed. *)
+
 (** {1 Introspection for experiments} *)
 
 val packets_forwarded : t -> int

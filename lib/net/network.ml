@@ -15,6 +15,7 @@ type t = {
   links : (Topology.node * Topology.node, Link.t) Hashtbl.t;
   mutable reconnect : (int64 -> unit) option;
   mutable partition : (int * (Topology.node -> int)) option;
+  mutable on_link_state : Topology.node -> Topology.node -> bool -> unit;
 }
 
 let engine t = t.engine
@@ -71,8 +72,12 @@ let link t a b =
 
 let set_link_up t a b up =
   match link t a b with
-  | Some l -> Link.set_up l up
+  | Some l ->
+      Link.set_up l up;
+      t.on_link_state a b up
   | None -> raise Not_found
+
+let set_on_link_state t f = t.on_link_state <- f
 
 let node_key = function
   | Topology.Switch d -> (0, d, "")
@@ -115,6 +120,7 @@ let build engine topo ~host_config ~attach_controller
       links = Hashtbl.create 64;
       reconnect = None;
       partition = None;
+      on_link_state = (fun _ _ _ -> ());
     }
   in
   (* Datapaths, with one port per topology edge endpoint. *)

@@ -54,6 +54,12 @@ val queue_dropped_frames : t -> int
 val set_link_up : t -> Topology.node -> Topology.node -> bool -> unit
 (** Raises [Not_found] when there is no such link. *)
 
+val set_on_link_state :
+  t -> (Topology.node -> Topology.node -> bool -> unit) -> unit
+(** Observer fired by {!set_link_up} after the link state changed —
+    every link fault and recovery (the fault injector included) goes
+    through that chokepoint, so this is the auditor's link feed. *)
+
 val disconnect_switch : t -> int64 -> unit
 (** Closes the switch's control connection (crash injection); the
     datapath keeps forwarding with its installed flows, headless. *)

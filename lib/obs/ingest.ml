@@ -135,3 +135,4 @@ let dropped_records dump =
     | None -> 0
   in
   n "dropped_spans" + n "dropped_events" + n "trace_dropped"
+  + n "audit_dropped"

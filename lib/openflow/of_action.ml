@@ -15,6 +15,11 @@ let output port = Output { port; max_len = 65535 }
 
 let to_controller = output Of_port.controller
 
+let outputs actions =
+  List.filter_map
+    (function Output { port; _ } -> Some port | _ -> None)
+    actions
+
 let size = function
   | Output _ | Strip_vlan | Set_nw_src _ | Set_nw_dst _ | Set_nw_tos _
   | Set_tp_src _ | Set_tp_dst _ ->

@@ -18,6 +18,10 @@ val output : Of_port.t -> t
 
 val to_controller : t
 
+val outputs : t list -> int list
+(** The [Output] ports of an action list, in order, pseudo-ports
+    included. *)
+
 val size : t -> int
 (** Encoded size in bytes (multiple of 8). *)
 

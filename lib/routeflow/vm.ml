@@ -29,6 +29,7 @@ type t = {
   mutable rip_enabled : string list;
   mutable last_flows : flow_route list;
   mutable on_flows_changed : unit -> unit;
+  mutable flow_listeners : (unit -> unit) list;  (** extra observers *)
   mutable flows_dirty : bool;
   mutable slow_forwarded : int;
   m_slow_path : Rf_obs.Metrics.counter;
@@ -162,13 +163,16 @@ let refresh_flows t =
            if flows <> t.last_flows then begin
              t.last_flows <- flows;
              Rf_obs.Metrics.incr t.m_flow_exports;
-             t.on_flows_changed ()
+             t.on_flows_changed ();
+             List.iter (fun f -> f ()) (List.rev t.flow_listeners)
            end))
   end
 
 let flow_routes t = t.last_flows
 
 let set_on_flows_changed t f = t.on_flows_changed <- f
+
+let add_on_flows_changed t f = t.flow_listeners <- f :: t.flow_listeners
 
 (* --- data plane ----------------------------------------------------- *)
 
@@ -315,6 +319,7 @@ let create engine ~dpid ~n_ports () =
       rip_enabled = [];
       last_flows = [];
       on_flows_changed = (fun () -> ());
+      flow_listeners = [];
       flows_dirty = false;
       slow_forwarded = 0;
       m_slow_path =

@@ -83,6 +83,13 @@ val flow_routes : t -> flow_route list
     RF-client wants installed on the physical switch, sorted. *)
 
 val set_on_flows_changed : t -> (unit -> unit) -> unit
+(** The single RF-client slot (consumed by {!Rf_system}); replaces any
+    previous function. *)
+
+val add_on_flows_changed : t -> (unit -> unit) -> unit
+(** Appends an extra observer — fired after the {!set_on_flows_changed}
+    slot on every flow-export change. Used by the auditor's RIB feed
+    without stealing the RF-client's callback. *)
 
 (** {1 Introspection} *)
 

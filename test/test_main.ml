@@ -20,4 +20,5 @@ let () = Alcotest.run "routeflow-autoconf" [
       ("analysis", Test_analysis.suite);
       ("profiler", Test_profiler.suite);
       ("shard", Test_shard.suite);
+      ("auditor", Test_auditor.suite);
     ]
